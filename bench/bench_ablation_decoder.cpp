@@ -1,0 +1,100 @@
+// Ablation: decoder and tag design choices DESIGN.md calls out.
+//   (1) polarization switching on/off in a cluttered scene,
+//   (2) envelope whitening on/off,
+//   (3) bin-averaged vs interpolated resampling,
+//   (4) beam shaping on/off at a realistic height offset.
+#include "bench_util.hpp"
+
+#include "ros/scene/objects.hpp"
+
+int main() {
+  using namespace ros;
+  const auto bits = bench::truth_bits();
+  pipeline::InterrogatorConfig cfg;
+  cfg.frame_stride = 2;
+
+  common::CsvTable table("Decoder / design ablations (decoding SNR)",
+                         {"config", "snr_db", "decoded_ok"});
+
+  // Baseline: full system in a cluttered scene.
+  const auto cluttered = [&](bool switching) {
+    scene::Scene world;
+    tag::RosTag::Params p;
+    p.psvaas_per_stack = 32;
+    p.phase_weights_rad = tag::default_beam_weights(32);
+    p.unit.switching = switching;
+    world.add_tag(tag::RosTag(bits, p, &bench::stackup()),
+                  {{0.0, 0.0}, {0.0, 1.0}, 0.0});
+    world.add_clutter(scene::street_lamp_params({2.2, 0.3}));
+    return world;
+  };
+
+  {
+    const auto r =
+        bench::measure_snr(cluttered(true), bench::drive(), bits, cfg, 2);
+    table.add_row("full_system", {r.snr_db, r.all_correct ? 1.0 : 0.0});
+  }
+  {
+    // Without polarization switching the decode channel only carries
+    // leakage and the clutter is not rejected.
+    const auto r =
+        bench::measure_snr(cluttered(false), bench::drive(), bits, cfg, 2);
+    table.add_row("no_polarization_switching",
+                  {r.snr_db, r.all_correct ? 1.0 : 0.0});
+  }
+  {
+    auto c = cfg;
+    c.decoder.spectrum.whiten_envelope = false;
+    const auto r =
+        bench::measure_snr(cluttered(true), bench::drive(), bits, c, 2);
+    table.add_row("no_envelope_whitening",
+                  {r.snr_db, r.all_correct ? 1.0 : 0.0});
+  }
+  {
+    // Interpolated (non-averaging) resampling: emulate by using as many
+    // cells as samples, so no averaging can happen.
+    auto c = cfg;
+    c.decoder.spectrum.resample_points = 4096;
+    const auto r =
+        bench::measure_snr(cluttered(true), bench::drive(), bits, c, 2);
+    table.add_row("no_bin_averaging",
+                  {r.snr_db, r.all_correct ? 1.0 : 0.0});
+  }
+  {
+    // Beam shaping off, radar 15 cm below the tag at 3 m (~2.9 deg).
+    scene::Scene world = bench::tag_scene(bits, 32, false);
+    const auto drv = bench::drive(3.0, 2.0, 2.5, 0.15);
+    const auto r = bench::measure_snr(world, drv, bits, cfg, 2);
+    table.add_row("no_beam_shaping_15cm_offset",
+                  {r.snr_db, r.all_correct ? 1.0 : 0.0});
+  }
+  {
+    scene::Scene world = bench::tag_scene(bits, 32, true);
+    const auto drv = bench::drive(3.0, 2.0, 2.5, 0.15);
+    const auto r = bench::measure_snr(world, drv, bits, cfg, 2);
+    table.add_row("beam_shaping_15cm_offset",
+                  {r.snr_db, r.all_correct ? 1.0 : 0.0});
+  }
+  bench::print(table);
+
+  // Ground-multipath sensitivity: the two-ray fading tone can land in
+  // the coding band; decoding survives realistic rough asphalt
+  // (|Gamma| ~ 0.1) but degrades on mirror-like surfaces.
+  common::CsvTable ground(
+      "Ground-bounce ablation: decoding SNR vs road specular "
+      "reflectivity (radar 0.5 m, tag 1.0 m above road, 3 m lane)",
+      {"reflection_coefficient", "snr_db", "decoded_ok"});
+  for (double gamma : {0.0, 0.1, 0.2, 0.3}) {
+    scene::Scene world = bench::tag_scene(bits);
+    scene::GroundBounce g;
+    g.enabled = gamma > 0.0;
+    g.reflection_coefficient = gamma;
+    world.set_ground(g);
+    auto c = cfg;
+    c.frame_stride = 1;
+    const auto r = bench::measure_snr(world, bench::drive(), bits, c, 2);
+    ground.add_row({gamma, r.snr_db, r.all_correct ? 1.0 : 0.0});
+  }
+  bench::print(ground);
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Sec. 8 extensions ("Discussion and future work"), implemented and
+// quantified:
+//   (1) circular polarization recovers the 6 dB PSVAA penalty ->
+//       detection range extends by 10^(6/40) ~ 1.41x;
+//   (2) multi-level ASK doubles the per-tag capacity (8 bits from 4
+//       slots with 4 amplitude levels);
+//   (3) Hamming(7,4) error correction on a 7-slot tag survives any
+//       single slot error.
+#include "bench_util.hpp"
+
+#include <cmath>
+
+#include "ros/antenna/psvaa.hpp"
+#include "ros/common/grid.hpp"
+#include "ros/tag/ask.hpp"
+#include "ros/tag/ecc.hpp"
+#include "ros/tag/link_budget.hpp"
+
+int main() {
+  using namespace ros;
+  const auto& stackup = bench::stackup();
+
+  // (1) Circular polarization.
+  antenna::Psvaa::Params cp_params;
+  cp_params.circular = true;
+  const antenna::Psvaa cp(cp_params, &stackup);
+  const antenna::Psvaa linear({}, &stackup);
+  const double gain_db = common::amplitude_to_db(
+      std::abs(cp.retro_scattering_length(0.2, 0.2, 79e9)) /
+      std::abs(linear.retro_scattering_length(0.2, 0.2, 79e9)));
+
+  common::CsvTable cp_tab(
+      "Sec. 8 extension 1: circularly polarized PSVAA (paper: CP "
+      "elements avoid the 6 dB loss; range improves accordingly)",
+      {"radar", "sigma_linear_dbsm", "range_linear_m", "sigma_cp_dbsm",
+       "range_cp_m"});
+  for (const auto& [name, budget] :
+       {std::pair{"ti_iwr1443", tag::RadarLinkBudget::ti_iwr1443()},
+        std::pair{"commercial",
+                  tag::RadarLinkBudget::commercial_automotive()}}) {
+    const double sigma_lin = -23.0;
+    const double sigma_cp = sigma_lin + gain_db;  // 20log10 amplitude = RCS dB
+    cp_tab.add_row(name, {sigma_lin, budget.max_range_m(sigma_lin),
+                          sigma_cp, budget.max_range_m(sigma_cp)});
+  }
+  bench::print(cp_tab);
+
+  // (2) ASK capacity: decode all-level symbol vectors through the
+  // physical tag model.
+  const tag::AskCodec codec;
+  common::CsvTable ask_tab(
+      "Sec. 8 extension 2: 4-level ASK (capacity 8 bits vs 4 bits OOK)",
+      {"symbols", "correct"});
+  int correct = 0;
+  const std::vector<std::vector<int>> cases = {
+      {3, 0, 3, 3}, {3, 1, 2, 0}, {1, 3, 0, 2}, {3, 2, 1, 3},
+      {2, 1, 3, 2}, {0, 3, 2, 1}, {3, 3, 3, 3}, {1, 0, 2, 3}};
+  for (const auto& symbols : cases) {
+    const auto t = codec.make_tag(symbols, &stackup);
+    const auto us = common::linspace(-0.45, 0.45, 700);
+    std::vector<double> rcs(us.size());
+    for (std::size_t i = 0; i < us.size(); ++i) {
+      rcs[i] = std::norm(
+          t.retro_scattering_length(std::asin(us[i]), 8.0, 0.0, 79e9));
+    }
+    const auto r = codec.decode(us, rcs);
+    const bool ok = r.symbols == symbols;
+    correct += ok;
+    const auto label = [](const std::vector<int>& v) {
+      std::string s;
+      for (int x : v) s += static_cast<char>('0' + x);
+      return s;
+    };
+    ask_tab.add_row(label(symbols) + "->" + label(r.symbols),
+                    {ok ? 1.0 : 0.0});
+  }
+  bench::print(ask_tab);
+  printf("# ASK: %d/%zu symbol vectors decoded; capacity %.1f bits/tag "
+         "(vs %.0f OOK)\n\n",
+         correct, cases.size(), codec.capacity_bits(), 4.0);
+
+  // (3) ECC: a 7-slot tag carrying Hamming(7,4) survives any single slot
+  // misread.
+  common::CsvTable ecc_tab(
+      "Sec. 8 extension 3: Hamming(7,4) on a 7-slot tag -- raw vs "
+      "corrected data errors under exhaustive single-slot corruption",
+      {"data_nibble", "raw_data_errors", "corrected_data_errors"});
+  for (int v : {0b1011, 0b0110, 0b1111}) {
+    const std::vector<bool> data = {(v & 1) != 0, (v & 2) != 0,
+                                    (v & 4) != 0, (v & 8) != 0};
+    const auto code = tag::hamming74_encode(data);
+    int raw_errors = 0;
+    int corrected_errors = 0;
+    for (int flip = 0; flip < 7; ++flip) {
+      auto read = code;
+      read[static_cast<std::size_t>(flip)] =
+          !read[static_cast<std::size_t>(flip)];
+      // Raw: data bits sit at codeword positions 3,5,6,7 (1-based).
+      const int data_pos[4] = {2, 4, 5, 6};
+      for (int i = 0; i < 4; ++i) {
+        raw_errors += read[static_cast<std::size_t>(data_pos[i])] !=
+                      data[static_cast<std::size_t>(i)];
+      }
+      corrected_errors +=
+          tag::hamming74_decode(read).data != data ? 1 : 0;
+    }
+    ecc_tab.add_row({static_cast<double>(v),
+                     static_cast<double>(raw_errors),
+                     static_cast<double>(corrected_errors)});
+  }
+  bench::print(ecc_tab);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fig. 3: RCS of VAAs with different numbers of antenna pairs across the
+// 76-81 GHz band, plus the Sec. 4.1 design rule (optimal pairs = 3).
+#include "bench_util.hpp"
+
+#include "ros/antenna/design_rules.hpp"
+#include "ros/antenna/vaa.hpp"
+#include "ros/common/grid.hpp"
+
+int main() {
+  using namespace ros;
+  const auto& stackup = bench::stackup();
+
+  common::CsvTable rule(
+      "Sec. 4.1 design rule (paper: spread < 4.94 lambda_g, step = "
+      "2 lambda_g, optimal pairs = 3)",
+      {"bandwidth_ghz", "max_spread_lambda_g", "step_lambda_g",
+       "optimal_pairs"});
+  for (double b_ghz : {1.0, 2.0, 4.0, 5.0}) {
+    const double lg = stackup.guided_wavelength(79e9);
+    rule.add_row({b_ghz,
+                  antenna::max_tl_length_spread(b_ghz * 1e9, stackup) / lg,
+                  antenna::min_tl_length_step(79e9, stackup) / lg,
+                  static_cast<double>(antenna::optimal_antenna_pairs(
+                      b_ghz * 1e9, 79e9, stackup))});
+  }
+  bench::print(rule);
+
+  common::CsvTable fig(
+      "Fig. 3: RCS (dBsm) vs frequency for 1-6 antenna pairs (boresight)",
+      {"freq_ghz", "pairs1", "pairs2", "pairs3", "pairs4", "pairs5",
+       "pairs6"});
+  std::vector<antenna::VanAttaArray> vaas;
+  for (int pairs = 1; pairs <= 6; ++pairs) {
+    antenna::VanAttaArray::Params p;
+    p.n_pairs = pairs;
+    p.phase_error_std_rad = 0.0;
+    p.amplitude_error_std_db = 0.0;
+    p.position_error_std_m = 0.0;
+    vaas.emplace_back(p, &stackup);
+  }
+  for (double f : common::linspace(76e9, 81e9, 26)) {
+    std::vector<double> row = {f / 1e9};
+    for (const auto& vaa : vaas) row.push_back(vaa.rcs_dbsm(0.0, f));
+    fig.add_row(row);
+  }
+  bench::print(fig);
+
+  common::CsvTable per(
+      "Fig. 3 derived: band-averaged RCS and marginal gain per added "
+      "pair (diminishing beyond 3)",
+      {"pairs", "band_avg_rcs_dbsm", "marginal_amplitude_gain",
+       "in_band_droop_db"});
+  double prev_amp = 0.0;
+  for (int pairs = 1; pairs <= 6; ++pairs) {
+    const auto& vaa = vaas[static_cast<std::size_t>(pairs - 1)];
+    double sum = 0.0;
+    double min_db = 1e9;
+    const auto freqs = common::linspace(76e9, 81e9, 26);
+    for (double f : freqs) {
+      const double db = vaa.rcs_dbsm(0.0, f);
+      sum += common::db_to_linear(db);
+      min_db = std::min(min_db, db);
+    }
+    const double avg_db =
+        common::linear_to_db(sum / static_cast<double>(freqs.size()));
+    const double amp = std::abs(vaa.scattering_length(0.0, 79e9));
+    per.add_row({static_cast<double>(pairs), avg_db,
+                 (amp - prev_amp) * 1e3, vaa.rcs_dbsm(0.0, 79e9) - min_db});
+    prev_amp = amp;
+  }
+  bench::print(per);
+  return 0;
+}

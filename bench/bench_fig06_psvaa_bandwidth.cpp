@@ -1,0 +1,53 @@
+// Fig. 6: PSVAA RCS across the 76-81 GHz band.
+//   (a) orthogonal polarization: variation < ~4 dB (wide working band).
+//   (b) same polarization: strong specular main lobe and sidelobes.
+#include "bench_util.hpp"
+
+#include "ros/antenna/psvaa.hpp"
+#include "ros/common/angles.hpp"
+#include "ros/common/grid.hpp"
+
+int main() {
+  using namespace ros;
+  using em::Polarization;
+  const antenna::Psvaa psvaa({}, &bench::stackup());
+  constexpr auto H = Polarization::horizontal;
+  constexpr auto V = Polarization::vertical;
+
+  const std::vector<double> freqs = {76e9, 77e9, 78e9, 79e9, 80e9, 81e9};
+
+  common::CsvTable ortho(
+      "Fig. 6a: PSVAA cross-pol RCS (dBsm) vs azimuth across 76-81 GHz "
+      "(paper: < 4 dB variation)",
+      {"azimuth_deg", "f76", "f77", "f78", "f79", "f80", "f81"});
+  common::CsvTable same(
+      "Fig. 6b: PSVAA co-pol RCS (dBsm) vs azimuth across 76-81 GHz",
+      {"azimuth_deg", "f76", "f77", "f78", "f79", "f80", "f81"});
+  for (double deg : common::linspace(-60.0, 60.0, 61)) {
+    const double az = common::deg_to_rad(deg);
+    std::vector<double> row_o = {deg};
+    std::vector<double> row_s = {deg};
+    for (double f : freqs) {
+      row_o.push_back(psvaa.rcs_dbsm(az, f, H, V));
+      row_s.push_back(psvaa.rcs_dbsm(az, f, H, H));
+    }
+    ortho.add_row(row_o);
+    same.add_row(row_s);
+  }
+  bench::print(ortho);
+  bench::print(same);
+
+  common::CsvTable band(
+      "Fig. 6a derived: boresight cross-pol RCS variation across band",
+      {"min_dbsm", "max_dbsm", "variation_db"});
+  double lo = 1e9;
+  double hi = -1e9;
+  for (double f = 76e9; f <= 81e9; f += 0.25e9) {
+    const double r = psvaa.rcs_dbsm(0.0, f, H, V);
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  band.add_row({lo, hi, hi - lo});
+  bench::print(band);
+  return 0;
+}

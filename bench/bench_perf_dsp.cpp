@@ -1,0 +1,124 @@
+// Compute-performance benchmarks (google-benchmark): the hot paths of
+// the interrogation pipeline.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "ros/dsp/fft.hpp"
+#include "ros/dsp/spectrum.hpp"
+#include "ros/pipeline/dbscan.hpp"
+#include "ros/common/grid.hpp"
+#include "ros/radar/processing.hpp"
+#include "ros/radar/waveform.hpp"
+#include "ros/tag/codec.hpp"
+#include "ros/tag/rcs_model.hpp"
+
+namespace {
+
+using namespace ros;
+
+void BM_FftPow2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(1);
+  std::vector<common::cplx> x(n);
+  for (auto& v : x) v = {rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    auto y = dsp::fft(x);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftPow2)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_FftBluestein(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(1);
+  std::vector<common::cplx> x(n);
+  for (auto& v : x) v = {rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    auto y = dsp::fft(x);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_FftBluestein)->Arg(1000)->Arg(2501);
+
+void BM_FrameSynthesis(benchmark::State& state) {
+  const radar::WaveformSynthesizer synth(radar::FmcwChirp::ti_iwr1443(),
+                                         radar::RadarArray::ti_iwr1443());
+  std::vector<radar::ScatterReturn> returns(
+      static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < returns.size(); ++i) {
+    returns[i].amplitude = 1e-5;
+    returns[i].range_m = 2.0 + 0.3 * static_cast<double>(i);
+    returns[i].azimuth_rad = 0.01 * static_cast<double>(i);
+  }
+  common::Rng rng(1);
+  for (auto _ : state) {
+    auto f = synth.synthesize(returns, 1e-10, rng);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_FrameSynthesis)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_RangeFftAndDetect(benchmark::State& state) {
+  const radar::WaveformSynthesizer synth(radar::FmcwChirp::ti_iwr1443(),
+                                         radar::RadarArray::ti_iwr1443());
+  radar::ScatterReturn r;
+  r.amplitude = 1e-4;
+  r.range_m = 3.0;
+  common::Rng rng(1);
+  const auto frame = synth.synthesize(std::vector{r}, 1e-10, rng);
+  const auto chirp = radar::FmcwChirp::ti_iwr1443();
+  const auto array = radar::RadarArray::ti_iwr1443();
+  for (auto _ : state) {
+    auto profile = radar::range_fft(frame, chirp);
+    auto dets = radar::detect_points(profile, array, chirp.center_hz());
+    benchmark::DoNotOptimize(dets);
+  }
+}
+BENCHMARK(BM_RangeFftAndDetect);
+
+void BM_Dbscan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(1);
+  std::vector<scene::Vec2> pts(n);
+  for (auto& p : pts) p = {rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
+  for (auto _ : state) {
+    auto labels = pipeline::dbscan(pts, {0.2, 6});
+    benchmark::DoNotOptimize(labels);
+  }
+}
+BENCHMARK(BM_Dbscan)->Arg(200)->Arg(1000)->Arg(3000);
+
+void BM_SpectrumAndDecode(benchmark::State& state) {
+  const auto lay = tag::TagLayout::all_ones({});
+  const auto us = common::linspace(-0.6, 0.6, 2500);
+  common::Rng rng(1);
+  std::vector<double> rcs(us.size());
+  for (std::size_t i = 0; i < us.size(); ++i) {
+    rcs[i] = tag::multi_stack_rcs_factor(lay, us[i]) + rng.normal(0.0, 0.3);
+  }
+  const tag::SpatialDecoder decoder;
+  for (auto _ : state) {
+    auto d = decoder.decode(us, rcs);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_SpectrumAndDecode);
+
+void BM_FullDecodeDrive(benchmark::State& state) {
+  const auto bits = bench::truth_bits();
+  const auto world = bench::tag_scene(bits);
+  const auto drv = bench::drive();
+  pipeline::InterrogatorConfig cfg;
+  cfg.frame_stride = 10;  // 100 Hz effective: keep the benchmark short
+  for (auto _ : state) {
+    auto r = pipeline::decode_drive(world, drv, {0.0, 0.0}, cfg);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_FullDecodeDrive)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Sec. 5.3 / Sec. 8 closed-form tables: link budget, detection range,
+// and encoding-capacity model, side by side with the paper's numbers.
+#include "bench_util.hpp"
+
+#include "ros/tag/capacity.hpp"
+#include "ros/tag/layout.hpp"
+#include "ros/tag/link_budget.hpp"
+
+int main() {
+  using namespace ros;
+
+  const auto ti = tag::RadarLinkBudget::ti_iwr1443();
+  const auto commercial = tag::RadarLinkBudget::commercial_automotive();
+
+  common::CsvTable budget(
+      "Sec. 5.3 / Sec. 8 link budget (paper: floor ~-62 dBm, TI range "
+      "~6.9 m, commercial ~52 m at sigma = -23 dBsm)",
+      {"radar", "noise_floor_dbm", "rx_gain_db", "max_range_m_sigma-23"});
+  budget.add_row("ti_iwr1443", {ti.noise_floor_dbm(),
+                                ti.rx_gain_total_db(),
+                                ti.max_range_m(-23.0)});
+  budget.add_row("commercial", {commercial.noise_floor_dbm(),
+                                commercial.rx_gain_total_db(),
+                                commercial.max_range_m(-23.0)});
+  bench::print(budget);
+
+  common::CsvTable rss(
+      "Fig. 15a analytic overlay: received power (dBm) vs distance for "
+      "sigma = -23 dBsm on the TI radar",
+      {"distance_m", "rss_dbm", "snr_over_floor_db"});
+  for (double d = 2.0; d <= 7.01; d += 1.0) {
+    rss.add_row({d, ti.received_power_dbm(-23.0, d), ti.snr_db(-23.0, d)});
+  }
+  bench::print(rss);
+
+  common::CsvTable capacity(
+      "Sec. 5.3 capacity model vs bits (paper 4-bit row: width 22.5 "
+      "lambda, far field 2.9 m, ~86 mph, 1.53 m tag separation at 6 m)",
+      {"n_bits", "width_lambda", "far_field_m", "max_speed_mph",
+       "min_tag_sep_at_6m_m"});
+  for (int bits : {2, 4, 6, 8}) {
+    tag::CapacityModel m;
+    m.n_bits = bits;
+    capacity.add_row({static_cast<double>(bits),
+                      m.tag_width_m() / common::wavelength(79e9),
+                      m.far_field_distance_m(),
+                      common::mps_to_mph(m.max_vehicle_speed_mps(1000.0)),
+                      m.min_tag_separation_m(4, 6.0)});
+  }
+  bench::print(capacity);
+
+  common::CsvTable family(
+      "Sec. 7.2 stack family far fields (paper: 0.31 / 1.36 / 6.14 m for "
+      "8/16/32 shaped PSVAAs)",
+      {"psvaas_per_stack", "stack_height_cm", "far_field_m"});
+  for (int n : {8, 16, 32}) {
+    const auto t = tag::make_default_tag({true, false, true, true},
+                                         &bench::stackup(), n, true);
+    family.add_row({static_cast<double>(n), t.stack_height() * 100.0,
+                    t.stack(0).far_field_distance(79e9)});
+  }
+  bench::print(family);
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Shared helpers for the figure-reproduction benchmark harness.
+//
+// Every bench prints the data series behind one of the paper's figures
+// (or tables) as CSV blocks on stdout, so `for b in build/bench/*; do
+// $b; done` regenerates the full evaluation.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "ros/common/angles.hpp"
+#include "ros/common/csv.hpp"
+#include "ros/common/units.hpp"
+#include "ros/dsp/ook.hpp"
+#include "ros/em/material.hpp"
+#include "ros/pipeline/interrogator.hpp"
+#include "ros/scene/scene.hpp"
+#include "ros/scene/trajectory.hpp"
+#include "ros/tag/tag.hpp"
+
+namespace bench {
+
+inline const ros::em::StriplineStackup& stackup() {
+  static const auto s = ros::em::StriplineStackup::ros_default();
+  return s;
+}
+
+/// The canonical micro-benchmark bit pattern: both classes present.
+inline std::vector<bool> truth_bits() { return {true, false, true, true}; }
+
+/// Scene with one default tag at the origin encoding `bits`.
+inline ros::scene::Scene tag_scene(const std::vector<bool>& bits,
+                                   int psvaas_per_stack = 32,
+                                   bool beam_shaped = true,
+                                   ros::scene::Weather weather =
+                                       ros::scene::Weather::clear) {
+  ros::scene::Scene world(weather);
+  world.add_tag(
+      ros::tag::make_default_tag(bits, &stackup(), psvaas_per_stack,
+                                 beam_shaped),
+      {{0.0, 0.0}, {0.0, 1.0}, 0.0});
+  return world;
+}
+
+/// Straight pass at `lane` metres, spanning x in [-half, half].
+inline ros::scene::StraightDrive drive(double lane = 3.0,
+                                       double speed_mps = 2.0,
+                                       double half_span = 2.5,
+                                       double radar_height = 0.0) {
+  return ros::scene::StraightDrive({.lane_offset_m = lane,
+                                    .speed_mps = speed_mps,
+                                    .start_x_m = -half_span,
+                                    .end_x_m = half_span,
+                                    .radar_height_m = radar_height});
+}
+
+/// Decoding SNR statistics from repeated interrogations: runs
+/// decode_drive with `n_trials` noise seeds, pools slot amplitudes by
+/// ground-truth class, returns (snr_db, mean_rss_dbm, all_correct).
+struct SnrResult {
+  double snr_db = 0.0;
+  double ber = 0.5;
+  double mean_rss_dbm = -200.0;
+  bool all_correct = true;
+};
+
+inline SnrResult measure_snr(const ros::scene::Scene& world,
+                             const ros::scene::StraightDrive& drv,
+                             const std::vector<bool>& bits,
+                             ros::pipeline::InterrogatorConfig config,
+                             int n_trials = 3) {
+  std::vector<double> ones;
+  std::vector<double> zeros;
+  SnrResult out;
+  double rss_w = 0.0;
+  ros::common::Rng jitter(99);
+  for (int t = 0; t < n_trials; ++t) {
+    config.noise_seed = 1000 + 17 * static_cast<std::uint64_t>(t);
+    // Per-trial geometry jitter, emulating repeated real drive-bys
+    // (mounting tolerance, lateral wander, tag sway).
+    auto params = drv.params();
+    params.lane_offset_m += jitter.normal(0.0, 0.03);
+    params.radar_height_m += jitter.normal(0.0, 0.015);
+    params.start_x_m += jitter.normal(0.0, 0.05);
+    params.end_x_m += jitter.normal(0.0, 0.05);
+    const ros::scene::StraightDrive trial_drive(params);
+    const auto r =
+        ros::pipeline::decode_drive(world, trial_drive, {0.0, 0.0}, config);
+    for (std::size_t k = 0; k < bits.size(); ++k) {
+      (bits[k] ? ones : zeros).push_back(r.decode.slot_amplitudes[k]);
+    }
+    out.all_correct = out.all_correct && (r.decode.bits == bits);
+    rss_w += ros::common::dbm_to_watt(r.mean_rss_dbm);
+  }
+  const double snr = ros::dsp::ook_snr(ones, zeros);
+  out.snr_db = ros::common::linear_to_db(snr);
+  out.ber = ros::dsp::ook_ber(snr);
+  out.mean_rss_dbm =
+      ros::common::watt_to_dbm(rss_w / static_cast<double>(n_trials));
+  return out;
+}
+
+inline void print(const ros::common::CsvTable& table) {
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace bench

@@ -1,0 +1,82 @@
+// Roadside sign scenario: a full cluttered street with a RoS tag mounted
+// next to legacy infrastructure. Runs the complete Sec. 6 pipeline --
+// point cloud, DBSCAN clustering, two-feature tag discrimination,
+// spotlight RCS sampling and spatial decoding -- and translates the
+// decoded bits into a traffic message, like the paper's Fig. 1 scenario
+// ("coding bit 1111 -> traffic light ahead!").
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ros/em/material.hpp"
+#include "ros/pipeline/interrogator.hpp"
+#include "ros/scene/objects.hpp"
+
+namespace {
+
+std::string bits_to_string(const std::vector<bool>& bits) {
+  std::string s;
+  for (bool b : bits) s += b ? '1' : '0';
+  return s;
+}
+
+const std::map<std::string, const char*> kSignCodes = {
+    {"1111", "traffic light ahead"},  {"1011", "speed limit 25 mph"},
+    {"1101", "school zone"},          {"0111", "pedestrian crossing"},
+    {"1001", "construction ahead"},   {"0101", "merge right"},
+};
+
+}  // namespace
+
+int main() {
+  const auto stackup = ros::em::StriplineStackup::ros_default();
+
+  // A street scene: tag on its frame, plus the clutter the paper tested
+  // against (Fig. 13), all within a few metres.
+  ros::scene::Scene world;
+  const std::vector<bool> payload = {true, false, true, true};  // 1011
+  world.add_tag(ros::tag::make_default_tag(payload, &stackup),
+                {{0.0, 0.0}, {0.0, 1.0}, 0.0});
+  world.add_clutter(ros::scene::street_lamp_params({2.4, 0.5}));
+  world.add_clutter(ros::scene::parking_meter_params({-2.6, 0.2}));
+  world.add_clutter(ros::scene::tree_params({5.2, 1.0}));
+
+  const ros::scene::StraightDrive drive({.lane_offset_m = 3.0,
+                                         .speed_mps = 3.0,
+                                         .start_x_m = -3.0,
+                                         .end_x_m = 3.0});
+
+  ros::pipeline::InterrogatorConfig config;
+  config.frame_stride = 2;  // 500 Hz effective
+  const ros::pipeline::Interrogator interrogator(config);
+  const auto report = interrogator.run(world, drive);
+
+  printf("processed %zu frames -> %zu cloud points -> %zu clusters\n",
+         report.n_frames, report.cloud.points.size(),
+         report.clusters.size());
+  printf("%-14s %-10s %-10s %-9s %s\n", "cluster@", "size[m2]",
+         "loss[dB]", "points", "verdict");
+  for (const auto& c : report.candidates) {
+    printf("(%5.2f,%5.2f)  %-10.4f %-10.1f %-9zu %s\n",
+           c.cluster.centroid.x, c.cluster.centroid.y, c.cluster.size_m2,
+           c.rss_loss_db, c.cluster.n_points,
+           c.is_tag ? "ROS TAG" : "clutter");
+  }
+
+  for (const auto& tag : report.tags) {
+    const std::string code = bits_to_string(tag.decode.bits);
+    const auto it = kSignCodes.find(code);
+    printf("\ndecoded tag at (%.2f, %.2f): bits %s -> %s\n",
+           tag.candidate.cluster.centroid.x,
+           tag.candidate.cluster.centroid.y, code.c_str(),
+           it != kSignCodes.end() ? it->second : "(unassigned code)");
+    printf("expected %s: %s\n", bits_to_string(payload).c_str(),
+           tag.decode.bits == payload ? "MATCH" : "MISMATCH");
+  }
+  if (report.tags.empty()) {
+    printf("\nno tag decoded -- check the scene setup\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Elevation beam shaping via differential evolution (paper Sec. 4.3).
+//
+// The desired flat-top elevation beam is obtained by searching per-PSVAA
+// phase weights. A weight is realized as extra TL length, which grows the
+// board, which shifts every unit's vertical position, which perturbs the
+// phases again -- so the search runs the full PsvaaStack model inside the
+// DE objective (no closed form exists, as the paper notes).
+#pragma once
+
+#include <vector>
+
+#include "ros/antenna/stack.hpp"
+#include "ros/optim/differential_evolution.hpp"
+
+namespace ros::antenna {
+
+struct BeamShapingGoal {
+  /// Desired flat-top width (full width) in radians. Paper: ~10 deg.
+  double target_beamwidth_rad = 10.0 * ros::common::kPi / 180.0;
+  /// Angular extent evaluated by the objective.
+  double evaluation_span_rad = 15.0 * ros::common::kPi / 180.0;
+  /// Pattern samples across the evaluation span.
+  std::size_t n_samples = 121;
+  /// Relative weight of mean-gain preservation vs ripple.
+  double gain_weight = 1.0;
+};
+
+struct BeamShapingResult {
+  std::vector<double> phase_weights_rad;  ///< length n_units, symmetric
+  double objective = 0.0;
+  double ripple_db = 0.0;           ///< max-min pattern within the window
+  double mean_gain_db = 0.0;        ///< mean pattern within the window
+  double achieved_beamwidth_rad = 0.0;  ///< -3 dB width of the shaped beam
+  ros::optim::DeResult de;
+};
+
+/// Search mirror-symmetric phase weights for an `n_units` stack of
+/// `unit`-type PSVAAs so the elevation beam is flat over the goal width.
+BeamShapingResult shape_elevation_beam(
+    int n_units, const Psvaa::Params& unit, const BeamShapingGoal& goal,
+    const ros::em::StriplineStackup* stackup,
+    const ros::optim::DeConfig& de_config = {});
+
+/// The paper's published example weights for an 8-unit stack (Fig. 8a):
+/// {152.9, 37.6, 0, 0, 0, 0, 37.6, 152.9} degrees.
+std::vector<double> paper_example_weights_8();
+
+/// Measure the -3 dB (relative to in-window mean) beamwidth of a stack's
+/// far-field elevation pattern.
+double measure_beamwidth_rad(const PsvaaStack& stack, double hz,
+                             double span_rad = 0.35,
+                             std::size_t n_samples = 701);
+
+}  // namespace ros::antenna

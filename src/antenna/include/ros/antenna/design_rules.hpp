@@ -1,0 +1,34 @@
+// Closed-form VAA design rules from Sec. 4.1 and Eq. 5.
+#pragma once
+
+#include "ros/em/material.hpp"
+
+namespace ros::antenna {
+
+/// Maximum TL length spread (longest - shortest) that keeps the phase
+/// misalignment across a bandwidth `bandwidth_hz` below pi/2:
+///   2*pi * (B / c_t) * delta_l < pi/2  =>  delta_l < c_t / (4 B)
+/// Returned in metres. For B = 4 GHz on the RoS stackup this is ~4.94
+/// guided wavelengths, the number quoted in the paper.
+double max_tl_length_spread(double bandwidth_hz,
+                            const ros::em::StriplineStackup& stackup);
+
+/// Adjacent-TL length step: must be a positive multiple of the guided
+/// wavelength and at least one free-space wavelength (to route around the
+/// lambda/2-spaced antenna pair). Returns 2 * lambda_g (the paper's
+/// minimum feasible step) in metres.
+double min_tl_length_step(double design_hz,
+                          const ros::em::StriplineStackup& stackup);
+
+/// Optimal number of antenna pairs per VAA: floor(spread / step) rounded
+/// per the paper, which evaluates to 3 for the automotive band.
+int optimal_antenna_pairs(double bandwidth_hz, double design_hz,
+                          const ros::em::StriplineStackup& stackup);
+
+/// Elevation beamwidth of a uniform vertical stack (paper Eq. 5), in
+/// radians: 0.886 * lambda / (2 * N * d_v). The factor 2 reflects the
+/// round-trip (retroreflected) phase.
+double stack_beamwidth_rad(int n_elements, double spacing_m,
+                           double lambda_m);
+
+}  // namespace ros::antenna

@@ -1,0 +1,23 @@
+// Scattering-length convention shared by all reflector models.
+//
+// Every reflector exposes a complex scattering length s [metres] with
+// sigma = 4*pi*|s|^2; backscattered fields scale linearly with s, so
+// coherent superposition of reflectors is a plain complex sum.
+#pragma once
+
+#include "ros/common/units.hpp"
+
+namespace ros::antenna {
+
+using ros::common::cplx;
+
+/// sigma [m^2] from a scattering length.
+double rcs_from_scattering_length(cplx s);
+
+/// sigma in dBsm from a scattering length.
+double rcs_dbsm_from_scattering_length(cplx s);
+
+/// Scattering length magnitude for a given RCS in dBsm.
+double scattering_length_for_rcs_dbsm(double rcs_dbsm);
+
+}  // namespace ros::antenna

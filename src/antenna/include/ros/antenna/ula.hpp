@@ -1,0 +1,56 @@
+// Uniform linear array of terminated patch elements -- the paper's
+// *specular baseline* (Fig. 4): an ordinary reflective object made of a
+// few metal patches, against which the VAA's retroreflectivity is
+// demonstrated.
+//
+// Scattering convention used across ros::antenna: every reflector exposes
+// a complex *scattering length* s [metres] such that the RCS is
+// sigma = 4*pi*|s|^2 (and the backscattered field scales with s). This
+// makes coherent superposition of reflectors a plain complex sum.
+#pragma once
+
+#include "ros/antenna/scattering.hpp"
+#include "ros/common/units.hpp"
+#include "ros/em/patch.hpp"
+
+namespace ros::antenna {
+
+using ros::common::cplx;
+
+class UniformLinearArray {
+ public:
+  struct Params {
+    int n_elements = 6;
+    double design_hz = 79e9;
+    /// Element spacing; 0 = default lambda/2 at the design frequency.
+    double spacing_m = 0.0;
+    /// Element boresight power gain (linear). ~6 dBi for a patch.
+    double element_gain = 4.0;
+    ros::em::PatchAntenna::Params patch{};
+  };
+
+  explicit UniformLinearArray(Params p);
+
+  /// Bistatic scattering length: incident from azimuth `az_in_rad`,
+  /// observed at `az_out_rad` (angles from broadside), at frequency `hz`.
+  /// Each element re-radiates in place, so the response peaks at the
+  /// specular direction az_out = -az_in.
+  cplx bistatic_scattering_length(double az_in_rad, double az_out_rad,
+                                  double hz) const;
+
+  /// Monostatic scattering length (az_out == az_in).
+  cplx scattering_length(double az_rad, double hz) const;
+
+  /// Monostatic RCS in dBsm.
+  double rcs_dbsm(double az_rad, double hz) const;
+
+  int n_elements() const { return params_.n_elements; }
+  double spacing() const { return spacing_m_; }
+
+ private:
+  Params params_;
+  double spacing_m_;
+  ros::em::PatchAntenna patch_;
+};
+
+}  // namespace ros::antenna

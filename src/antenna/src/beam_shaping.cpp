@@ -1,0 +1,129 @@
+#include "ros/antenna/beam_shaping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ros/common/angles.hpp"
+#include "ros/common/expect.hpp"
+#include "ros/common/grid.hpp"
+#include "ros/common/units.hpp"
+
+namespace ros::antenna {
+
+using namespace ros::common;
+
+namespace {
+
+std::vector<double> mirror_weights(const std::vector<double>& half,
+                                   int n_units) {
+  std::vector<double> full(static_cast<std::size_t>(n_units));
+  const int h = (n_units + 1) / 2;
+  for (int i = 0; i < h; ++i) {
+    // half[0] is the outermost weight, matching Fig. 8a's ordering where
+    // the largest phases sit at the stack edges.
+    full[static_cast<std::size_t>(i)] = half[static_cast<std::size_t>(i)];
+    full[static_cast<std::size_t>(n_units - 1 - i)] =
+        half[static_cast<std::size_t>(i)];
+  }
+  return full;
+}
+
+struct WindowStats {
+  double ripple_db = 0.0;
+  double mean_gain_db = 0.0;
+};
+
+WindowStats window_stats(const PsvaaStack& stack, double hz,
+                         double half_window_rad, std::size_t n) {
+  const auto angles = linspace(-half_window_rad, half_window_rad, n);
+  double lo = 1e300;
+  double hi = -1e300;
+  double sum_db = 0.0;
+  for (double a : angles) {
+    const double p = std::max(stack.elevation_pattern(a, hz), 1e-12);
+    const double db = linear_to_db(p);
+    lo = std::min(lo, db);
+    hi = std::max(hi, db);
+    sum_db += db;
+  }
+  return {hi - lo, sum_db / static_cast<double>(n)};
+}
+
+}  // namespace
+
+std::vector<double> paper_example_weights_8() {
+  const std::vector<double> deg = {152.9, 37.6, 0.0, 0.0,
+                                   0.0,   0.0,  37.6, 152.9};
+  std::vector<double> rad(deg.size());
+  std::transform(deg.begin(), deg.end(), rad.begin(),
+                 [](double d) { return deg_to_rad(d); });
+  return rad;
+}
+
+double measure_beamwidth_rad(const PsvaaStack& stack, double hz,
+                             double span_rad, std::size_t n_samples) {
+  ROS_EXPECT(n_samples >= 3, "need at least 3 samples");
+  const auto angles = linspace(-span_rad / 2.0, span_rad / 2.0, n_samples);
+  std::vector<double> p(n_samples);
+  double peak = 0.0;
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    p[i] = stack.elevation_pattern(angles[i], hz);
+    peak = std::max(peak, p[i]);
+  }
+  if (peak <= 0.0) return 0.0;
+  const double half_power = peak / 2.0;
+  // Width of the contiguous region around the peak above -3 dB.
+  const std::size_t ipk = static_cast<std::size_t>(
+      std::max_element(p.begin(), p.end()) - p.begin());
+  std::size_t lo = ipk;
+  while (lo > 0 && p[lo - 1] >= half_power) --lo;
+  std::size_t hi = ipk;
+  while (hi + 1 < n_samples && p[hi + 1] >= half_power) ++hi;
+  return angles[hi] - angles[lo];
+}
+
+BeamShapingResult shape_elevation_beam(
+    int n_units, const Psvaa::Params& unit, const BeamShapingGoal& goal,
+    const ros::em::StriplineStackup* stackup,
+    const ros::optim::DeConfig& de_config) {
+  ROS_EXPECT(n_units >= 2, "beam shaping needs at least two units");
+  ROS_EXPECT(stackup != nullptr, "stackup must not be null");
+  const int half = (n_units + 1) / 2;
+  const double hz = unit.vaa.design_hz;
+  const double half_window = goal.target_beamwidth_rad / 2.0;
+
+  const auto objective = [&](const std::vector<double>& x) {
+    PsvaaStack::Params sp;
+    sp.n_units = n_units;
+    sp.unit = unit;
+    sp.phase_weights_rad = mirror_weights(x, n_units);
+    const PsvaaStack stack(sp, stackup);
+    const auto stats =
+        window_stats(stack, hz, half_window, goal.n_samples);
+    // Flat and high: minimize ripple, maximize in-window mean gain.
+    return stats.ripple_db - goal.gain_weight * stats.mean_gain_db;
+  };
+
+  std::vector<ros::optim::Bounds> bounds(
+      static_cast<std::size_t>(half), ros::optim::Bounds{0.0, 2.0 * kPi});
+  auto de = ros::optim::minimize(objective, bounds, de_config);
+
+  BeamShapingResult result;
+  result.phase_weights_rad = mirror_weights(de.best, n_units);
+  result.objective = de.best_value;
+
+  PsvaaStack::Params sp;
+  sp.n_units = n_units;
+  sp.unit = unit;
+  sp.phase_weights_rad = result.phase_weights_rad;
+  const PsvaaStack shaped(sp, stackup);
+  const auto stats = window_stats(shaped, hz, half_window, goal.n_samples);
+  result.ripple_db = stats.ripple_db;
+  result.mean_gain_db = stats.mean_gain_db;
+  result.achieved_beamwidth_rad =
+      measure_beamwidth_rad(shaped, hz, goal.evaluation_span_rad * 2.0);
+  result.de = std::move(de);
+  return result;
+}
+
+}  // namespace ros::antenna

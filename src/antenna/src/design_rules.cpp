@@ -1,0 +1,49 @@
+#include "ros/antenna/design_rules.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/units.hpp"
+
+namespace ros::antenna {
+
+using namespace ros::common;
+
+double max_tl_length_spread(double bandwidth_hz,
+                            const ros::em::StriplineStackup& stackup) {
+  ROS_EXPECT(bandwidth_hz > 0.0, "bandwidth must be positive");
+  const double c_t = kSpeedOfLight / std::sqrt(stackup.effective_permittivity());
+  return c_t / (4.0 * bandwidth_hz);
+}
+
+double min_tl_length_step(double design_hz,
+                          const ros::em::StriplineStackup& stackup) {
+  const double lambda_g = stackup.guided_wavelength(design_hz);
+  const double lambda_0 = wavelength(design_hz);
+  // Step must be an integer multiple of lambda_g and at least lambda_0;
+  // since lambda_g < lambda_0 < 2 lambda_g on this stackup, that is
+  // 2 lambda_g.
+  const auto k = static_cast<int>(std::ceil(lambda_0 / lambda_g));
+  return static_cast<double>(k) * lambda_g;
+}
+
+int optimal_antenna_pairs(double bandwidth_hz, double design_hz,
+                          const ros::em::StriplineStackup& stackup) {
+  const double spread = max_tl_length_spread(bandwidth_hz, stackup);
+  const double step = min_tl_length_step(design_hz, stackup);
+  // (n-1) steps must fit inside the spread; at least one pair.
+  const int pairs = 1 + static_cast<int>(std::floor(spread / step));
+  return std::max(1, pairs);
+}
+
+double stack_beamwidth_rad(int n_elements, double spacing_m,
+                           double lambda_m) {
+  ROS_EXPECT(n_elements >= 1, "need at least one element");
+  ROS_EXPECT(spacing_m > 0.0 && lambda_m > 0.0,
+             "spacing and wavelength must be positive");
+  return 0.886 * lambda_m /
+         (2.0 * static_cast<double>(n_elements) * spacing_m);
+}
+
+}  // namespace ros::antenna

@@ -1,0 +1,91 @@
+#include "ros/antenna/psvaa.hpp"
+
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/mathx.hpp"
+#include "ros/common/units.hpp"
+
+namespace ros::antenna {
+
+using namespace ros::common;
+using ros::em::Polarization;
+using ros::em::ScatterMatrix;
+
+Psvaa::Psvaa(Params p, const ros::em::StriplineStackup* stackup)
+    : params_(p), vaa_(p.vaa, stackup) {
+  const double lambda = wavelength(p.vaa.design_hz);
+  board_width_m_ = p.board_width_m > 0.0 ? p.board_width_m : 3.0 * lambda;
+  board_height_m_ =
+      p.board_height_m > 0.0 ? p.board_height_m : 0.725 * lambda;
+  ROS_EXPECT(p.cross_leak_db >= 0.0, "leak must be non-negative dB");
+  ROS_EXPECT(p.structural_loss_db >= 0.0,
+             "structural loss must be non-negative dB");
+  leak_amplitude_ = std::sqrt(db_to_linear(-p.cross_leak_db));
+  structural_amplitude_ = std::sqrt(db_to_linear(-p.structural_loss_db));
+}
+
+cplx Psvaa::retro_scattering_length(double az_in_rad, double az_out_rad,
+                                    double hz) const {
+  const cplx full = vaa_.bistatic_scattering_length(az_in_rad, az_out_rad, hz);
+  // CP elements all re-radiate (Sec. 8): no split. Linear polarization
+  // switching re-radiates from only half the elements: amplitude halves
+  // (-6 dB RCS, Sec. 4.2).
+  if (params_.circular) return full;
+  return params_.switching ? 0.5 * full : full;
+}
+
+cplx Psvaa::structural_scattering_length(double az_in_rad,
+                                         double az_out_rad,
+                                         double hz) const {
+  const double lambda = wavelength(hz);
+  const double beta = 2.0 * kPi / lambda;
+  const double ci = std::cos(az_in_rad);
+  const double co = std::cos(az_out_rad);
+  if (ci <= 0.0 || co <= 0.0) return {0.0, 0.0};
+  // Flat-plate physical-optics response: peak scattering length A/lambda
+  // at the specular direction, sinc falloff with the projected aperture.
+  const double area = board_width_m_ * board_height_m_;
+  const double arg = 0.5 * beta * board_width_m_ *
+                     (std::sin(az_in_rad) + std::sin(az_out_rad));
+  return structural_amplitude_ * (area / lambda) * ci * co * sinc(arg);
+}
+
+ScatterMatrix Psvaa::scatter_bistatic(double az_in_rad, double az_out_rad,
+                                      double hz) const {
+  const cplx retro = retro_scattering_length(az_in_rad, az_out_rad, hz);
+  const cplx structural =
+      structural_scattering_length(az_in_rad, az_out_rad, hz);
+  ScatterMatrix s;
+  if (params_.circular) {
+    // Half-wave-plate retro (preserves circular handedness) riding on a
+    // co-polarized structural plate (flips handedness).
+    s.hh = retro + structural;
+    s.vv = -retro + structural;
+    s.hv = s.vh = (retro + structural) * leak_amplitude_;
+    return s;
+  }
+  if (params_.switching) {
+    // Antenna mode lands in the cross-polarized channel; the board's
+    // specular reflection stays co-polarized. Leakage couples a small
+    // residue of each into the other.
+    s.hv = s.vh = retro + structural * leak_amplitude_;
+    s.hh = s.vv = structural + retro * leak_amplitude_;
+  } else {
+    s.hh = s.vv = retro + structural;
+    s.hv = s.vh = (retro + structural) * leak_amplitude_;
+  }
+  return s;
+}
+
+ScatterMatrix Psvaa::scatter(double az_rad, double hz) const {
+  return scatter_bistatic(az_rad, az_rad, hz);
+}
+
+double Psvaa::rcs_dbsm(double az_rad, double hz, Polarization tx,
+                       Polarization rx) const {
+  const cplx s = scatter(az_rad, hz).response(tx, rx);
+  return rcs_dbsm_from_scattering_length(s);
+}
+
+}  // namespace ros::antenna

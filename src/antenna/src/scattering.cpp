@@ -1,0 +1,21 @@
+#include "ros/antenna/scattering.hpp"
+
+#include <cmath>
+
+#include "ros/common/units.hpp"
+
+namespace ros::antenna {
+
+using namespace ros::common;
+
+double rcs_from_scattering_length(cplx s) { return 4.0 * kPi * std::norm(s); }
+
+double rcs_dbsm_from_scattering_length(cplx s) {
+  return linear_to_db(rcs_from_scattering_length(s));
+}
+
+double scattering_length_for_rcs_dbsm(double rcs_dbsm) {
+  return std::sqrt(db_to_linear(rcs_dbsm) / (4.0 * kPi));
+}
+
+}  // namespace ros::antenna

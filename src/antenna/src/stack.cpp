@@ -1,0 +1,169 @@
+#include "ros/antenna/stack.hpp"
+
+#include <cmath>
+
+#include "ros/antenna/design_rules.hpp"
+#include "ros/common/expect.hpp"
+#include "ros/common/units.hpp"
+
+namespace ros::antenna {
+
+using namespace ros::common;
+using ros::em::ScatterMatrix;
+
+PsvaaStack::PsvaaStack(Params p, const ros::em::StriplineStackup* stackup)
+    : params_(p) {
+  ROS_EXPECT(stackup != nullptr, "stackup must not be null");
+  ROS_EXPECT(p.n_units >= 1, "need at least one unit");
+  ROS_EXPECT(p.phase_weights_rad.empty() ||
+                 p.phase_weights_rad.size() ==
+                     static_cast<std::size_t>(p.n_units),
+             "phase weight count must match n_units");
+  ROS_EXPECT(p.height_per_extension >= 0.0 && p.height_per_extension <= 1.0,
+             "height_per_extension must be in [0, 1]");
+
+  const double lambda_g = stackup->guided_wavelength(p.unit.vaa.design_hz);
+
+  // Build each unit with its TL extension; track the resulting board
+  // heights to place unit centers without overlap.
+  std::vector<double> heights;
+  heights.reserve(static_cast<std::size_t>(p.n_units));
+  units_.reserve(static_cast<std::size_t>(p.n_units));
+  for (int i = 0; i < p.n_units; ++i) {
+    const double phi = p.phase_weights_rad.empty()
+                           ? 0.0
+                           : p.phase_weights_rad[static_cast<std::size_t>(i)];
+    ROS_EXPECT(phi >= 0.0, "phase weights must be non-negative radians");
+    Psvaa::Params unit = p.unit;
+    unit.vaa.tl_extension_m = phi / (2.0 * kPi) * lambda_g;
+    // The extra line meanders vertically, growing the board.
+    const double base_height =
+        unit.board_height_m > 0.0
+            ? unit.board_height_m
+            : 0.725 * wavelength(unit.vaa.design_hz);
+    const double grown =
+        base_height + p.height_per_extension * unit.vaa.tl_extension_m;
+    unit.board_height_m = grown;
+    heights.push_back(grown);
+    units_.emplace_back(unit, stackup);
+  }
+
+  // Stack units edge to edge: center-to-center spacing is the mean of
+  // adjacent heights. Then remove the mean so centers_ is zero-centered.
+  centers_.resize(static_cast<std::size_t>(p.n_units));
+  double z = 0.0;
+  for (int i = 0; i < p.n_units; ++i) {
+    if (i > 0) {
+      z += 0.5 * (heights[static_cast<std::size_t>(i - 1)] +
+                  heights[static_cast<std::size_t>(i)]);
+    }
+    centers_[static_cast<std::size_t>(i)] = z;
+  }
+  double mean_z = 0.0;
+  for (double c : centers_) mean_z += c;
+  mean_z /= static_cast<double>(p.n_units);
+  for (double& c : centers_) c -= mean_z;
+  height_m_ = centers_.back() - centers_.front() +
+              0.5 * (heights.front() + heights.back());
+}
+
+const Psvaa& PsvaaStack::unit(int i) const {
+  ROS_EXPECT(i >= 0 && i < params_.n_units, "unit index out of range");
+  return units_[static_cast<std::size_t>(i)];
+}
+
+double PsvaaStack::elevation_pattern(double elevation_rad, double hz) const {
+  const double beta = 2.0 * kPi / wavelength(hz);
+  // The TL extension phases are already inside each unit's scattering
+  // length; evaluate the units at broadside azimuth and combine with the
+  // round-trip (factor 2) elevation aperture phase.
+  cplx sum{0.0, 0.0};
+  double norm = 0.0;
+  for (int i = 0; i < params_.n_units; ++i) {
+    const cplx u =
+        units_[static_cast<std::size_t>(i)].retro_scattering_length(0.0, 0.0,
+                                                                    hz);
+    const double phase =
+        2.0 * beta * centers_[static_cast<std::size_t>(i)] *
+        std::sin(elevation_rad);
+    sum += u * std::polar(1.0, phase);
+    norm += std::abs(u);
+  }
+  if (norm <= 0.0) return 0.0;
+  return std::norm(sum) / (norm * norm);
+}
+
+double PsvaaStack::uniform_beamwidth_rad(double hz) const {
+  const double spacing =
+      params_.n_units > 1
+          ? (centers_.back() - centers_.front()) /
+                static_cast<double>(params_.n_units - 1)
+          : height_m_;
+  return stack_beamwidth_rad(params_.n_units, spacing, wavelength(hz));
+}
+
+cplx PsvaaStack::retro_scattering_length(double az_rad, double distance_m,
+                                         double height_offset_m,
+                                         double hz) const {
+  ROS_EXPECT(distance_m > 0.0, "distance must be positive");
+  const double beta = 2.0 * kPi / wavelength(hz);
+  cplx sum{0.0, 0.0};
+  for (int i = 0; i < params_.n_units; ++i) {
+    const double dz = centers_[static_cast<std::size_t>(i)] -
+                      height_offset_m;
+    const double r = std::hypot(distance_m, dz);
+    const double elev = std::atan2(dz, distance_m);
+    // Element elevation taper (patch pattern applies in elevation too).
+    const double g = std::pow(std::max(0.0, std::cos(elev)), 1.3);
+    const cplx u =
+        units_[static_cast<std::size_t>(i)].retro_scattering_length(az_rad,
+                                                                    az_rad,
+                                                                    hz);
+    // Round-trip phase relative to the stack center plane.
+    sum += u * g * std::polar(1.0, -2.0 * beta * (r - distance_m));
+  }
+  return sum;
+}
+
+ScatterMatrix PsvaaStack::scatter(double az_rad, double distance_m,
+                                  double height_offset_m, double hz) const {
+  const cplx retro =
+      retro_scattering_length(az_rad, distance_m, height_offset_m, hz);
+  // Structural (co-pol) response: the boards form one tall plate; its
+  // elevation specularity makes it negligible except near normal. Sum the
+  // per-board structural responses with the same exact-range phases.
+  const double beta = 2.0 * kPi / wavelength(hz);
+  cplx structural{0.0, 0.0};
+  for (int i = 0; i < params_.n_units; ++i) {
+    const double dz = centers_[static_cast<std::size_t>(i)] -
+                      height_offset_m;
+    const double r = std::hypot(distance_m, dz);
+    const cplx s = units_[static_cast<std::size_t>(i)]
+                       .structural_scattering_length(az_rad, az_rad, hz);
+    structural += s * std::polar(1.0, -2.0 * beta * (r - distance_m));
+  }
+  const bool switching = params_.unit.switching;
+  const double leak = std::sqrt(db_to_linear(-params_.unit.cross_leak_db));
+  ScatterMatrix m;
+  if (switching) {
+    m.hv = m.vh = retro + structural * leak;
+    m.hh = m.vv = structural + retro * leak;
+  } else {
+    m.hh = m.vv = retro + structural;
+    m.hv = m.vh = (retro + structural) * leak;
+  }
+  return m;
+}
+
+double PsvaaStack::rcs_dbsm(double az_rad, double distance_m,
+                            double height_offset_m, double hz) const {
+  return rcs_dbsm_from_scattering_length(
+      retro_scattering_length(az_rad, distance_m, height_offset_m, hz));
+}
+
+double PsvaaStack::far_field_distance(double hz) const {
+  const double h = height_m_;
+  return 2.0 * h * h / wavelength(hz);
+}
+
+}  // namespace ros::antenna

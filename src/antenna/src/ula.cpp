@@ -1,0 +1,54 @@
+#include "ros/antenna/ula.hpp"
+
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/units.hpp"
+
+namespace ros::antenna {
+
+using namespace ros::common;
+
+UniformLinearArray::UniformLinearArray(Params p)
+    : params_(p),
+      spacing_m_(p.spacing_m > 0.0 ? p.spacing_m
+                                   : wavelength(p.design_hz) / 2.0),
+      patch_(p.patch) {
+  ROS_EXPECT(p.n_elements >= 1, "need at least one element");
+  ROS_EXPECT(p.design_hz > 0.0, "design frequency must be positive");
+  ROS_EXPECT(p.element_gain > 0.0, "element gain must be positive");
+}
+
+cplx UniformLinearArray::bistatic_scattering_length(double az_in_rad,
+                                                    double az_out_rad,
+                                                    double hz) const {
+  const double lambda = wavelength(hz);
+  const double beta = 2.0 * kPi / lambda;
+  // Single matched antenna's monostatic scattering length is
+  // lambda * G / (4 pi); the element pattern applies once on receive and
+  // once on re-radiation.
+  const double s_elem = lambda * params_.element_gain / (4.0 * kPi);
+  const double g_in = patch_.field_pattern(az_in_rad);
+  const double g_out = patch_.field_pattern(az_out_rad);
+  const double match = std::sqrt(patch_.match_efficiency(hz));
+
+  const int n = params_.n_elements;
+  const double center = 0.5 * static_cast<double>(n - 1);
+  cplx sum{0.0, 0.0};
+  for (int k = 0; k < n; ++k) {
+    const double x = (static_cast<double>(k) - center) * spacing_m_;
+    const double phase = beta * x * (std::sin(az_in_rad) + std::sin(az_out_rad));
+    sum += std::polar(1.0, phase);
+  }
+  return s_elem * g_in * g_out * match * sum;
+}
+
+cplx UniformLinearArray::scattering_length(double az_rad, double hz) const {
+  return bistatic_scattering_length(az_rad, az_rad, hz);
+}
+
+double UniformLinearArray::rcs_dbsm(double az_rad, double hz) const {
+  return rcs_dbsm_from_scattering_length(scattering_length(az_rad, hz));
+}
+
+}  // namespace ros::antenna

@@ -1,0 +1,17 @@
+// Angle conversions and phase arithmetic.
+#pragma once
+
+#include "ros/common/units.hpp"
+
+namespace ros::common {
+
+constexpr double deg_to_rad(double deg) { return deg * kPi / 180.0; }
+constexpr double rad_to_deg(double rad) { return rad * 180.0 / kPi; }
+
+/// Wrap a phase to (-pi, pi].
+double wrap_phase(double rad);
+
+/// Absolute phase distance between two angles, in [0, pi].
+double phase_distance(double a, double b);
+
+}  // namespace ros::common

@@ -1,0 +1,36 @@
+// Tiny CSV-style table printer used by the benchmark harness to emit the
+// data series behind each reproduced figure in a uniform, parseable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ros::common {
+
+/// Collects rows and prints them as `# <title>` followed by a header line
+/// and comma-separated rows. Values are printed with fixed precision.
+class CsvTable {
+ public:
+  CsvTable(std::string title, std::vector<std::string> columns);
+
+  /// Append a numeric row; must match the number of columns.
+  void add_row(const std::vector<double>& values);
+
+  /// Append a row whose first cell is a label (e.g. object class).
+  void add_row(const std::string& label, const std::vector<double>& values);
+
+  void print(std::ostream& os) const;
+
+ private:
+  struct Row {
+    std::string label;  // empty when the row is all-numeric
+    bool has_label = false;
+    std::vector<double> values;
+  };
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace ros::common

@@ -1,0 +1,29 @@
+// Precondition / invariant checking helpers (Core Guidelines I.6 / E.12).
+//
+// `ROS_EXPECT(cond, msg)` throws std::invalid_argument when a caller-visible
+// precondition is violated. These are enabled in all build types: the cost
+// is negligible next to the numerical work done by every API in this
+// library, and a hard failure beats a silently wrong RCS value.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ros::common {
+
+namespace detail {
+[[noreturn]] inline void fail_expect(const char* expr, const std::string& msg,
+                                     const char* file, int line) {
+  throw std::invalid_argument(std::string(file) + ":" + std::to_string(line) +
+                              ": precondition `" + expr + "` failed: " + msg);
+}
+}  // namespace detail
+
+}  // namespace ros::common
+
+#define ROS_EXPECT(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::ros::common::detail::fail_expect(#cond, (msg), __FILE__, __LINE__); \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,16 @@
+// Sample-grid construction helpers (parameter sweeps, angle/frequency axes).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ros::common {
+
+/// `n` evenly spaced samples from `lo` to `hi` inclusive. n >= 2, or n == 1
+/// which yields {lo}.
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Samples lo, lo+step, ... strictly below `hi`.
+std::vector<double> arange(double lo, double hi, double step);
+
+}  // namespace ros::common

@@ -1,0 +1,33 @@
+// Small numerical helpers shared across modules.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ros::common {
+
+/// Unnormalized sinc: sin(x)/x with sinc(0) = 1.
+double sinc(double x);
+
+/// Arithmetic mean. Empty input -> 0.
+double mean(std::span<const double> xs);
+
+/// Population variance. Empty input -> 0.
+double variance(std::span<const double> xs);
+
+/// Population standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Median (copies and partially sorts). Empty input -> 0.
+double median(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Empty input -> 0.
+double percentile(std::span<const double> xs, double p);
+
+/// Max element; empty input -> -infinity.
+double max_value(std::span<const double> xs);
+
+/// Index of the max element; empty input -> 0.
+std::size_t argmax(std::span<const double> xs);
+
+}  // namespace ros::common

@@ -1,0 +1,43 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library (noise front ends, clutter
+// fluctuation, DE-GA) takes an explicit seed so experiments reproduce
+// bit-for-bit; this wrapper keeps the distribution plumbing in one place.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "ros/common/units.hpp"
+
+namespace ros::common {
+
+/// Seedable random source. Not thread-safe; use one per thread.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi);
+
+  /// Standard normal scaled: N(mean, stddev^2).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Circularly symmetric complex Gaussian with total power
+  /// E[|x|^2] = `power` (i.e. each quadrature has variance power/2).
+  cplx complex_gaussian(double power);
+
+  /// Bernoulli draw with probability `p` of true.
+  bool bernoulli(double p);
+
+  /// Access the underlying engine (e.g. for std::shuffle).
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ros::common

@@ -1,0 +1,60 @@
+// Physical constants and unit conversions used throughout RoS.
+//
+// Conventions:
+//   * SI base units everywhere unless a suffix says otherwise
+//     (`_mm`, `_um`, `_ghz`, `_dbm`, `_dbsm`, `_mph`).
+//   * Power ratios in dB, absolute powers in dBm (ref 1 mW), radar cross
+//     sections in dBsm (ref 1 m^2).
+#pragma once
+
+#include <complex>
+
+namespace ros::common {
+
+/// Complex baseband / phasor type used across the library.
+using cplx = std::complex<double>;
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// pi, to double precision.
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+
+/// Thermal noise power density constant at T = 290 K, in dBm/Hz.
+/// The paper quotes -173.9 dBm (Sec. 5.3); kT at 290 K is -173.98 dBm/Hz.
+inline constexpr double kThermalNoiseDbmPerHz = -173.9;
+
+/// Convert a power ratio in dB to linear scale.
+double db_to_linear(double db);
+
+/// Convert a linear power ratio to dB. Clamps at -400 dB for zero input.
+double linear_to_db(double linear);
+
+/// Convert absolute power in dBm to watts.
+double dbm_to_watt(double dbm);
+
+/// Convert absolute power in watts to dBm.
+double watt_to_dbm(double watt);
+
+/// Convert an amplitude (field) ratio to dB (20 log10).
+double amplitude_to_db(double amplitude);
+
+/// Free-space wavelength [m] at frequency `hz`.
+double wavelength(double hz);
+
+/// Convenience: frequency given in GHz to Hz.
+constexpr double ghz(double f) { return f * 1e9; }
+
+/// Convenience: length given in millimetres to metres.
+constexpr double mm(double x) { return x * 1e-3; }
+
+/// Convenience: length given in micrometres to metres.
+constexpr double um(double x) { return x * 1e-6; }
+
+/// Convert miles per hour to metres per second.
+constexpr double mph_to_mps(double v) { return v * 0.44704; }
+
+/// Convert metres per second to miles per hour.
+constexpr double mps_to_mph(double v) { return v / 0.44704; }
+
+}  // namespace ros::common

@@ -1,0 +1,15 @@
+#include "ros/common/angles.hpp"
+
+#include <cmath>
+
+namespace ros::common {
+
+double wrap_phase(double rad) {
+  double w = std::remainder(rad, 2.0 * kPi);
+  if (w <= -kPi) w += 2.0 * kPi;
+  return w;
+}
+
+double phase_distance(double a, double b) { return std::abs(wrap_phase(a - b)); }
+
+}  // namespace ros::common

@@ -1,0 +1,49 @@
+#include "ros/common/csv.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+#include "ros/common/expect.hpp"
+
+namespace ros::common {
+
+CsvTable::CsvTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  ROS_EXPECT(!columns_.empty(), "CSV table needs at least one column");
+}
+
+void CsvTable::add_row(const std::vector<double>& values) {
+  ROS_EXPECT(values.size() == columns_.size(), "row width must match header");
+  rows_.push_back({"", false, values});
+}
+
+void CsvTable::add_row(const std::string& label,
+                       const std::vector<double>& values) {
+  ROS_EXPECT(values.size() + 1 == columns_.size(),
+             "labelled row width must match header");
+  rows_.push_back({label, true, values});
+}
+
+void CsvTable::print(std::ostream& os) const {
+  os << "# " << title_ << "\n";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    os << columns_[i] << (i + 1 < columns_.size() ? "," : "\n");
+  }
+  os << std::fixed << std::setprecision(4);
+  for (const auto& row : rows_) {
+    bool first = true;
+    if (row.has_label) {
+      os << row.label;
+      first = false;
+    }
+    for (double v : row.values) {
+      if (!first) os << ",";
+      os << v;
+      first = false;
+    }
+    os << "\n";
+  }
+  os.flush();
+}
+
+}  // namespace ros::common

@@ -1,0 +1,29 @@
+#include "ros/common/grid.hpp"
+
+#include "ros/common/expect.hpp"
+
+namespace ros::common {
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  ROS_EXPECT(n >= 1, "linspace needs at least one sample");
+  std::vector<double> out(n);
+  if (n == 1) {
+    out[0] = lo;
+    return out;
+  }
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = lo + step * static_cast<double>(i);
+  }
+  out.back() = hi;  // avoid accumulated rounding at the endpoint
+  return out;
+}
+
+std::vector<double> arange(double lo, double hi, double step) {
+  ROS_EXPECT(step > 0.0, "arange step must be positive");
+  std::vector<double> out;
+  for (double x = lo; x < hi; x += step) out.push_back(x);
+  return out;
+}
+
+}  // namespace ros::common

@@ -1,0 +1,58 @@
+#include "ros/common/mathx.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ros/common/expect.hpp"
+
+namespace ros::common {
+
+double sinc(double x) {
+  if (std::abs(x) < 1e-12) return 1.0;
+  return std::sin(x) / x;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double mu = mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - mu) * (x - mu);
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double p) {
+  ROS_EXPECT(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double max_value(std::span<const double> xs) {
+  if (xs.empty()) return -std::numeric_limits<double>::infinity();
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+std::size_t argmax(std::span<const double> xs) {
+  if (xs.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+}  // namespace ros::common

@@ -1,0 +1,35 @@
+#include "ros/common/random.hpp"
+
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+
+namespace ros::common {
+
+double Rng::uniform(double lo, double hi) {
+  ROS_EXPECT(lo <= hi, "uniform range must be ordered");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  ROS_EXPECT(lo <= hi, "uniform_int range must be ordered");
+  return std::uniform_int_distribution<int>(lo, hi)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  ROS_EXPECT(stddev >= 0.0, "stddev must be non-negative");
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+cplx Rng::complex_gaussian(double power) {
+  ROS_EXPECT(power >= 0.0, "noise power must be non-negative");
+  const double sigma = std::sqrt(power / 2.0);
+  return {normal(0.0, sigma), normal(0.0, sigma)};
+}
+
+bool Rng::bernoulli(double p) {
+  ROS_EXPECT(p >= 0.0 && p <= 1.0, "probability must be in [0,1]");
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+}  // namespace ros::common

@@ -1,0 +1,36 @@
+#include "ros/common/units.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+
+namespace ros::common {
+
+double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+double linear_to_db(double linear) {
+  ROS_EXPECT(linear >= 0.0, "power ratio must be non-negative");
+  if (linear <= 0.0) return -400.0;
+  return std::max(-400.0, 10.0 * std::log10(linear));
+}
+
+double dbm_to_watt(double dbm) { return 1e-3 * db_to_linear(dbm); }
+
+double watt_to_dbm(double watt) {
+  ROS_EXPECT(watt >= 0.0, "power must be non-negative");
+  return linear_to_db(watt / 1e-3);
+}
+
+double amplitude_to_db(double amplitude) {
+  ROS_EXPECT(amplitude >= 0.0, "amplitude must be non-negative");
+  if (amplitude <= 0.0) return -400.0;
+  return std::max(-400.0, 20.0 * std::log10(amplitude));
+}
+
+double wavelength(double hz) {
+  ROS_EXPECT(hz > 0.0, "frequency must be positive");
+  return kSpeedOfLight / hz;
+}
+
+}  // namespace ros::common

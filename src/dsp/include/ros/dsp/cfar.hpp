@@ -1,0 +1,32 @@
+// Cell-averaging constant-false-alarm-rate (CA-CFAR) detection.
+//
+// Used on range profiles to pick out reflectors above the local noise
+// estimate regardless of absolute noise level (standard automotive radar
+// practice; Richards, "Fundamentals of Radar Signal Processing").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ros::dsp {
+
+struct CfarOptions {
+  std::size_t guard_cells = 2;    ///< cells skipped around the cell under test
+  std::size_t training_cells = 8; ///< averaging cells on each side
+  double threshold_db = 10.0;     ///< detection threshold over noise estimate
+};
+
+struct CfarDetection {
+  std::size_t index = 0;
+  double value = 0.0;       ///< power in the cell under test
+  double noise_level = 0.0; ///< local noise estimate
+  double snr_db = 0.0;      ///< value over noise, in dB
+};
+
+/// Run CA-CFAR over a power sequence, returning detected cells that are
+/// also local maxima.
+std::vector<CfarDetection> ca_cfar(std::span<const double> power,
+                                   const CfarOptions& opts);
+
+}  // namespace ros::dsp

@@ -1,0 +1,40 @@
+// Small dense complex linear algebra: just enough for subspace methods
+// (MUSIC). Matrices are row-major vectors of rows.
+#pragma once
+
+#include <vector>
+
+#include "ros/common/units.hpp"
+
+namespace ros::dsp {
+
+using ros::common::cplx;
+using cmat = std::vector<std::vector<cplx>>;
+
+/// n x n zero matrix.
+cmat zeros(std::size_t n);
+
+/// n x n identity.
+cmat identity(std::size_t n);
+
+/// C = A * B (sizes must agree).
+cmat matmul(const cmat& a, const cmat& b);
+
+/// Conjugate transpose.
+cmat hermitian(const cmat& a);
+
+/// True if the matrix is Hermitian to within `tol`.
+bool is_hermitian(const cmat& a, double tol = 1e-9);
+
+struct EigenResult {
+  std::vector<double> values;  ///< descending
+  cmat vectors;                ///< column k (vectors[i][k]) pairs values[k]
+};
+
+/// Eigendecomposition of a Hermitian matrix via cyclic complex Jacobi
+/// rotations. Eigenvalues are real, returned in descending order with
+/// orthonormal eigenvectors.
+EigenResult hermitian_eigen(const cmat& a, double tol = 1e-12,
+                            int max_sweeps = 60);
+
+}  // namespace ros::dsp

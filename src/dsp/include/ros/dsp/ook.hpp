@@ -1,0 +1,30 @@
+// On-off-keying SNR and BER metrics (paper Sec. 7.1, "Evaluation metrics").
+//
+// RoS encodes bit "1" as a coding peak and bit "0" as a null, i.e. OOK.
+// The paper's SNR is (mu1 - mu0)^2 / sigma^2 over coding-peak amplitudes,
+// and BER follows the OOK model. The mapping below reproduces all three
+// anchor pairs the paper quotes: 15.8 dB -> 0.1 %, 14 dB -> 0.6 %,
+// 10 dB -> 5.7 %.
+#pragma once
+
+#include <span>
+
+namespace ros::dsp {
+
+/// OOK decision SNR from measured peak amplitudes of "1" bits and "0"
+/// slots: (mean(ones) - mean(zeros))^2 / var(all deviations). Returns the
+/// *linear* SNR; convert with linear_to_db for reporting.
+double ook_snr(std::span<const double> one_amplitudes,
+               std::span<const double> zero_amplitudes);
+
+/// BER of OOK at linear SNR: 0.5 * erfc(sqrt(snr) / (2*sqrt(2))).
+double ook_ber(double snr_linear);
+
+/// BER given SNR in dB.
+double ook_ber_from_db(double snr_db);
+
+/// Inverse mapping: the linear SNR that yields bit error rate `ber`
+/// (bisection; ber in (0, 0.5)).
+double ook_snr_for_ber(double ber);
+
+}  // namespace ros::dsp

@@ -1,0 +1,33 @@
+// Peak detection with sub-bin interpolation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ros::dsp {
+
+/// A detected local maximum in a sampled sequence.
+struct Peak {
+  std::size_t index = 0;      ///< integer bin of the maximum
+  double refined_index = 0.0; ///< parabola-refined fractional bin
+  double value = 0.0;         ///< sample value at the integer bin
+  double refined_value = 0.0; ///< parabola-refined peak value
+};
+
+struct PeakOptions {
+  double min_value = 0.0;          ///< absolute height threshold
+  std::size_t min_separation = 1;  ///< minimum index distance between peaks
+  std::size_t max_peaks = SIZE_MAX;///< keep at most this many (by height)
+};
+
+/// Find local maxima of `xs` subject to `opts`, strongest first.
+/// Quadratic (three-point parabolic) interpolation refines each peak.
+std::vector<Peak> find_peaks(std::span<const double> xs,
+                             const PeakOptions& opts);
+
+/// Refine a single local maximum at `index` by parabolic interpolation.
+Peak refine_peak(std::span<const double> xs, std::size_t index);
+
+}  // namespace ros::dsp

@@ -1,0 +1,37 @@
+// Resampling of non-uniform samples onto uniform grids.
+//
+// The moving radar samples the tag's RCS at whatever u = cos(theta)
+// values its trajectory produces; decoding needs uniform-u samples before
+// the FFT (Sec. 5.1/6). Linear interpolation is sufficient at the
+// oversampling rates a >=1 kHz frame rate provides (Sec. 5.3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ros::dsp {
+
+/// Linear interpolation of (xs, ys) at query point `x`. xs must be
+/// strictly increasing. Query points outside the range clamp to the ends.
+double interp_linear(std::span<const double> xs, std::span<const double> ys,
+                     double x);
+
+/// Resample (xs, ys) onto `n` uniform points spanning [xs.front(),
+/// xs.back()]. Returns the new y values; the implied grid is linspace.
+std::vector<double> resample_uniform(std::span<const double> xs,
+                                     std::span<const double> ys,
+                                     std::size_t n);
+
+/// Noise-aware resampling onto `n` uniform points: every output cell
+/// averages all input samples falling inside it (boxcar binning), which
+/// reduces uncorrelated measurement noise by ~sqrt(samples per cell) --
+/// crucial when a 1 kHz radar heavily oversamples the RCS tones. Cells
+/// with no samples fall back to linear interpolation.
+std::vector<double> resample_bin_average(std::span<const double> xs,
+                                         std::span<const double> ys,
+                                         std::size_t n);
+
+/// True if xs is strictly increasing.
+bool strictly_increasing(std::span<const double> xs);
+
+}  // namespace ros::dsp

@@ -1,0 +1,57 @@
+// RCS frequency spectrum (paper Eq. 7).
+//
+// The multi-stack RCS sampled over u = cos(theta) is a sum of cosines
+// whose frequencies encode pairwise stack spacings: a stack pair spaced
+// by d contributes a tone at 2*d/lambda cycles per unit u. This helper
+// resamples irregular (u, RCS) measurements onto a uniform u grid,
+// removes the DC term (the "M" in Eq. 6), windows, zero-pads, and
+// FFTs, returning the one-sided spectrum indexed by *spacing in
+// wavelengths* so decoders can look up peaks at candidate stack
+// positions directly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ros/dsp/window.hpp"
+
+namespace ros::dsp {
+
+struct SpectrumOptions {
+  /// Uniform-u grid size; 0 = auto (256 cells, enough for any coding
+  /// band while letting dense 1 kHz sampling average down noise via
+  /// resample_bin_average).
+  std::size_t resample_points = 0;
+  std::size_t zero_pad_factor = 8;   ///< interpolation factor in frequency
+  Window window = Window::hann;
+  bool remove_mean = true;           ///< subtract DC before the FFT
+  /// Divide out the slowly varying envelope r_T(u) (single-stack pattern,
+  /// path-loss drift) with a moving average before the FFT, leaving the
+  /// pure layout tones of Eq. 6. Essential for real (non-flat) RCS data.
+  bool whiten_envelope = true;
+  /// Moving-average length in resampled samples; 0 = auto (n / 6).
+  std::size_t whiten_window = 0;
+};
+
+struct RcsSpectrum {
+  std::vector<double> spacing_lambda;  ///< axis: stack spacing in lambdas
+  std::vector<double> amplitude;       ///< spectral magnitude (normalized)
+  double u_span = 0.0;                 ///< width of the observed u window
+  double resolution_lambda = 0.0;      ///< Rayleigh resolution in lambdas
+
+  /// Linear-interpolated amplitude at a given spacing (lambdas).
+  double amplitude_at(double spacing) const;
+
+  /// Maximum spacing representable on the axis.
+  double max_spacing() const;
+};
+
+/// Compute the RCS frequency spectrum from samples of (u, rcs) where
+/// `u` is cos(DoA) (need not be sorted; it will be) and `rcs_linear` is
+/// the linear-scale RCS or RSS sample at that u.
+RcsSpectrum rcs_spectrum(std::span<const double> u,
+                         std::span<const double> rcs_linear,
+                         const SpectrumOptions& opts = {});
+
+}  // namespace ros::dsp

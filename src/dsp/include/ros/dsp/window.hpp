@@ -1,0 +1,24 @@
+// Tapering windows for spectral analysis.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ros/common/units.hpp"
+
+namespace ros::dsp {
+
+enum class Window { rectangular, hann, hamming, blackman };
+
+/// Window coefficients of length `n` (symmetric form).
+std::vector<double> make_window(Window w, std::size_t n);
+
+/// Multiply a complex sequence by a window in place.
+void apply_window(std::span<ros::common::cplx> x, std::span<const double> w);
+
+/// Coherent gain of a window (mean of coefficients), used to normalize
+/// spectral amplitudes.
+double coherent_gain(std::span<const double> w);
+
+}  // namespace ros::dsp

@@ -1,0 +1,51 @@
+#include "ros/dsp/cfar.hpp"
+
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/units.hpp"
+
+namespace ros::dsp {
+
+using ros::common::db_to_linear;
+using ros::common::linear_to_db;
+
+std::vector<CfarDetection> ca_cfar(std::span<const double> power,
+                                   const CfarOptions& opts) {
+  ROS_EXPECT(opts.training_cells >= 1, "need at least one training cell");
+  std::vector<CfarDetection> out;
+  const std::size_t n = power.size();
+  const double factor = db_to_linear(opts.threshold_db);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    std::size_t count = 0;
+    // Leading side.
+    for (std::size_t k = 1; k <= opts.training_cells; ++k) {
+      const std::size_t off = opts.guard_cells + k;
+      if (i >= off) {
+        sum += power[i - off];
+        ++count;
+      }
+      if (i + off < n) {
+        sum += power[i + off];
+        ++count;
+      }
+    }
+    if (count == 0) continue;
+    const double noise = sum / static_cast<double>(count);
+    const bool local_max =
+        (i == 0 || power[i] > power[i - 1]) &&
+        (i + 1 == n || power[i] >= power[i + 1]);
+    if (local_max && power[i] > noise * factor) {
+      CfarDetection d;
+      d.index = i;
+      d.value = power[i];
+      d.noise_level = noise;
+      d.snr_db = linear_to_db(power[i] / std::max(noise, 1e-300));
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+}  // namespace ros::dsp

@@ -1,0 +1,135 @@
+#include "ros/dsp/fft.hpp"
+
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/units.hpp"
+
+namespace ros::dsp {
+
+using ros::common::kPi;
+
+std::size_t next_pow2(std::size_t n) {
+  ROS_EXPECT(n >= 1, "size must be positive");
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_pow2_inplace(std::vector<cplx>& x, bool inverse) {
+  const std::size_t n = x.size();
+  ROS_EXPECT(n > 0 && (n & (n - 1)) == 0, "size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * kPi /
+                         static_cast<double>(len);
+    const cplx wlen = std::polar(1.0, angle);
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = x[i + k];
+        const cplx v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& v : x) v *= inv;
+  }
+}
+
+namespace {
+
+/// Bluestein chirp-z transform for arbitrary N.
+std::vector<cplx> bluestein(std::span<const cplx> x, bool inverse) {
+  const std::size_t n = x.size();
+  const double sign = inverse ? 1.0 : -1.0;
+  // Chirp: w[k] = exp(sign * j * pi * k^2 / n). Use k^2 mod 2n to keep
+  // the argument small for large k.
+  std::vector<cplx> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto k2 = static_cast<double>((k * k) % (2 * n));
+    chirp[k] = std::polar(1.0, sign * kPi * k2 / static_cast<double>(n));
+  }
+
+  const std::size_t m = next_pow2(2 * n - 1);
+  std::vector<cplx> a(m, cplx{0.0, 0.0});
+  std::vector<cplx> b(m, cplx{0.0, 0.0});
+  for (std::size_t k = 0; k < n; ++k) {
+    a[k] = x[k] * chirp[k];
+    b[k] = std::conj(chirp[k]);
+    if (k != 0) b[m - k] = std::conj(chirp[k]);
+  }
+  fft_pow2_inplace(a);
+  fft_pow2_inplace(b);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_pow2_inplace(a, /*inverse=*/true);
+
+  std::vector<cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * chirp[k];
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& v : out) v *= inv;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<cplx> fft(std::span<const cplx> x) {
+  ROS_EXPECT(!x.empty(), "fft input must be non-empty");
+  const std::size_t n = x.size();
+  if ((n & (n - 1)) == 0) {
+    std::vector<cplx> out(x.begin(), x.end());
+    fft_pow2_inplace(out);
+    return out;
+  }
+  return bluestein(x, /*inverse=*/false);
+}
+
+std::vector<cplx> ifft(std::span<const cplx> x) {
+  ROS_EXPECT(!x.empty(), "ifft input must be non-empty");
+  const std::size_t n = x.size();
+  if ((n & (n - 1)) == 0) {
+    std::vector<cplx> out(x.begin(), x.end());
+    fft_pow2_inplace(out, /*inverse=*/true);
+    return out;
+  }
+  return bluestein(x, /*inverse=*/true);
+}
+
+std::vector<cplx> fftshift(std::span<const cplx> x) {
+  const std::size_t n = x.size();
+  std::vector<cplx> out(n);
+  const std::size_t half = (n + 1) / 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = x[(i + half) % n];
+  }
+  return out;
+}
+
+std::vector<double> magnitude(std::span<const cplx> x) {
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::abs(x[i]);
+  return out;
+}
+
+std::vector<double> power(std::span<const cplx> x) {
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::norm(x[i]);
+  return out;
+}
+
+}  // namespace ros::dsp

@@ -1,0 +1,133 @@
+#include "ros/dsp/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ros/common/expect.hpp"
+
+namespace ros::dsp {
+
+cmat zeros(std::size_t n) {
+  return cmat(n, std::vector<cplx>(n, cplx{0.0, 0.0}));
+}
+
+cmat identity(std::size_t n) {
+  cmat out = zeros(n);
+  for (std::size_t i = 0; i < n; ++i) out[i][i] = 1.0;
+  return out;
+}
+
+cmat matmul(const cmat& a, const cmat& b) {
+  ROS_EXPECT(!a.empty() && !b.empty(), "matrices must be non-empty");
+  const std::size_t n = a.size();
+  const std::size_t k = a[0].size();
+  ROS_EXPECT(b.size() == k, "inner dimensions must agree");
+  const std::size_t m = b[0].size();
+  cmat out(n, std::vector<cplx>(m, cplx{0.0, 0.0}));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t l = 0; l < k; ++l) {
+      const cplx ail = a[i][l];
+      for (std::size_t j = 0; j < m; ++j) out[i][j] += ail * b[l][j];
+    }
+  }
+  return out;
+}
+
+cmat hermitian(const cmat& a) {
+  const std::size_t n = a.size();
+  ROS_EXPECT(n > 0, "matrix must be non-empty");
+  const std::size_t m = a[0].size();
+  cmat out(m, std::vector<cplx>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) out[j][i] = std::conj(a[i][j]);
+  }
+  return out;
+}
+
+bool is_hermitian(const cmat& a, double tol) {
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i].size() != n) return false;
+    for (std::size_t j = 0; j <= i; ++j) {
+      if (std::abs(a[i][j] - std::conj(a[j][i])) > tol) return false;
+    }
+  }
+  return true;
+}
+
+EigenResult hermitian_eigen(const cmat& a_in, double tol, int max_sweeps) {
+  ROS_EXPECT(is_hermitian(a_in, 1e-6), "matrix must be Hermitian");
+  const std::size_t n = a_in.size();
+  cmat a = a_in;
+  cmat v = identity(n);
+
+  const auto offdiag_norm = [&]() {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) s += std::norm(a[i][j]);
+    }
+    return std::sqrt(s);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (offdiag_norm() < tol) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const cplx apq = a[p][q];
+        const double mag = std::abs(apq);
+        if (mag < 1e-300) continue;
+        // Phase that makes the pivot real, then a real Jacobi rotation.
+        const cplx phase = apq / mag;
+        const double app = a[p][p].real();
+        const double aqq = a[q][q].real();
+        const double tau = (aqq - app) / (2.0 * mag);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        const cplx sp = s * phase;  // complex "sine" with pivot phase
+
+        // A <- G^H A G with G = [[c, sp], [-conj(sp), c]] on (p, q).
+        for (std::size_t i = 0; i < n; ++i) {
+          const cplx aip = a[i][p];
+          const cplx aiq = a[i][q];
+          a[i][p] = c * aip - std::conj(sp) * aiq;
+          a[i][q] = sp * aip + c * aiq;
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+          const cplx apj = a[p][j];
+          const cplx aqj = a[q][j];
+          a[p][j] = c * apj - sp * aqj;
+          a[q][j] = std::conj(sp) * apj + c * aqj;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const cplx vip = v[i][p];
+          const cplx viq = v[i][q];
+          v[i][p] = c * vip - std::conj(sp) * viq;
+          v[i][q] = sp * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return a[x][x].real() > a[y][y].real();
+  });
+
+  EigenResult out;
+  out.values.resize(n);
+  out.vectors = zeros(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.values[k] = a[order[k]][order[k]].real();
+    for (std::size_t i = 0; i < n; ++i) {
+      out.vectors[i][k] = v[i][order[k]];
+    }
+  }
+  return out;
+}
+
+}  // namespace ros::dsp

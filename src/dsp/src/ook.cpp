@@ -1,0 +1,54 @@
+#include "ros/dsp/ook.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/mathx.hpp"
+#include "ros/common/units.hpp"
+
+namespace ros::dsp {
+
+using namespace ros::common;
+
+double ook_snr(std::span<const double> one_amplitudes,
+               std::span<const double> zero_amplitudes) {
+  ROS_EXPECT(!one_amplitudes.empty(), "need at least one '1' sample");
+  const double mu1 = mean(one_amplitudes);
+  const double mu0 = zero_amplitudes.empty() ? 0.0 : mean(zero_amplitudes);
+
+  // Pooled deviation of all samples around their class means.
+  std::vector<double> dev;
+  dev.reserve(one_amplitudes.size() + zero_amplitudes.size());
+  for (double a : one_amplitudes) dev.push_back(a - mu1);
+  for (double a : zero_amplitudes) dev.push_back(a - mu0);
+  double sigma2 = variance(dev);
+  if (sigma2 <= 0.0) sigma2 = 1e-12 * (mu1 - mu0) * (mu1 - mu0) + 1e-300;
+  return (mu1 - mu0) * (mu1 - mu0) / sigma2;
+}
+
+double ook_ber(double snr_linear) {
+  ROS_EXPECT(snr_linear >= 0.0, "SNR must be non-negative");
+  return 0.5 * std::erfc(std::sqrt(snr_linear) / (2.0 * std::sqrt(2.0)));
+}
+
+double ook_ber_from_db(double snr_db) {
+  return ook_ber(db_to_linear(snr_db));
+}
+
+double ook_snr_for_ber(double ber) {
+  ROS_EXPECT(ber > 0.0 && ber < 0.5, "BER must be in (0, 0.5)");
+  double lo = 0.0;
+  double hi = 1e6;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (ook_ber(mid) > ber) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace ros::dsp

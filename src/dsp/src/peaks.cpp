@@ -1,0 +1,62 @@
+#include "ros/dsp/peaks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+
+namespace ros::dsp {
+
+Peak refine_peak(std::span<const double> xs, std::size_t index) {
+  ROS_EXPECT(index < xs.size(), "peak index out of range");
+  Peak p;
+  p.index = index;
+  p.value = xs[index];
+  p.refined_index = static_cast<double>(index);
+  p.refined_value = xs[index];
+  if (index == 0 || index + 1 >= xs.size()) return p;
+  const double a = xs[index - 1];
+  const double b = xs[index];
+  const double c = xs[index + 1];
+  const double denom = a - 2.0 * b + c;
+  if (std::abs(denom) < 1e-30) return p;
+  const double delta = 0.5 * (a - c) / denom;
+  if (std::abs(delta) <= 1.0) {
+    p.refined_index = static_cast<double>(index) + delta;
+    p.refined_value = b - 0.25 * (a - c) * delta;
+  }
+  return p;
+}
+
+std::vector<Peak> find_peaks(std::span<const double> xs,
+                             const PeakOptions& opts) {
+  std::vector<Peak> candidates;
+  const std::size_t n = xs.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool left_ok = (i == 0) || xs[i] > xs[i - 1];
+    const bool right_ok = (i + 1 == n) || xs[i] >= xs[i + 1];
+    if (left_ok && right_ok && xs[i] >= opts.min_value) {
+      candidates.push_back(refine_peak(xs, i));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Peak& a, const Peak& b) { return a.value > b.value; });
+
+  // Greedy non-maximum suppression by index separation.
+  std::vector<Peak> kept;
+  for (const Peak& p : candidates) {
+    const bool clash = std::any_of(
+        kept.begin(), kept.end(), [&](const Peak& q) {
+          const auto d = (p.index > q.index) ? p.index - q.index
+                                             : q.index - p.index;
+          return d < opts.min_separation;
+        });
+    if (!clash) {
+      kept.push_back(p);
+      if (kept.size() >= opts.max_peaks) break;
+    }
+  }
+  return kept;
+}
+
+}  // namespace ros::dsp

@@ -1,0 +1,74 @@
+#include "ros/dsp/resample.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/grid.hpp"
+
+namespace ros::dsp {
+
+bool strictly_increasing(std::span<const double> xs) {
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] <= xs[i - 1]) return false;
+  }
+  return true;
+}
+
+double interp_linear(std::span<const double> xs, std::span<const double> ys,
+                     double x) {
+  ROS_EXPECT(xs.size() == ys.size(), "x/y size mismatch");
+  ROS_EXPECT(!xs.empty(), "interp needs at least one sample");
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return ys[lo] * (1.0 - t) + ys[hi] * t;
+}
+
+std::vector<double> resample_uniform(std::span<const double> xs,
+                                     std::span<const double> ys,
+                                     std::size_t n) {
+  ROS_EXPECT(xs.size() == ys.size(), "x/y size mismatch");
+  ROS_EXPECT(xs.size() >= 2, "need at least two samples to resample");
+  ROS_EXPECT(strictly_increasing(xs), "xs must be strictly increasing");
+  const auto grid = ros::common::linspace(xs.front(), xs.back(), n);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = interp_linear(xs, ys, grid[i]);
+  return out;
+}
+
+std::vector<double> resample_bin_average(std::span<const double> xs,
+                                         std::span<const double> ys,
+                                         std::size_t n) {
+  ROS_EXPECT(xs.size() == ys.size(), "x/y size mismatch");
+  ROS_EXPECT(xs.size() >= 2, "need at least two samples to resample");
+  ROS_EXPECT(n >= 2, "need at least two output cells");
+  ROS_EXPECT(strictly_increasing(xs), "xs must be strictly increasing");
+  const double lo = xs.front();
+  const double span = xs.back() - lo;
+  ROS_EXPECT(span > 0.0, "x samples must span a non-zero window");
+
+  std::vector<double> sum(n, 0.0);
+  std::vector<std::size_t> count(n, 0);
+  const double scale = static_cast<double>(n - 1) / span;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    auto cell = static_cast<std::size_t>(
+        std::lround((xs[i] - lo) * scale));
+    cell = std::min(cell, n - 1);
+    sum[cell] += ys[i];
+    ++count[cell];
+  }
+
+  const auto grid = ros::common::linspace(lo, xs.back(), n);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = count[i] > 0 ? sum[i] / static_cast<double>(count[i])
+                          : interp_linear(xs, ys, grid[i]);
+  }
+  return out;
+}
+
+}  // namespace ros::dsp

@@ -1,0 +1,50 @@
+#include "ros/dsp/window.hpp"
+
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/units.hpp"
+
+namespace ros::dsp {
+
+using ros::common::kPi;
+
+std::vector<double> make_window(Window w, std::size_t n) {
+  ROS_EXPECT(n >= 1, "window length must be positive");
+  std::vector<double> out(n, 1.0);
+  if (n == 1 || w == Window::rectangular) return out;
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / denom;
+    switch (w) {
+      case Window::hann:
+        out[i] = 0.5 - 0.5 * std::cos(2.0 * kPi * t);
+        break;
+      case Window::hamming:
+        out[i] = 0.54 - 0.46 * std::cos(2.0 * kPi * t);
+        break;
+      case Window::blackman:
+        out[i] = 0.42 - 0.5 * std::cos(2.0 * kPi * t) +
+                 0.08 * std::cos(4.0 * kPi * t);
+        break;
+      case Window::rectangular:
+        break;
+    }
+  }
+  return out;
+}
+
+void apply_window(std::span<ros::common::cplx> x,
+                  std::span<const double> w) {
+  ROS_EXPECT(x.size() == w.size(), "window length must match data");
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] *= w[i];
+}
+
+double coherent_gain(std::span<const double> w) {
+  ROS_EXPECT(!w.empty(), "window must be non-empty");
+  double sum = 0.0;
+  for (double v : w) sum += v;
+  return sum / static_cast<double>(w.size());
+}
+
+}  // namespace ros::dsp

@@ -1,0 +1,33 @@
+// Radar range equation (paper Eq. 1) and derived link quantities.
+#pragma once
+
+namespace ros::em {
+
+/// Round-trip received power for a monostatic radar, paper Eq. (1):
+///
+///   P_r = P_t * G_t * G_r * lambda^2 * sigma / ((4 pi)^3 * d^4)
+///
+/// All gains/powers in dB/dBm, `sigma_dbsm` in dBsm, `lambda_m` and
+/// `distance_m` in metres. `extra_loss_db` folds in two-way atmospheric
+/// attenuation (e.g. fog).
+double received_power_dbm(double tx_power_dbm, double tx_gain_db,
+                          double rx_gain_db, double lambda_m,
+                          double sigma_dbsm, double distance_m,
+                          double extra_loss_db = 0.0);
+
+/// One-way field amplitude factor corresponding to the equation above:
+/// the linear field scale such that amplitude^2 equals the received power
+/// in watts. Convenience for waveform-level synthesis.
+double received_amplitude(double tx_power_dbm, double tx_gain_db,
+                          double rx_gain_db, double lambda_m,
+                          double sigma_dbsm, double distance_m,
+                          double extra_loss_db = 0.0);
+
+/// Maximum distance at which P_r >= `noise_floor_dbm` + `margin_db`,
+/// inverting Eq. (1) for d. Returns metres.
+double max_detection_range(double tx_power_dbm, double tx_gain_db,
+                           double rx_gain_db, double lambda_m,
+                           double sigma_dbsm, double noise_floor_dbm,
+                           double margin_db = 0.0);
+
+}  // namespace ros::em

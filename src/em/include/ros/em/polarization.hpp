@@ -1,0 +1,93 @@
+// Polarization modeling via Jones calculus.
+//
+// RoS's PSVAA rotates the polarization of the reflected wave by 90 deg
+// (Sec. 4.2) so the radar can reject clutter, which mostly preserves
+// polarization on reflection. We model a transverse field as a Jones
+// vector (H and V complex components) and every reflector as a 2x2
+// complex scattering matrix acting on it.
+#pragma once
+
+#include "ros/common/units.hpp"
+
+namespace ros::em {
+
+using ros::common::cplx;
+
+/// Linear polarization of a radar antenna port.
+enum class Polarization { horizontal, vertical };
+
+/// Returns the orthogonal linear polarization.
+Polarization orthogonal(Polarization p);
+
+/// Transverse field phasor decomposed on the (H, V) basis.
+struct Jones {
+  cplx h{0.0, 0.0};
+  cplx v{0.0, 0.0};
+
+  /// Unit Jones vector for a purely H- or V-polarized field.
+  static Jones unit(Polarization p);
+
+  /// Field power |h|^2 + |v|^2.
+  double power() const;
+
+  /// Projection of this field onto a receive antenna of polarization `p`
+  /// (the complex amplitude that antenna port observes).
+  cplx project(Polarization p) const;
+};
+
+/// 2x2 complex scattering matrix: E_out = S * E_in on the (H, V) basis.
+///
+/// Conventions: `hh` maps incident H to scattered H, `vh` maps incident H
+/// to scattered V, etc. Entries carry the *amplitude* response, so the
+/// co-polarized RCS contribution of a matrix entry s is |s|^2.
+struct ScatterMatrix {
+  cplx hh{0.0, 0.0};
+  cplx hv{0.0, 0.0};  // V in -> H out
+  cplx vh{0.0, 0.0};  // H in -> V out
+  cplx vv{0.0, 0.0};
+
+  Jones apply(const Jones& in) const;
+
+  /// Complex amplitude observed when transmitting with polarization `tx`
+  /// and receiving with polarization `rx`.
+  cplx response(Polarization tx, Polarization rx) const;
+
+  /// Scale all entries by a complex factor.
+  ScatterMatrix scaled(cplx factor) const;
+
+  /// Sum of two scatterers (coherent superposition).
+  ScatterMatrix operator+(const ScatterMatrix& other) const;
+
+  /// Polarization-preserving reflector of field amplitude `amplitude`
+  /// with a cross-polarized leak `cross_rejection_db` below the co-pol
+  /// response (typical roadside objects show 16-19 dB rejection,
+  /// Fig. 13a). `cross_phase` sets the leak's phase.
+  static ScatterMatrix co_polarized(double amplitude,
+                                    double cross_rejection_db,
+                                    double cross_phase = 0.0);
+
+  /// Ideal polarization-switching reflector (PSVAA): H in -> V out and
+  /// vice versa, with amplitude `amplitude`.
+  static ScatterMatrix polarization_switching(double amplitude);
+
+  /// Half-wave-plate-like reflector (the circularly-polarized PSVAA of
+  /// Sec. 8): +amplitude on H, -amplitude on V, which *preserves*
+  /// circular handedness on backscatter while ordinary reflectors flip
+  /// it.
+  static ScatterMatrix handedness_preserving(double amplitude);
+};
+
+/// Circular polarization handedness.
+enum class Handedness { left, right };
+
+Handedness opposite(Handedness h);
+
+/// Backscatter response between circularly polarized ports. Uses the
+/// backscatter-aligned convention e_rx^T * S * e_tx (transpose, not
+/// conjugate), under which an ordinary mirror (S = I) flips handedness
+/// -- the physical fact Sec. 8's CP extension exploits -- while a
+/// handedness_preserving() reflector returns the incident handedness.
+cplx circular_response(const ScatterMatrix& s, Handedness tx,
+                       Handedness rx);
+
+}  // namespace ros::em

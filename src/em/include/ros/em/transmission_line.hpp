@@ -1,0 +1,45 @@
+// Stripline transmission-line segment model.
+//
+// Van Atta retroreflection relies on the interconnecting transmission
+// lines (TLs) having equal phase modulo 2*pi at the design frequency but
+// *unequal physical lengths* -- off-center frequencies then de-phase,
+// which drives the bandwidth design rule of Sec. 4.1 and the antenna-pair
+// optimum of Fig. 3. This class gives exact complex transfer through a
+// line of a given length over the stackup medium.
+#pragma once
+
+#include "ros/common/units.hpp"
+#include "ros/em/material.hpp"
+
+namespace ros::em {
+
+using ros::common::cplx;
+
+class TransmissionLine {
+ public:
+  /// Line of physical length `length_m` over `stackup` (not owned; must
+  /// outlive the line).
+  TransmissionLine(double length_m, const StriplineStackup* stackup);
+
+  double length() const { return length_m_; }
+
+  /// Electrical phase accumulated through the line at `hz` [rad].
+  double phase(double hz) const;
+
+  /// Attenuation through the line at `hz` [dB].
+  double loss_db(double hz) const;
+
+  /// Complex field transfer factor: amplitude 10^(-loss/20), phase
+  /// exp(-j*beta*L).
+  cplx transfer(double hz) const;
+
+  /// Extends the line by `delta_m` (used to realize beam-shaping phase
+  /// weights, Sec. 4.3).
+  TransmissionLine extended(double delta_m) const;
+
+ private:
+  double length_m_;
+  const StriplineStackup* stackup_;
+};
+
+}  // namespace ros::em

@@ -1,0 +1,96 @@
+#include "ros/em/material.hpp"
+
+#include <cmath>
+
+#include "ros/common/band.hpp"
+#include "ros/common/expect.hpp"
+#include "ros/common/units.hpp"
+
+namespace ros::em {
+
+using namespace ros::common;
+
+namespace {
+
+/// Paper anchor: lambda_g = 2027 um at 79 GHz (Sec. 4.2). The implied
+/// effective permittivity is (c / (f * lambda_g))^2 ~= 3.505.
+constexpr double kGuidedWavelengthAnchor = 2027e-6;
+
+/// Paper anchor: an 10.8 cm stripline loses ~11 dB (Sec. 4.3), i.e.
+/// ~101.9 dB/m total attenuation at 79 GHz.
+constexpr double kTotalLossAnchorDbPerM = 11.0 / 0.108;
+
+}  // namespace
+
+Laminate rogers_4350b(double thickness_m) {
+  return {"Rogers 4350B", 3.66, 0.0037, thickness_m};
+}
+
+Laminate rogers_4450f(double thickness_m) {
+  return {"Rogers 4450F", 3.52, 0.004, thickness_m};
+}
+
+StriplineStackup StriplineStackup::ros_default() {
+  return StriplineStackup(rogers_4350b(254e-6), rogers_4450f(101e-6),
+                          rogers_4350b(101e-6));
+}
+
+StriplineStackup::StriplineStackup(Laminate core_a, Laminate bond,
+                                   Laminate core_b)
+    : core_a_(std::move(core_a)),
+      bond_(std::move(bond)),
+      core_b_(std::move(core_b)) {
+  const double total = core_a_.thickness_m + bond_.thickness_m +
+                       core_b_.thickness_m;
+  ROS_EXPECT(total > 0.0, "stackup must have positive thickness");
+  const double blend_eps = (core_a_.epsilon_r * core_a_.thickness_m +
+                            bond_.epsilon_r * bond_.thickness_m +
+                            core_b_.epsilon_r * core_b_.thickness_m) /
+                           total;
+  tan_delta_eff_ = (core_a_.tan_delta * core_a_.thickness_m +
+                    bond_.tan_delta * bond_.thickness_m +
+                    core_b_.tan_delta * core_b_.thickness_m) /
+                   total;
+
+  // Calibrate against the paper's extracted guided wavelength: the blend
+  // over-estimates eps_eff slightly because field energy concentrates in
+  // the lower-permittivity bond layer around the trace. The correction
+  // factor (~0.97 for the default stackup) is derived once from the
+  // lambda_g anchor and then applied to any custom stackup.
+  const double anchor_eps =
+      std::pow(kSpeedOfLight / (kDesignFrequency * kGuidedWavelengthAnchor), 2);
+  const double default_blend =
+      (3.66 * 254e-6 + 3.52 * 101e-6 + 3.66 * 101e-6) / (456e-6);
+  eps_eff_ = blend_eps * (anchor_eps / default_blend);
+
+  // Conductor loss: alpha_c = k * sqrt(f). Calibrate k so that
+  // alpha_d(79 GHz) + alpha_c(79 GHz) equals the paper's total loss
+  // anchor for the default material set; the dielectric part scales with
+  // this stackup's own tan_delta.
+  const double alpha_d_79 =
+      20.0 / std::log(10.0) * kPi * kDesignFrequency * std::sqrt(eps_eff_) *
+      tan_delta_eff_ / kSpeedOfLight;
+  const double alpha_c_79 = kTotalLossAnchorDbPerM - alpha_d_79;
+  ROS_EXPECT(alpha_c_79 > 0.0, "conductor loss anchor must be positive");
+  conductor_loss_coeff_ = alpha_c_79 / std::sqrt(kDesignFrequency);
+}
+
+double StriplineStackup::guided_wavelength(double hz) const {
+  ROS_EXPECT(hz > 0.0, "frequency must be positive");
+  return kSpeedOfLight / (hz * std::sqrt(eps_eff_));
+}
+
+double StriplineStackup::phase_constant(double hz) const {
+  return 2.0 * kPi / guided_wavelength(hz);
+}
+
+double StriplineStackup::attenuation_db_per_m(double hz) const {
+  ROS_EXPECT(hz > 0.0, "frequency must be positive");
+  const double alpha_d = 20.0 / std::log(10.0) * kPi * hz *
+                         std::sqrt(eps_eff_) * tan_delta_eff_ /
+                         kSpeedOfLight;
+  const double alpha_c = conductor_loss_coeff_ * std::sqrt(hz);
+  return alpha_d + alpha_c;
+}
+
+}  // namespace ros::em

@@ -1,0 +1,48 @@
+#include "ros/em/pathloss.hpp"
+
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/units.hpp"
+
+namespace ros::em {
+
+using namespace ros::common;
+
+double received_power_dbm(double tx_power_dbm, double tx_gain_db,
+                          double rx_gain_db, double lambda_m,
+                          double sigma_dbsm, double distance_m,
+                          double extra_loss_db) {
+  ROS_EXPECT(lambda_m > 0.0, "wavelength must be positive");
+  ROS_EXPECT(distance_m > 0.0, "distance must be positive");
+  const double spreading_db =
+      10.0 * std::log10(std::pow(4.0 * kPi, 3) * std::pow(distance_m, 4));
+  const double lambda_db = 20.0 * std::log10(lambda_m);
+  return tx_power_dbm + tx_gain_db + rx_gain_db + lambda_db + sigma_dbsm -
+         spreading_db - extra_loss_db;
+}
+
+double received_amplitude(double tx_power_dbm, double tx_gain_db,
+                          double rx_gain_db, double lambda_m,
+                          double sigma_dbsm, double distance_m,
+                          double extra_loss_db) {
+  const double p_dbm =
+      received_power_dbm(tx_power_dbm, tx_gain_db, rx_gain_db, lambda_m,
+                         sigma_dbsm, distance_m, extra_loss_db);
+  return std::sqrt(dbm_to_watt(p_dbm));
+}
+
+double max_detection_range(double tx_power_dbm, double tx_gain_db,
+                           double rx_gain_db, double lambda_m,
+                           double sigma_dbsm, double noise_floor_dbm,
+                           double margin_db) {
+  ROS_EXPECT(lambda_m > 0.0, "wavelength must be positive");
+  // Solve P_r(d) = floor + margin for d: the numerator of Eq. (1) at
+  // d = 1 m, divided by the required power, is d^4.
+  const double p_at_1m_dbm = received_power_dbm(
+      tx_power_dbm, tx_gain_db, rx_gain_db, lambda_m, sigma_dbsm, 1.0);
+  const double headroom_db = p_at_1m_dbm - (noise_floor_dbm + margin_db);
+  return std::pow(10.0, headroom_db / 40.0);
+}
+
+}  // namespace ros::em

@@ -1,0 +1,85 @@
+#include "ros/em/polarization.hpp"
+
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/units.hpp"
+
+namespace ros::em {
+
+using ros::common::db_to_linear;
+
+Polarization orthogonal(Polarization p) {
+  return p == Polarization::horizontal ? Polarization::vertical
+                                       : Polarization::horizontal;
+}
+
+Jones Jones::unit(Polarization p) {
+  return p == Polarization::horizontal ? Jones{{1.0, 0.0}, {0.0, 0.0}}
+                                       : Jones{{0.0, 0.0}, {1.0, 0.0}};
+}
+
+double Jones::power() const { return std::norm(h) + std::norm(v); }
+
+cplx Jones::project(Polarization p) const {
+  return p == Polarization::horizontal ? h : v;
+}
+
+Jones ScatterMatrix::apply(const Jones& in) const {
+  return {hh * in.h + hv * in.v, vh * in.h + vv * in.v};
+}
+
+cplx ScatterMatrix::response(Polarization tx, Polarization rx) const {
+  return apply(Jones::unit(tx)).project(rx);
+}
+
+ScatterMatrix ScatterMatrix::scaled(cplx factor) const {
+  return {hh * factor, hv * factor, vh * factor, vv * factor};
+}
+
+ScatterMatrix ScatterMatrix::operator+(const ScatterMatrix& other) const {
+  return {hh + other.hh, hv + other.hv, vh + other.vh, vv + other.vv};
+}
+
+ScatterMatrix ScatterMatrix::co_polarized(double amplitude,
+                                          double cross_rejection_db,
+                                          double cross_phase) {
+  ROS_EXPECT(amplitude >= 0.0, "amplitude must be non-negative");
+  ROS_EXPECT(cross_rejection_db >= 0.0, "rejection must be non-negative dB");
+  const double leak =
+      amplitude * std::sqrt(db_to_linear(-cross_rejection_db));
+  const cplx leak_amp = leak * std::polar(1.0, cross_phase);
+  return {cplx{amplitude, 0.0}, leak_amp, leak_amp, cplx{amplitude, 0.0}};
+}
+
+ScatterMatrix ScatterMatrix::polarization_switching(double amplitude) {
+  ROS_EXPECT(amplitude >= 0.0, "amplitude must be non-negative");
+  return {cplx{0.0, 0.0}, cplx{amplitude, 0.0}, cplx{amplitude, 0.0},
+          cplx{0.0, 0.0}};
+}
+
+ScatterMatrix ScatterMatrix::handedness_preserving(double amplitude) {
+  ROS_EXPECT(amplitude >= 0.0, "amplitude must be non-negative");
+  return {cplx{amplitude, 0.0}, cplx{0.0, 0.0}, cplx{0.0, 0.0},
+          cplx{-amplitude, 0.0}};
+}
+
+Handedness opposite(Handedness h) {
+  return h == Handedness::left ? Handedness::right : Handedness::left;
+}
+
+cplx circular_response(const ScatterMatrix& s, Handedness tx,
+                       Handedness rx) {
+  const cplx j{0.0, 1.0};
+  const double inv_sqrt2 = 0.7071067811865476;
+  // e_L = (1, +j)/sqrt(2), e_R = (1, -j)/sqrt(2) on the (H, V) basis.
+  const cplx tx_v = (tx == Handedness::left ? j : -j);
+  const cplx rx_v = (rx == Handedness::left ? j : -j);
+  // out = S * e_tx
+  const cplx out_h = (s.hh + s.hv * tx_v) * inv_sqrt2;
+  const cplx out_v = (s.vh + s.vv * tx_v) * inv_sqrt2;
+  // e_rx^T * out (backscatter-aligned: transpose, no conjugation).
+  return (out_h + rx_v * out_v) * inv_sqrt2;
+}
+
+}  // namespace ros::em

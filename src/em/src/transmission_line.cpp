@@ -1,0 +1,33 @@
+#include "ros/em/transmission_line.hpp"
+
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+
+namespace ros::em {
+
+TransmissionLine::TransmissionLine(double length_m,
+                                   const StriplineStackup* stackup)
+    : length_m_(length_m), stackup_(stackup) {
+  ROS_EXPECT(length_m >= 0.0, "line length must be non-negative");
+  ROS_EXPECT(stackup != nullptr, "stackup must not be null");
+}
+
+double TransmissionLine::phase(double hz) const {
+  return stackup_->phase_constant(hz) * length_m_;
+}
+
+double TransmissionLine::loss_db(double hz) const {
+  return stackup_->attenuation_db_per_m(hz) * length_m_;
+}
+
+cplx TransmissionLine::transfer(double hz) const {
+  const double amplitude = std::pow(10.0, -loss_db(hz) / 20.0);
+  return std::polar(amplitude, -phase(hz));
+}
+
+TransmissionLine TransmissionLine::extended(double delta_m) const {
+  return TransmissionLine(length_m_ + delta_m, stackup_);
+}
+
+}  // namespace ros::em

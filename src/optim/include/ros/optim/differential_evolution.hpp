@@ -1,0 +1,48 @@
+// Differential evolution (DE/rand/1/bin), Storn & Price 1997.
+//
+// The paper uses a "differential evolution genetic algorithm (DE-GA)" as
+// the meta-optimizer that searches PSVAA phase weights and vertical
+// positions for elevation beam shaping (Sec. 4.3), because the weight ->
+// position -> phase dependencies have no closed form. We implement the
+// classic rand/1/bin variant with bound clamping and use it both for beam
+// shaping and as the stand-in for HFSS parametric sweeps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ros::optim {
+
+/// Inclusive box bounds for one decision variable.
+struct Bounds {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+struct DeConfig {
+  std::size_t population = 48;      ///< NP; >= 4
+  double differential_weight = 0.7; ///< F in [0, 2]
+  double crossover_rate = 0.9;      ///< CR in [0, 1]
+  std::size_t max_generations = 300;
+  double tolerance = 1e-10;         ///< stop when best improves less than
+                                    ///< this over `patience` generations
+  std::size_t patience = 60;
+  std::uint64_t seed = 1;
+};
+
+struct DeResult {
+  std::vector<double> best;        ///< best decision vector found
+  double best_value = 0.0;         ///< objective at `best`
+  std::size_t generations = 0;     ///< generations actually run
+  std::size_t evaluations = 0;     ///< objective evaluations
+  std::vector<double> history;     ///< best value per generation
+};
+
+using Objective = std::function<double(const std::vector<double>&)>;
+
+/// Minimize `f` over the box given by `bounds`.
+DeResult minimize(const Objective& f, const std::vector<Bounds>& bounds,
+                  const DeConfig& config = {});
+
+}  // namespace ros::optim

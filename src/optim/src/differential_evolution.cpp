@@ -1,0 +1,112 @@
+#include "ros/optim/differential_evolution.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/random.hpp"
+
+namespace ros::optim {
+
+using ros::common::Rng;
+
+DeResult minimize(const Objective& f, const std::vector<Bounds>& bounds,
+                  const DeConfig& config) {
+  ROS_EXPECT(static_cast<bool>(f), "objective must be callable");
+  ROS_EXPECT(!bounds.empty(), "need at least one decision variable");
+  ROS_EXPECT(config.population >= 4, "population must be >= 4");
+  ROS_EXPECT(config.differential_weight >= 0.0 &&
+                 config.differential_weight <= 2.0,
+             "F must be in [0, 2]");
+  ROS_EXPECT(config.crossover_rate >= 0.0 && config.crossover_rate <= 1.0,
+             "CR must be in [0, 1]");
+  for (const auto& b : bounds) {
+    ROS_EXPECT(b.lo <= b.hi, "bounds must be ordered");
+  }
+
+  const std::size_t dim = bounds.size();
+  const std::size_t np = config.population;
+  Rng rng(config.seed);
+
+  DeResult result;
+
+  // Initialize the population uniformly inside the box.
+  std::vector<std::vector<double>> pop(np, std::vector<double>(dim));
+  std::vector<double> score(np);
+  for (std::size_t i = 0; i < np; ++i) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      pop[i][d] = rng.uniform(bounds[d].lo, bounds[d].hi);
+    }
+    score[i] = f(pop[i]);
+    ++result.evaluations;
+  }
+
+  auto best_idx = static_cast<std::size_t>(
+      std::min_element(score.begin(), score.end()) - score.begin());
+  double best = score[best_idx];
+  double best_at_patience_start = best;
+  std::size_t since_improvement = 0;
+
+  std::vector<double> trial(dim);
+  for (std::size_t gen = 0; gen < config.max_generations; ++gen) {
+    for (std::size_t i = 0; i < np; ++i) {
+      // Pick three distinct members different from i.
+      std::size_t a;
+      std::size_t b;
+      std::size_t c;
+      do {
+        a = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(np) - 1));
+      } while (a == i);
+      do {
+        b = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(np) - 1));
+      } while (b == i || b == a);
+      do {
+        c = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(np) - 1));
+      } while (c == i || c == a || c == b);
+
+      const auto forced =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(dim) - 1));
+      for (std::size_t d = 0; d < dim; ++d) {
+        if (d == forced || rng.bernoulli(config.crossover_rate)) {
+          double v = pop[a][d] +
+                     config.differential_weight * (pop[b][d] - pop[c][d]);
+          trial[d] = std::clamp(v, bounds[d].lo, bounds[d].hi);
+        } else {
+          trial[d] = pop[i][d];
+        }
+      }
+
+      const double t = f(trial);
+      ++result.evaluations;
+      if (t <= score[i]) {
+        pop[i] = trial;
+        score[i] = t;
+        if (t < best) {
+          best = t;
+          best_idx = i;
+        }
+      }
+    }
+
+    result.history.push_back(best);
+    ++result.generations;
+
+    // Convergence: no meaningful improvement across a patience window.
+    ++since_improvement;
+    if (best_at_patience_start - best > config.tolerance) {
+      best_at_patience_start = best;
+      since_improvement = 0;
+    } else if (since_improvement >= config.patience) {
+      break;
+    }
+  }
+
+  result.best = pop[best_idx];
+  result.best_value = best;
+  return result;
+}
+
+}  // namespace ros::optim

@@ -1,0 +1,26 @@
+// DBSCAN density-based clustering (Ester et al. 1996), used by the paper
+// (Sec. 6) to group multi-frame radar points into objects and to filter
+// sparse ghost points by density.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ros/scene/geometry.hpp"
+
+namespace ros::pipeline {
+
+struct DbscanOptions {
+  double eps_m = 0.35;          ///< neighborhood radius
+  std::size_t min_points = 6;   ///< core-point threshold
+};
+
+/// Cluster labels per input point: >= 0 cluster id, -1 noise.
+std::vector<int> dbscan(std::span<const ros::scene::Vec2> points,
+                        const DbscanOptions& opts);
+
+/// Number of clusters in a label vector.
+int cluster_count(std::span<const int> labels);
+
+}  // namespace ros::pipeline

@@ -1,0 +1,36 @@
+// Multi-frame radar point cloud in world coordinates (paper Sec. 6):
+// per-frame detections are placed into the world using the vehicle's
+// (estimated) pose at that frame, then merged across the pass.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ros/radar/processing.hpp"
+#include "ros/scene/geometry.hpp"
+
+namespace ros::pipeline {
+
+struct CloudPoint {
+  ros::scene::Vec2 world;
+  double rss_dbm = 0.0;
+  std::size_t frame = 0;
+};
+
+struct PointCloud {
+  std::vector<CloudPoint> points;
+
+  std::vector<ros::scene::Vec2> positions() const;
+};
+
+/// World direction corresponding to a radar-frame azimuth at a pose.
+ros::scene::Vec2 direction_for(const ros::scene::RadarPose& pose,
+                               double azimuth_rad);
+
+/// Append one frame's detections to the cloud using the pose estimate.
+void accumulate(PointCloud& cloud,
+                std::span<const ros::radar::Detection> detections,
+                const ros::scene::RadarPose& pose, std::size_t frame_index);
+
+}  // namespace ros::pipeline

@@ -1,0 +1,40 @@
+// Two-feature tag discrimination (paper Sec. 6 / Sec. 7.2):
+//   * RSS polarization loss: how much weaker an object's return is under
+//     the polarization-switched Tx vs the original Tx. Clutter loses the
+//     full cross-pol rejection (median 16-19 dB); the tag, which switches
+//     polarization by design, loses much less (~13 dB median).
+//   * Point-cloud size: the tag's retro response is a compact point;
+//     clutter spreads.
+#pragma once
+
+#include <vector>
+
+#include "ros/pipeline/features.hpp"
+
+namespace ros::pipeline {
+
+struct TagDetectorOptions {
+  /// Objects with RSS loss below this are tag candidates [dB].
+  double max_rss_loss_db = 15.0;
+  /// Objects with point-cloud size below this are tag candidates [m^2].
+  double max_size_m2 = 0.06;
+  /// Minimum cluster density (points / m^2) to be considered at all.
+  double min_density = 50.0;
+  std::size_t min_points = 10;
+};
+
+struct TagCandidate {
+  Cluster cluster;              ///< from the detection (normal-Tx) pass
+  double rss_loss_db = 0.0;     ///< normal-pass RSS minus switched-pass RSS
+  double rss_normal_dbm = 0.0;
+  double rss_switched_dbm = 0.0;
+  bool is_tag = false;
+};
+
+/// Classify clusters given their mean beamformed RSS under each Tx
+/// polarization (computed by the interrogator via sample_rss).
+TagCandidate classify_cluster(const Cluster& cluster, double rss_normal_dbm,
+                              double rss_switched_dbm,
+                              const TagDetectorOptions& opts);
+
+}  // namespace ros::pipeline

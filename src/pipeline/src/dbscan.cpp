@@ -1,0 +1,62 @@
+#include "ros/pipeline/dbscan.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "ros/common/expect.hpp"
+
+namespace ros::pipeline {
+
+using ros::scene::Vec2;
+
+std::vector<int> dbscan(std::span<const Vec2> points,
+                        const DbscanOptions& opts) {
+  ROS_EXPECT(opts.eps_m > 0.0, "eps must be positive");
+  ROS_EXPECT(opts.min_points >= 1, "min_points must be >= 1");
+  const std::size_t n = points.size();
+  std::vector<int> labels(n, -2);  // -2 = unvisited, -1 = noise
+
+  const double eps2 = opts.eps_m * opts.eps_m;
+  const auto neighbors = [&](std::size_t i) {
+    std::vector<std::size_t> out;
+    for (std::size_t j = 0; j < n; ++j) {
+      const Vec2 d = points[i] - points[j];
+      if (d.x * d.x + d.y * d.y <= eps2) out.push_back(j);
+    }
+    return out;
+  };
+
+  int cluster = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (labels[i] != -2) continue;
+    auto nb = neighbors(i);
+    if (nb.size() < opts.min_points) {
+      labels[i] = -1;
+      continue;
+    }
+    labels[i] = cluster;
+    std::queue<std::size_t> frontier;
+    for (std::size_t j : nb) frontier.push(j);
+    while (!frontier.empty()) {
+      const std::size_t j = frontier.front();
+      frontier.pop();
+      if (labels[j] == -1) labels[j] = cluster;  // border point
+      if (labels[j] != -2) continue;
+      labels[j] = cluster;
+      auto nb2 = neighbors(j);
+      if (nb2.size() >= opts.min_points) {
+        for (std::size_t k : nb2) frontier.push(k);
+      }
+    }
+    ++cluster;
+  }
+  return labels;
+}
+
+int cluster_count(std::span<const int> labels) {
+  int max_label = -1;
+  for (int l : labels) max_label = std::max(max_label, l);
+  return max_label + 1;
+}
+
+}  // namespace ros::pipeline

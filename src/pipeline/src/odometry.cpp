@@ -1,0 +1,74 @@
+#include "ros/pipeline/odometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+
+namespace ros::pipeline {
+
+std::optional<double> estimate_ego_speed(
+    std::span<const DopplerObservation> observations,
+    double boresight_to_travel_rad) {
+  // v_r_i = v * c_i with c_i = cos(a_i + offset); weighted LS:
+  // v = sum(w c v_r) / sum(w c^2).
+  double num = 0.0;
+  double den = 0.0;
+  for (const auto& o : observations) {
+    const double c = std::cos(o.azimuth_rad + boresight_to_travel_rad);
+    num += o.weight * c * o.radial_velocity_mps;
+    den += o.weight * c * c;
+  }
+  if (den < 1e-6) return std::nullopt;
+  return num / den;
+}
+
+std::vector<DopplerObservation> observe_doppler(
+    const ros::radar::RangeDopplerMap& map,
+    std::span<const ros::radar::Detection> detections) {
+  std::vector<DopplerObservation> out;
+  out.reserve(detections.size());
+  for (const auto& d : detections) {
+    if (d.range_m >= map.bin_spacing_m * static_cast<double>(
+                                             map.n_range_bins())) {
+      continue;
+    }
+    DopplerObservation o;
+    o.azimuth_rad = d.azimuth_rad;
+    o.radial_velocity_mps =
+        ros::radar::estimate_radial_velocity(map, d.range_m);
+    // Stronger detections get more weight (linear-power weighting keeps
+    // it simple and monotone).
+    o.weight = std::pow(10.0, d.rss_dbm / 10.0);
+    out.push_back(o);
+  }
+  return out;
+}
+
+std::optional<double> estimate_ego_speed_robust(
+    std::vector<DopplerObservation> observations,
+    double boresight_to_travel_rad, double outlier_mps,
+    int max_iterations) {
+  ROS_EXPECT(outlier_mps > 0.0, "outlier threshold must be positive");
+  ROS_EXPECT(max_iterations >= 1, "need at least one iteration");
+  std::optional<double> v;
+  for (int it = 0; it < max_iterations; ++it) {
+    v = estimate_ego_speed(observations, boresight_to_travel_rad);
+    if (!v) return std::nullopt;
+    std::vector<DopplerObservation> kept;
+    kept.reserve(observations.size());
+    for (const auto& o : observations) {
+      const double predicted =
+          *v * std::cos(o.azimuth_rad + boresight_to_travel_rad);
+      if (std::abs(o.radial_velocity_mps - predicted) <= outlier_mps) {
+        kept.push_back(o);
+      }
+    }
+    if (kept.size() == observations.size()) break;  // converged
+    if (kept.size() < 2) break;  // refuse to over-prune
+    observations = std::move(kept);
+  }
+  return v;
+}
+
+}  // namespace ros::pipeline

@@ -1,0 +1,39 @@
+#include "ros/pipeline/pointcloud.hpp"
+
+#include <cmath>
+
+namespace ros::pipeline {
+
+using ros::scene::RadarPose;
+using ros::scene::Vec2;
+
+std::vector<Vec2> PointCloud::positions() const {
+  std::vector<Vec2> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back(p.world);
+  return out;
+}
+
+Vec2 direction_for(const RadarPose& pose, double azimuth_rad) {
+  // Inverse of RadarPose::azimuth_to: rotate the boresight clockwise by
+  // the azimuth.
+  const double c = std::cos(azimuth_rad);
+  const double s = std::sin(azimuth_rad);
+  return {c * pose.boresight.x + s * pose.boresight.y,
+          -s * pose.boresight.x + c * pose.boresight.y};
+}
+
+void accumulate(PointCloud& cloud,
+                std::span<const ros::radar::Detection> detections,
+                const RadarPose& pose, std::size_t frame_index) {
+  for (const auto& d : detections) {
+    const Vec2 dir = direction_for(pose, d.azimuth_rad);
+    CloudPoint p;
+    p.world = pose.position + dir * d.range_m;
+    p.rss_dbm = d.rss_dbm;
+    p.frame = frame_index;
+    cloud.points.push_back(p);
+  }
+}
+
+}  // namespace ros::pipeline

@@ -1,0 +1,59 @@
+#include "ros/pipeline/rcs_sampler.hpp"
+
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/units.hpp"
+
+namespace ros::pipeline {
+
+using ros::scene::RadarPose;
+using ros::scene::Vec2;
+
+std::vector<RssSample> sample_rss(
+    std::span<const ros::radar::RangeProfile> profiles,
+    std::span<const RadarPose> poses, const Vec2& target,
+    const Vec2& road_direction, const ros::radar::RadarArray& array,
+    double hz) {
+  ROS_EXPECT(profiles.size() == poses.size(),
+             "one pose per range profile required");
+  const double road_norm = road_direction.norm();
+  ROS_EXPECT(road_norm > 0.0, "road direction must be non-zero");
+  const Vec2 road = road_direction * (1.0 / road_norm);
+
+  std::vector<RssSample> out;
+  out.reserve(profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const Vec2 d = poses[i].position - target;
+    const double range = d.norm();
+    if (range <= 0.0) continue;
+    const double az = poses[i].azimuth_to(target);
+    RssSample s;
+    // u = sin(view angle off the tag normal) = LoS component along the
+    // road axis.
+    s.u = d.dot(road) / range;
+    s.rss_dbm = ros::radar::beamformed_rss_dbm(profiles[i], array, hz,
+                                               range, az);
+    s.rss_w = ros::common::dbm_to_watt(s.rss_dbm);
+    s.range_m = range;
+    s.frame = i;
+    out.push_back(s);
+  }
+  return out;
+}
+
+DecoderSeries to_decoder_series(std::span<const RssSample> samples,
+                                double max_abs_u, double min_rss_dbm) {
+  DecoderSeries out;
+  out.u.reserve(samples.size());
+  out.rss_linear.reserve(samples.size());
+  for (const auto& s : samples) {
+    if (std::abs(s.u) > max_abs_u) continue;
+    if (s.rss_dbm < min_rss_dbm) continue;
+    out.u.push_back(s.u);
+    out.rss_linear.push_back(s.rss_w);
+  }
+  return out;
+}
+
+}  // namespace ros::pipeline

@@ -1,0 +1,20 @@
+#include "ros/pipeline/tag_detector.hpp"
+
+namespace ros::pipeline {
+
+TagCandidate classify_cluster(const Cluster& cluster, double rss_normal_dbm,
+                              double rss_switched_dbm,
+                              const TagDetectorOptions& opts) {
+  TagCandidate c;
+  c.cluster = cluster;
+  c.rss_normal_dbm = rss_normal_dbm;
+  c.rss_switched_dbm = rss_switched_dbm;
+  c.rss_loss_db = rss_normal_dbm - rss_switched_dbm;
+  c.is_tag = c.rss_loss_db <= opts.max_rss_loss_db &&
+             cluster.size_m2 <= opts.max_size_m2 &&
+             cluster.density >= opts.min_density &&
+             cluster.n_points >= opts.min_points;
+  return c;
+}
+
+}  // namespace ros::pipeline

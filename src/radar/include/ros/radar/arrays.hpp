@@ -1,0 +1,53 @@
+// Radar MIMO antenna configuration (paper Sec. 6 / 7.1).
+//
+// The TI board uses one "original"-polarization Tx for object detection,
+// one 90-deg-rotated Tx for tag decoding, and 4 Rx antennas (beamwidth
+// ~28.6 deg) whose lambda/2 baseline provides AoA estimation.
+#pragma once
+
+#include "ros/em/polarization.hpp"
+
+namespace ros::radar {
+
+struct RadarArray {
+  /// Receive channels used for AoA processing. The TI IWR1443 runs TDM
+  /// MIMO: 4 physical Rx x multiple Tx form a virtual array; the paper's
+  /// Sec. 3.2 uses N_a = 8 (angle resolution 14.3 deg) for point-cloud
+  /// generation, which is what object separation in Fig. 11b requires.
+  int n_rx = 8;
+  /// Rx element spacing; 0 = lambda/2 at 79 GHz.
+  double rx_spacing_m = 0.0;
+  /// Polarization of the Rx antennas (and the "original" Tx).
+  ros::em::Polarization rx_pol = ros::em::Polarization::vertical;
+  /// Azimuth field-of-view half angle of the radar antennas (~60 deg
+  /// full FoV per the paper's Sec. 7.3 discussion).
+  double fov_half_angle_rad = 0.7854;  // 45 deg
+  /// Element pattern exponent for the Tx/Rx antennas (field ~ cos^q).
+  double pattern_exponent = 1.0;
+
+  static RadarArray ti_iwr1443();
+
+  double rx_spacing(double hz) const;
+
+  /// Rx beamwidth ~ lambda / (N * d) = 2/N rad (28.6 deg for N = 4).
+  double beamwidth_rad() const;
+
+  /// The "original" (co-polarized) Tx polarization.
+  ros::em::Polarization tx_normal_pol() const { return rx_pol; }
+
+  /// The polarization-switching Tx (rotated 90 deg, Sec. 7.1).
+  ros::em::Polarization tx_switched_pol() const {
+    return ros::em::orthogonal(rx_pol);
+  }
+
+  /// One-way antenna field taper at azimuth `az_rad` off boresight.
+  double element_field(double az_rad) const;
+};
+
+/// Which Tx antenna a frame uses.
+enum class TxMode {
+  normal,    ///< co-polarized Tx: object detection pass
+  switched,  ///< cross-polarized Tx: tag decoding pass
+};
+
+}  // namespace ros::radar

@@ -1,0 +1,39 @@
+// FMCW chirp configuration (paper Sec. 3.2 and the TI IWR1443 defaults of
+// Sec. 7.1: slope 66 MHz/us, 5 Msps, 256 samples/frame, 1 kHz frames).
+#pragma once
+
+namespace ros::radar {
+
+struct FmcwChirp {
+  double slope_hz_per_s = 66e12;     ///< chirp slope (66 MHz/us)
+  double sample_rate_hz = 5e6;       ///< baseband ADC rate
+  int n_samples = 256;               ///< samples per chirp
+  double start_hz = 77e9;            ///< chirp start frequency
+  double frame_rate_hz = 1000.0;     ///< F_s, frames per second
+
+  /// The paper's TI IWR1443 configuration.
+  static FmcwChirp ti_iwr1443();
+
+  /// Time spanned by the sampled portion of the chirp [s].
+  double sampled_duration_s() const;
+
+  /// RF bandwidth swept during the sampled portion [Hz].
+  double sampled_bandwidth_hz() const;
+
+  /// Center frequency of the sampled sweep [Hz].
+  double center_hz() const;
+
+  /// Range resolution c / (2B) [m] (~3.75 cm at 4 GHz).
+  double range_resolution_m() const;
+
+  /// Maximum unambiguous range set by the ADC rate [m].
+  double max_range_m() const;
+
+  /// Beat frequency for a reflector at `range_m` [Hz].
+  double beat_frequency_hz(double range_m) const;
+
+  /// Range corresponding to a beat frequency [m].
+  double range_for_beat_hz(double beat_hz) const;
+};
+
+}  // namespace ros::radar

@@ -1,0 +1,60 @@
+// Chirp-train Doppler processing.
+//
+// The paper (Sec. 7.3) argues Doppler shifts are negligible for the RCS
+// pattern; this module makes that check quantitative and adds the
+// standard range-Doppler capability an automotive radar has anyway: a
+// slow-time FFT across a train of chirps, giving per-reflector radial
+// velocity -- usable for ego-motion estimation (the self-tracking input
+// of Sec. 6) from static roadside clutter.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ros/radar/processing.hpp"
+#include "ros/radar/waveform.hpp"
+
+namespace ros::radar {
+
+struct ChirpTrain {
+  int n_chirps = 32;
+  /// Chirp-to-chirp interval [s] (the paper's frame duration is 60 us).
+  double chirp_interval_s = 60e-6;
+
+  /// Unambiguous radial velocity +/- lambda / (4 T) [m/s].
+  double max_unambiguous_velocity(double hz) const;
+
+  /// Velocity resolution lambda / (2 N T) [m/s].
+  double velocity_resolution(double hz) const;
+};
+
+/// A coherently processed train: one range profile per chirp.
+using TrainProfiles = std::vector<RangeProfile>;
+
+/// Synthesize and range-compress a chirp train. Each return's Doppler
+/// advances its carrier phase by 2*pi*f_d*T per chirp.
+TrainProfiles synthesize_train(const WaveformSynthesizer& synth,
+                               std::span<const ScatterReturn> returns,
+                               const ChirpTrain& train, double noise_w,
+                               ros::common::Rng& rng);
+
+/// Range-Doppler power map from a train (Rx channel 0).
+struct RangeDopplerMap {
+  /// power[range_bin][doppler_bin], doppler fft-shifted (bin N/2 = 0).
+  std::vector<std::vector<double>> power;
+  double bin_spacing_m = 0.0;
+  double velocity_per_bin = 0.0;  ///< m/s per doppler bin
+  int n_chirps = 0;
+
+  double velocity_of_bin(std::size_t doppler_bin) const;
+  std::size_t n_range_bins() const { return power.size(); }
+};
+
+RangeDopplerMap range_doppler(const TrainProfiles& profiles,
+                              const ChirpTrain& train, double hz);
+
+/// Radial velocity of the strongest reflector near `range_m`
+/// (parabola-refined over the Doppler axis).
+double estimate_radial_velocity(const RangeDopplerMap& map, double range_m);
+
+}  // namespace ros::radar

@@ -1,0 +1,77 @@
+// FMCW signal processing: range FFT (Eq. 3), AoA beamforming pseudo-
+// spectrum (Eq. 4), CFAR point extraction, and beamformed RSS sampling
+// (the "spotlight" mechanism of Sec. 6).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ros/dsp/cfar.hpp"
+#include "ros/dsp/window.hpp"
+#include "ros/radar/arrays.hpp"
+#include "ros/radar/chirp.hpp"
+#include "ros/radar/waveform.hpp"
+
+namespace ros::radar {
+
+/// Range-compressed frame: complex bins per Rx antenna. The FFT is
+/// normalized by 1/N (and the window's coherent gain), so a tone of
+/// amplitude A appears as a bin of magnitude ~A: bin power == received
+/// power.
+struct RangeProfile {
+  std::vector<std::vector<cplx>> bins;  ///< [rx][bin]
+  double bin_spacing_m = 0.0;
+
+  std::size_t n_bins() const { return bins.empty() ? 0 : bins[0].size(); }
+  double range_of_bin(std::size_t b) const {
+    return static_cast<double>(b) * bin_spacing_m;
+  }
+  std::size_t bin_of_range(double range_m) const;
+};
+
+/// Range FFT over each Rx channel (Eq. 3).
+RangeProfile range_fft(const FrameCube& frame, const FmcwChirp& chirp,
+                       ros::dsp::Window window = ros::dsp::Window::hann);
+
+/// Coherent beamformer output at a range bin, steered to `az_rad`
+/// (Eq. 4, normalized by the antenna count).
+cplx beamform_bin(const RangeProfile& profile, std::size_t bin,
+                  const RadarArray& array, double hz, double az_rad);
+
+/// AoA pseudo-spectrum |S(d0, theta)|^2 over `angles` at a range bin.
+std::vector<double> aoa_power_spectrum(const RangeProfile& profile,
+                                       std::size_t bin,
+                                       const RadarArray& array, double hz,
+                                       std::span<const double> angles_rad);
+
+/// A detected point reflector.
+struct Detection {
+  double range_m = 0.0;
+  double azimuth_rad = 0.0;
+  double rss_dbm = 0.0;  ///< beamformed received power
+  double snr_db = 0.0;   ///< CFAR SNR of the range cell
+};
+
+struct DetectorOptions {
+  ros::dsp::CfarOptions cfar{};
+  std::size_t n_angles = 181;       ///< AoA grid over the radar FoV
+  double min_range_m = 0.5;         ///< ignore the DC/leakage region
+  std::size_t max_aoa_peaks = 4;    ///< detections per range cell
+  double aoa_peak_min_rel = 0.25;   ///< AoA peak floor vs cell maximum
+};
+
+/// Full point extraction: CFAR on the non-coherent range profile, then
+/// AoA peaks per detected cell (the radar point cloud generator,
+/// Sec. 3.2).
+std::vector<Detection> detect_points(const RangeProfile& profile,
+                                     const RadarArray& array, double hz,
+                                     const DetectorOptions& opts = {});
+
+/// Beamformed RSS [dBm] toward a known (range, azimuth): the Sec. 6
+/// "spotlight" measurement used for RCS sampling. Searches +/-1 bin for
+/// the strongest response.
+double beamformed_rss_dbm(const RangeProfile& profile,
+                          const RadarArray& array, double hz,
+                          double range_m, double az_rad);
+
+}  // namespace ros::radar

@@ -1,0 +1,30 @@
+#include "ros/radar/arrays.hpp"
+
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/units.hpp"
+
+namespace ros::radar {
+
+using ros::common::wavelength;
+
+RadarArray RadarArray::ti_iwr1443() { return {}; }
+
+double RadarArray::rx_spacing(double hz) const {
+  return rx_spacing_m > 0.0 ? rx_spacing_m : wavelength(hz) / 2.0;
+}
+
+double RadarArray::beamwidth_rad() const {
+  ROS_EXPECT(n_rx >= 1, "need at least one Rx antenna");
+  return 2.0 / static_cast<double>(n_rx);
+}
+
+double RadarArray::element_field(double az_rad) const {
+  if (std::abs(az_rad) > fov_half_angle_rad) return 0.0;
+  const double c = std::cos(az_rad);
+  if (c <= 0.0) return 0.0;
+  return std::pow(c, pattern_exponent);
+}
+
+}  // namespace ros::radar

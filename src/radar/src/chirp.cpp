@@ -1,0 +1,43 @@
+#include "ros/radar/chirp.hpp"
+
+#include "ros/common/expect.hpp"
+#include "ros/common/units.hpp"
+
+namespace ros::radar {
+
+using ros::common::kSpeedOfLight;
+
+FmcwChirp FmcwChirp::ti_iwr1443() { return {}; }
+
+double FmcwChirp::sampled_duration_s() const {
+  ROS_EXPECT(sample_rate_hz > 0.0 && n_samples > 0,
+             "chirp sampling must be positive");
+  return static_cast<double>(n_samples) / sample_rate_hz;
+}
+
+double FmcwChirp::sampled_bandwidth_hz() const {
+  return slope_hz_per_s * sampled_duration_s();
+}
+
+double FmcwChirp::center_hz() const {
+  return start_hz + sampled_bandwidth_hz() / 2.0;
+}
+
+double FmcwChirp::range_resolution_m() const {
+  return kSpeedOfLight / (2.0 * sampled_bandwidth_hz());
+}
+
+double FmcwChirp::max_range_m() const {
+  return sample_rate_hz * kSpeedOfLight / (2.0 * slope_hz_per_s);
+}
+
+double FmcwChirp::beat_frequency_hz(double range_m) const {
+  ROS_EXPECT(range_m >= 0.0, "range must be non-negative");
+  return 2.0 * slope_hz_per_s * range_m / kSpeedOfLight;
+}
+
+double FmcwChirp::range_for_beat_hz(double beat_hz) const {
+  return beat_hz * kSpeedOfLight / (2.0 * slope_hz_per_s);
+}
+
+}  // namespace ros::radar

@@ -1,0 +1,100 @@
+#include "ros/radar/doppler.hpp"
+
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/mathx.hpp"
+#include "ros/common/units.hpp"
+#include "ros/dsp/fft.hpp"
+#include "ros/dsp/peaks.hpp"
+#include "ros/dsp/window.hpp"
+
+namespace ros::radar {
+
+using namespace ros::common;
+
+double ChirpTrain::max_unambiguous_velocity(double hz) const {
+  return wavelength(hz) / (4.0 * chirp_interval_s);
+}
+
+double ChirpTrain::velocity_resolution(double hz) const {
+  return wavelength(hz) /
+         (2.0 * static_cast<double>(n_chirps) * chirp_interval_s);
+}
+
+TrainProfiles synthesize_train(const WaveformSynthesizer& synth,
+                               std::span<const ScatterReturn> returns,
+                               const ChirpTrain& train, double noise_w,
+                               Rng& rng) {
+  ROS_EXPECT(train.n_chirps >= 1, "need at least one chirp");
+  ROS_EXPECT(train.chirp_interval_s > 0.0, "chirp interval must be positive");
+  TrainProfiles out;
+  out.reserve(static_cast<std::size_t>(train.n_chirps));
+  std::vector<ScatterReturn> shifted(returns.begin(), returns.end());
+  for (int k = 0; k < train.n_chirps; ++k) {
+    const double t = static_cast<double>(k) * train.chirp_interval_s;
+    for (std::size_t i = 0; i < shifted.size(); ++i) {
+      shifted[i].phase_rad =
+          returns[i].phase_rad + 2.0 * kPi * returns[i].doppler_hz * t;
+    }
+    out.push_back(range_fft(synth.synthesize(shifted, noise_w, rng),
+                            synth.chirp()));
+  }
+  return out;
+}
+
+RangeDopplerMap range_doppler(const TrainProfiles& profiles,
+                              const ChirpTrain& train, double hz) {
+  ROS_EXPECT(!profiles.empty(), "train must be non-empty");
+  const std::size_t n_chirps = profiles.size();
+  const std::size_t n_bins = profiles[0].n_bins();
+  const auto win = ros::dsp::make_window(ros::dsp::Window::hann, n_chirps);
+  const double gain = ros::dsp::coherent_gain(win);
+
+  RangeDopplerMap map;
+  map.bin_spacing_m = profiles[0].bin_spacing_m;
+  map.n_chirps = static_cast<int>(n_chirps);
+  // Doppler bin b (fft-shifted) spans f_d = (b - N/2) / (N T); velocity
+  // v = f_d * lambda / 2.
+  map.velocity_per_bin =
+      wavelength(hz) /
+      (2.0 * static_cast<double>(n_chirps) * train.chirp_interval_s);
+  map.power.assign(n_bins, std::vector<double>(n_chirps, 0.0));
+
+  std::vector<cplx> slow(n_chirps);
+  for (std::size_t b = 0; b < n_bins; ++b) {
+    for (std::size_t k = 0; k < n_chirps; ++k) {
+      slow[k] = profiles[k].bins[0][b] * win[k];
+    }
+    const auto spec = ros::dsp::fftshift(ros::dsp::fft(slow));
+    for (std::size_t k = 0; k < n_chirps; ++k) {
+      map.power[b][k] =
+          std::norm(spec[k] / (static_cast<double>(n_chirps) * gain));
+    }
+  }
+  return map;
+}
+
+double RangeDopplerMap::velocity_of_bin(std::size_t doppler_bin) const {
+  const double centered =
+      static_cast<double>(doppler_bin) -
+      static_cast<double>(static_cast<std::size_t>(n_chirps) / 2);
+  return centered * velocity_per_bin;
+}
+
+double estimate_radial_velocity(const RangeDopplerMap& map,
+                                double range_m) {
+  ROS_EXPECT(map.bin_spacing_m > 0.0, "map is empty");
+  const auto bin = static_cast<std::size_t>(
+      std::lround(range_m / map.bin_spacing_m));
+  ROS_EXPECT(bin < map.n_range_bins(), "range outside the map");
+  const auto& row = map.power[bin];
+  const std::size_t peak = argmax(row);
+  const auto refined = ros::dsp::refine_peak(row, peak);
+  const double centered =
+      refined.refined_index -
+      static_cast<double>(static_cast<std::size_t>(map.n_chirps) / 2);
+  return centered * map.velocity_per_bin;
+}
+
+}  // namespace ros::radar

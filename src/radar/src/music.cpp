@@ -1,0 +1,114 @@
+#include "ros/radar/music.hpp"
+
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/grid.hpp"
+#include "ros/common/units.hpp"
+#include "ros/dsp/peaks.hpp"
+
+namespace ros::radar {
+
+using namespace ros::common;
+using ros::dsp::cmat;
+
+cmat smoothed_covariance(std::span<const cplx> snapshot, int subarray) {
+  const int n = static_cast<int>(snapshot.size());
+  ROS_EXPECT(subarray >= 2, "subarray must be >= 2");
+  ROS_EXPECT(subarray < n, "subarray must be smaller than the array");
+  const int n_sub = n - subarray + 1;
+  const auto m = static_cast<std::size_t>(subarray);
+
+  cmat r = ros::dsp::zeros(m);
+  // Forward subarrays.
+  for (int s = 0; s < n_sub; ++s) {
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        r[i][j] += snapshot[static_cast<std::size_t>(s) + i] *
+                   std::conj(snapshot[static_cast<std::size_t>(s) + j]);
+      }
+    }
+  }
+  // Backward (conjugate-reversed) subarrays.
+  for (int s = 0; s < n_sub; ++s) {
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        const auto bi = static_cast<std::size_t>(n - 1 - s) - i;
+        const auto bj = static_cast<std::size_t>(n - 1 - s) - j;
+        r[i][j] += std::conj(snapshot[bi]) * snapshot[bj];
+      }
+    }
+  }
+  const double norm = 1.0 / (2.0 * static_cast<double>(n_sub));
+  for (auto& row : r) {
+    for (auto& v : row) v *= norm;
+  }
+  return r;
+}
+
+std::vector<double> music_spectrum(const RangeProfile& profile,
+                                   std::size_t bin, const RadarArray& array,
+                                   double hz,
+                                   std::span<const double> angles_rad,
+                                   const MusicOptions& opts) {
+  ROS_EXPECT(bin < profile.n_bins(), "bin out of range");
+  ROS_EXPECT(opts.n_sources >= 1, "need at least one source");
+  ROS_EXPECT(opts.subarray > opts.n_sources,
+             "subarray must exceed the source count");
+
+  std::vector<cplx> snapshot(profile.bins.size());
+  for (std::size_t k = 0; k < snapshot.size(); ++k) {
+    snapshot[k] = profile.bins[k][bin];
+  }
+  const cmat r = smoothed_covariance(snapshot, opts.subarray);
+  const auto eig = ros::dsp::hermitian_eigen(r);
+
+  const auto m = static_cast<std::size_t>(opts.subarray);
+  const auto n_sig = static_cast<std::size_t>(opts.n_sources);
+  const double d = array.rx_spacing(hz);
+  const double lambda = wavelength(hz);
+
+  std::vector<double> out(angles_rad.size());
+  for (std::size_t a = 0; a < angles_rad.size(); ++a) {
+    // Steering vector over the subarray.
+    std::vector<cplx> sv(m);
+    const double psi = 2.0 * kPi * d * std::sin(angles_rad[a]) / lambda;
+    for (std::size_t i = 0; i < m; ++i) {
+      sv[i] = std::polar(1.0 / std::sqrt(static_cast<double>(m)),
+                         psi * static_cast<double>(i));
+    }
+    // 1 / sum over noise subspace of |e_k^H s|^2.
+    double denom = 1e-12;
+    for (std::size_t k = n_sig; k < m; ++k) {
+      cplx dot{0.0, 0.0};
+      for (std::size_t i = 0; i < m; ++i) {
+        dot += std::conj(eig.vectors[i][k]) * sv[i];
+      }
+      denom += std::norm(dot);
+    }
+    out[a] = 1.0 / denom;
+  }
+  return out;
+}
+
+std::vector<double> music_aoa(const RangeProfile& profile, std::size_t bin,
+                              const RadarArray& array, double hz,
+                              const MusicOptions& opts,
+                              std::size_t n_angles) {
+  const auto angles = linspace(-array.fov_half_angle_rad,
+                               array.fov_half_angle_rad, n_angles);
+  const auto spec = music_spectrum(profile, bin, array, hz, angles, opts);
+  ros::dsp::PeakOptions po;
+  po.max_peaks = static_cast<std::size_t>(opts.n_sources);
+  po.min_separation = 4;
+  const auto peaks = ros::dsp::find_peaks(spec, po);
+  const double step = angles[1] - angles[0];
+  std::vector<double> out;
+  out.reserve(peaks.size());
+  for (const auto& p : peaks) {
+    out.push_back(angles.front() + p.refined_index * step);
+  }
+  return out;
+}
+
+}  // namespace ros::radar

@@ -1,0 +1,135 @@
+#include "ros/radar/processing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/grid.hpp"
+#include "ros/common/units.hpp"
+#include "ros/dsp/fft.hpp"
+#include "ros/dsp/peaks.hpp"
+
+namespace ros::radar {
+
+using namespace ros::common;
+
+std::size_t RangeProfile::bin_of_range(double range_m) const {
+  ROS_EXPECT(bin_spacing_m > 0.0, "profile is empty");
+  const auto b = static_cast<std::size_t>(
+      std::lround(range_m / bin_spacing_m));
+  return std::min(b, n_bins() - 1);
+}
+
+RangeProfile range_fft(const FrameCube& frame, const FmcwChirp& chirp,
+                       ros::dsp::Window window) {
+  ROS_EXPECT(!frame.empty() && !frame[0].empty(), "frame must be non-empty");
+  const std::size_t n = frame[0].size();
+  const auto win = ros::dsp::make_window(window, n);
+  const double gain = ros::dsp::coherent_gain(win);
+
+  RangeProfile out;
+  out.bins.reserve(frame.size());
+  for (const auto& chan : frame) {
+    ROS_EXPECT(chan.size() == n, "ragged frame cube");
+    std::vector<cplx> x(chan);
+    ros::dsp::apply_window(x, win);
+    auto spec = ros::dsp::fft(x);
+    // Complex (IQ) baseband: all n bins are unambiguous beat
+    // frequencies, so the full ADC-limited range (~11.4 m on the TI
+    // config) is usable. Normalize so a unit-amplitude tone yields a
+    // unit-magnitude bin.
+    const double norm = 1.0 / (static_cast<double>(n) * gain);
+    for (auto& v : spec) v *= norm;
+    out.bins.push_back(std::move(spec));
+  }
+  // Bin b corresponds to beat frequency b * fs / N.
+  const double beat_per_bin =
+      chirp.sample_rate_hz / static_cast<double>(n);
+  out.bin_spacing_m = chirp.range_for_beat_hz(beat_per_bin);
+  return out;
+}
+
+cplx beamform_bin(const RangeProfile& profile, std::size_t bin,
+                  const RadarArray& array, double hz, double az_rad) {
+  ROS_EXPECT(bin < profile.n_bins(), "bin out of range");
+  const double d = array.rx_spacing(hz);
+  const double lambda = wavelength(hz);
+  const double sin_az = std::sin(az_rad);
+  cplx sum{0.0, 0.0};
+  for (std::size_t k = 0; k < profile.bins.size(); ++k) {
+    const double phi =
+        -2.0 * kPi * static_cast<double>(k) * d * sin_az / lambda;
+    sum += profile.bins[k][bin] * std::polar(1.0, phi);
+  }
+  return sum / static_cast<double>(profile.bins.size());
+}
+
+std::vector<double> aoa_power_spectrum(const RangeProfile& profile,
+                                       std::size_t bin,
+                                       const RadarArray& array, double hz,
+                                       std::span<const double> angles_rad) {
+  std::vector<double> out(angles_rad.size());
+  for (std::size_t i = 0; i < angles_rad.size(); ++i) {
+    out[i] = std::norm(beamform_bin(profile, bin, array, hz, angles_rad[i]));
+  }
+  return out;
+}
+
+std::vector<Detection> detect_points(const RangeProfile& profile,
+                                     const RadarArray& array, double hz,
+                                     const DetectorOptions& opts) {
+  ROS_EXPECT(profile.n_bins() > 0, "profile must be non-empty");
+  // Non-coherent power across antennas for CFAR.
+  const std::size_t n_bins = profile.n_bins();
+  std::vector<double> power(n_bins, 0.0);
+  for (const auto& chan : profile.bins) {
+    for (std::size_t b = 0; b < n_bins; ++b) power[b] += std::norm(chan[b]);
+  }
+
+  const auto cells = ros::dsp::ca_cfar(power, opts.cfar);
+
+  const auto angles =
+      linspace(-array.fov_half_angle_rad, array.fov_half_angle_rad,
+               opts.n_angles);
+  std::vector<Detection> out;
+  for (const auto& cell : cells) {
+    const double range = profile.range_of_bin(cell.index);
+    if (range < opts.min_range_m) continue;
+    const auto aoa = aoa_power_spectrum(profile, cell.index, array, hz,
+                                        angles);
+    const double cell_max = *std::max_element(aoa.begin(), aoa.end());
+    ros::dsp::PeakOptions po;
+    po.min_value = cell_max * opts.aoa_peak_min_rel;
+    // Peaks closer than half the array beamwidth are one reflector.
+    const double step = angles[1] - angles[0];
+    po.min_separation = std::max<std::size_t>(
+        1, static_cast<std::size_t>(array.beamwidth_rad() / (2.0 * step)));
+    po.max_peaks = opts.max_aoa_peaks;
+    for (const auto& pk : ros::dsp::find_peaks(aoa, po)) {
+      Detection d;
+      d.range_m = range;
+      d.azimuth_rad =
+          angles.front() + pk.refined_index * step;
+      d.rss_dbm = watt_to_dbm(pk.refined_value);
+      d.snr_db = cell.snr_db;
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+double beamformed_rss_dbm(const RangeProfile& profile,
+                          const RadarArray& array, double hz,
+                          double range_m, double az_rad) {
+  const std::size_t center = profile.bin_of_range(range_m);
+  double best = 0.0;
+  const std::size_t lo = center > 0 ? center - 1 : 0;
+  const std::size_t hi = std::min(center + 1, profile.n_bins() - 1);
+  for (std::size_t b = lo; b <= hi; ++b) {
+    best = std::max(best, std::norm(beamform_bin(profile, b, array, hz,
+                                                 az_rad)));
+  }
+  return watt_to_dbm(best);
+}
+
+}  // namespace ros::radar

@@ -1,0 +1,71 @@
+#include "ros/radar/tdm_mimo.hpp"
+
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/units.hpp"
+
+namespace ros::radar {
+
+using namespace ros::common;
+
+FrameCube synthesize_tdm_virtual(const FmcwChirp& chirp,
+                                 const TdmMimoConfig& config,
+                                 std::span<const ScatterReturn> returns,
+                                 double noise_w, Rng& rng) {
+  ROS_EXPECT(config.n_tx >= 1, "need at least one Tx");
+  ROS_EXPECT(config.n_rx_physical >= 1, "need at least one Rx");
+  ROS_EXPECT(config.tx_interval_s >= 0.0, "interval must be non-negative");
+
+  RadarArray physical = RadarArray::ti_iwr1443();
+  physical.n_rx = config.n_rx_physical;
+  const WaveformSynthesizer synth(chirp, physical);
+
+  const double fc = chirp.center_hz();
+  const double lambda = kSpeedOfLight / fc;
+  const double d_rx = physical.rx_spacing(fc);
+
+  FrameCube virtual_cube;
+  virtual_cube.reserve(static_cast<std::size_t>(config.n_tx) *
+                       static_cast<std::size_t>(config.n_rx_physical));
+  std::vector<ScatterReturn> shifted(returns.begin(), returns.end());
+  for (int m = 0; m < config.n_tx; ++m) {
+    const double tx_offset =
+        static_cast<double>(m) * static_cast<double>(config.n_rx_physical) *
+        d_rx;
+    const double t = static_cast<double>(m) * config.tx_interval_s;
+    for (std::size_t i = 0; i < shifted.size(); ++i) {
+      // Tx displacement adds a one-way aperture phase; the later chirp
+      // adds the Doppler phase the compensation must undo.
+      shifted[i].phase_rad =
+          returns[i].phase_rad +
+          2.0 * kPi * tx_offset * std::sin(returns[i].azimuth_rad) /
+              lambda +
+          2.0 * kPi * returns[i].doppler_hz * t;
+    }
+    const FrameCube block = synth.synthesize(shifted, noise_w, rng);
+    for (auto& chan : block) virtual_cube.push_back(chan);
+  }
+  return virtual_cube;
+}
+
+void compensate_tdm_doppler(FrameCube& virtual_cube,
+                            const TdmMimoConfig& config,
+                            double doppler_hz) {
+  ROS_EXPECT(virtual_cube.size() ==
+                 static_cast<std::size_t>(config.n_tx) *
+                     static_cast<std::size_t>(config.n_rx_physical),
+             "cube does not match the TDM configuration");
+  for (int m = 1; m < config.n_tx; ++m) {
+    const double phase = -2.0 * kPi * doppler_hz *
+                         static_cast<double>(m) * config.tx_interval_s;
+    const cplx rot = std::polar(1.0, phase);
+    for (int r = 0; r < config.n_rx_physical; ++r) {
+      auto& chan = virtual_cube[static_cast<std::size_t>(
+          m * config.n_rx_physical + r)];
+      for (auto& v : chan) v *= rot;
+    }
+  }
+}
+
+}  // namespace ros::radar

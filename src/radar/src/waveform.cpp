@@ -1,0 +1,61 @@
+#include "ros/radar/waveform.hpp"
+
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+
+namespace ros::radar {
+
+using namespace ros::common;
+
+WaveformSynthesizer::WaveformSynthesizer(FmcwChirp chirp, RadarArray array)
+    : chirp_(chirp), array_(array) {
+  ROS_EXPECT(chirp.n_samples > 0, "need at least one sample");
+  ROS_EXPECT(array.n_rx > 0, "need at least one Rx antenna");
+}
+
+FrameCube WaveformSynthesizer::synthesize(
+    std::span<const ScatterReturn> returns, double noise_power_w,
+    Rng& rng) const {
+  ROS_EXPECT(noise_power_w >= 0.0, "noise power must be non-negative");
+  const auto n_rx = static_cast<std::size_t>(array_.n_rx);
+  const auto n_s = static_cast<std::size_t>(chirp_.n_samples);
+  FrameCube frame(n_rx, std::vector<cplx>(n_s, cplx{0.0, 0.0}));
+
+  const double fc = chirp_.center_hz();
+  const double lambda = kSpeedOfLight / fc;
+  const double d_rx = array_.rx_spacing(fc);
+  const double dt = 1.0 / chirp_.sample_rate_hz;
+
+  for (const ScatterReturn& r : returns) {
+    if (r.amplitude <= 0.0) continue;
+    const double f_beat = chirp_.beat_frequency_hz(r.range_m) + r.doppler_hz;
+    // Carrier phase from the round trip at the chirp start frequency
+    // (Eq. 2's first phase term), plus the reflector's own phase.
+    const double phi0 =
+        -4.0 * kPi * r.range_m * chirp_.start_hz / kSpeedOfLight +
+        r.phase_rad;
+    const double sin_az = std::sin(r.azimuth_rad);
+    for (std::size_t k = 0; k < n_rx; ++k) {
+      // Eq. 2's second phase term: the inter-antenna delay.
+      const double phi_ant =
+          2.0 * kPi * static_cast<double>(k) * d_rx * sin_az / lambda;
+      for (std::size_t i = 0; i < n_s; ++i) {
+        const double t = static_cast<double>(i) * dt;
+        frame[k][i] += std::polar(
+            r.amplitude, phi0 + phi_ant + 2.0 * kPi * f_beat * t);
+      }
+    }
+  }
+
+  if (noise_power_w > 0.0) {
+    for (std::size_t k = 0; k < n_rx; ++k) {
+      for (std::size_t i = 0; i < n_s; ++i) {
+        frame[k][i] += rng.complex_gaussian(noise_power_w);
+      }
+    }
+  }
+  return frame;
+}
+
+}  // namespace ros::radar

@@ -1,0 +1,19 @@
+// Adverse-weather attenuation (paper Sec. 7.3, "Detection under foggy
+// weather"): ~2 dB/100 m one-way at 79 GHz in heavy fog (1 g/m^3 water),
+// ~3.2 dB/100 m in heavy rain (100 mm/h).
+#pragma once
+
+namespace ros::scene {
+
+enum class Weather { clear, light_fog, heavy_fog, heavy_rain };
+
+/// One-way attenuation [dB per 100 m] at 79 GHz.
+double one_way_attenuation_db_per_100m(Weather w);
+
+/// Two-way (round trip) attenuation [dB] over `distance_m`.
+double two_way_loss_db(Weather w, double distance_m);
+
+/// Human-readable label.
+const char* weather_name(Weather w);
+
+}  // namespace ros::scene

@@ -1,0 +1,38 @@
+// Planar scene geometry.
+//
+// World frame: the tag sits at the origin with its surface along +x and
+// its normal along +y (facing the road). Vehicles drive parallel to the
+// tag plane. Heights are carried separately (the elevation dimension only
+// matters for the radar-vs-tag height offset).
+#pragma once
+
+#include <cmath>
+
+namespace ros::scene {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+  double norm() const { return std::hypot(x, y); }
+  double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+};
+
+/// Radar pose: position, boresight direction (unit vector), and mounting
+/// height above the tag-center plane.
+struct RadarPose {
+  Vec2 position{0.0, 3.0};
+  Vec2 boresight{0.0, -1.0};
+  Vec2 velocity{0.0, 0.0};  ///< for Doppler synthesis
+  double height_m = 0.0;
+  double time_s = 0.0;
+
+  /// Azimuth of a world point in the radar frame (angle from boresight,
+  /// positive = to the right of boresight).
+  double azimuth_to(const Vec2& p) const;
+};
+
+}  // namespace ros::scene

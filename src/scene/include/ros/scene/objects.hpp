@@ -1,0 +1,119 @@
+// Scene objects: the RoS tag plus the roadside clutter classes of the
+// paper's detection study (Fig. 13): tripod, parking meter, street lamp,
+// legacy road sign, pedestrian, tree.
+//
+// Clutter objects are polarization-preserving reflectors with 16-19 dB
+// median cross-polarization rejection and a class-specific spatial extent
+// (several sub-scatterers), which drive the paper's two discrimination
+// features: RSS polarization loss and point-cloud size.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ros/common/random.hpp"
+#include "ros/em/polarization.hpp"
+#include "ros/scene/geometry.hpp"
+#include "ros/tag/tag.hpp"
+
+namespace ros::scene {
+
+/// One sub-scatterer's monostatic response.
+struct ScatterPoint {
+  Vec2 position;               ///< world position
+  double height_m = 0.0;       ///< height relative to the radar plane
+  ros::em::ScatterMatrix s;    ///< full polarization scattering
+};
+
+class SceneObject {
+ public:
+  virtual ~SceneObject() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual Vec2 position() const = 0;
+
+  /// Sub-scatterer responses toward a monostatic radar at `pose` and
+  /// frequency `hz`. `rng` supplies per-frame fluctuation (Swerling-like
+  /// clutter scintillation); implementations draw from it every call.
+  virtual std::vector<ScatterPoint> scatter(const RadarPose& pose,
+                                            double hz,
+                                            ros::common::Rng& rng) const = 0;
+};
+
+/// Generic polarization-preserving clutter reflector.
+class ClutterObject final : public SceneObject {
+ public:
+  struct Params {
+    std::string name = "clutter";
+    Vec2 position{};
+    double mean_rcs_dbsm = 0.0;
+    /// Median cross-pol rejection [dB]; per-frame draws jitter around it.
+    double cross_rejection_db = 17.0;
+    double cross_rejection_jitter_db = 1.5;
+    /// Physical footprint the sub-scatterers spread over [m].
+    double extent_x_m = 0.3;
+    double extent_y_m = 0.3;
+    int n_centers = 3;
+    /// Per-frame amplitude scintillation [dB std].
+    double fluctuation_db = 2.0;
+    std::uint64_t seed = 11;
+  };
+
+  explicit ClutterObject(Params p);
+
+  std::string_view name() const override { return params_.name; }
+  Vec2 position() const override { return params_.position; }
+  std::vector<ScatterPoint> scatter(const RadarPose& pose, double hz,
+                                    ros::common::Rng& rng) const override;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  std::vector<Vec2> center_offsets_;  ///< fixed sub-scatterer layout
+};
+
+/// Factory presets for the paper's clutter classes (Fig. 13), positioned
+/// at `pos`. RCS levels are typical 77-GHz values; extents set the
+/// point-cloud-size feature ordering of Fig. 13b.
+ClutterObject::Params tripod_params(Vec2 pos);
+ClutterObject::Params parking_meter_params(Vec2 pos);
+ClutterObject::Params street_lamp_params(Vec2 pos);
+ClutterObject::Params road_sign_params(Vec2 pos);
+ClutterObject::Params pedestrian_params(Vec2 pos);
+ClutterObject::Params tree_params(Vec2 pos);
+
+/// The RoS tag as a scene object. Owns the tag model; the tag surface
+/// lies along the direction `surface_dir` (normal = surface_dir rotated
+/// +90 deg).
+class TagObject final : public SceneObject {
+ public:
+  struct Mounting {
+    Vec2 position{};           ///< tag center
+    Vec2 normal{0.0, 1.0};     ///< unit normal (faces the road)
+    double height_offset_m = 0.0;  ///< tag center minus radar plane
+  };
+
+  TagObject(ros::tag::RosTag tag, Mounting mounting,
+            std::string name = "ros_tag");
+
+  std::string_view name() const override { return name_; }
+  Vec2 position() const override { return mounting_.position; }
+  std::vector<ScatterPoint> scatter(const RadarPose& pose, double hz,
+                                    ros::common::Rng& rng) const override;
+
+  const ros::tag::RosTag& tag() const { return tag_; }
+  const Mounting& mounting() const { return mounting_; }
+
+  /// Azimuth of the radar in the tag frame (angle off the tag normal).
+  double view_angle(const RadarPose& pose) const;
+
+ private:
+  ros::tag::RosTag tag_;
+  Mounting mounting_;
+  std::string name_;
+};
+
+}  // namespace ros::scene

@@ -1,0 +1,38 @@
+// Vehicle self-tracking error model (paper Sec. 7.3, Fig. 16d).
+//
+// Decoding uses the vehicle's own motion estimate to map RSS samples to
+// u = sin(view angle). Dead-reckoning drifts: the estimated displacement
+// scales the true displacement by (1 + relative_drift), optionally with
+// white position jitter.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ros/scene/geometry.hpp"
+
+namespace ros::scene {
+
+class TrackingModel {
+ public:
+  struct Params {
+    /// Relative drift of the displacement estimate (0.02 = 2 %).
+    double relative_drift = 0.0;
+    /// White position jitter std [m].
+    double jitter_std_m = 0.0;
+    std::uint64_t seed = 33;
+  };
+
+  explicit TrackingModel(Params p);
+
+  /// Estimated poses from ground-truth poses: the first pose is the
+  /// anchor (assumed known from the detection step); subsequent
+  /// displacements accumulate the drift.
+  std::vector<RadarPose> estimate(std::span<const RadarPose> truth) const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace ros::scene

@@ -1,0 +1,40 @@
+#include "ros/scene/fog.hpp"
+
+#include "ros/common/expect.hpp"
+
+namespace ros::scene {
+
+double one_way_attenuation_db_per_100m(Weather w) {
+  switch (w) {
+    case Weather::clear:
+      return 0.0;
+    case Weather::light_fog:
+      return 0.8;
+    case Weather::heavy_fog:
+      return 2.0;
+    case Weather::heavy_rain:
+      return 3.2;
+  }
+  return 0.0;
+}
+
+double two_way_loss_db(Weather w, double distance_m) {
+  ROS_EXPECT(distance_m >= 0.0, "distance must be non-negative");
+  return 2.0 * one_way_attenuation_db_per_100m(w) * distance_m / 100.0;
+}
+
+const char* weather_name(Weather w) {
+  switch (w) {
+    case Weather::clear:
+      return "clear";
+    case Weather::light_fog:
+      return "light_fog";
+    case Weather::heavy_fog:
+      return "heavy_fog";
+    case Weather::heavy_rain:
+      return "heavy_rain";
+  }
+  return "unknown";
+}
+
+}  // namespace ros::scene

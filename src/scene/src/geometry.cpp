@@ -1,0 +1,13 @@
+#include "ros/scene/geometry.hpp"
+
+namespace ros::scene {
+
+double RadarPose::azimuth_to(const Vec2& p) const {
+  const Vec2 d = p - position;
+  // Signed angle from boresight to d.
+  const double cross = boresight.x * d.y - boresight.y * d.x;
+  const double dot = boresight.dot(d);
+  return std::atan2(-cross, dot);
+}
+
+}  // namespace ros::scene

@@ -1,0 +1,132 @@
+#include "ros/scene/objects.hpp"
+
+#include <cmath>
+
+#include "ros/antenna/scattering.hpp"
+#include "ros/common/expect.hpp"
+#include "ros/common/units.hpp"
+
+namespace ros::scene {
+
+using namespace ros::common;
+using ros::em::ScatterMatrix;
+
+ClutterObject::ClutterObject(Params p) : params_(std::move(p)) {
+  ROS_EXPECT(params_.n_centers >= 1, "need at least one scatter center");
+  ROS_EXPECT(params_.cross_rejection_db >= 0.0,
+             "rejection must be non-negative");
+  // Fixed sub-scatterer layout drawn once from the object's own seed.
+  Rng layout_rng(params_.seed);
+  center_offsets_.reserve(static_cast<std::size_t>(params_.n_centers));
+  for (int i = 0; i < params_.n_centers; ++i) {
+    center_offsets_.push_back(
+        {layout_rng.uniform(-params_.extent_x_m / 2.0,
+                            params_.extent_x_m / 2.0),
+         layout_rng.uniform(-params_.extent_y_m / 2.0,
+                            params_.extent_y_m / 2.0)});
+  }
+}
+
+std::vector<ScatterPoint> ClutterObject::scatter(const RadarPose& /*pose*/,
+                                                 double /*hz*/,
+                                                 Rng& rng) const {
+  // Split the mean RCS evenly across centers; scintillate per frame.
+  const double sigma_total = db_to_linear(params_.mean_rcs_dbsm);
+  const double sigma_each =
+      sigma_total / static_cast<double>(params_.n_centers);
+  std::vector<ScatterPoint> out;
+  out.reserve(center_offsets_.size());
+  for (const Vec2& off : center_offsets_) {
+    const double fluct_db = rng.normal(0.0, params_.fluctuation_db);
+    const double amp = ros::antenna::scattering_length_for_rcs_dbsm(
+        linear_to_db(sigma_each) + fluct_db);
+    const double rejection =
+        std::max(3.0, rng.normal(params_.cross_rejection_db,
+                                 params_.cross_rejection_jitter_db));
+    const double phase = rng.uniform(0.0, 2.0 * kPi);
+    const double cross_phase = rng.uniform(0.0, 2.0 * kPi);
+    ScatterPoint p;
+    p.position = params_.position + off;
+    p.s = ScatterMatrix::co_polarized(amp, rejection, cross_phase)
+              .scaled(std::polar(1.0, phase));
+    out.push_back(p);
+  }
+  return out;
+}
+
+namespace {
+
+ClutterObject::Params make(std::string name, Vec2 pos, double rcs,
+                           double rej, double ex, double ey, int n,
+                           double fluct, std::uint64_t seed) {
+  ClutterObject::Params p;
+  p.name = std::move(name);
+  p.position = pos;
+  p.mean_rcs_dbsm = rcs;
+  p.cross_rejection_db = rej;
+  p.extent_x_m = ex;
+  p.extent_y_m = ey;
+  p.n_centers = n;
+  p.fluctuation_db = fluct;
+  p.seed = seed;
+  return p;
+}
+
+}  // namespace
+
+// Class presets: RCS levels are typical of 77 GHz measurements; the
+// cross-pol rejection medians follow Fig. 13a (16-19 dB) and the extents
+// reproduce the size ordering of Fig. 13b
+// (human < meter < lamp < sign < tree).
+ClutterObject::Params tripod_params(Vec2 pos) {
+  return make("tripod", pos, -8.0, 17.0, 0.25, 0.25, 3, 2.0, 21);
+}
+ClutterObject::Params parking_meter_params(Vec2 pos) {
+  return make("parking_meter", pos, -5.0, 18.0, 0.30, 0.20, 3, 1.5, 22);
+}
+ClutterObject::Params street_lamp_params(Vec2 pos) {
+  return make("street_lamp", pos, 2.0, 19.0, 0.35, 0.30, 4, 1.5, 23);
+}
+ClutterObject::Params road_sign_params(Vec2 pos) {
+  return make("road_sign", pos, 8.0, 18.0, 0.55, 0.25, 5, 2.0, 24);
+}
+ClutterObject::Params pedestrian_params(Vec2 pos) {
+  return make("pedestrian", pos, -4.0, 17.5, 0.25, 0.20, 2, 4.0, 25);
+}
+ClutterObject::Params tree_params(Vec2 pos) {
+  return make("tree", pos, 4.0, 16.5, 1.10, 0.90, 9, 3.0, 26);
+}
+
+TagObject::TagObject(ros::tag::RosTag tag, Mounting mounting,
+                     std::string name)
+    : tag_(std::move(tag)), mounting_(mounting), name_(std::move(name)) {
+  const double n = mounting_.normal.norm();
+  ROS_EXPECT(n > 0.0, "tag normal must be non-zero");
+  mounting_.normal = mounting_.normal * (1.0 / n);
+}
+
+double TagObject::view_angle(const RadarPose& pose) const {
+  const Vec2 d = pose.position - mounting_.position;
+  const double cross = mounting_.normal.x * d.y - mounting_.normal.y * d.x;
+  const double dot = mounting_.normal.dot(d);
+  return std::atan2(cross, dot);
+}
+
+std::vector<ScatterPoint> TagObject::scatter(const RadarPose& pose,
+                                             double hz,
+                                             Rng& /*rng*/) const {
+  const Vec2 d = pose.position - mounting_.position;
+  const double dist = d.norm();
+  if (dist <= 0.0) return {};
+  const double az = view_angle(pose);
+  // Behind the tag: no response (ground planes block the back).
+  if (std::abs(az) >= kPi / 2.0) return {};
+  const double height_offset = pose.height_m - mounting_.height_offset_m;
+  ScatterPoint p;
+  p.position = mounting_.position;
+  p.height_m = mounting_.height_offset_m;
+  p.s = tag_.scatter(az, dist, height_offset, hz);
+  return {p};
+}
+
+}  // namespace ros::scene

@@ -1,0 +1,101 @@
+#include "ros/scene/scene.hpp"
+
+#include <cmath>
+
+#include "ros/antenna/scattering.hpp"
+#include "ros/common/expect.hpp"
+#include "ros/common/units.hpp"
+#include "ros/em/pathloss.hpp"
+
+namespace ros::scene {
+
+using namespace ros::common;
+using ros::em::Polarization;
+using ros::radar::ScatterReturn;
+using ros::radar::TxMode;
+
+SceneObject* Scene::add(std::unique_ptr<SceneObject> object) {
+  ROS_EXPECT(object != nullptr, "object must not be null");
+  objects_.push_back(std::move(object));
+  return objects_.back().get();
+}
+
+ClutterObject* Scene::add_clutter(ClutterObject::Params params) {
+  auto obj = std::make_unique<ClutterObject>(std::move(params));
+  ClutterObject* raw = obj.get();
+  add(std::move(obj));
+  return raw;
+}
+
+TagObject* Scene::add_tag(ros::tag::RosTag tag, TagObject::Mounting mounting,
+                          std::string name) {
+  auto obj = std::make_unique<TagObject>(std::move(tag), mounting,
+                                         std::move(name));
+  TagObject* raw = obj.get();
+  add(std::move(obj));
+  return raw;
+}
+
+double Scene::ground_factor(double distance_m, double hz) const {
+  if (!ground_.enabled) return 1.0;
+  ROS_EXPECT(distance_m > 0.0, "distance must be positive");
+  // Path difference between direct and ground-bounced rays (grazing
+  // approximation): 2 h_r h_o / d.
+  const double delta =
+      2.0 * ground_.radar_height_m * ground_.object_height_m / distance_m;
+  const double beta = 2.0 * kPi / wavelength(hz);
+  const cplx bounce =
+      ground_.reflection_coefficient * std::polar(1.0, -beta * delta);
+  // One-way field factor |1 + Gamma e^{-j beta delta}|, applied on both
+  // legs of the round trip.
+  const double one_way = std::abs(1.0 + bounce);
+  return one_way * one_way;
+}
+
+std::vector<ScatterReturn> Scene::frame_returns(
+    const RadarPose& pose, TxMode tx_mode,
+    const ros::radar::RadarArray& array,
+    const ros::tag::RadarLinkBudget& budget, double hz, Rng& rng) const {
+  const Polarization tx_pol = tx_mode == TxMode::normal
+                                  ? array.tx_normal_pol()
+                                  : array.tx_switched_pol();
+  const Polarization rx_pol = array.rx_pol;
+  const double lambda = wavelength(hz);
+
+  std::vector<ScatterReturn> out;
+  for (const auto& object : objects_) {
+    for (const ScatterPoint& p : object->scatter(pose, hz, rng)) {
+      const Vec2 d = p.position - pose.position;
+      const double range = std::hypot(d.norm(), p.height_m - pose.height_m);
+      if (range <= 0.0) continue;
+      const double az = pose.azimuth_to(p.position);
+      const double taper = array.element_field(az);
+      if (taper <= 0.0) continue;
+
+      const cplx response = p.s.response(tx_pol, rx_pol);
+      const double sigma = 4.0 * kPi * std::norm(response);
+      if (sigma <= 0.0) continue;
+
+      const double fog_db = two_way_loss_db(weather_, range);
+      const double amp = ros::em::received_amplitude(
+          budget.eirp_dbm, 0.0, budget.rx_gain_total_db(), lambda,
+          linear_to_db(sigma), range, fog_db);
+
+      ScatterReturn r;
+      // The antenna taper applies on transmit and on receive; the
+      // two-ray ground bounce modulates the whole round trip.
+      r.amplitude = amp * taper * taper * ground_factor(range, hz);
+      r.phase_rad = std::arg(response);
+      r.range_m = range;
+      r.azimuth_rad = az;
+      // Doppler: closing speed along the line of sight.
+      const Vec2 dir = d * (1.0 / std::max(d.norm(), 1e-9));
+      const double closing = pose.velocity.dot(dir);
+      r.doppler_hz = 2.0 * closing / lambda;
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace ros::scene

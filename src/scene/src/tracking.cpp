@@ -1,0 +1,31 @@
+#include "ros/scene/tracking.hpp"
+
+#include "ros/common/expect.hpp"
+#include "ros/common/random.hpp"
+
+namespace ros::scene {
+
+TrackingModel::TrackingModel(Params p) : params_(p) {
+  ROS_EXPECT(p.relative_drift > -1.0, "drift must be > -100%");
+  ROS_EXPECT(p.jitter_std_m >= 0.0, "jitter must be non-negative");
+}
+
+std::vector<RadarPose> TrackingModel::estimate(
+    std::span<const RadarPose> truth) const {
+  std::vector<RadarPose> out(truth.begin(), truth.end());
+  if (out.empty()) return out;
+  ros::common::Rng rng(params_.seed);
+  const Vec2 anchor = truth[0].position;
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    const Vec2 disp = truth[i].position - anchor;
+    Vec2 est = anchor + disp * (1.0 + params_.relative_drift);
+    if (params_.jitter_std_m > 0.0) {
+      est.x += rng.normal(0.0, params_.jitter_std_m);
+      est.y += rng.normal(0.0, params_.jitter_std_m);
+    }
+    out[i].position = est;
+  }
+  return out;
+}
+
+}  // namespace ros::scene

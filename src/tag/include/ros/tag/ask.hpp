@@ -1,0 +1,85 @@
+// Multi-level amplitude-shift-keying extension (paper Sec. 8):
+//
+//   "The RCS levels of each encoding bit '1' can be adjusted by varying
+//    the number of PSVAAs within a stack. Multiple RCS levels can enable
+//    ASK modulation which can improve the encoding capacity by
+//    multi-folds."
+//
+// Each coding slot carries one of L amplitude levels: level 0 = absent
+// stack, higher levels = taller stacks. With the default 4 levels the
+// 4-slot tag carries 8 bits instead of 4. The decoder reads the slot
+// amplitudes from the RCS spectrum, normalizes by the strongest slot
+// (which must carry the top level -- the pilot convention), and
+// quantizes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ros/em/material.hpp"
+#include "ros/tag/codec.hpp"
+#include "ros/tag/tag.hpp"
+
+namespace ros::tag {
+
+struct AskConfig {
+  int n_slots = 4;
+  /// PSVAAs per stack for each level; level 0 must be 0 (absent).
+  std::vector<int> level_psvaas = {0, 8, 16, 32};
+  /// Reference stack size (also the pilot's full-scale).
+  int reference_psvaas = 32;
+  /// Quantization thresholds on the slot amplitude relative to the
+  /// strongest slot; size levels-1, increasing. With unshaped stacks the
+  /// amplitude ladder is the clean 0 / 0.25 / 0.5 / 1.0 (amplitude
+  /// proportional to stack height).
+  std::vector<double> level_thresholds = {0.15, 0.375, 0.72};
+  /// The ASK prototype uses *unshaped* stacks so the amplitude scales
+  /// linearly with the PSVAA count; beam-shaping every stack to a common
+  /// width would compress the ladder to sqrt(N). The cost is the pencil
+  /// elevation beam of Sec. 4.3 -- the paper's NFFA suggestion (Sec. 8)
+  /// is the hardware answer; here ASK assumes elevation alignment.
+  bool beam_shaped = false;
+  LayoutParams layout_params() const;
+  DecoderConfig decoder_config() const;
+};
+
+class AskCodec {
+ public:
+  explicit AskCodec(AskConfig config = {});
+
+  const AskConfig& config() const { return config_; }
+
+  int levels() const { return static_cast<int>(config_.level_psvaas.size()); }
+
+  /// Bits conveyed per interrogation: n_slots * log2(levels).
+  double capacity_bits() const;
+
+  /// Build the physical tag for a symbol vector (one level per slot, in
+  /// [0, levels)). At least one slot must carry the top level (the
+  /// pilot) so the decoder has a full-scale reference.
+  RosTag make_tag(const std::vector<int>& symbols,
+                  const ros::em::StriplineStackup* stackup) const;
+
+  struct AskDecodeResult {
+    std::vector<int> symbols;
+    std::vector<double> level_ratios;  ///< calibrated amplitude / pilot
+    DecodeResult base;                 ///< underlying OOK decode
+  };
+
+  /// Per-slot spectral gain (from the constructor's analytic pilot
+  /// calibration): the decoder's envelope-whitening and windowing have a
+  /// ~10 % frequency-dependent response across the coding band, which a
+  /// real ASK receiver would calibrate out on a known tag exactly like
+  /// this.
+  const std::vector<double>& slot_gains() const { return slot_gains_; }
+
+  /// Decode symbols from (u, linear RSS) samples.
+  AskDecodeResult decode(std::span<const double> u,
+                         std::span<const double> rss_linear) const;
+
+ private:
+  AskConfig config_;
+  std::vector<double> slot_gains_;
+};
+
+}  // namespace ros::tag

@@ -1,0 +1,50 @@
+// The beam-pattern encoding strawman (paper Sec. 5, first paragraph).
+//
+// A "straightforward" alternative to spatial coding: point beams at
+// prescribed azimuths by phasing an array of PSVAA stacks. The paper
+// rejects it because a PSVAA is 3 lambda wide -- 12x the lambda/4
+// spacing a *retroreflective* array needs for unambiguous steering (the
+// round trip doubles every aperture phase) -- so each intended beam
+// drags along >= 11 grating-lobe copies, collapsing the encoding angular
+// range and the per-beam power. This module implements the strawman so
+// the failure is measurable.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ros::tag {
+
+class BeamPatternStrawman {
+ public:
+  struct Params {
+    int n_stacks = 8;
+    /// Element (stack) spacing in wavelengths; a PSVAA is ~3 lambda wide.
+    double spacing_lambda = 3.0;
+    double design_hz = 79e9;
+  };
+
+  BeamPatternStrawman();  // default Params
+  explicit BeamPatternStrawman(Params p);
+
+  const Params& params() const { return params_; }
+
+  /// Round-trip array power pattern (normalized to its own peak) when
+  /// the stack phases steer a retro beam to u_target = sin(target az),
+  /// evaluated at each u in `u_grid`.
+  std::vector<double> pattern(double u_target,
+                              std::span<const double> u_grid) const;
+
+  /// Number of beams within `tolerance_db` of the maximum over the full
+  /// u in [-1, 1] range -- the ambiguity count (paper: >= 11 extra
+  /// beams for 3-lambda spacing; exactly 1 beam at lambda/4).
+  int ambiguous_beams(double u_target, double tolerance_db = 3.0) const;
+
+  /// Grating-lobe period in u for a retro array: lambda / (2 * spacing).
+  double grating_period_u() const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace ros::tag

@@ -1,0 +1,43 @@
+// Encoding-capacity and design-tradeoff model (paper Sec. 5.3).
+#pragma once
+
+namespace ros::tag {
+
+struct CapacityModel {
+  int n_bits = 4;                     ///< M - 1 coding bits
+  double unit_spacing_lambda = 1.5;   ///< delta_c = c * lambda
+  double design_hz = 79e9;
+
+  /// Outermost stack span |d_{M-1}| + |d_{M-2}| in wavelengths:
+  /// (4M - 7) c. This is the aperture the paper uses for the far-field
+  /// bound and the highest pairwise tone in the RCS spectrum.
+  double span_lambda() const;
+
+  /// Tag width D = ((4M - 7) c + 3) lambda [m] (span plus one stack
+  /// footprint).
+  double tag_width_m() const;
+
+  /// Far-field distance 2 D^2 / lambda (Eq. 8) with D = the stack span.
+  /// The paper's 4-bit example: ~2.9 m.
+  double far_field_distance_m() const;
+
+  /// Largest *coding* spacing (2M - 3) c in wavelengths.
+  double max_coding_spacing_lambda() const;
+
+  /// Maximum vehicle speed [m/s] the tag supports at frame rate
+  /// `frame_rate_hz` (Eq. 9): the per-frame travel must keep the u-domain
+  /// sampling above Nyquist for the highest pairwise tone (2 * span /
+  /// lambda cycles per unit u), evaluated at the far-field distance where
+  /// du/ds is steepest (1/d). The paper quotes ~38.5 m/s (86 mph) at
+  /// 1 kHz; this model gives ~37 m/s.
+  double max_vehicle_speed_mps(double frame_rate_hz,
+                               double nyquist_margin = 1.0) const;
+
+  /// Minimum separation [m] between two side-by-side tags so a radar
+  /// with `n_rx` antennas can isolate them at distance `distance_m`
+  /// (Sec. 5.3: angular separation > 1/N_r rad; 1.53 m at 6 m for
+  /// N_r = 4).
+  double min_tag_separation_m(int n_rx, double distance_m) const;
+};
+
+}  // namespace ros::tag

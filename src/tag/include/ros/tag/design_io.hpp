@@ -1,0 +1,32 @@
+// Tag design serialization -- the "mechanically reconfigurable signage"
+// workflow: a municipality designs a tag once (bits, spacing, stack
+// size, beam weights), stores the design file, and reproduces the
+// physical layout at install time. Plain key=value text, no external
+// dependencies.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ros/tag/tag.hpp"
+
+namespace ros::tag {
+
+struct TagDesign {
+  std::vector<bool> bits;
+  RosTag::Params params;
+};
+
+/// Serialize a design to the v1 text format.
+std::string serialize_design(const TagDesign& design);
+
+/// Parse a v1 design file. Throws std::invalid_argument on malformed
+/// input (unknown version, missing keys, bad numbers).
+TagDesign parse_design(std::string_view text);
+
+/// Convenience: instantiate the physical tag from a design.
+RosTag build_tag(const TagDesign& design,
+                 const ros::em::StriplineStackup* stackup);
+
+}  // namespace ros::tag

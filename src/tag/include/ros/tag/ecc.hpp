@@ -1,0 +1,39 @@
+// Error-correcting coding over RoS payloads (paper Sec. 8: "larger
+// encoding capacity also allows for error correction mechanisms to
+// improve the reliability of decoding").
+//
+// Hamming(7,4): 4 data bits protected by 3 parity bits fit exactly into
+// a 7-coding-slot tag (M = 8 stacks) and correct any single slot error
+// -- e.g. one coding peak faded below threshold or one noise spike.
+#pragma once
+
+#include <vector>
+
+namespace ros::tag {
+
+/// Encode 4 data bits into a 7-bit Hamming codeword (bit order:
+/// p1 p2 d1 p3 d2 d3 d4, the classic positional layout).
+std::vector<bool> hamming74_encode(const std::vector<bool>& data);
+
+struct EccDecodeResult {
+  std::vector<bool> data;    ///< the 4 corrected data bits
+  bool corrected = false;    ///< a single-bit error was fixed
+  int error_position = -1;   ///< 0-based position of the fixed bit, or -1
+};
+
+/// Decode a 7-bit codeword, correcting up to one bit error.
+EccDecodeResult hamming74_decode(const std::vector<bool>& code);
+
+/// Encode an arbitrary-length payload in 4-bit blocks (padded with
+/// zeros) into 7-bit blocks.
+std::vector<bool> hamming74_encode_blocks(const std::vector<bool>& data);
+
+/// Decode a multiple-of-7 codeword stream; `corrected_blocks` counts how
+/// many blocks needed a fix.
+struct EccBlockResult {
+  std::vector<bool> data;
+  int corrected_blocks = 0;
+};
+EccBlockResult hamming74_decode_blocks(const std::vector<bool>& code);
+
+}  // namespace ros::tag

@@ -1,0 +1,88 @@
+// Spatial-coding tag layout (paper Sec. 5.2).
+//
+// An RoS tag holds one *reference* PSVAA stack at d0 = 0 plus up to M-1
+// *coding* stacks. Coding slot k (1-based) sits at
+//
+//   d_k = s_k * (M + k - 2) * delta_c,   s_k = +1 (odd k) / -1 (even k)
+//
+// alternating sides of the reference so that every coding-stack pair
+// spacing falls *outside* the coding band [d_1, d_{M-1}]: same-side pairs
+// are closer than d_1, opposite-side pairs farther than d_{M-1}. Bits map
+// to slot occupancy: bit k = 1 iff slot k holds a stack.
+#pragma once
+
+#include <vector>
+
+#include "ros/common/units.hpp"
+
+namespace ros::tag {
+
+struct LayoutParams {
+  /// Number of coding slots (M - 1 bits; the paper's default tag has 4).
+  int n_bits = 4;
+  /// Unit spacing delta_c in wavelengths (paper default c = 1.5).
+  double unit_spacing_lambda = 1.5;
+  /// Design frequency fixing the wavelength.
+  double design_hz = 79e9;
+  /// Horizontal footprint of one stack; 0 = 3 lambda (one PSVAA width).
+  double stack_width_m = 0.0;
+};
+
+class TagLayout {
+ public:
+  /// Layout for a given bit pattern (bits.size() == n_bits; bits[k-1] is
+  /// slot k).
+  static TagLayout from_bits(const std::vector<bool>& bits,
+                             const LayoutParams& params = {});
+
+  /// All-ones layout with `n_bits` bits.
+  static TagLayout all_ones(const LayoutParams& params = {});
+
+  const LayoutParams& params() const { return params_; }
+  const std::vector<bool>& bits() const { return bits_; }
+
+  /// Positions of *present* stacks [m], reference first (at 0).
+  const std::vector<double>& stack_positions() const { return positions_; }
+
+  /// Signed slot position [m] of coding slot `k` (1-based), present or not.
+  double slot_position(int k) const;
+
+  /// Coding-band spacing [in wavelengths] where slot `k`'s peak appears
+  /// in the RCS spectrum: (M + k - 2) * c.
+  double slot_spacing_lambda(int k) const;
+
+  /// Number of stacks present (reference + set bits).
+  int n_stacks() const { return static_cast<int>(positions_.size()); }
+
+  int n_bits() const { return params_.n_bits; }
+
+  double wavelength() const;
+
+  /// Outermost slot span |d_{M-1}| + |d_{M-2}| in wavelengths (the
+  /// aperture the far-field bound uses), regardless of occupancy.
+  double span_lambda() const;
+
+  /// Total tag width D = span + 3 lambda (Sec. 5.3).
+  double width() const;
+
+  /// Far-field distance 2 D^2 / lambda (Eq. 8) with D = the slot span;
+  /// ~2.9 m for the paper's 4-bit tag.
+  double far_field_distance() const;
+
+  /// Coding band [low, high] in spacing wavelengths: [ (M-1)c, (2M-3)c ].
+  std::pair<double, double> coding_band_lambda() const;
+
+  /// All pairwise spacings between *present* stacks [wavelengths],
+  /// including secondary (coding x coding) spacings -- the full predicted
+  /// peak set of Eq. 7.
+  std::vector<double> pairwise_spacings_lambda() const;
+
+ private:
+  TagLayout(LayoutParams params, std::vector<bool> bits);
+
+  LayoutParams params_;
+  std::vector<bool> bits_;
+  std::vector<double> positions_;
+};
+
+}  // namespace ros::tag

@@ -1,0 +1,44 @@
+// Radar link budget (paper Sec. 5.3 "Link budget and detection range"
+// and Sec. 8 "Extending the detection range").
+#pragma once
+
+namespace ros::tag {
+
+struct RadarLinkBudget {
+  double eirp_dbm = 21.0;            ///< P_t + G_t
+  double rx_antenna_gain_db = 9.0;   ///< G_ra
+  double rx_chain_gain_db = 34.0;    ///< G_ri
+  double rx_processing_gain_db = 12.0;  ///< G_rs (4 Rx antennas)
+  double noise_figure_db = 15.0;     ///< N_F
+  double if_bandwidth_hz = 37.5e6;   ///< B_IF
+  double frequency_hz = 79e9;
+
+  /// The paper's TI IWR1443 development-board numbers (Sec. 5.3).
+  static RadarLinkBudget ti_iwr1443();
+
+  /// Commercial automotive radar: N_F = 9 dB, EIRP = 50 dBm (Sec. 8).
+  static RadarLinkBudget commercial_automotive();
+
+  /// Noise floor L_0 = kT + N_F + 10 log10(B_IF) + G_ra + G_rs [dBm].
+  /// For the TI radar this evaluates to ~-62 dBm.
+  double noise_floor_dbm() const;
+
+  /// Total receive gain G_r = G_ra + G_ri + G_rs (55 dB for the TI).
+  double rx_gain_total_db() const;
+
+  /// Received power [dBm] from a reflector of `sigma_dbsm` at
+  /// `distance_m` (Eq. 1), with optional extra two-way loss (fog).
+  double received_power_dbm(double sigma_dbsm, double distance_m,
+                            double extra_loss_db = 0.0) const;
+
+  /// SNR over the noise floor [dB] at the given geometry.
+  double snr_db(double sigma_dbsm, double distance_m,
+                double extra_loss_db = 0.0) const;
+
+  /// Maximum distance [m] at which the reflection stays above the noise
+  /// floor plus `margin_db`. The paper's worked example: sigma = -23 dBsm
+  /// -> ~6.9 m on the TI radar, ~52 m on a commercial radar.
+  double max_range_m(double sigma_dbsm, double margin_db = 0.0) const;
+};
+
+}  // namespace ros::tag

@@ -1,0 +1,46 @@
+// Analytic multi-stack RCS model (paper Eq. 6 and Eq. 7).
+//
+// With M stacks at positions d_k and a common single-stack RCS r_T(u),
+//
+//   r_s(u) = r_T(u) * | sum_k exp(j 2 pi (2 d_k / lambda) u) |^2
+//          = r_T(u) * ( M + 2 sum_{k<l} cos(4 pi (d_k - d_l) u / lambda) )
+//
+// where u = sin(azimuth from broadside). Fourier-transforming over u
+// turns every pairwise spacing into a spectral peak at that spacing --
+// the tag's "barcode".
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ros/common/units.hpp"
+#include "ros/tag/layout.hpp"
+
+namespace ros::tag {
+
+using ros::common::cplx;
+
+/// Array-factor field sum of Eq. 6: sum_k exp(j 4 pi d_k u / lambda).
+cplx multi_stack_field_factor(std::span<const double> positions_m, double u,
+                              double lambda_m);
+
+/// Analytic multi-stack RCS (linear, relative to a unit single-stack RCS)
+/// at u = sin(azimuth).
+double multi_stack_rcs_factor(const TagLayout& layout, double u);
+
+/// A predicted spectral peak (Eq. 7).
+struct PredictedPeak {
+  double spacing_lambda = 0.0;  ///< peak position in the RCS spectrum
+  bool is_coding = false;       ///< true if reference-to-coding (a bit peak)
+  int slot = 0;                 ///< slot index for coding peaks, else 0
+};
+
+/// All predicted peaks of a layout: coding peaks (reference x coding) and
+/// secondary peaks (coding x coding), sorted by spacing.
+std::vector<PredictedPeak> predicted_peaks(const TagLayout& layout);
+
+/// Verifies the interference-freedom property of Sec. 5.2: no secondary
+/// peak falls within `guard_lambda` of a coding slot.
+bool coding_band_clean(const TagLayout& layout, double guard_lambda = 0.5);
+
+}  // namespace ros::tag

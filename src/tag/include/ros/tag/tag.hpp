@@ -1,0 +1,110 @@
+// The physical RoS tag: a horizontal layout of vertical PSVAA stacks.
+//
+// This is the full electromagnetic model that the radar simulator
+// interrogates: each present stack is a PsvaaStack (with its own
+// fabrication-seeded tolerances), placed at its layout position along the
+// tag plane. All responses use exact per-stack ranges, so both the
+// vertical near field (tall stacks, Fig. 15b) and the horizontal near
+// field (wide layouts, Eq. 8) emerge from geometry.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ros/antenna/beam_shaping.hpp"
+#include "ros/antenna/stack.hpp"
+#include "ros/em/material.hpp"
+#include "ros/tag/layout.hpp"
+
+namespace ros::tag {
+
+using ros::common::cplx;
+
+class RosTag {
+ public:
+  struct Params {
+    LayoutParams layout{};
+    /// PSVAAs per stack (8 / 16 / 32 in the paper's evaluation).
+    int psvaas_per_stack = 32;
+    /// Optional per-coding-slot PSVAA counts (size n_bits; entries for
+    /// absent slots ignored). Enables the Sec. 8 ASK extension where
+    /// stack height encodes an amplitude level; the reference stack
+    /// keeps `psvaas_per_stack`.
+    std::vector<int> psvaas_per_slot{};
+    /// Per-PSVAA elevation phase weights (beam shaping); empty = uniform.
+    /// Applied scaled to each stack's own unit count.
+    std::vector<double> phase_weights_rad{};
+    /// Near-field-focusing (NFFA, Sec. 8): pre-compensate each stack's
+    /// TL phase for the spherical wavefront at this focal distance, so a
+    /// wide (many-bit) tag decodes *inside* its conventional far field.
+    /// 0 disables (plane-wave design). Realized in hardware as per-stack
+    /// TL length offsets, exactly like the beam-shaping weights.
+    double focal_distance_m = 0.0;
+    /// Stack unit parameters (PSVAA geometry; switching on by default).
+    ros::antenna::Psvaa::Params unit{};
+  };
+
+  /// Build a tag encoding `bits`. The `stackup` must outlive the tag.
+  RosTag(const std::vector<bool>& bits, Params params,
+         const ros::em::StriplineStackup* stackup);
+
+  const TagLayout& layout() const { return layout_; }
+  const Params& params() const { return params_; }
+
+  /// Positions [m] of the present stacks along the tag plane.
+  const std::vector<double>& stack_positions() const {
+    return layout_.stack_positions();
+  }
+
+  /// Full polarization scattering matrix toward a monostatic radar at
+  /// azimuth `az_rad` from the tag normal, ground distance `distance_m`
+  /// from the tag center, and radar-vs-tag-center height offset
+  /// `height_offset_m`, at frequency `hz`.
+  ros::em::ScatterMatrix scatter(double az_rad, double distance_m,
+                                 double height_offset_m, double hz) const;
+
+  /// Retro-mode (cross-polarized) scattering length at that geometry.
+  cplx retro_scattering_length(double az_rad, double distance_m,
+                               double height_offset_m, double hz) const;
+
+  /// Retro-mode RCS [dBsm].
+  double rcs_dbsm(double az_rad, double distance_m, double height_offset_m,
+                  double hz) const;
+
+  /// The stack serving position index `i` in stack_positions().
+  const ros::antenna::PsvaaStack& stack(int i) const;
+
+  /// Stack height [m] (all stacks share the design).
+  double stack_height() const;
+
+  /// Conservative far-field distance: max of the layout's horizontal far
+  /// field (Eq. 8) and the stack's vertical far field.
+  double far_field_distance() const;
+
+ private:
+  TagLayout layout_;
+  Params params_;
+  std::vector<ros::antenna::PsvaaStack> stacks_;  ///< one per position
+};
+
+/// Convenience: a tag with the paper's default 4-bit, delta_c = 1.5
+/// lambda, 32-PSVAA beam-shaped configuration. Uses the published Fig. 8a
+/// weights tiled symmetrically when `beam_shaped` is true.
+RosTag make_default_tag(const std::vector<bool>& bits,
+                        const ros::em::StriplineStackup* stackup,
+                        int psvaas_per_stack = 32, bool beam_shaped = true);
+
+/// Quadratic-phase beam-spreading weights: phi_n = spread * pi * x_n^2
+/// with x_n in [-1, 1] across the stack, wrapped into [0, 2*pi). A
+/// quadratic phase front defocuses the stack's pencil beam into an
+/// approximately flat top ~2*spread times wider -- the closed-form
+/// sibling of the paper's DE-GA search (which remains available in
+/// ros::antenna::shape_elevation_beam).
+std::vector<double> quadratic_beam_weights(int n_units, double spread);
+
+/// Beam weights that spread an `n_units` stack (0.725-lambda pitch) to
+/// roughly `target_beamwidth_rad` (default 10 deg, the paper's goal).
+std::vector<double> default_beam_weights(
+    int n_units, double target_beamwidth_rad = 0.1745);
+
+}  // namespace ros::tag

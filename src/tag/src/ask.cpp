@@ -1,0 +1,127 @@
+#include "ros/tag/ask.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/grid.hpp"
+#include "ros/common/units.hpp"
+#include "ros/tag/rcs_model.hpp"
+
+namespace ros::tag {
+
+LayoutParams AskConfig::layout_params() const {
+  LayoutParams p;
+  p.n_bits = n_slots;
+  return p;
+}
+
+DecoderConfig AskConfig::decoder_config() const {
+  DecoderConfig d;
+  d.n_bits = n_slots;
+  return d;
+}
+
+AskCodec::AskCodec(AskConfig config) : config_(std::move(config)) {
+  ROS_EXPECT(config_.n_slots >= 1, "need at least one slot");
+  ROS_EXPECT(config_.level_psvaas.size() >= 2, "need at least two levels");
+  ROS_EXPECT(config_.level_psvaas.front() == 0, "level 0 must be absent");
+  for (std::size_t i = 1; i < config_.level_psvaas.size(); ++i) {
+    ROS_EXPECT(config_.level_psvaas[i] > config_.level_psvaas[i - 1],
+               "levels must be strictly increasing");
+  }
+  ROS_EXPECT(config_.level_thresholds.size() ==
+                 config_.level_psvaas.size() - 1,
+             "need levels-1 thresholds");
+
+  // Pilot calibration: decode the analytic all-equal-amplitude tag over
+  // a canonical viewing window and record each slot's spectral gain.
+  const auto layout = TagLayout::all_ones(config_.layout_params());
+  const auto us = ros::common::linspace(-0.45, 0.45, 600);
+  std::vector<double> rcs(us.size());
+  for (std::size_t i = 0; i < us.size(); ++i) {
+    rcs[i] = multi_stack_rcs_factor(layout, us[i]);
+  }
+  const SpatialDecoder base_decoder(config_.decoder_config());
+  const auto pilot = base_decoder.decode(us, rcs);
+  double peak = 0.0;
+  for (double m : pilot.slot_modulation) peak = std::max(peak, m);
+  ROS_EXPECT(peak > 0.0, "pilot calibration failed");
+  slot_gains_.resize(pilot.slot_modulation.size());
+  for (std::size_t k = 0; k < slot_gains_.size(); ++k) {
+    slot_gains_[k] = pilot.slot_modulation[k] / peak;
+  }
+}
+
+double AskCodec::capacity_bits() const {
+  return static_cast<double>(config_.n_slots) *
+         std::log2(static_cast<double>(levels()));
+}
+
+RosTag AskCodec::make_tag(const std::vector<int>& symbols,
+                          const ros::em::StriplineStackup* stackup) const {
+  ROS_EXPECT(symbols.size() == static_cast<std::size_t>(config_.n_slots),
+             "one symbol per slot required");
+  bool has_pilot = false;
+  std::vector<bool> bits(symbols.size());
+  std::vector<int> per_slot(symbols.size(), config_.reference_psvaas);
+  for (std::size_t k = 0; k < symbols.size(); ++k) {
+    ROS_EXPECT(symbols[k] >= 0 && symbols[k] < levels(),
+               "symbol out of range");
+    bits[k] = symbols[k] > 0;
+    if (symbols[k] > 0) {
+      per_slot[k] =
+          config_.level_psvaas[static_cast<std::size_t>(symbols[k])];
+    }
+    has_pilot = has_pilot || symbols[k] == levels() - 1;
+  }
+  ROS_EXPECT(has_pilot,
+             "at least one slot must carry the top level (pilot)");
+
+  RosTag::Params p;
+  p.layout = config_.layout_params();
+  p.psvaas_per_stack = config_.reference_psvaas;
+  p.psvaas_per_slot = per_slot;
+  if (config_.beam_shaped) {
+    p.phase_weights_rad = default_beam_weights(config_.reference_psvaas);
+  }
+  return RosTag(bits, p, stackup);
+}
+
+AskCodec::AskDecodeResult AskCodec::decode(
+    std::span<const double> u, std::span<const double> rss_linear) const {
+  const SpatialDecoder base_decoder(config_.decoder_config());
+  AskDecodeResult out;
+  out.base = base_decoder.decode(u, rss_linear);
+
+  // Calibrate slot gains, then normalize by the strongest slot (the
+  // pilot).
+  std::vector<double> corrected(out.base.slot_modulation.size());
+  double pilot = 0.0;
+  for (std::size_t k = 0; k < corrected.size(); ++k) {
+    corrected[k] = out.base.slot_modulation[k] / slot_gains_[k];
+    pilot = std::max(pilot, corrected[k]);
+  }
+  out.level_ratios.resize(corrected.size());
+  out.symbols.resize(corrected.size());
+  for (std::size_t k = 0; k < corrected.size(); ++k) {
+    const double ratio = pilot > 0.0 ? corrected[k] / pilot : 0.0;
+    out.level_ratios[k] = ratio;
+    // Presence is decided on the calibrated ratio (a level-1 stack is
+    // deliberately weak, so the OOK bit rule would reject it); the
+    // absolute modulation floor still guards against pure noise.
+    if (ratio <= config_.level_thresholds.front() ||
+        out.base.slot_modulation[k] < 0.5 * config_.decoder_config().min_modulation) {
+      out.symbols[k] = 0;
+      continue;
+    }
+    int level = 1;
+    for (std::size_t t = 1; t < config_.level_thresholds.size(); ++t) {
+      if (ratio > config_.level_thresholds[t]) level = static_cast<int>(t) + 1;
+    }
+    out.symbols[k] = level;
+  }
+  return out;
+}
+
+}  // namespace ros::tag

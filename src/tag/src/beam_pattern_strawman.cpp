@@ -1,0 +1,60 @@
+#include "ros/tag/beam_pattern_strawman.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/grid.hpp"
+#include "ros/common/units.hpp"
+#include "ros/dsp/peaks.hpp"
+
+namespace ros::tag {
+
+using namespace ros::common;
+
+BeamPatternStrawman::BeamPatternStrawman()
+    : BeamPatternStrawman(Params{}) {}
+
+BeamPatternStrawman::BeamPatternStrawman(Params p) : params_(p) {
+  ROS_EXPECT(p.n_stacks >= 2, "need at least two stacks");
+  ROS_EXPECT(p.spacing_lambda > 0.0, "spacing must be positive");
+  ROS_EXPECT(p.design_hz > 0.0, "design frequency must be positive");
+}
+
+double BeamPatternStrawman::grating_period_u() const {
+  return 1.0 / (2.0 * params_.spacing_lambda);
+}
+
+std::vector<double> BeamPatternStrawman::pattern(
+    double u_target, std::span<const double> u_grid) const {
+  // Retro round trip: element at x contributes phase 2 * beta * x * u.
+  const int n = params_.n_stacks;
+  const double center = 0.5 * static_cast<double>(n - 1);
+  std::vector<double> out(u_grid.size());
+  for (std::size_t i = 0; i < u_grid.size(); ++i) {
+    std::complex<double> sum{0.0, 0.0};
+    for (int k = 0; k < n; ++k) {
+      const double x_lambda =
+          (static_cast<double>(k) - center) * params_.spacing_lambda;
+      const double phase =
+          4.0 * kPi * x_lambda * (u_grid[i] - u_target);
+      sum += std::polar(1.0, phase);
+    }
+    out[i] = std::norm(sum) / static_cast<double>(n * n);
+  }
+  return out;
+}
+
+int BeamPatternStrawman::ambiguous_beams(double u_target,
+                                         double tolerance_db) const {
+  const auto grid = linspace(-1.0, 1.0, 4001);
+  const auto p = pattern(u_target, grid);
+  double peak = 0.0;
+  for (double v : p) peak = std::max(peak, v);
+  ros::dsp::PeakOptions opts;
+  opts.min_value = peak * db_to_linear(-tolerance_db);
+  opts.min_separation = 8;
+  return static_cast<int>(ros::dsp::find_peaks(p, opts).size());
+}
+
+}  // namespace ros::tag

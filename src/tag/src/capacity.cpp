@@ -1,0 +1,53 @@
+#include "ros/tag/capacity.hpp"
+
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/units.hpp"
+
+namespace ros::tag {
+
+using ros::common::wavelength;
+
+double CapacityModel::span_lambda() const {
+  ROS_EXPECT(n_bits >= 1, "need at least one bit");
+  const int m = n_bits + 1;
+  return (4.0 * m - 7.0) * unit_spacing_lambda;
+}
+
+double CapacityModel::tag_width_m() const {
+  return (span_lambda() + 3.0) * wavelength(design_hz);
+}
+
+double CapacityModel::far_field_distance_m() const {
+  const double d = span_lambda() * wavelength(design_hz);
+  return 2.0 * d * d / wavelength(design_hz);
+}
+
+double CapacityModel::max_coding_spacing_lambda() const {
+  const int m = n_bits + 1;
+  return static_cast<double>(2 * m - 3) * unit_spacing_lambda;
+}
+
+double CapacityModel::max_vehicle_speed_mps(double frame_rate_hz,
+                                            double nyquist_margin) const {
+  ROS_EXPECT(frame_rate_hz > 0.0, "frame rate must be positive");
+  ROS_EXPECT(nyquist_margin >= 1.0, "margin must be >= 1");
+  // Highest pairwise tone: f_u = 2 * span / lambda cycles per unit u.
+  const double f_u = 2.0 * span_lambda();
+  // Nyquist: delta_u <= 1 / (2 * margin * f_u). Near the closest approach
+  // du/ds <= 1/d; use the far-field distance as the worst-case d.
+  const double du_max = 1.0 / (2.0 * nyquist_margin * f_u);
+  const double ds_max = du_max * far_field_distance_m();
+  return ds_max * frame_rate_hz;
+}
+
+double CapacityModel::min_tag_separation_m(int n_rx,
+                                           double distance_m) const {
+  ROS_EXPECT(n_rx >= 1, "need at least one Rx antenna");
+  ROS_EXPECT(distance_m > 0.0, "distance must be positive");
+  const double half_beam_rad = 1.0 / static_cast<double>(n_rx);
+  return distance_m * std::tan(half_beam_rad);
+}
+
+}  // namespace ros::tag

@@ -1,0 +1,129 @@
+#include "ros/tag/design_io.hpp"
+
+#include <charconv>
+#include <map>
+#include <sstream>
+
+#include "ros/common/expect.hpp"
+
+namespace ros::tag {
+
+namespace {
+
+std::string join_doubles(const std::vector<double>& xs) {
+  std::ostringstream os;
+  os.precision(17);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i) os << ",";
+    os << xs[i];
+  }
+  return os.str();
+}
+
+std::string join_ints(const std::vector<int>& xs) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i) os << ",";
+    os << xs[i];
+  }
+  return os.str();
+}
+
+std::vector<double> split_doubles(const std::string& s) {
+  std::vector<double> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    ROS_EXPECT(!item.empty(), "empty list element in design file");
+    out.push_back(std::stod(item));
+  }
+  return out;
+}
+
+std::vector<int> split_ints(const std::string& s) {
+  std::vector<int> out;
+  for (double v : split_doubles(s)) out.push_back(static_cast<int>(v));
+  return out;
+}
+
+}  // namespace
+
+std::string serialize_design(const TagDesign& design) {
+  ROS_EXPECT(design.bits.size() ==
+                 static_cast<std::size_t>(design.params.layout.n_bits),
+             "bit count must match layout");
+  std::ostringstream os;
+  os.precision(17);
+  os << "ros_tag_design_v1\n";
+  std::string bits;
+  for (bool b : design.bits) bits += b ? '1' : '0';
+  os << "bits=" << bits << "\n";
+  os << "unit_spacing_lambda=" << design.params.layout.unit_spacing_lambda
+     << "\n";
+  os << "design_hz=" << design.params.layout.design_hz << "\n";
+  os << "psvaas_per_stack=" << design.params.psvaas_per_stack << "\n";
+  if (!design.params.psvaas_per_slot.empty()) {
+    os << "psvaas_per_slot=" << join_ints(design.params.psvaas_per_slot)
+       << "\n";
+  }
+  if (!design.params.phase_weights_rad.empty()) {
+    os << "phase_weights_rad="
+       << join_doubles(design.params.phase_weights_rad) << "\n";
+  }
+  os << "switching=" << (design.params.unit.switching ? 1 : 0) << "\n";
+  os << "circular=" << (design.params.unit.circular ? 1 : 0) << "\n";
+  return os.str();
+}
+
+TagDesign parse_design(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  std::string line;
+  ROS_EXPECT(std::getline(is, line) && line == "ros_tag_design_v1",
+             "unknown design file version");
+  std::map<std::string, std::string> kv;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    ROS_EXPECT(eq != std::string::npos, "malformed design line: " + line);
+    kv[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  ROS_EXPECT(kv.count("bits") == 1, "design file missing bits");
+
+  TagDesign d;
+  const std::string& bits = kv["bits"];
+  for (char c : bits) {
+    ROS_EXPECT(c == '0' || c == '1', "bits must be 0/1");
+    d.bits.push_back(c == '1');
+  }
+  d.params.layout.n_bits = static_cast<int>(d.bits.size());
+  if (kv.count("unit_spacing_lambda")) {
+    d.params.layout.unit_spacing_lambda =
+        std::stod(kv["unit_spacing_lambda"]);
+  }
+  if (kv.count("design_hz")) {
+    d.params.layout.design_hz = std::stod(kv["design_hz"]);
+  }
+  if (kv.count("psvaas_per_stack")) {
+    d.params.psvaas_per_stack = std::stoi(kv["psvaas_per_stack"]);
+  }
+  if (kv.count("psvaas_per_slot")) {
+    d.params.psvaas_per_slot = split_ints(kv["psvaas_per_slot"]);
+  }
+  if (kv.count("phase_weights_rad")) {
+    d.params.phase_weights_rad = split_doubles(kv["phase_weights_rad"]);
+  }
+  if (kv.count("switching")) {
+    d.params.unit.switching = kv["switching"] == "1";
+  }
+  if (kv.count("circular")) {
+    d.params.unit.circular = kv["circular"] == "1";
+  }
+  return d;
+}
+
+RosTag build_tag(const TagDesign& design,
+                 const ros::em::StriplineStackup* stackup) {
+  return RosTag(design.bits, design.params, stackup);
+}
+
+}  // namespace ros::tag

@@ -1,0 +1,89 @@
+#include "ros/tag/ecc.hpp"
+
+#include "ros/common/expect.hpp"
+
+namespace ros::tag {
+
+namespace {
+// Positions (1-based) within the codeword: parity at 1, 2, 4.
+constexpr int kDataPos[4] = {3, 5, 6, 7};
+constexpr int kParityPos[3] = {1, 2, 4};
+}  // namespace
+
+std::vector<bool> hamming74_encode(const std::vector<bool>& data) {
+  ROS_EXPECT(data.size() == 4, "Hamming(7,4) encodes exactly 4 bits");
+  std::vector<bool> code(7, false);
+  for (int i = 0; i < 4; ++i) {
+    code[static_cast<std::size_t>(kDataPos[i] - 1)] =
+        data[static_cast<std::size_t>(i)];
+  }
+  for (int p = 0; p < 3; ++p) {
+    const int mask = kParityPos[p];
+    bool parity = false;
+    for (int pos = 1; pos <= 7; ++pos) {
+      if (pos == mask) continue;
+      if ((pos & mask) != 0) {
+        parity = parity ^ code[static_cast<std::size_t>(pos - 1)];
+      }
+    }
+    code[static_cast<std::size_t>(mask - 1)] = parity;
+  }
+  return code;
+}
+
+EccDecodeResult hamming74_decode(const std::vector<bool>& code) {
+  ROS_EXPECT(code.size() == 7, "Hamming(7,4) decodes exactly 7 bits");
+  std::vector<bool> fixed = code;
+  int syndrome = 0;
+  for (int p = 0; p < 3; ++p) {
+    const int mask = kParityPos[p];
+    bool parity = false;
+    for (int pos = 1; pos <= 7; ++pos) {
+      if ((pos & mask) != 0) {
+        parity = parity ^ fixed[static_cast<std::size_t>(pos - 1)];
+      }
+    }
+    if (parity) syndrome |= mask;
+  }
+  EccDecodeResult out;
+  if (syndrome != 0) {
+    fixed[static_cast<std::size_t>(syndrome - 1)] =
+        !fixed[static_cast<std::size_t>(syndrome - 1)];
+    out.corrected = true;
+    out.error_position = syndrome - 1;
+  }
+  out.data.resize(4);
+  for (int i = 0; i < 4; ++i) {
+    out.data[static_cast<std::size_t>(i)] =
+        fixed[static_cast<std::size_t>(kDataPos[i] - 1)];
+  }
+  return out;
+}
+
+std::vector<bool> hamming74_encode_blocks(const std::vector<bool>& data) {
+  std::vector<bool> out;
+  for (std::size_t i = 0; i < data.size(); i += 4) {
+    std::vector<bool> block(4, false);
+    for (std::size_t j = 0; j < 4 && i + j < data.size(); ++j) {
+      block[j] = data[i + j];
+    }
+    const auto code = hamming74_encode(block);
+    out.insert(out.end(), code.begin(), code.end());
+  }
+  return out;
+}
+
+EccBlockResult hamming74_decode_blocks(const std::vector<bool>& code) {
+  ROS_EXPECT(code.size() % 7 == 0, "codeword stream must be 7-bit blocks");
+  EccBlockResult out;
+  for (std::size_t i = 0; i < code.size(); i += 7) {
+    const std::vector<bool> block(code.begin() + static_cast<long>(i),
+                                  code.begin() + static_cast<long>(i + 7));
+    const auto d = hamming74_decode(block);
+    out.data.insert(out.data.end(), d.data.begin(), d.data.end());
+    out.corrected_blocks += d.corrected ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace ros::tag

@@ -1,0 +1,88 @@
+#include "ros/tag/layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+
+namespace ros::tag {
+
+using ros::common::wavelength;
+
+TagLayout::TagLayout(LayoutParams params, std::vector<bool> bits)
+    : params_(params), bits_(std::move(bits)) {
+  positions_.push_back(0.0);  // reference stack
+  for (int k = 1; k <= params_.n_bits; ++k) {
+    if (bits_[static_cast<std::size_t>(k - 1)]) {
+      positions_.push_back(slot_position(k));
+    }
+  }
+}
+
+TagLayout TagLayout::from_bits(const std::vector<bool>& bits,
+                               const LayoutParams& params) {
+  ROS_EXPECT(params.n_bits >= 1, "need at least one coding bit");
+  ROS_EXPECT(params.unit_spacing_lambda > 0.0,
+             "unit spacing must be positive");
+  ROS_EXPECT(params.design_hz > 0.0, "design frequency must be positive");
+  ROS_EXPECT(bits.size() == static_cast<std::size_t>(params.n_bits),
+             "bit count must equal n_bits");
+  return TagLayout(params, bits);
+}
+
+TagLayout TagLayout::all_ones(const LayoutParams& params) {
+  return from_bits(std::vector<bool>(static_cast<std::size_t>(params.n_bits),
+                                     true),
+                   params);
+}
+
+double TagLayout::wavelength() const {
+  return ros::common::wavelength(params_.design_hz);
+}
+
+double TagLayout::slot_spacing_lambda(int k) const {
+  ROS_EXPECT(k >= 1 && k <= params_.n_bits, "slot index out of range");
+  const int m = params_.n_bits + 1;  // M stacks total
+  return static_cast<double>(m + k - 2) * params_.unit_spacing_lambda;
+}
+
+double TagLayout::slot_position(int k) const {
+  const double sign = (k % 2 == 1) ? 1.0 : -1.0;
+  return sign * slot_spacing_lambda(k) * wavelength();
+}
+
+double TagLayout::span_lambda() const {
+  if (params_.n_bits == 1) return slot_spacing_lambda(1);
+  return slot_spacing_lambda(params_.n_bits) +
+         slot_spacing_lambda(params_.n_bits - 1);
+}
+
+double TagLayout::width() const {
+  const double lambda = wavelength();
+  const double stack_w = params_.stack_width_m > 0.0 ? params_.stack_width_m
+                                                     : 3.0 * lambda;
+  return span_lambda() * lambda + stack_w;
+}
+
+double TagLayout::far_field_distance() const {
+  const double d = span_lambda() * wavelength();
+  return 2.0 * d * d / wavelength();
+}
+
+std::pair<double, double> TagLayout::coding_band_lambda() const {
+  return {slot_spacing_lambda(1), slot_spacing_lambda(params_.n_bits)};
+}
+
+std::vector<double> TagLayout::pairwise_spacings_lambda() const {
+  std::vector<double> out;
+  const double lambda = wavelength();
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions_.size(); ++j) {
+      out.push_back(std::abs(positions_[i] - positions_[j]) / lambda);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ros::tag

@@ -1,0 +1,55 @@
+#include "ros/tag/link_budget.hpp"
+
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/units.hpp"
+#include "ros/em/pathloss.hpp"
+
+namespace ros::tag {
+
+using namespace ros::common;
+
+RadarLinkBudget RadarLinkBudget::ti_iwr1443() { return {}; }
+
+RadarLinkBudget RadarLinkBudget::commercial_automotive() {
+  RadarLinkBudget b;
+  b.eirp_dbm = 50.0;
+  b.noise_figure_db = 9.0;
+  return b;
+}
+
+double RadarLinkBudget::noise_floor_dbm() const {
+  return kThermalNoiseDbmPerHz + noise_figure_db +
+         10.0 * std::log10(if_bandwidth_hz) + rx_antenna_gain_db +
+         rx_processing_gain_db;
+}
+
+double RadarLinkBudget::rx_gain_total_db() const {
+  return rx_antenna_gain_db + rx_chain_gain_db + rx_processing_gain_db;
+}
+
+double RadarLinkBudget::received_power_dbm(double sigma_dbsm,
+                                           double distance_m,
+                                           double extra_loss_db) const {
+  return ros::em::received_power_dbm(eirp_dbm, 0.0, rx_gain_total_db(),
+                                     wavelength(frequency_hz), sigma_dbsm,
+                                     distance_m, extra_loss_db);
+}
+
+double RadarLinkBudget::snr_db(double sigma_dbsm, double distance_m,
+                               double extra_loss_db) const {
+  // Mirrors the paper's criterion P_r > L_0 (Sec. 5.3): received power
+  // with the full 55 dB receive gain against the L_0 floor.
+  return received_power_dbm(sigma_dbsm, distance_m, extra_loss_db) -
+         noise_floor_dbm();
+}
+
+double RadarLinkBudget::max_range_m(double sigma_dbsm,
+                                    double margin_db) const {
+  return ros::em::max_detection_range(
+      eirp_dbm, 0.0, rx_gain_total_db(), wavelength(frequency_hz),
+      sigma_dbsm, noise_floor_dbm(), margin_db);
+}
+
+}  // namespace ros::tag

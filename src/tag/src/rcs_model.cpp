@@ -1,0 +1,66 @@
+#include "ros/tag/rcs_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/units.hpp"
+
+namespace ros::tag {
+
+using ros::common::kPi;
+
+cplx multi_stack_field_factor(std::span<const double> positions_m, double u,
+                              double lambda_m) {
+  ROS_EXPECT(lambda_m > 0.0, "wavelength must be positive");
+  cplx sum{0.0, 0.0};
+  for (double d : positions_m) {
+    sum += std::polar(1.0, 4.0 * kPi * d * u / lambda_m);
+  }
+  return sum;
+}
+
+double multi_stack_rcs_factor(const TagLayout& layout, double u) {
+  const cplx f = multi_stack_field_factor(layout.stack_positions(), u,
+                                          layout.wavelength());
+  return std::norm(f);
+}
+
+std::vector<PredictedPeak> predicted_peaks(const TagLayout& layout) {
+  std::vector<PredictedPeak> peaks;
+  const auto& pos = layout.stack_positions();
+  const double lambda = layout.wavelength();
+
+  // Reference is pos[0]; map every present coding stack back to its slot.
+  for (int k = 1; k <= layout.n_bits(); ++k) {
+    if (!layout.bits()[static_cast<std::size_t>(k - 1)]) continue;
+    peaks.push_back({layout.slot_spacing_lambda(k), true, k});
+  }
+  // Secondary peaks: all pairs excluding the reference.
+  for (std::size_t i = 1; i < pos.size(); ++i) {
+    for (std::size_t j = i + 1; j < pos.size(); ++j) {
+      peaks.push_back({std::abs(pos[i] - pos[j]) / lambda, false, 0});
+    }
+  }
+  std::sort(peaks.begin(), peaks.end(),
+            [](const PredictedPeak& a, const PredictedPeak& b) {
+              return a.spacing_lambda < b.spacing_lambda;
+            });
+  return peaks;
+}
+
+bool coding_band_clean(const TagLayout& layout, double guard_lambda) {
+  const auto peaks = predicted_peaks(layout);
+  for (const auto& secondary : peaks) {
+    if (secondary.is_coding) continue;
+    for (int k = 1; k <= layout.n_bits(); ++k) {
+      if (std::abs(secondary.spacing_lambda -
+                   layout.slot_spacing_lambda(k)) < guard_lambda) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ros::tag

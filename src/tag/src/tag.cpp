@@ -1,0 +1,150 @@
+#include "ros/tag/tag.hpp"
+
+#include <cmath>
+
+#include "ros/common/angles.hpp"
+#include "ros/common/expect.hpp"
+#include "ros/common/units.hpp"
+
+namespace ros::tag {
+
+using namespace ros::common;
+using ros::antenna::PsvaaStack;
+using ros::em::ScatterMatrix;
+
+RosTag::RosTag(const std::vector<bool>& bits, Params params,
+               const ros::em::StriplineStackup* stackup)
+    : layout_(TagLayout::from_bits(bits, params.layout)),
+      params_(std::move(params)) {
+  ROS_EXPECT(stackup != nullptr, "stackup must not be null");
+  ROS_EXPECT(params_.psvaas_per_stack >= 1, "need at least one PSVAA");
+  ROS_EXPECT(params_.psvaas_per_slot.empty() ||
+                 params_.psvaas_per_slot.size() ==
+                     static_cast<std::size_t>(layout_.n_bits()),
+             "per-slot PSVAA counts must match n_bits");
+  const auto& positions = layout_.stack_positions();
+  stacks_.reserve(positions.size());
+  // Map present stacks back to their slots (position 0 = reference).
+  std::vector<int> slot_of_position = {0};
+  for (int k = 1; k <= layout_.n_bits(); ++k) {
+    if (bits[static_cast<std::size_t>(k - 1)]) slot_of_position.push_back(k);
+  }
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    PsvaaStack::Params sp;
+    const int slot = slot_of_position[i];
+    sp.n_units = (slot > 0 && !params_.psvaas_per_slot.empty())
+                     ? params_.psvaas_per_slot[static_cast<std::size_t>(
+                           slot - 1)]
+                     : params_.psvaas_per_stack;
+    ROS_EXPECT(sp.n_units >= 1, "each present stack needs >= 1 PSVAA");
+    if (params_.phase_weights_rad.empty()) {
+      // uniform
+    } else if (sp.n_units == params_.psvaas_per_stack) {
+      sp.phase_weights_rad = params_.phase_weights_rad;
+    } else {
+      // Re-derive weights for this stack's own size so every stack gets
+      // the same target beamwidth.
+      sp.phase_weights_rad = default_beam_weights(sp.n_units);
+    }
+    sp.unit = params_.unit;
+    // Distinct fabrication tolerances per stack.
+    sp.unit.vaa.fabrication_seed =
+        params_.unit.vaa.fabrication_seed + 101 * (i + 1);
+    stacks_.emplace_back(sp, stackup);
+  }
+}
+
+const PsvaaStack& RosTag::stack(int i) const {
+  ROS_EXPECT(i >= 0 && i < layout_.n_stacks(), "stack index out of range");
+  return stacks_[static_cast<std::size_t>(i)];
+}
+
+double RosTag::stack_height() const { return stacks_.front().height(); }
+
+double RosTag::far_field_distance() const {
+  return std::max(layout_.far_field_distance(),
+                  stacks_.front().far_field_distance(
+                      layout_.params().design_hz));
+}
+
+ScatterMatrix RosTag::scatter(double az_rad, double distance_m,
+                              double height_offset_m, double hz) const {
+  ROS_EXPECT(distance_m > 0.0, "distance must be positive");
+  const double beta = 2.0 * kPi / wavelength(hz);
+  // Radar position in the tag frame: tag plane along x, normal along y.
+  const double rx = distance_m * std::sin(az_rad);
+  const double ry = distance_m * std::cos(az_rad);
+
+  ScatterMatrix total;
+  const auto& positions = layout_.stack_positions();
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const double dx = rx - positions[i];
+    const double r_i = std::hypot(dx, ry);
+    // Azimuth of the radar as seen from this stack.
+    const double az_i = std::atan2(dx, ry);
+    const ScatterMatrix s =
+        stacks_[i].scatter(az_i, r_i, height_offset_m, hz);
+    // Round-trip phase relative to the tag center plane, plus the NFFA
+    // pre-compensation: extra TL length per stack cancels the spherical
+    // wavefront curvature at the focal distance (Sec. 8).
+    double phase = -2.0 * beta * (r_i - distance_m);
+    if (params_.focal_distance_m > 0.0) {
+      const double f = params_.focal_distance_m;
+      phase += 2.0 * beta * (std::hypot(f, positions[i]) - f);
+    }
+    total = total + s.scaled(std::polar(1.0, phase));
+  }
+  return total;
+}
+
+cplx RosTag::retro_scattering_length(double az_rad, double distance_m,
+                                     double height_offset_m,
+                                     double hz) const {
+  // For a switching tag the retro mode lives in the cross-pol channel.
+  const ScatterMatrix s = scatter(az_rad, distance_m, height_offset_m, hz);
+  return params_.unit.switching ? s.hv : s.hh;
+}
+
+double RosTag::rcs_dbsm(double az_rad, double distance_m,
+                        double height_offset_m, double hz) const {
+  return ros::antenna::rcs_dbsm_from_scattering_length(
+      retro_scattering_length(az_rad, distance_m, height_offset_m, hz));
+}
+
+std::vector<double> quadratic_beam_weights(int n_units, double spread) {
+  ROS_EXPECT(n_units >= 1, "need at least one unit");
+  ROS_EXPECT(spread >= 0.0, "spread must be non-negative");
+  std::vector<double> w(static_cast<std::size_t>(n_units), 0.0);
+  if (n_units == 1) return w;
+  const double center = 0.5 * static_cast<double>(n_units - 1);
+  for (int i = 0; i < n_units; ++i) {
+    const double x = (static_cast<double>(i) - center) / center;
+    const double phi = spread * kPi * x * x;
+    w[static_cast<std::size_t>(i)] = std::fmod(phi, 2.0 * kPi);
+  }
+  return w;
+}
+
+std::vector<double> default_beam_weights(int n_units,
+                                         double target_beamwidth_rad) {
+  // Natural beamwidth of a 0.725-lambda-pitch retro stack (Eq. 5):
+  // 0.886 / (2 * 0.725 * N) rad. A quadratic front of total edge phase
+  // spread*pi widens the beam by ~2*spread.
+  const double natural = 0.886 / (2.0 * 0.725 * static_cast<double>(n_units));
+  const double ratio = target_beamwidth_rad / natural;
+  const double spread = std::max(0.0, ratio / 2.0);
+  return quadratic_beam_weights(n_units, spread);
+}
+
+RosTag make_default_tag(const std::vector<bool>& bits,
+                        const ros::em::StriplineStackup* stackup,
+                        int psvaas_per_stack, bool beam_shaped) {
+  RosTag::Params p;
+  p.psvaas_per_stack = psvaas_per_stack;
+  if (beam_shaped) {
+    p.phase_weights_rad = default_beam_weights(psvaas_per_stack);
+  }
+  return RosTag(bits, p, stackup);
+}
+
+}  // namespace ros::tag

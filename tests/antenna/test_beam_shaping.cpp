@@ -1,0 +1,115 @@
+#include "ros/antenna/beam_shaping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ros/common/angles.hpp"
+
+namespace ra = ros::antenna;
+namespace rc = ros::common;
+
+namespace {
+const ros::em::StriplineStackup& stackup() {
+  static const auto s = ros::em::StriplineStackup::ros_default();
+  return s;
+}
+}  // namespace
+
+TEST(BeamShaping, PaperExampleWeightsAreSymmetric) {
+  const auto w = ra::paper_example_weights_8();
+  ASSERT_EQ(w.size(), 8u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(w[i], w[7 - i]);
+  }
+  EXPECT_NEAR(rc::rad_to_deg(w[0]), 152.9, 1e-9);
+  EXPECT_NEAR(rc::rad_to_deg(w[1]), 37.6, 1e-9);
+  EXPECT_DOUBLE_EQ(w[2], 0.0);
+}
+
+TEST(BeamShaping, PaperWeightsWidenTheBeam) {
+  // Fig. 8b: the shaped 8-stack beam is ~10 deg vs ~2-4 deg unshaped.
+  ra::PsvaaStack::Params p;
+  p.n_units = 8;
+  const ra::PsvaaStack uniform(p, &stackup());
+  p.phase_weights_rad = ra::paper_example_weights_8();
+  const ra::PsvaaStack shaped(p, &stackup());
+  const double bw_u = ra::measure_beamwidth_rad(uniform, 79e9);
+  const double bw_s = ra::measure_beamwidth_rad(shaped, 79e9);
+  EXPECT_GT(bw_s, 2.0 * bw_u);
+  EXPECT_NEAR(rc::rad_to_deg(bw_s), 10.0, 4.0);
+}
+
+TEST(BeamShaping, ShapedPatternIsSymmetric) {
+  ra::PsvaaStack::Params p;
+  p.n_units = 8;
+  p.phase_weights_rad = ra::paper_example_weights_8();
+  const ra::PsvaaStack shaped(p, &stackup());
+  for (double deg : {1.0, 3.0, 5.0}) {
+    const double lhs = shaped.elevation_pattern(rc::deg_to_rad(deg), 79e9);
+    const double rhs = shaped.elevation_pattern(rc::deg_to_rad(-deg), 79e9);
+    EXPECT_NEAR(lhs, rhs, 0.15 * std::max(lhs, rhs) + 1e-6);
+  }
+}
+
+TEST(BeamShaping, ShapedBeamStableOverMisalignment) {
+  // Fig. 14 mechanism: within +/-4 deg the shaped stack's pattern varies
+  // far less than the uniform stack's.
+  ra::PsvaaStack::Params p;
+  p.n_units = 8;
+  const ra::PsvaaStack uniform(p, &stackup());
+  p.phase_weights_rad = ra::paper_example_weights_8();
+  const ra::PsvaaStack shaped(p, &stackup());
+
+  const auto range_db = [&](const ra::PsvaaStack& s) {
+    double lo = 1e300;
+    double hi = -1e300;
+    for (double deg = 0.0; deg <= 4.0; deg += 0.25) {
+      const double v = std::max(
+          s.elevation_pattern(rc::deg_to_rad(deg), 79e9), 1e-12);
+      const double db = 10.0 * std::log10(v);
+      lo = std::min(lo, db);
+      hi = std::max(hi, db);
+    }
+    return hi - lo;
+  };
+  EXPECT_LT(range_db(shaped), range_db(uniform) - 10.0);
+}
+
+TEST(BeamShaping, DeSearchFlattensBeam) {
+  // Run the actual DE-GA (small budget) and require it to widen an
+  // 8-unit stack's beam toward the 10 deg goal.
+  ros::optim::DeConfig de;
+  de.population = 24;
+  de.max_generations = 40;
+  de.patience = 40;
+  de.seed = 5;
+  const auto result =
+      ra::shape_elevation_beam(8, {}, {}, &stackup(), de);
+  ASSERT_EQ(result.phase_weights_rad.size(), 8u);
+  // Symmetric by construction.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(result.phase_weights_rad[i],
+                     result.phase_weights_rad[7 - i]);
+  }
+  ra::PsvaaStack::Params p;
+  p.n_units = 8;
+  const ra::PsvaaStack uniform(p, &stackup());
+  EXPECT_GT(result.achieved_beamwidth_rad,
+            1.5 * ra::measure_beamwidth_rad(uniform, 79e9));
+  // Ripple within the target window is bounded.
+  EXPECT_LT(result.ripple_db, 6.0);
+}
+
+TEST(BeamShaping, MeasureBeamwidthOfKnownPattern) {
+  // A single unit has an extremely wide "beam" (element pattern only).
+  ra::PsvaaStack::Params p;
+  p.n_units = 1;
+  const ra::PsvaaStack s(p, &stackup());
+  EXPECT_GT(ra::measure_beamwidth_rad(s, 79e9, 0.5), 0.3);
+}
+
+TEST(BeamShaping, InvalidInputsThrow) {
+  EXPECT_THROW(ra::shape_elevation_beam(1, {}, {}, &stackup()),
+               std::invalid_argument);
+  EXPECT_THROW(ra::shape_elevation_beam(8, {}, {}, nullptr),
+               std::invalid_argument);
+}

@@ -1,0 +1,66 @@
+#include "ros/antenna/design_rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ros/common/angles.hpp"
+#include "ros/common/units.hpp"
+
+namespace ra = ros::antenna;
+namespace rc = ros::common;
+
+namespace {
+const ros::em::StriplineStackup& stackup() {
+  static const auto s = ros::em::StriplineStackup::ros_default();
+  return s;
+}
+}  // namespace
+
+TEST(DesignRules, MaxTlSpreadMatchesPaper) {
+  // Sec. 4.1: for B = 4 GHz, delta_l < 4.94 lambda_g.
+  const double spread = ra::max_tl_length_spread(4e9, stackup());
+  EXPECT_NEAR(spread / stackup().guided_wavelength(79e9), 4.94, 0.02);
+}
+
+TEST(DesignRules, MinStepIsTwoGuidedWavelengths) {
+  // lambda_g < lambda_0 < 2 lambda_g on this stackup -> step = 2 lambda_g.
+  const double step = ra::min_tl_length_step(79e9, stackup());
+  EXPECT_NEAR(step / stackup().guided_wavelength(79e9), 2.0, 1e-9);
+}
+
+TEST(DesignRules, OptimalPairsIsThreeForAutomotiveBand) {
+  EXPECT_EQ(ra::optimal_antenna_pairs(4e9, 79e9, stackup()), 3);
+}
+
+TEST(DesignRules, NarrowerBandAllowsMorePairs) {
+  EXPECT_GT(ra::optimal_antenna_pairs(1e9, 79e9, stackup()), 3);
+  EXPECT_GE(ra::optimal_antenna_pairs(8e9, 79e9, stackup()), 1);
+}
+
+TEST(DesignRules, SpreadInverselyProportionalToBandwidth) {
+  const double s1 = ra::max_tl_length_spread(2e9, stackup());
+  const double s2 = ra::max_tl_length_spread(4e9, stackup());
+  EXPECT_NEAR(s1 / s2, 2.0, 1e-9);
+}
+
+TEST(DesignRules, BeamwidthEq5) {
+  // Paper's worked example: 32 PSVAAs -> ~1.1 deg beamwidth.
+  const double lambda = rc::wavelength(79e9);
+  const double bw = ra::stack_beamwidth_rad(32, 0.725 * lambda, lambda);
+  EXPECT_NEAR(rc::rad_to_deg(bw), 1.09, 0.05);
+}
+
+TEST(DesignRules, BeamwidthShrinksWithMoreElements) {
+  const double lambda = rc::wavelength(79e9);
+  const double b8 = ra::stack_beamwidth_rad(8, 0.725 * lambda, lambda);
+  const double b16 = ra::stack_beamwidth_rad(16, 0.725 * lambda, lambda);
+  EXPECT_NEAR(b8 / b16, 2.0, 1e-9);
+}
+
+TEST(DesignRules, InvalidInputsThrow) {
+  EXPECT_THROW(ra::max_tl_length_spread(0.0, stackup()),
+               std::invalid_argument);
+  EXPECT_THROW(ra::stack_beamwidth_rad(0, 1e-3, 1e-3),
+               std::invalid_argument);
+  EXPECT_THROW(ra::stack_beamwidth_rad(4, -1e-3, 1e-3),
+               std::invalid_argument);
+}

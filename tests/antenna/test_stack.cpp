@@ -1,0 +1,144 @@
+#include "ros/antenna/stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ros/common/angles.hpp"
+#include "ros/common/units.hpp"
+
+namespace ra = ros::antenna;
+namespace rc = ros::common;
+
+namespace {
+const ros::em::StriplineStackup& stackup() {
+  static const auto s = ros::em::StriplineStackup::ros_default();
+  return s;
+}
+}  // namespace
+
+TEST(Stack, HeightMatchesPaperFor32Units) {
+  // Fig. 12a / Sec. 7.2: a 32-PSVAA stack is ~10.8 cm tall (with beam
+  // shaping growth); the uniform stack is 32 * 0.725 lambda ~ 8.8 cm.
+  ra::PsvaaStack::Params p;
+  p.n_units = 32;
+  const ra::PsvaaStack s(p, &stackup());
+  EXPECT_NEAR(s.height(), 0.088, 0.002);
+}
+
+TEST(Stack, FarFieldDistanceFor32Units) {
+  // Sec. 7.2: far field of the 32-stack ~ 6.14 m (paper, for 10.8 cm);
+  // our uniform 8.8 cm stack gives ~4.1 m; both via 2 H^2 / lambda.
+  ra::PsvaaStack::Params p;
+  p.n_units = 32;
+  const ra::PsvaaStack s(p, &stackup());
+  const double h = s.height();
+  EXPECT_NEAR(s.far_field_distance(79e9),
+              2.0 * h * h / rc::wavelength(79e9), 1e-9);
+  EXPECT_GT(s.far_field_distance(79e9), 3.5);
+}
+
+TEST(Stack, UniformBeamwidthMatchesEq5) {
+  ra::PsvaaStack::Params p;
+  p.n_units = 32;
+  const ra::PsvaaStack s(p, &stackup());
+  EXPECT_NEAR(rc::rad_to_deg(s.uniform_beamwidth_rad(79e9)), 1.09, 0.1);
+}
+
+TEST(Stack, ElevationPatternPeaksAtBoresight) {
+  ra::PsvaaStack::Params p;
+  p.n_units = 8;
+  const ra::PsvaaStack s(p, &stackup());
+  const double p0 = s.elevation_pattern(0.0, 79e9);
+  EXPECT_NEAR(p0, 1.0, 0.05);
+  EXPECT_LT(s.elevation_pattern(rc::deg_to_rad(3.0), 79e9), p0);
+}
+
+TEST(Stack, PencilBeamWithoutShaping) {
+  // An 8-unit uniform stack has a ~4.4 deg beam: at 5 deg the pattern is
+  // deep in the sidelobes.
+  ra::PsvaaStack::Params p;
+  p.n_units = 8;
+  const ra::PsvaaStack s(p, &stackup());
+  EXPECT_LT(s.elevation_pattern(rc::deg_to_rad(5.0), 79e9), 0.1);
+}
+
+TEST(Stack, StackingRaisesRcsBy20LogN) {
+  ra::PsvaaStack::Params p8;
+  p8.n_units = 8;
+  ra::PsvaaStack::Params p16;
+  p16.n_units = 16;
+  const ra::PsvaaStack a(p8, &stackup());
+  const ra::PsvaaStack b(p16, &stackup());
+  // Far field (20 m), boresight: doubling units -> +6 dB.
+  const double d = 20.0;
+  EXPECT_NEAR(b.rcs_dbsm(0.0, d, 0.0, 79e9) - a.rcs_dbsm(0.0, d, 0.0, 79e9),
+              6.0, 1.0);
+}
+
+TEST(Stack, NearFieldDegrades32StackAtCloseRange) {
+  // Fig. 15b mechanism: inside its far field, the tall stack's RCS drops
+  // relative to the far-field value, monotonically as the radar closes
+  // in (quadratic wavefront curvature across the 8.8 cm aperture).
+  ra::PsvaaStack::Params p;
+  p.n_units = 32;
+  const ra::PsvaaStack s(p, &stackup());
+  const double far = s.rcs_dbsm(0.0, 50.0, 0.0, 79e9);
+  EXPECT_LT(s.rcs_dbsm(0.0, 1.0, 0.0, 79e9), far - 2.5);
+  EXPECT_LT(s.rcs_dbsm(0.0, 2.0, 0.0, 79e9), far - 0.7);
+  // Monotone recovery with distance.
+  EXPECT_LT(s.rcs_dbsm(0.0, 1.0, 0.0, 79e9),
+            s.rcs_dbsm(0.0, 2.0, 0.0, 79e9));
+  EXPECT_LT(s.rcs_dbsm(0.0, 2.0, 0.0, 79e9),
+            s.rcs_dbsm(0.0, 5.0, 0.0, 79e9));
+}
+
+TEST(Stack, ShortStackUnaffectedByNearField) {
+  ra::PsvaaStack::Params p;
+  p.n_units = 8;  // far field 0.26 m
+  const ra::PsvaaStack s(p, &stackup());
+  const double far = s.rcs_dbsm(0.0, 20.0, 0.0, 79e9);
+  const double near = s.rcs_dbsm(0.0, 2.0, 0.0, 79e9);
+  EXPECT_NEAR(near, far, 1.0);
+}
+
+TEST(Stack, HeightOffsetWeakensPencilBeam) {
+  // The Fig. 14 mechanism: at 3 m, a 20 cm height offset (3.8 deg) kills
+  // an unshaped 32-stack's return.
+  ra::PsvaaStack::Params p;
+  p.n_units = 32;
+  const ra::PsvaaStack s(p, &stackup());
+  const double aligned = s.rcs_dbsm(0.0, 3.0, 0.0, 79e9);
+  const double offset = s.rcs_dbsm(0.0, 3.0, 0.20, 79e9);
+  EXPECT_LT(offset, aligned - 10.0);
+}
+
+TEST(Stack, PhaseWeightsChangeHeightAndPattern) {
+  ra::PsvaaStack::Params p;
+  p.n_units = 8;
+  const ra::PsvaaStack uniform(p, &stackup());
+  p.phase_weights_rad.assign(8, 0.0);
+  p.phase_weights_rad[0] = p.phase_weights_rad[7] = rc::deg_to_rad(152.9);
+  const ra::PsvaaStack weighted(p, &stackup());
+  EXPECT_GT(weighted.height(), uniform.height());
+  EXPECT_NE(weighted.elevation_pattern(rc::deg_to_rad(2.0), 79e9),
+            uniform.elevation_pattern(rc::deg_to_rad(2.0), 79e9));
+}
+
+TEST(Stack, CentersAreZeroMean) {
+  ra::PsvaaStack::Params p;
+  p.n_units = 5;
+  const ra::PsvaaStack s(p, &stackup());
+  double sum = 0.0;
+  for (double c : s.unit_centers()) sum += c;
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+}
+
+TEST(Stack, InvalidParamsThrow) {
+  ra::PsvaaStack::Params bad;
+  bad.n_units = 0;
+  EXPECT_THROW(ra::PsvaaStack(bad, &stackup()), std::invalid_argument);
+  bad = {};
+  bad.n_units = 4;
+  bad.phase_weights_rad = {0.0, 0.0};  // wrong length
+  EXPECT_THROW(ra::PsvaaStack(bad, &stackup()), std::invalid_argument);
+  EXPECT_THROW(ra::PsvaaStack({}, nullptr), std::invalid_argument);
+}

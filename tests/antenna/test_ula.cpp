@@ -1,0 +1,74 @@
+#include "ros/antenna/ula.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ros/common/angles.hpp"
+#include "ros/common/units.hpp"
+
+namespace ra = ros::antenna;
+namespace rc = ros::common;
+
+TEST(Ula, ScatteringLengthRcsConversionRoundTrip) {
+  const double s = ra::scattering_length_for_rcs_dbsm(-23.0);
+  EXPECT_NEAR(ra::rcs_dbsm_from_scattering_length({s, 0.0}), -23.0, 1e-9);
+}
+
+TEST(Ula, PeaksAtBroadside) {
+  const ra::UniformLinearArray ula({});
+  const double peak = ula.rcs_dbsm(0.0, 79e9);
+  for (double deg : {5.0, 10.0, 20.0, 40.0}) {
+    EXPECT_LT(ula.rcs_dbsm(rc::deg_to_rad(deg), 79e9), peak);
+  }
+}
+
+TEST(Ula, SpecularCollapseOffAxis) {
+  // Fig. 4a: the ULA responds strongly only when faced straight on;
+  // 30 deg off it is tens of dB down.
+  const ra::UniformLinearArray ula({});
+  const double peak = ula.rcs_dbsm(0.0, 79e9);
+  EXPECT_LT(ula.rcs_dbsm(rc::deg_to_rad(30), 79e9), peak - 25.0);
+}
+
+TEST(Ula, BistaticPeaksAtMirrorDirection) {
+  const ra::UniformLinearArray ula({});
+  const double in = rc::deg_to_rad(30.0);
+  const double at_mirror = std::abs(
+      ula.bistatic_scattering_length(in, -in, 79e9));
+  const double at_retro = std::abs(
+      ula.bistatic_scattering_length(in, in, 79e9));
+  EXPECT_GT(at_mirror, 10.0 * at_retro);
+}
+
+TEST(Ula, MonostaticEqualsBistaticDiagonal) {
+  const ra::UniformLinearArray ula({});
+  const double az = rc::deg_to_rad(12.0);
+  EXPECT_EQ(ula.scattering_length(az, 79e9),
+            ula.bistatic_scattering_length(az, az, 79e9));
+}
+
+TEST(Ula, RcsGrowsWithElementCountSquared) {
+  ra::UniformLinearArray::Params p3;
+  p3.n_elements = 3;
+  ra::UniformLinearArray::Params p6;
+  p6.n_elements = 6;
+  const ra::UniformLinearArray a(p3);
+  const ra::UniformLinearArray b(p6);
+  // Coherent aperture: double the elements -> +6 dB RCS at broadside.
+  EXPECT_NEAR(b.rcs_dbsm(0.0, 79e9) - a.rcs_dbsm(0.0, 79e9), 6.0, 0.1);
+}
+
+TEST(Ula, DefaultSpacingIsHalfWavelength) {
+  const ra::UniformLinearArray ula({});
+  EXPECT_NEAR(ula.spacing(), rc::wavelength(79e9) / 2.0, 1e-12);
+}
+
+TEST(Ula, NoResponseBehindArray) {
+  const ra::UniformLinearArray ula({});
+  EXPECT_EQ(std::abs(ula.scattering_length(rc::deg_to_rad(120), 79e9)), 0.0);
+}
+
+TEST(Ula, InvalidParamsThrow) {
+  ra::UniformLinearArray::Params bad;
+  bad.n_elements = 0;
+  EXPECT_THROW(ra::UniformLinearArray{bad}, std::invalid_argument);
+}

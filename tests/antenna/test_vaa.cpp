@@ -1,0 +1,152 @@
+#include "ros/antenna/vaa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ros/common/angles.hpp"
+#include "ros/common/grid.hpp"
+#include "ros/common/units.hpp"
+
+namespace ra = ros::antenna;
+namespace rc = ros::common;
+
+namespace {
+const ros::em::StriplineStackup& stackup() {
+  static const auto s = ros::em::StriplineStackup::ros_default();
+  return s;
+}
+}  // namespace
+
+TEST(Vaa, RetroreflectiveFlatness) {
+  // Fig. 4a: the VAA's monostatic RCS is relatively flat within a ~120
+  // deg FoV -- the variation over +/-45 deg must stay within ~6 dB,
+  // whereas the ULA drops > 25 dB by 30 deg.
+  const ra::VanAttaArray vaa({}, &stackup());
+  const double peak = vaa.rcs_dbsm(0.0, 79e9);
+  for (double deg = -45.0; deg <= 45.0; deg += 5.0) {
+    EXPECT_GT(vaa.rcs_dbsm(rc::deg_to_rad(deg), 79e9), peak - 6.0)
+        << "at " << deg << " deg";
+  }
+}
+
+TEST(Vaa, AbsoluteRcsNearPaperLevel) {
+  // Calibration anchor: plain VAA co-pol RCS ~ -37 dBsm (6 dB above the
+  // PSVAA's -43, Sec. 4.2). Allow a +/-3 dB modeling band.
+  const ra::VanAttaArray vaa({}, &stackup());
+  EXPECT_NEAR(vaa.rcs_dbsm(0.0, 79e9), -37.0, 3.0);
+}
+
+TEST(Vaa, BistaticRetroBeatsLeakage) {
+  // Fig. 4b: interrogated at 30 deg, the return at 30 deg dominates the
+  // leak toward the specular direction (-30 deg).
+  const ra::VanAttaArray vaa({}, &stackup());
+  const double in = rc::deg_to_rad(30.0);
+  const double retro = std::abs(vaa.bistatic_scattering_length(in, in, 79e9));
+  const double leak = std::abs(vaa.bistatic_scattering_length(in, -in, 79e9));
+  EXPECT_GT(retro, 2.0 * leak);
+}
+
+TEST(Vaa, LeakageWeakAtAllOtherAngles) {
+  const ra::VanAttaArray vaa({}, &stackup());
+  const double in = rc::deg_to_rad(20.0);
+  const double retro = std::abs(vaa.bistatic_scattering_length(in, in, 79e9));
+  for (double out_deg = -60.0; out_deg <= 60.0; out_deg += 10.0) {
+    if (std::abs(out_deg - 20.0) < 12.0) continue;  // retro lobe region
+    const double out = rc::deg_to_rad(out_deg);
+    EXPECT_LT(std::abs(vaa.bistatic_scattering_length(in, out, 79e9)),
+              retro)
+        << "out " << out_deg;
+  }
+}
+
+TEST(Vaa, DiminishingReturnsBeyondThreePairs) {
+  // Fig. 3 / Sec. 4.1: the TL length spread must stay below ~4.94
+  // lambda_g over a 4 GHz band, which caps the useful pair count at 3.
+  // In the model this shows up as (i) the marginal amplitude added by
+  // each extra pair shrinking monotonically (longer TLs lose more), and
+  // (ii) the in-band RCS droop growing with the pair count as the TL
+  // dispersion de-phases the outer pairs. Fabrication tolerances are
+  // disabled so the trend is exact.
+  const auto freqs = rc::linspace(76e9, 81e9, 21);
+  std::vector<double> amplitude;  // band-center amplitude
+  std::vector<double> droop_db;   // center minus in-band minimum
+  for (int pairs = 1; pairs <= 6; ++pairs) {
+    ra::VanAttaArray::Params p;
+    p.n_pairs = pairs;
+    p.phase_error_std_rad = 0.0;
+    p.amplitude_error_std_db = 0.0;
+    p.position_error_std_m = 0.0;
+    const ra::VanAttaArray vaa(p, &stackup());
+    amplitude.push_back(std::abs(vaa.scattering_length(0.0, 79e9)));
+    double min_db = 1e9;
+    for (double f : freqs) min_db = std::min(min_db, vaa.rcs_dbsm(0.0, f));
+    droop_db.push_back(vaa.rcs_dbsm(0.0, 79e9) - min_db);
+  }
+  // (i) marginal amplitude per added pair strictly decreasing.
+  for (std::size_t n = 2; n < amplitude.size(); ++n) {
+    const double marginal_prev = amplitude[n - 1] - amplitude[n - 2];
+    const double marginal = amplitude[n] - amplitude[n - 1];
+    EXPECT_LT(marginal, marginal_prev) << "pairs " << n + 1;
+  }
+  // (ii) in-band droop grows once the spread rule is violated (> 3
+  // pairs).
+  EXPECT_GT(droop_db[5], droop_db[2] + 0.5);
+  EXPECT_GT(droop_db[4], droop_db[2]);
+  // The 3-pair design itself stays within ~2 dB across the band.
+  EXPECT_LT(droop_db[2], 2.5);
+}
+
+TEST(Vaa, TlLengthsFollowStep) {
+  const ra::VanAttaArray vaa({}, &stackup());
+  const double lg = stackup().guided_wavelength(79e9);
+  EXPECT_NEAR(vaa.tl_length(1) - vaa.tl_length(0), 2.0 * lg, 1e-9);
+  EXPECT_NEAR(vaa.tl_length(2) - vaa.tl_length(1), 2.0 * lg, 1e-9);
+}
+
+TEST(Vaa, TlExtensionRotatesPhaseNotMagnitude) {
+  ra::VanAttaArray::Params p;
+  const ra::VanAttaArray base(p, &stackup());
+  p.tl_extension_m = stackup().guided_wavelength(79e9) / 4.0;  // 90 deg
+  const ra::VanAttaArray shifted(p, &stackup());
+  const auto s0 = base.scattering_length(0.0, 79e9);
+  const auto s1 = shifted.scattering_length(0.0, 79e9);
+  EXPECT_NEAR(std::abs(s1) / std::abs(s0), 1.0, 0.02);  // tiny extra loss
+  EXPECT_NEAR(rc::phase_distance(std::arg(s1), std::arg(s0)),
+              rc::kPi / 2.0, 0.05);
+}
+
+TEST(Vaa, RcsDropsAtBandEdges) {
+  // The TL dispersion de-phases pairs away from 79 GHz; the 3-pair
+  // design must stay within a few dB across the TI band.
+  const ra::VanAttaArray vaa({}, &stackup());
+  const double center = vaa.rcs_dbsm(0.0, 79e9);
+  EXPECT_GT(vaa.rcs_dbsm(0.0, 77e9), center - 4.0);
+  EXPECT_GT(vaa.rcs_dbsm(0.0, 81e9), center - 4.0);
+}
+
+TEST(Vaa, WidthIsAboutThreeLambda) {
+  // Fig. 7a: a 3-pair PSVAA is ~3 lambda wide.
+  const ra::VanAttaArray vaa({}, &stackup());
+  EXPECT_NEAR(vaa.width() / rc::wavelength(79e9), 3.0, 0.1);
+}
+
+TEST(Vaa, DeterministicAcrossInstances) {
+  const ra::VanAttaArray a({}, &stackup());
+  const ra::VanAttaArray b({}, &stackup());
+  EXPECT_EQ(a.scattering_length(0.3, 79e9), b.scattering_length(0.3, 79e9));
+}
+
+TEST(Vaa, DifferentFabricationSeedsDiffer) {
+  ra::VanAttaArray::Params p;
+  p.fabrication_seed = 1;
+  const ra::VanAttaArray a(p, &stackup());
+  p.fabrication_seed = 2;
+  const ra::VanAttaArray b(p, &stackup());
+  EXPECT_NE(a.scattering_length(0.3, 79e9), b.scattering_length(0.3, 79e9));
+}
+
+TEST(Vaa, InvalidParamsThrow) {
+  ra::VanAttaArray::Params bad;
+  bad.n_pairs = 0;
+  EXPECT_THROW(ra::VanAttaArray(bad, &stackup()), std::invalid_argument);
+  EXPECT_THROW(ra::VanAttaArray({}, nullptr), std::invalid_argument);
+}

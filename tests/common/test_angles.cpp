@@ -1,0 +1,35 @@
+#include "ros/common/angles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rc = ros::common;
+
+TEST(Angles, DegRadRoundTrip) {
+  for (double deg : {-180.0, -90.0, -28.6, 0.0, 14.3, 60.0, 120.0}) {
+    EXPECT_NEAR(rc::rad_to_deg(rc::deg_to_rad(deg)), deg, 1e-9);
+  }
+}
+
+TEST(Angles, WrapPhaseStaysInRange) {
+  for (double x = -50.0; x < 50.0; x += 0.37) {
+    const double w = rc::wrap_phase(x);
+    EXPECT_GT(w, -rc::kPi - 1e-12);
+    EXPECT_LE(w, rc::kPi + 1e-12);
+    // Wrapped value differs from the input by a multiple of 2 pi.
+    const double k = (x - w) / (2.0 * rc::kPi);
+    EXPECT_NEAR(k, std::round(k), 1e-9);
+  }
+}
+
+TEST(Angles, WrapPhaseIdentityInRange) {
+  EXPECT_NEAR(rc::wrap_phase(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(rc::wrap_phase(-3.0), -3.0, 1e-12);
+}
+
+TEST(Angles, PhaseDistanceSymmetric) {
+  EXPECT_NEAR(rc::phase_distance(0.1, 2.0 * rc::kPi - 0.1), 0.2, 1e-9);
+  EXPECT_NEAR(rc::phase_distance(rc::kPi, -rc::kPi), 0.0, 1e-9);
+  EXPECT_NEAR(rc::phase_distance(0.0, rc::kPi), rc::kPi, 1e-9);
+}

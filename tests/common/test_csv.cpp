@@ -1,0 +1,38 @@
+#include "ros/common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rc = ros::common;
+
+TEST(Csv, PrintsTitleHeaderAndRows) {
+  rc::CsvTable t("Fig. X", {"a", "b"});
+  t.add_row({1.0, 2.0});
+  t.add_row({3.0, 4.5});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("# Fig. X"), std::string::npos);
+  EXPECT_NE(s.find("a,b"), std::string::npos);
+  EXPECT_NE(s.find("1.0000,2.0000"), std::string::npos);
+  EXPECT_NE(s.find("3.0000,4.5000"), std::string::npos);
+}
+
+TEST(Csv, LabelledRows) {
+  rc::CsvTable t("objects", {"object", "rss"});
+  t.add_row("tripod", {-35.5});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("tripod,-35.5000"), std::string::npos);
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  rc::CsvTable t("x", {"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
+  EXPECT_THROW(t.add_row("lbl", {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Csv, EmptyColumnsThrow) {
+  EXPECT_THROW(rc::CsvTable("x", {}), std::invalid_argument);
+}

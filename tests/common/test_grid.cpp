@@ -1,0 +1,54 @@
+#include "ros/common/grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rc = ros::common;
+
+TEST(Grid, LinspaceEndpoints) {
+  const auto g = rc::linspace(-1.0, 1.0, 11);
+  ASSERT_EQ(g.size(), 11u);
+  EXPECT_DOUBLE_EQ(g.front(), -1.0);
+  EXPECT_DOUBLE_EQ(g.back(), 1.0);
+  EXPECT_NEAR(g[5], 0.0, 1e-12);
+}
+
+TEST(Grid, LinspaceUniformSpacing) {
+  const auto g = rc::linspace(0.0, 10.0, 101);
+  for (std::size_t i = 1; i < g.size(); ++i) {
+    EXPECT_NEAR(g[i] - g[i - 1], 0.1, 1e-9);
+  }
+}
+
+TEST(Grid, LinspaceSinglePoint) {
+  const auto g = rc::linspace(3.5, 9.0, 1);
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_DOUBLE_EQ(g[0], 3.5);
+}
+
+TEST(Grid, LinspaceReversed) {
+  const auto g = rc::linspace(1.0, -1.0, 3);
+  EXPECT_DOUBLE_EQ(g[0], 1.0);
+  EXPECT_DOUBLE_EQ(g[1], 0.0);
+  EXPECT_DOUBLE_EQ(g[2], -1.0);
+}
+
+TEST(Grid, LinspaceZeroThrows) {
+  EXPECT_THROW(rc::linspace(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Grid, ArangeBasic) {
+  const auto g = rc::arange(0.0, 1.0, 0.25);
+  ASSERT_EQ(g.size(), 4u);
+  EXPECT_DOUBLE_EQ(g[0], 0.0);
+  EXPECT_DOUBLE_EQ(g[3], 0.75);
+}
+
+TEST(Grid, ArangeExcludesEnd) {
+  const auto g = rc::arange(0.0, 1.0, 0.5);
+  EXPECT_EQ(g.size(), 2u);
+}
+
+TEST(Grid, ArangeRejectsNonPositiveStep) {
+  EXPECT_THROW(rc::arange(0.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(rc::arange(0.0, 1.0, -0.1), std::invalid_argument);
+}

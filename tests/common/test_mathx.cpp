@@ -1,0 +1,66 @@
+#include "ros/common/mathx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace rc = ros::common;
+
+TEST(Mathx, SincAtZero) { EXPECT_DOUBLE_EQ(rc::sinc(0.0), 1.0); }
+
+TEST(Mathx, SincAtPi) { EXPECT_NEAR(rc::sinc(M_PI), 0.0, 1e-12); }
+
+TEST(Mathx, SincSymmetric) {
+  for (double x : {0.3, 1.1, 2.7}) {
+    EXPECT_DOUBLE_EQ(rc::sinc(x), rc::sinc(-x));
+  }
+}
+
+TEST(Mathx, MeanAndVariance) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(rc::mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(rc::variance(xs), 1.25);
+  EXPECT_NEAR(rc::stddev(xs), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Mathx, EmptySpansAreSafe) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(rc::mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(rc::variance(empty), 0.0);
+  EXPECT_DOUBLE_EQ(rc::median(empty), 0.0);
+}
+
+TEST(Mathx, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(rc::median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(rc::median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Mathx, PercentileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(rc::percentile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(rc::percentile(xs, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(rc::percentile(xs, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(rc::percentile(xs, 25.0), 2.5);
+}
+
+TEST(Mathx, PercentileUnsortedInput) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(rc::percentile(xs, 50.0), 3.0);
+}
+
+TEST(Mathx, PercentileRejectsOutOfRange) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(rc::percentile(xs, -1.0), std::invalid_argument);
+  EXPECT_THROW(rc::percentile(xs, 101.0), std::invalid_argument);
+}
+
+TEST(Mathx, ArgmaxAndMax) {
+  const std::vector<double> xs = {1.0, 5.0, 3.0};
+  EXPECT_EQ(rc::argmax(xs), 1u);
+  EXPECT_DOUBLE_EQ(rc::max_value(xs), 5.0);
+}
+
+TEST(Mathx, MaxOfEmptyIsNegInf) {
+  EXPECT_TRUE(std::isinf(rc::max_value(std::vector<double>{})));
+}

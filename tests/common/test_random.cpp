@@ -1,0 +1,96 @@
+#include "ros/common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rc = ros::common;
+
+TEST(Random, Deterministic) {
+  rc::Rng a(42);
+  rc::Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  rc::Rng a(1);
+  rc::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Random, UniformBounds) {
+  rc::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Random, UniformIntBounds) {
+  rc::Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int x = rng.uniform_int(0, 4);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 4);
+    saw_lo |= (x == 0);
+    saw_hi |= (x == 4);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, NormalMoments) {
+  rc::Rng rng(11);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.4);
+}
+
+TEST(Random, ComplexGaussianPower) {
+  rc::Rng rng(13);
+  const double p = 2.5;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += std::norm(rng.complex_gaussian(p));
+  EXPECT_NEAR(sum / n, p, 0.1);
+}
+
+TEST(Random, ComplexGaussianZeroPower) {
+  rc::Rng rng(5);
+  const auto z = rng.complex_gaussian(0.0);
+  EXPECT_DOUBLE_EQ(std::abs(z), 0.0);
+}
+
+TEST(Random, BernoulliFrequency) {
+  rc::Rng rng(17);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(Random, InvalidArgumentsThrow) {
+  rc::Rng rng(1);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(rng.normal(0.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(rng.complex_gaussian(-0.5), std::invalid_argument);
+  EXPECT_THROW(rng.bernoulli(1.5), std::invalid_argument);
+}

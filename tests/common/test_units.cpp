@@ -1,0 +1,61 @@
+#include "ros/common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rc = ros::common;
+
+TEST(Units, DbLinearRoundTrip) {
+  for (double db : {-60.0, -10.0, -3.0, 0.0, 3.0, 10.0, 40.0}) {
+    EXPECT_NEAR(rc::linear_to_db(rc::db_to_linear(db)), db, 1e-9);
+  }
+}
+
+TEST(Units, DbToLinearKnownValues) {
+  EXPECT_DOUBLE_EQ(rc::db_to_linear(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(rc::db_to_linear(10.0), 10.0);
+  EXPECT_NEAR(rc::db_to_linear(3.0), 2.0, 0.01);
+  EXPECT_NEAR(rc::db_to_linear(-3.0), 0.5, 0.01);
+}
+
+TEST(Units, LinearToDbOfZeroClamps) {
+  EXPECT_LE(rc::linear_to_db(0.0), -399.0);
+}
+
+TEST(Units, LinearToDbRejectsNegative) {
+  EXPECT_THROW(rc::linear_to_db(-1.0), std::invalid_argument);
+}
+
+TEST(Units, DbmWattConversions) {
+  EXPECT_NEAR(rc::dbm_to_watt(0.0), 1e-3, 1e-12);
+  EXPECT_NEAR(rc::dbm_to_watt(30.0), 1.0, 1e-9);
+  EXPECT_NEAR(rc::watt_to_dbm(1e-3), 0.0, 1e-9);
+  EXPECT_NEAR(rc::watt_to_dbm(rc::dbm_to_watt(-62.0)), -62.0, 1e-9);
+}
+
+TEST(Units, AmplitudeToDbIsTwentyLog) {
+  EXPECT_NEAR(rc::amplitude_to_db(10.0), 20.0, 1e-12);
+  EXPECT_NEAR(rc::amplitude_to_db(0.5), -6.0206, 1e-3);
+}
+
+TEST(Units, WavelengthAt79GHz) {
+  // The paper's design wavelength: ~3.794 mm.
+  EXPECT_NEAR(rc::wavelength(79e9), 3.794e-3, 2e-6);
+}
+
+TEST(Units, WavelengthRejectsNonPositive) {
+  EXPECT_THROW(rc::wavelength(0.0), std::invalid_argument);
+  EXPECT_THROW(rc::wavelength(-1.0), std::invalid_argument);
+}
+
+TEST(Units, MphConversionRoundTrip) {
+  EXPECT_NEAR(rc::mph_to_mps(86.0), 38.4, 0.1);  // the paper's 86 mph
+  EXPECT_NEAR(rc::mps_to_mph(rc::mph_to_mps(30.0)), 30.0, 1e-9);
+}
+
+TEST(Units, GhzAndMmHelpers) {
+  EXPECT_DOUBLE_EQ(rc::ghz(79.0), 79e9);
+  EXPECT_DOUBLE_EQ(rc::mm(2.75), 2.75e-3);
+  EXPECT_DOUBLE_EQ(rc::um(2027.0), 2027e-6);
+}

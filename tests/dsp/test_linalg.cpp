@@ -1,0 +1,110 @@
+#include "ros/dsp/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ros/common/random.hpp"
+
+namespace rd = ros::dsp;
+using ros::common::cplx;
+
+namespace {
+
+/// Random Hermitian matrix from B^H B + shift.
+rd::cmat random_hermitian(std::size_t n, std::uint64_t seed) {
+  ros::common::Rng rng(seed);
+  rd::cmat b(n, std::vector<cplx>(n));
+  for (auto& row : b) {
+    for (auto& v : row) v = {rng.normal(), rng.normal()};
+  }
+  return rd::matmul(rd::hermitian(b), b);
+}
+
+}  // namespace
+
+TEST(Linalg, IdentityAndZeros) {
+  const auto i3 = rd::identity(3);
+  EXPECT_EQ(i3[0][0], cplx(1.0, 0.0));
+  EXPECT_EQ(i3[0][1], cplx(0.0, 0.0));
+  const auto z2 = rd::zeros(2);
+  EXPECT_EQ(z2[1][1], cplx(0.0, 0.0));
+}
+
+TEST(Linalg, MatmulAgainstHandComputed) {
+  const rd::cmat a = {{{1.0, 0.0}, {0.0, 1.0}}, {{2.0, 0.0}, {0.0, 0.0}}};
+  const rd::cmat b = {{{0.0, 1.0}, {1.0, 0.0}}, {{1.0, 0.0}, {0.0, 0.0}}};
+  const auto c = rd::matmul(a, b);
+  EXPECT_EQ(c[0][0], cplx(0.0, 2.0));   // 1*j + j*1
+  EXPECT_EQ(c[0][1], cplx(1.0, 0.0));
+  EXPECT_EQ(c[1][0], cplx(0.0, 2.0));
+  EXPECT_EQ(c[1][1], cplx(2.0, 0.0));
+}
+
+TEST(Linalg, HermitianDetection) {
+  rd::cmat h = {{{2.0, 0.0}, {1.0, 1.0}}, {{1.0, -1.0}, {3.0, 0.0}}};
+  EXPECT_TRUE(rd::is_hermitian(h));
+  h[0][1] = {1.0, 2.0};
+  EXPECT_FALSE(rd::is_hermitian(h));
+}
+
+TEST(Linalg, EigenOfDiagonalMatrix) {
+  rd::cmat a = rd::zeros(3);
+  a[0][0] = 1.0;
+  a[1][1] = 5.0;
+  a[2][2] = 3.0;
+  const auto e = rd::hermitian_eigen(a);
+  EXPECT_NEAR(e.values[0], 5.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-10);
+  EXPECT_NEAR(e.values[2], 1.0, 1e-10);
+}
+
+TEST(Linalg, EigenPairsSatisfyDefinition) {
+  const auto a = random_hermitian(6, 42);
+  const auto e = rd::hermitian_eigen(a);
+  const std::size_t n = a.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    // || A v - lambda v || small.
+    for (std::size_t i = 0; i < n; ++i) {
+      cplx av{0.0, 0.0};
+      for (std::size_t j = 0; j < n; ++j) av += a[i][j] * e.vectors[j][k];
+      EXPECT_NEAR(std::abs(av - e.values[k] * e.vectors[i][k]), 0.0, 1e-7)
+          << "pair " << k;
+    }
+  }
+}
+
+TEST(Linalg, EigenvectorsOrthonormal) {
+  const auto a = random_hermitian(5, 7);
+  const auto e = rd::hermitian_eigen(a);
+  const std::size_t n = a.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t l = 0; l < n; ++l) {
+      cplx dot{0.0, 0.0};
+      for (std::size_t i = 0; i < n; ++i) {
+        dot += std::conj(e.vectors[i][k]) * e.vectors[i][l];
+      }
+      EXPECT_NEAR(std::abs(dot), k == l ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Linalg, EigenvaluesNonNegativeForGramMatrix) {
+  const auto e = rd::hermitian_eigen(random_hermitian(4, 11));
+  for (double v : e.values) EXPECT_GE(v, -1e-9);
+}
+
+TEST(Linalg, TraceConserved) {
+  const auto a = random_hermitian(5, 3);
+  const auto e = rd::hermitian_eigen(a);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) trace += a[i][i].real();
+  double sum = 0.0;
+  for (double v : e.values) sum += v;
+  EXPECT_NEAR(sum, trace, 1e-8 * std::abs(trace));
+}
+
+TEST(Linalg, NonHermitianRejected) {
+  rd::cmat bad = {{{1.0, 0.0}, {2.0, 0.0}}, {{3.0, 0.0}, {1.0, 0.0}}};
+  EXPECT_THROW(rd::hermitian_eigen(bad), std::invalid_argument);
+}

@@ -1,0 +1,74 @@
+#include "ros/dsp/ook.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ros/common/units.hpp"
+
+namespace rd = ros::dsp;
+namespace rc = ros::common;
+
+// The paper quotes three SNR <-> BER anchor pairs for its OOK model
+// (Sec. 7.1 / 7.2); the mapping must reproduce all of them.
+TEST(Ook, PaperAnchor158dB) {
+  EXPECT_NEAR(rd::ook_ber_from_db(15.8), 0.001, 0.0005);
+}
+
+TEST(Ook, PaperAnchor14dB) {
+  EXPECT_NEAR(rd::ook_ber_from_db(14.0), 0.006, 0.002);
+}
+
+TEST(Ook, PaperAnchor10dB) {
+  EXPECT_NEAR(rd::ook_ber_from_db(10.0), 0.057, 0.01);
+}
+
+TEST(Ook, PaperAnchor15dB) {
+  EXPECT_NEAR(rd::ook_ber_from_db(15.0), 0.003, 0.001);
+}
+
+TEST(Ook, BerMonotoneDecreasing) {
+  double prev = 1.0;
+  for (double snr_db = 0.0; snr_db <= 25.0; snr_db += 1.0) {
+    const double ber = rd::ook_ber_from_db(snr_db);
+    EXPECT_LT(ber, prev);
+    prev = ber;
+  }
+}
+
+TEST(Ook, ZeroSnrIsHalf) { EXPECT_NEAR(rd::ook_ber(0.0), 0.5, 1e-12); }
+
+TEST(Ook, InverseMappingRoundTrips) {
+  for (double ber : {0.001, 0.01, 0.05, 0.1}) {
+    const double snr = rd::ook_snr_for_ber(ber);
+    EXPECT_NEAR(rd::ook_ber(snr), ber, ber * 1e-6);
+  }
+}
+
+TEST(Ook, SnrFromCleanSeparation) {
+  // mu1 = 10, mu0 = 2, sigma = 1 -> SNR = 64.
+  const std::vector<double> ones = {9.0, 10.0, 11.0};
+  const std::vector<double> zeros = {1.0, 2.0, 3.0};
+  const double snr = rd::ook_snr(ones, zeros);
+  // Pooled sigma of {-1,0,1,-1,0,1} = sqrt(2/3).
+  EXPECT_NEAR(snr, 64.0 / (2.0 / 3.0), 1e-9);
+}
+
+TEST(Ook, SnrWithNoZerosUsesZeroMean) {
+  const std::vector<double> ones = {4.0, 6.0};
+  const double snr = rd::ook_snr(ones, {});
+  EXPECT_NEAR(snr, 25.0, 1e-9);  // (5-0)^2 / 1
+}
+
+TEST(Ook, DegenerateZeroVarianceIsHuge) {
+  const std::vector<double> ones = {5.0, 5.0};
+  const std::vector<double> zeros = {1.0, 1.0};
+  EXPECT_GT(rc::linear_to_db(rd::ook_snr(ones, zeros)), 60.0);
+}
+
+TEST(Ook, InvalidInputsThrow) {
+  EXPECT_THROW(rd::ook_snr({}, {}), std::invalid_argument);
+  EXPECT_THROW(rd::ook_ber(-1.0), std::invalid_argument);
+  EXPECT_THROW(rd::ook_snr_for_ber(0.0), std::invalid_argument);
+  EXPECT_THROW(rd::ook_snr_for_ber(0.6), std::invalid_argument);
+}

@@ -1,0 +1,86 @@
+#include "ros/dsp/peaks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace rd = ros::dsp;
+
+TEST(Peaks, FindsSingleMaximum) {
+  const std::vector<double> xs = {0.0, 1.0, 3.0, 1.0, 0.0};
+  const auto peaks = rd::find_peaks(xs, {});
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 2u);
+  EXPECT_DOUBLE_EQ(peaks[0].value, 3.0);
+}
+
+TEST(Peaks, SortedByHeight) {
+  const std::vector<double> xs = {0.0, 2.0, 0.0, 5.0, 0.0, 3.0, 0.0};
+  const auto peaks = rd::find_peaks(xs, {});
+  ASSERT_EQ(peaks.size(), 3u);
+  EXPECT_DOUBLE_EQ(peaks[0].value, 5.0);
+  EXPECT_DOUBLE_EQ(peaks[1].value, 3.0);
+  EXPECT_DOUBLE_EQ(peaks[2].value, 2.0);
+}
+
+TEST(Peaks, MinValueFilters) {
+  const std::vector<double> xs = {0.0, 2.0, 0.0, 5.0, 0.0};
+  rd::PeakOptions opts;
+  opts.min_value = 3.0;
+  const auto peaks = rd::find_peaks(xs, opts);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_DOUBLE_EQ(peaks[0].value, 5.0);
+}
+
+TEST(Peaks, SeparationSuppression) {
+  const std::vector<double> xs = {0.0, 4.0, 3.9, 0.0, 0.0, 0.0, 2.0, 0.0};
+  rd::PeakOptions opts;
+  opts.min_separation = 3;
+  const auto peaks = rd::find_peaks(xs, opts);
+  // 3.9 at index 2 is within 3 of index 1 -> suppressed; 2.0 at 6 kept.
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].index, 1u);
+  EXPECT_EQ(peaks[1].index, 6u);
+}
+
+TEST(Peaks, MaxPeaksCaps) {
+  const std::vector<double> xs = {0, 1, 0, 2, 0, 3, 0, 4, 0};
+  rd::PeakOptions opts;
+  opts.max_peaks = 2;
+  EXPECT_EQ(rd::find_peaks(xs, opts).size(), 2u);
+}
+
+TEST(Peaks, QuadraticRefinementRecoversTrueCenter) {
+  // Parabola sampled off-center: y = 9 - (x - 2.3)^2.
+  std::vector<double> xs;
+  for (int i = 0; i < 6; ++i) {
+    const double x = static_cast<double>(i);
+    xs.push_back(9.0 - (x - 2.3) * (x - 2.3));
+  }
+  const auto p = rd::refine_peak(xs, 2);
+  EXPECT_NEAR(p.refined_index, 2.3, 1e-9);
+  EXPECT_NEAR(p.refined_value, 9.0, 1e-9);
+}
+
+TEST(Peaks, EdgesArePeaksWhenMonotone) {
+  const std::vector<double> xs = {5.0, 3.0, 1.0};
+  const auto peaks = rd::find_peaks(xs, {});
+  ASSERT_GE(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 0u);
+  // Edge peak refinement cannot interpolate; falls back to the sample.
+  EXPECT_DOUBLE_EQ(peaks[0].refined_index, 0.0);
+}
+
+TEST(Peaks, FlatSignalHasNoInteriorPeaks) {
+  const std::vector<double> xs(16, 1.0);
+  rd::PeakOptions opts;
+  opts.min_separation = 16;
+  const auto peaks = rd::find_peaks(xs, opts);
+  EXPECT_LE(peaks.size(), 1u);  // at most the first plateau sample
+}
+
+TEST(Peaks, RefineOutOfRangeThrows) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_THROW(rd::refine_peak(xs, 5), std::invalid_argument);
+}

@@ -1,0 +1,76 @@
+#include "ros/dsp/resample.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ros/common/grid.hpp"
+
+namespace rd = ros::dsp;
+
+TEST(Resample, StrictlyIncreasingDetection) {
+  EXPECT_TRUE(rd::strictly_increasing(std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_FALSE(rd::strictly_increasing(std::vector<double>{1.0, 1.0, 3.0}));
+  EXPECT_FALSE(rd::strictly_increasing(std::vector<double>{1.0, 0.5}));
+  EXPECT_TRUE(rd::strictly_increasing(std::vector<double>{}));
+}
+
+TEST(Resample, InterpExactAtKnots) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const std::vector<double> ys = {10.0, 20.0, 15.0};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rd::interp_linear(xs, ys, xs[i]), ys[i]);
+  }
+}
+
+TEST(Resample, InterpMidpoints) {
+  const std::vector<double> xs = {0.0, 1.0};
+  const std::vector<double> ys = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(rd::interp_linear(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(rd::interp_linear(xs, ys, 0.25), 2.5);
+}
+
+TEST(Resample, InterpClampsOutside) {
+  const std::vector<double> xs = {0.0, 1.0};
+  const std::vector<double> ys = {3.0, 7.0};
+  EXPECT_DOUBLE_EQ(rd::interp_linear(xs, ys, -1.0), 3.0);
+  EXPECT_DOUBLE_EQ(rd::interp_linear(xs, ys, 2.0), 7.0);
+}
+
+TEST(Resample, UniformPreservesLinearFunctions) {
+  const std::vector<double> xs = {0.0, 0.3, 1.1, 2.0, 2.2, 3.0};
+  std::vector<double> ys(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) ys[i] = 2.0 * xs[i] + 1.0;
+  const auto out = rd::resample_uniform(xs, ys, 31);
+  const auto grid = ros::common::linspace(0.0, 3.0, 31);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], 2.0 * grid[i] + 1.0, 1e-12);
+  }
+}
+
+TEST(Resample, RecoversSineFromJitteredSamples) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 200; ++i) {
+    const double x = i * 0.01 + 0.002 * std::sin(i * 13.0);
+    xs.push_back(x);
+    ys.push_back(std::sin(2.0 * M_PI * x));
+  }
+  const auto out = rd::resample_uniform(xs, ys, 201);
+  const auto grid = ros::common::linspace(xs.front(), xs.back(), 201);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], std::sin(2.0 * M_PI * grid[i]), 0.01);
+  }
+}
+
+TEST(Resample, RejectsBadInput) {
+  const std::vector<double> one = {1.0};
+  const std::vector<double> non_mono = {0.0, 2.0, 1.0};
+  const std::vector<double> ys3 = {1.0, 2.0, 3.0};
+  EXPECT_THROW(rd::resample_uniform(one, one, 8), std::invalid_argument);
+  EXPECT_THROW(rd::resample_uniform(non_mono, ys3, 8),
+               std::invalid_argument);
+  const std::vector<double> xs2 = {0.0, 1.0};
+  EXPECT_THROW(rd::resample_uniform(xs2, ys3, 8), std::invalid_argument);
+}

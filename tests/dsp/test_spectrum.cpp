@@ -1,0 +1,123 @@
+#include "ros/dsp/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ros/common/grid.hpp"
+#include "ros/common/units.hpp"
+
+namespace rd = ros::dsp;
+using ros::common::kPi;
+using ros::common::linspace;
+
+namespace {
+
+/// Synthetic Eq. 6 RCS for stacks at the given positions (in lambdas).
+std::vector<double> synthetic_rcs(const std::vector<double>& u,
+                                  const std::vector<double>& pos_lambda) {
+  std::vector<double> out(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    std::complex<double> f{0.0, 0.0};
+    for (double d : pos_lambda) {
+      f += std::polar(1.0, 4.0 * kPi * d * u[i]);
+    }
+    out[i] = std::norm(f);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Spectrum, SingleSpacingPeaksAtThatSpacing) {
+  const auto u = linspace(-0.8, 0.8, 400);
+  const auto rcs = synthetic_rcs(u, {0.0, 6.0});
+  const auto spec = rd::rcs_spectrum(u, rcs);
+  // The strongest non-DC feature must sit at 6 lambda.
+  double best_amp = 0.0;
+  double best_spacing = 0.0;
+  for (std::size_t i = 0; i < spec.spacing_lambda.size(); ++i) {
+    if (spec.spacing_lambda[i] < 1.0) continue;
+    if (spec.amplitude[i] > best_amp) {
+      best_amp = spec.amplitude[i];
+      best_spacing = spec.spacing_lambda[i];
+    }
+  }
+  EXPECT_NEAR(best_spacing, 6.0, 0.15);
+}
+
+TEST(Spectrum, ResolvesAllPairwiseSpacings) {
+  // Paper Fig. 10: stacks at {0, 6, -7.5}: coding peaks 6, 7.5 and a
+  // secondary at 13.5.
+  const auto u = linspace(-0.9, 0.9, 800);
+  const auto rcs = synthetic_rcs(u, {0.0, 6.0, -7.5});
+  const auto spec = rd::rcs_spectrum(u, rcs);
+  for (double expected : {6.0, 7.5, 13.5}) {
+    // Peak amplitude near the expected spacing well above the floor at
+    // an empty spacing (e.g. 10.0).
+    EXPECT_GT(spec.amplitude_at(expected), 4.0 * spec.amplitude_at(10.0))
+        << "spacing " << expected;
+  }
+}
+
+TEST(Spectrum, ResolutionMatchesPaperFormula) {
+  // Sec. 5.1: u spans 2 -> resolution 0.25 lambda.
+  const auto u = linspace(-1.0, 1.0, 1000);
+  const auto rcs = synthetic_rcs(u, {0.0, 6.0});
+  const auto spec = rd::rcs_spectrum(u, rcs);
+  EXPECT_NEAR(spec.resolution_lambda, 0.25, 1e-9);
+  EXPECT_NEAR(spec.u_span, 2.0, 1e-9);
+}
+
+TEST(Spectrum, WhiteningRemovesEnvelope) {
+  // Multiply the tone by a strong smooth envelope; the peak must survive.
+  const auto u = linspace(-0.7, 0.7, 500);
+  auto rcs = synthetic_rcs(u, {0.0, 6.0});
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    rcs[i] *= std::exp(-4.0 * u[i] * u[i]);  // ~-12 dB edge droop
+  }
+  rd::SpectrumOptions opts;
+  opts.whiten_envelope = true;
+  const auto spec = rd::rcs_spectrum(u, rcs, opts);
+  EXPECT_GT(spec.amplitude_at(6.0), 3.0 * spec.amplitude_at(9.0));
+}
+
+TEST(Spectrum, HandlesUnsortedInput) {
+  auto u = linspace(-0.5, 0.5, 300);
+  auto rcs = synthetic_rcs(u, {0.0, 6.0});
+  // Reverse both: the spectrum must sort internally.
+  std::reverse(u.begin(), u.end());
+  std::reverse(rcs.begin(), rcs.end());
+  const auto spec = rd::rcs_spectrum(u, rcs);
+  EXPECT_GT(spec.amplitude_at(6.0), 3.0 * spec.amplitude_at(8.0));
+}
+
+TEST(Spectrum, MaxSpacingCoversCodingBand) {
+  // With fine sampling, the representable spacing must exceed the
+  // paper's largest coding spacing (10.5 lambda).
+  const auto u = linspace(-0.6, 0.6, 1200);
+  const auto rcs = synthetic_rcs(u, {0.0, 10.5});
+  const auto spec = rd::rcs_spectrum(u, rcs);
+  EXPECT_GT(spec.max_spacing(), 10.5);
+  EXPECT_GT(spec.amplitude_at(10.5), 3.0 * spec.amplitude_at(8.0));
+}
+
+TEST(Spectrum, RejectsTooFewSamples) {
+  const std::vector<double> u = {0.0, 0.1, 0.2};
+  const std::vector<double> rcs = {1.0, 1.0, 1.0};
+  EXPECT_THROW(rd::rcs_spectrum(u, rcs), std::invalid_argument);
+}
+
+TEST(Spectrum, RejectsMismatchedSizes) {
+  const auto u = linspace(0.0, 1.0, 64);
+  const std::vector<double> rcs(32, 1.0);
+  EXPECT_THROW(rd::rcs_spectrum(u, rcs), std::invalid_argument);
+}
+
+TEST(Spectrum, AmplitudeAtInterpolates) {
+  const auto u = linspace(-0.8, 0.8, 400);
+  const auto rcs = synthetic_rcs(u, {0.0, 6.0});
+  const auto spec = rd::rcs_spectrum(u, rcs);
+  // Interpolated lookup is continuous: nearby spacings give nearby values.
+  EXPECT_NEAR(spec.amplitude_at(6.0), spec.amplitude_at(6.01), 0.2);
+}

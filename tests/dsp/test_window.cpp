@@ -1,0 +1,79 @@
+#include "ros/dsp/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rd = ros::dsp;
+using ros::common::cplx;
+
+class WindowShapes : public ::testing::TestWithParam<rd::Window> {};
+
+TEST_P(WindowShapes, SymmetricAndBounded) {
+  const auto w = rd::make_window(GetParam(), 65);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12);
+    EXPECT_GE(w[i], -1e-12);
+    EXPECT_LE(w[i], 1.0 + 1e-12);
+  }
+}
+
+TEST_P(WindowShapes, PeaksAtCenter) {
+  const auto w = rd::make_window(GetParam(), 65);
+  EXPECT_NEAR(w[32], *std::max_element(w.begin(), w.end()), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWindows, WindowShapes,
+                         ::testing::Values(rd::Window::rectangular,
+                                           rd::Window::hann,
+                                           rd::Window::hamming,
+                                           rd::Window::blackman));
+
+TEST(Window, RectangularIsAllOnes) {
+  const auto w = rd::make_window(rd::Window::rectangular, 16);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Window, HannEndsAtZero) {
+  const auto w = rd::make_window(rd::Window::hann, 33);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[16], 1.0, 1e-12);
+}
+
+TEST(Window, HammingEndsAtPedestal) {
+  const auto w = rd::make_window(rd::Window::hamming, 33);
+  EXPECT_NEAR(w.front(), 0.08, 1e-9);
+}
+
+TEST(Window, CoherentGains) {
+  EXPECT_NEAR(rd::coherent_gain(rd::make_window(rd::Window::rectangular, 64)),
+              1.0, 1e-12);
+  // Hann coherent gain -> 0.5 for large N.
+  EXPECT_NEAR(rd::coherent_gain(rd::make_window(rd::Window::hann, 4096)),
+              0.5, 0.001);
+}
+
+TEST(Window, ApplyWindowMultiplies) {
+  std::vector<cplx> x(4, {2.0, 0.0});
+  const std::vector<double> w = {0.0, 0.5, 1.0, 0.25};
+  rd::apply_window(x, w);
+  EXPECT_DOUBLE_EQ(x[0].real(), 0.0);
+  EXPECT_DOUBLE_EQ(x[1].real(), 1.0);
+  EXPECT_DOUBLE_EQ(x[2].real(), 2.0);
+  EXPECT_DOUBLE_EQ(x[3].real(), 0.5);
+}
+
+TEST(Window, SizeMismatchThrows) {
+  std::vector<cplx> x(4);
+  const std::vector<double> w(3);
+  EXPECT_THROW(rd::apply_window(x, w), std::invalid_argument);
+}
+
+TEST(Window, LengthOneIsUnity) {
+  for (auto type : {rd::Window::hann, rd::Window::blackman}) {
+    const auto w = rd::make_window(type, 1);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_DOUBLE_EQ(w[0], 1.0);
+  }
+}

@@ -1,0 +1,67 @@
+// Circular-polarization extension (paper Sec. 8).
+#include <gtest/gtest.h>
+
+#include "ros/em/polarization.hpp"
+
+namespace re = ros::em;
+using re::Handedness;
+
+TEST(Circular, OppositeFlips) {
+  EXPECT_EQ(re::opposite(Handedness::left), Handedness::right);
+  EXPECT_EQ(re::opposite(Handedness::right), Handedness::left);
+}
+
+TEST(Circular, MirrorFlipsHandedness) {
+  // Sec. 8: "common objects change the left/right-hand direction of
+  // circular polarized signals upon reflection".
+  const auto mirror = re::ScatterMatrix::co_polarized(1.0, 300.0);
+  EXPECT_NEAR(std::abs(re::circular_response(mirror, Handedness::left,
+                                             Handedness::left)),
+              0.0, 1e-9);
+  EXPECT_NEAR(std::abs(re::circular_response(mirror, Handedness::left,
+                                             Handedness::right)),
+              1.0, 1e-9);
+}
+
+TEST(Circular, HandednessPreservingReflectorKeepsIt) {
+  const auto hwp = re::ScatterMatrix::handedness_preserving(1.0);
+  EXPECT_NEAR(std::abs(re::circular_response(hwp, Handedness::left,
+                                             Handedness::left)),
+              1.0, 1e-9);
+  EXPECT_NEAR(std::abs(re::circular_response(hwp, Handedness::left,
+                                             Handedness::right)),
+              0.0, 1e-9);
+  EXPECT_NEAR(std::abs(re::circular_response(hwp, Handedness::right,
+                                             Handedness::right)),
+              1.0, 1e-9);
+}
+
+TEST(Circular, EnergyConservedAcrossBasis) {
+  // A unitary-ish scatterer distributes the same total power over the
+  // circular ports as over the linear ones.
+  re::ScatterMatrix s;
+  s.hh = {0.6, 0.1};
+  s.hv = {0.2, -0.3};
+  s.vh = {0.2, -0.3};
+  s.vv = {-0.5, 0.4};
+  const double linear = std::norm(s.hh) + std::norm(s.hv) +
+                        std::norm(s.vh) + std::norm(s.vv);
+  double circular = 0.0;
+  for (auto tx : {Handedness::left, Handedness::right}) {
+    for (auto rx : {Handedness::left, Handedness::right}) {
+      circular += std::norm(re::circular_response(s, tx, rx));
+    }
+  }
+  EXPECT_NEAR(circular, linear, 1e-9);
+}
+
+TEST(Circular, LinearLeakAppearsInBothChannels) {
+  const auto rough = re::ScatterMatrix::co_polarized(1.0, 17.0);
+  const double keep = std::abs(re::circular_response(
+      rough, Handedness::left, Handedness::left));
+  const double flip = std::abs(re::circular_response(
+      rough, Handedness::left, Handedness::right));
+  // The co-pol part flips; only the cross-pol leak lands in the
+  // same-handed channel.
+  EXPECT_GT(flip, 5.0 * keep);
+}

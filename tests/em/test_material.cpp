@@ -1,0 +1,68 @@
+#include "ros/em/material.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ros/common/band.hpp"
+#include "ros/common/units.hpp"
+
+namespace re = ros::em;
+
+TEST(Material, LaminateFactories) {
+  const auto core = re::rogers_4350b(254e-6);
+  EXPECT_DOUBLE_EQ(core.epsilon_r, 3.66);
+  EXPECT_DOUBLE_EQ(core.tan_delta, 0.0037);
+  const auto bond = re::rogers_4450f(101e-6);
+  EXPECT_DOUBLE_EQ(bond.epsilon_r, 3.52);
+  EXPECT_DOUBLE_EQ(bond.tan_delta, 0.004);
+}
+
+TEST(Material, GuidedWavelengthAnchor) {
+  // The paper: lambda_g = 2027 um at 79 GHz (Sec. 4.2).
+  const auto s = re::StriplineStackup::ros_default();
+  EXPECT_NEAR(s.guided_wavelength(79e9), 2027e-6, 1e-6);
+}
+
+TEST(Material, EffectivePermittivityPlausible) {
+  const auto s = re::StriplineStackup::ros_default();
+  // Between the bond (3.52) and core (3.66) ballpark, reduced by the
+  // calibration factor: expect ~3.5.
+  EXPECT_GT(s.effective_permittivity(), 3.3);
+  EXPECT_LT(s.effective_permittivity(), 3.7);
+}
+
+TEST(Material, GuidedWavelengthScalesInverselyWithFrequency) {
+  const auto s = re::StriplineStackup::ros_default();
+  EXPECT_NEAR(s.guided_wavelength(77e9) / s.guided_wavelength(81e9),
+              81.0 / 77.0, 1e-9);
+}
+
+TEST(Material, LossAnchor) {
+  // Sec. 4.3: a 10.8 cm TL loses ~11 dB.
+  const auto s = re::StriplineStackup::ros_default();
+  EXPECT_NEAR(s.attenuation_db_per_m(79e9) * 0.108, 11.0, 0.1);
+}
+
+TEST(Material, LossIncreasesWithFrequency) {
+  const auto s = re::StriplineStackup::ros_default();
+  EXPECT_GT(s.attenuation_db_per_m(81e9), s.attenuation_db_per_m(77e9));
+}
+
+TEST(Material, PhaseConstantMatchesWavelength) {
+  const auto s = re::StriplineStackup::ros_default();
+  const double lg = s.guided_wavelength(79e9);
+  EXPECT_NEAR(s.phase_constant(79e9) * lg, 2.0 * ros::common::kPi, 1e-9);
+}
+
+TEST(Material, CustomStackupStillHasPositiveLoss) {
+  const re::StriplineStackup s(re::rogers_4350b(200e-6),
+                               re::rogers_4450f(80e-6),
+                               re::rogers_4350b(120e-6));
+  EXPECT_GT(s.attenuation_db_per_m(79e9), 0.0);
+  EXPECT_GT(s.effective_permittivity(), 1.0);
+}
+
+TEST(Material, InvalidFrequencyThrows) {
+  const auto s = re::StriplineStackup::ros_default();
+  EXPECT_THROW(s.guided_wavelength(0.0), std::invalid_argument);
+  EXPECT_THROW(s.attenuation_db_per_m(-1.0), std::invalid_argument);
+}

@@ -1,0 +1,105 @@
+#include "ros/em/patch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ros/common/angles.hpp"
+#include "ros/common/units.hpp"
+
+namespace re = ros::em;
+namespace rc = ros::common;
+
+TEST(Patch, DesignDimensionsAt79GHz) {
+  // Fig. 7a annotates patch features around 0.85-1.2 mm; the cavity
+  // model should land in that range on 4350B.
+  const auto d = re::design_rectangular_patch(79e9, re::rogers_4350b(254e-6));
+  EXPECT_GT(d.width_m, 0.8e-3);
+  EXPECT_LT(d.width_m, 1.5e-3);
+  EXPECT_GT(d.length_m, 0.7e-3);
+  EXPECT_LT(d.length_m, 1.2e-3);
+  EXPECT_GT(d.eps_effective, 1.0);
+  EXPECT_LT(d.eps_effective, 3.66);
+}
+
+TEST(Patch, DesignScalesWithFrequency) {
+  const auto lo = re::design_rectangular_patch(60e9, re::rogers_4350b(254e-6));
+  const auto hi = re::design_rectangular_patch(90e9, re::rogers_4350b(254e-6));
+  EXPECT_GT(lo.width_m, hi.width_m);
+  EXPECT_GT(lo.length_m, hi.length_m);
+}
+
+TEST(Patch, PatternPeaksAtBoresight) {
+  const re::PatchAntenna p({});
+  EXPECT_DOUBLE_EQ(p.field_pattern(0.0), 1.0);
+  EXPECT_LT(p.field_pattern(rc::deg_to_rad(60)), 1.0);
+  EXPECT_GT(p.field_pattern(rc::deg_to_rad(60)), 0.0);
+}
+
+TEST(Patch, NoBackLobes) {
+  const re::PatchAntenna p({});
+  EXPECT_DOUBLE_EQ(p.field_pattern(rc::deg_to_rad(95)), 0.0);
+  EXPECT_DOUBLE_EQ(p.field_pattern(rc::deg_to_rad(-135)), 0.0);
+}
+
+TEST(Patch, PatternSymmetric) {
+  const re::PatchAntenna p({});
+  for (double deg : {10.0, 30.0, 60.0, 80.0}) {
+    EXPECT_DOUBLE_EQ(p.field_pattern(rc::deg_to_rad(deg)),
+                     p.field_pattern(rc::deg_to_rad(-deg)));
+  }
+}
+
+TEST(Patch, S11MatchedAtResonance) {
+  const re::PatchAntenna p({});
+  EXPECT_LT(std::abs(p.s11(79e9)), 1e-9);
+  EXPECT_NEAR(p.match_efficiency(79e9), 1.0, 1e-12);
+}
+
+TEST(Patch, S11BelowMinus10DbAcrossBand) {
+  // The paper's optimization target: |s11| <= -10 dB over 77-81 GHz.
+  const re::PatchAntenna p({});
+  for (double f = 77e9; f <= 81e9; f += 0.5e9) {
+    EXPECT_LT(rc::amplitude_to_db(std::abs(p.s11(f))), -10.0)
+        << "at f = " << f;
+  }
+}
+
+TEST(Patch, RotatedSwapsPolarization) {
+  const re::PatchAntenna p({});
+  EXPECT_EQ(p.polarization(), re::Polarization::horizontal);
+  EXPECT_EQ(p.rotated().polarization(), re::Polarization::vertical);
+}
+
+TEST(Patch, ElementResponseCombinesPatternAndMatch) {
+  const re::PatchAntenna p({});
+  const double r0 = std::abs(p.element_response(0.0, 79e9));
+  const double r60 = std::abs(p.element_response(rc::deg_to_rad(60), 79e9));
+  EXPECT_NEAR(r0, 1.0, 1e-9);
+  EXPECT_LT(r60, r0);
+}
+
+TEST(Patch, ApertureCouplingOptimalAtPaperStub) {
+  static const auto stackup = re::StriplineStackup::ros_default();
+  const re::ApertureCoupling optimal(
+      re::ApertureCoupling::kOptimalStub79GHz, &stackup);
+  EXPECT_NEAR(optimal.efficiency(79e9), 1.0, 1e-9);
+  // A detuned stub couples less.
+  const re::ApertureCoupling detuned(
+      re::ApertureCoupling::kOptimalStub79GHz + 400e-6, &stackup);
+  EXPECT_LT(detuned.efficiency(79e9), 0.6);
+}
+
+TEST(Patch, CouplingStaysHighAcrossBand) {
+  static const auto stackup = re::StriplineStackup::ros_default();
+  const re::ApertureCoupling c(re::ApertureCoupling::kOptimalStub79GHz,
+                               &stackup);
+  for (double f = 77e9; f <= 81e9; f += 1e9) {
+    EXPECT_GT(c.efficiency(f), 0.95) << "at f = " << f;
+  }
+}
+
+TEST(Patch, InvalidParamsThrow) {
+  re::PatchAntenna::Params bad;
+  bad.resonant_hz = -1.0;
+  EXPECT_THROW(re::PatchAntenna{bad}, std::invalid_argument);
+  EXPECT_THROW(re::ApertureCoupling(1e-3, nullptr), std::invalid_argument);
+}

@@ -1,0 +1,60 @@
+#include "ros/em/pathloss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ros/common/units.hpp"
+
+namespace re = ros::em;
+namespace rc = ros::common;
+
+TEST(Pathloss, FourthPowerDistanceLaw) {
+  const double lambda = rc::wavelength(79e9);
+  const double p1 = re::received_power_dbm(21, 0, 55, lambda, -23, 2.0);
+  const double p2 = re::received_power_dbm(21, 0, 55, lambda, -23, 4.0);
+  // Doubling the distance costs 40 log10(2) ~= 12.04 dB.
+  EXPECT_NEAR(p1 - p2, 12.04, 0.01);
+}
+
+TEST(Pathloss, RcsScalesLinearly) {
+  const double lambda = rc::wavelength(79e9);
+  const double a = re::received_power_dbm(21, 0, 55, lambda, -23, 3.0);
+  const double b = re::received_power_dbm(21, 0, 55, lambda, -13, 3.0);
+  EXPECT_NEAR(b - a, 10.0, 1e-9);
+}
+
+TEST(Pathloss, ExtraLossSubtracts) {
+  const double lambda = rc::wavelength(79e9);
+  const double a = re::received_power_dbm(21, 0, 55, lambda, -23, 3.0);
+  const double b = re::received_power_dbm(21, 0, 55, lambda, -23, 3.0, 2.5);
+  EXPECT_NEAR(a - b, 2.5, 1e-9);
+}
+
+TEST(Pathloss, PaperLinkBudgetWorkedExample) {
+  // Sec. 5.3: TI radar EIRP 21 dBm, Rx gain 55 dB, sigma = -23 dBsm,
+  // noise floor -62 dBm -> d ~= 6.9 m.
+  const double lambda = rc::wavelength(79e9);
+  const double d =
+      re::max_detection_range(21, 0, 55, lambda, -23, -62.2);
+  EXPECT_NEAR(d, 6.9, 0.3);
+}
+
+TEST(Pathloss, MaxRangeInvertsReceivedPower) {
+  const double lambda = rc::wavelength(77e9);
+  const double d = re::max_detection_range(20, 3, 50, lambda, -30, -60);
+  const double p = re::received_power_dbm(20, 3, 50, lambda, -30, d);
+  EXPECT_NEAR(p, -60.0, 1e-6);
+}
+
+TEST(Pathloss, AmplitudeSquaredIsPower) {
+  const double lambda = rc::wavelength(79e9);
+  const double p_dbm = re::received_power_dbm(21, 0, 55, lambda, -23, 3.0);
+  const double a = re::received_amplitude(21, 0, 55, lambda, -23, 3.0);
+  EXPECT_NEAR(rc::watt_to_dbm(a * a), p_dbm, 1e-9);
+}
+
+TEST(Pathloss, InvalidInputsThrow) {
+  EXPECT_THROW(re::received_power_dbm(0, 0, 0, -1.0, 0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(re::received_power_dbm(0, 0, 0, 1.0, 0, 0.0),
+               std::invalid_argument);
+}

@@ -1,0 +1,81 @@
+#include "ros/em/polarization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ros/common/units.hpp"
+
+namespace re = ros::em;
+using re::Polarization;
+
+TEST(Polarization, OrthogonalFlips) {
+  EXPECT_EQ(re::orthogonal(Polarization::horizontal),
+            Polarization::vertical);
+  EXPECT_EQ(re::orthogonal(Polarization::vertical),
+            Polarization::horizontal);
+}
+
+TEST(Polarization, UnitJonesVectors) {
+  const auto h = re::Jones::unit(Polarization::horizontal);
+  EXPECT_DOUBLE_EQ(std::abs(h.h), 1.0);
+  EXPECT_DOUBLE_EQ(std::abs(h.v), 0.0);
+  EXPECT_DOUBLE_EQ(h.power(), 1.0);
+}
+
+TEST(Polarization, JonesProjection) {
+  const re::Jones j{{0.6, 0.0}, {0.0, 0.8}};
+  EXPECT_DOUBLE_EQ(std::abs(j.project(Polarization::horizontal)), 0.6);
+  EXPECT_DOUBLE_EQ(std::abs(j.project(Polarization::vertical)), 0.8);
+  EXPECT_DOUBLE_EQ(j.power(), 1.0);
+}
+
+TEST(Polarization, CoPolarizedMatrixPreservesPolarization) {
+  const auto s = re::ScatterMatrix::co_polarized(1.0, 20.0);
+  const auto out = s.apply(re::Jones::unit(Polarization::horizontal));
+  EXPECT_NEAR(std::abs(out.h), 1.0, 1e-12);
+  // Cross leak 20 dB below in power = 0.1 in amplitude.
+  EXPECT_NEAR(std::abs(out.v), 0.1, 1e-12);
+}
+
+TEST(Polarization, SwitchingMatrixSwapsPolarization) {
+  const auto s = re::ScatterMatrix::polarization_switching(0.5);
+  const auto out = s.apply(re::Jones::unit(Polarization::horizontal));
+  EXPECT_DOUBLE_EQ(std::abs(out.h), 0.0);
+  EXPECT_DOUBLE_EQ(std::abs(out.v), 0.5);
+}
+
+TEST(Polarization, ResponseSelectsMatrixEntry) {
+  re::ScatterMatrix s;
+  s.hh = {1.0, 0.0};
+  s.vh = {2.0, 0.0};
+  s.hv = {3.0, 0.0};
+  s.vv = {4.0, 0.0};
+  EXPECT_DOUBLE_EQ(
+      std::abs(s.response(Polarization::horizontal, Polarization::horizontal)),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      std::abs(s.response(Polarization::horizontal, Polarization::vertical)),
+      2.0);
+  EXPECT_DOUBLE_EQ(
+      std::abs(s.response(Polarization::vertical, Polarization::horizontal)),
+      3.0);
+  EXPECT_DOUBLE_EQ(
+      std::abs(s.response(Polarization::vertical, Polarization::vertical)),
+      4.0);
+}
+
+TEST(Polarization, ScaledAndSum) {
+  const auto a = re::ScatterMatrix::polarization_switching(1.0);
+  const auto b = a.scaled({0.0, 1.0});  // multiply by j
+  EXPECT_NEAR(std::arg(b.hv), ros::common::kPi / 2.0, 1e-12);
+  const auto c = a + a;
+  EXPECT_DOUBLE_EQ(std::abs(c.hv), 2.0);
+}
+
+TEST(Polarization, InvalidAmplitudesThrow) {
+  EXPECT_THROW(re::ScatterMatrix::co_polarized(-1.0, 20.0),
+               std::invalid_argument);
+  EXPECT_THROW(re::ScatterMatrix::co_polarized(1.0, -5.0),
+               std::invalid_argument);
+  EXPECT_THROW(re::ScatterMatrix::polarization_switching(-0.1),
+               std::invalid_argument);
+}

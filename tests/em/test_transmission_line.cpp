@@ -1,0 +1,79 @@
+#include "ros/em/transmission_line.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ros/common/angles.hpp"
+#include "ros/common/units.hpp"
+
+namespace re = ros::em;
+namespace rc = ros::common;
+
+namespace {
+const re::StriplineStackup& stackup() {
+  static const auto s = re::StriplineStackup::ros_default();
+  return s;
+}
+}  // namespace
+
+TEST(TransmissionLine, OneGuidedWavelengthIsTwoPi) {
+  const double lg = stackup().guided_wavelength(79e9);
+  const re::TransmissionLine tl(lg, &stackup());
+  EXPECT_NEAR(rc::wrap_phase(tl.phase(79e9)), 0.0, 1e-9);
+  EXPECT_NEAR(tl.phase(79e9), 2.0 * rc::kPi, 1e-9);
+}
+
+TEST(TransmissionLine, HalfWavelengthIsPi) {
+  const double lg = stackup().guided_wavelength(79e9);
+  const re::TransmissionLine tl(lg / 2.0, &stackup());
+  EXPECT_NEAR(tl.phase(79e9), rc::kPi, 1e-9);
+}
+
+TEST(TransmissionLine, PaperTlLengthsEqualPhaseAtDesignFrequency) {
+  // The three PSVAA lines (4.106 / 9.148 / 12.171 mm) are designed for
+  // equal phase mod 2 pi at 79 GHz; the 2nd carries an extra half
+  // wavelength to cancel its flipped feed direction (Sec. 4.2).
+  const re::TransmissionLine l1(4.106e-3, &stackup());
+  const re::TransmissionLine l2(9.148e-3, &stackup());
+  const re::TransmissionLine l3(12.171e-3, &stackup());
+  const double p1 = rc::wrap_phase(l1.phase(79e9));
+  const double p2 = rc::wrap_phase(l2.phase(79e9) - rc::kPi);
+  const double p3 = rc::wrap_phase(l3.phase(79e9));
+  EXPECT_LT(rc::phase_distance(p1, p2), 0.25);
+  EXPECT_LT(rc::phase_distance(p1, p3), 0.25);
+}
+
+TEST(TransmissionLine, LossGrowsWithLength) {
+  const re::TransmissionLine shorter(2e-3, &stackup());
+  const re::TransmissionLine longer(10e-3, &stackup());
+  EXPECT_LT(shorter.loss_db(79e9), longer.loss_db(79e9));
+  EXPECT_NEAR(longer.loss_db(79e9) / shorter.loss_db(79e9), 5.0, 1e-9);
+}
+
+TEST(TransmissionLine, TransferMagnitudeMatchesLoss) {
+  const re::TransmissionLine tl(10.8e-2, &stackup());
+  // ~11 dB loss -> |T| ~ 0.282.
+  EXPECT_NEAR(rc::amplitude_to_db(std::abs(tl.transfer(79e9))), -11.0, 0.2);
+}
+
+TEST(TransmissionLine, ExtendedAddsLength) {
+  const re::TransmissionLine tl(5e-3, &stackup());
+  const auto longer = tl.extended(1e-3);
+  EXPECT_DOUBLE_EQ(longer.length(), 6e-3);
+  EXPECT_GT(longer.loss_db(79e9), tl.loss_db(79e9));
+}
+
+TEST(TransmissionLine, DispersionDephasesOffCenter) {
+  // Two lines equal mod lambda_g at 79 GHz drift apart at 81 GHz --
+  // the mechanism limiting the VAA pair count (Sec. 4.1).
+  const double lg = stackup().guided_wavelength(79e9);
+  const re::TransmissionLine a(2.0 * lg, &stackup());
+  const re::TransmissionLine b(6.0 * lg, &stackup());
+  EXPECT_NEAR(rc::phase_distance(a.phase(79e9), b.phase(79e9)), 0.0, 1e-9);
+  EXPECT_GT(rc::phase_distance(a.phase(81e9), b.phase(81e9)), 0.3);
+}
+
+TEST(TransmissionLine, NullStackupThrows) {
+  EXPECT_THROW(re::TransmissionLine(1e-3, nullptr), std::invalid_argument);
+  EXPECT_THROW(re::TransmissionLine(-1e-3, &stackup()),
+               std::invalid_argument);
+}

@@ -1,0 +1,113 @@
+#include "ros/optim/differential_evolution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ro = ros::optim;
+
+namespace {
+double sphere(const std::vector<double>& x) {
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return s;
+}
+
+double rosenbrock(const std::vector<double>& x) {
+  double s = 0.0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    s += 100.0 * std::pow(x[i + 1] - x[i] * x[i], 2) +
+         std::pow(1.0 - x[i], 2);
+  }
+  return s;
+}
+
+double rastrigin(const std::vector<double>& x) {
+  double s = 10.0 * static_cast<double>(x.size());
+  for (double v : x) s += v * v - 10.0 * std::cos(2.0 * M_PI * v);
+  return s;
+}
+}  // namespace
+
+TEST(DifferentialEvolution, SolvesSphere) {
+  const std::vector<ro::Bounds> bounds(4, {-5.0, 5.0});
+  const auto r = ro::minimize(sphere, bounds);
+  EXPECT_LT(r.best_value, 1e-6);
+  for (double v : r.best) EXPECT_NEAR(v, 0.0, 1e-2);
+}
+
+TEST(DifferentialEvolution, SolvesRosenbrock2D) {
+  const std::vector<ro::Bounds> bounds(2, {-2.0, 2.0});
+  ro::DeConfig cfg;
+  cfg.max_generations = 600;
+  cfg.patience = 200;
+  const auto r = ro::minimize(rosenbrock, bounds, cfg);
+  EXPECT_LT(r.best_value, 1e-4);
+  EXPECT_NEAR(r.best[0], 1.0, 0.05);
+  EXPECT_NEAR(r.best[1], 1.0, 0.05);
+}
+
+TEST(DifferentialEvolution, EscapesRastriginLocalMinima) {
+  const std::vector<ro::Bounds> bounds(3, {-5.12, 5.12});
+  ro::DeConfig cfg;
+  cfg.population = 60;
+  cfg.max_generations = 800;
+  cfg.patience = 300;
+  const auto r = ro::minimize(rastrigin, bounds, cfg);
+  // Global minimum 0; a gradient method would stall near ~1-10.
+  EXPECT_LT(r.best_value, 1e-3);
+}
+
+TEST(DifferentialEvolution, DeterministicGivenSeed) {
+  const std::vector<ro::Bounds> bounds(3, {-1.0, 1.0});
+  ro::DeConfig cfg;
+  cfg.seed = 99;
+  const auto a = ro::minimize(sphere, bounds, cfg);
+  const auto b = ro::minimize(sphere, bounds, cfg);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(DifferentialEvolution, RespectsBounds) {
+  const std::vector<ro::Bounds> bounds = {{2.0, 3.0}, {-1.0, -0.5}};
+  const auto r = ro::minimize(sphere, bounds);
+  EXPECT_GE(r.best[0], 2.0);
+  EXPECT_LE(r.best[0], 3.0);
+  EXPECT_GE(r.best[1], -1.0);
+  EXPECT_LE(r.best[1], -0.5);
+  // Constrained optimum of x^2+y^2: (2, -0.5).
+  EXPECT_NEAR(r.best[0], 2.0, 1e-6);
+  EXPECT_NEAR(r.best[1], -0.5, 1e-6);
+}
+
+TEST(DifferentialEvolution, HistoryMonotoneNonIncreasing) {
+  const std::vector<ro::Bounds> bounds(4, {-5.0, 5.0});
+  const auto r = ro::minimize(sphere, bounds);
+  for (std::size_t i = 1; i < r.history.size(); ++i) {
+    EXPECT_LE(r.history[i], r.history[i - 1]);
+  }
+}
+
+TEST(DifferentialEvolution, EarlyStopOnConvergence) {
+  const std::vector<ro::Bounds> bounds(1, {-1.0, 1.0});
+  ro::DeConfig cfg;
+  cfg.max_generations = 100000;
+  cfg.patience = 20;
+  const auto r = ro::minimize(sphere, bounds, cfg);
+  EXPECT_LT(r.generations, 5000u);
+}
+
+TEST(DifferentialEvolution, InvalidConfigThrows) {
+  const std::vector<ro::Bounds> bounds(1, {0.0, 1.0});
+  ro::DeConfig bad;
+  bad.population = 3;
+  EXPECT_THROW(ro::minimize(sphere, bounds, bad), std::invalid_argument);
+  bad = {};
+  bad.crossover_rate = 1.5;
+  EXPECT_THROW(ro::minimize(sphere, bounds, bad), std::invalid_argument);
+  EXPECT_THROW(ro::minimize(sphere, {}, {}), std::invalid_argument);
+  EXPECT_THROW(ro::minimize(ro::Objective{}, bounds, {}),
+               std::invalid_argument);
+  const std::vector<ro::Bounds> reversed = {{1.0, 0.0}};
+  EXPECT_THROW(ro::minimize(sphere, reversed, {}), std::invalid_argument);
+}

@@ -1,0 +1,87 @@
+#include "ros/pipeline/dbscan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ros/common/random.hpp"
+
+namespace rp = ros::pipeline;
+using ros::scene::Vec2;
+
+TEST(Dbscan, TwoWellSeparatedBlobs) {
+  std::vector<Vec2> pts;
+  ros::common::Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({rng.normal(0.0, 0.05), rng.normal(0.0, 0.05)});
+  }
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({rng.normal(3.0, 0.05), rng.normal(0.0, 0.05)});
+  }
+  const auto labels = rp::dbscan(pts, {0.3, 5});
+  EXPECT_EQ(rp::cluster_count(labels), 2);
+  // First 30 share a label, last 30 share another.
+  for (int i = 1; i < 30; ++i) EXPECT_EQ(labels[i], labels[0]);
+  for (int i = 31; i < 60; ++i) EXPECT_EQ(labels[i], labels[30]);
+  EXPECT_NE(labels[0], labels[30]);
+}
+
+TEST(Dbscan, SparseOutliersAreNoise) {
+  std::vector<Vec2> pts;
+  ros::common::Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back({rng.normal(0.0, 0.05), rng.normal(0.0, 0.05)});
+  }
+  pts.push_back({10.0, 10.0});
+  pts.push_back({-10.0, 5.0});
+  const auto labels = rp::dbscan(pts, {0.3, 5});
+  EXPECT_EQ(labels[20], -1);
+  EXPECT_EQ(labels[21], -1);
+}
+
+TEST(Dbscan, AllNoiseWhenTooSparse) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back({static_cast<double>(i) * 5.0, 0.0});
+  }
+  const auto labels = rp::dbscan(pts, {0.3, 3});
+  for (int l : labels) EXPECT_EQ(l, -1);
+  EXPECT_EQ(rp::cluster_count(labels), 0);
+}
+
+TEST(Dbscan, ChainedPointsFormOneCluster) {
+  // Density-connected chain: DBSCAN must not split it.
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({static_cast<double>(i) * 0.1, 0.0});
+    pts.push_back({static_cast<double>(i) * 0.1, 0.05});
+    pts.push_back({static_cast<double>(i) * 0.1, -0.05});
+  }
+  const auto labels = rp::dbscan(pts, {0.2, 4});
+  EXPECT_EQ(rp::cluster_count(labels), 1);
+  for (int l : labels) EXPECT_EQ(l, 0);
+}
+
+TEST(Dbscan, BorderPointsJoinNearestCore) {
+  std::vector<Vec2> pts;
+  // Dense core.
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back({0.01 * static_cast<double>(i), 0.0});
+  }
+  // One border point within eps of the core edge.
+  pts.push_back({0.25, 0.0});
+  const auto labels = rp::dbscan(pts, {0.2, 5});
+  EXPECT_GE(labels.back(), 0);
+}
+
+TEST(Dbscan, EmptyInputOk) {
+  const auto labels = rp::dbscan(std::vector<Vec2>{}, {0.3, 5});
+  EXPECT_TRUE(labels.empty());
+  EXPECT_EQ(rp::cluster_count(labels), 0);
+}
+
+TEST(Dbscan, InvalidOptionsThrow) {
+  const std::vector<Vec2> pts = {{0.0, 0.0}};
+  EXPECT_THROW(rp::dbscan(pts, {0.0, 5}), std::invalid_argument);
+  EXPECT_THROW(rp::dbscan(pts, {0.3, 0}), std::invalid_argument);
+}

@@ -1,0 +1,91 @@
+#include "ros/pipeline/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ros/common/random.hpp"
+
+namespace rp = ros::pipeline;
+
+namespace {
+rp::PointCloud two_blob_cloud() {
+  rp::PointCloud cloud;
+  ros::common::Rng rng(1);
+  for (int i = 0; i < 40; ++i) {
+    cloud.points.push_back(
+        {{rng.normal(0.0, 0.03), rng.normal(0.0, 0.03)}, -40.0, 0});
+  }
+  for (int i = 0; i < 25; ++i) {
+    cloud.points.push_back(
+        {{rng.normal(2.0, 0.15), rng.normal(1.0, 0.15)}, -50.0, 0});
+  }
+  return cloud;
+}
+}  // namespace
+
+TEST(Features, ExtractsTwoClusters) {
+  const auto clusters = rp::extract_clusters(two_blob_cloud(), {0.3, 5});
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+TEST(Features, CentroidsNearBlobCenters) {
+  auto clusters = rp::extract_clusters(two_blob_cloud(), {0.3, 5});
+  std::sort(clusters.begin(), clusters.end(),
+            [](const rp::Cluster& a, const rp::Cluster& b) {
+              return a.centroid.x < b.centroid.x;
+            });
+  EXPECT_NEAR(clusters[0].centroid.x, 0.0, 0.05);
+  EXPECT_NEAR(clusters[1].centroid.x, 2.0, 0.15);
+}
+
+TEST(Features, TighterBlobSmallerAndDenser) {
+  auto clusters = rp::extract_clusters(two_blob_cloud(), {0.3, 5});
+  std::sort(clusters.begin(), clusters.end(),
+            [](const rp::Cluster& a, const rp::Cluster& b) {
+              return a.centroid.x < b.centroid.x;
+            });
+  EXPECT_LT(clusters[0].size_m2, clusters[1].size_m2);
+  EXPECT_GT(clusters[0].density, clusters[1].density);
+}
+
+TEST(Features, MeanRssAveragesInLinearDomain) {
+  rp::PointCloud cloud;
+  for (int i = 0; i < 10; ++i) {
+    cloud.points.push_back({{0.01 * i, 0.0}, -40.0, 0});
+  }
+  const auto clusters = rp::extract_clusters(cloud, {0.2, 3});
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_NEAR(clusters[0].mean_rss_dbm, -40.0, 1e-9);
+}
+
+TEST(Features, RobustSizeIgnoresOutliers) {
+  rp::PointCloud cloud;
+  ros::common::Rng rng(2);
+  for (int i = 0; i < 60; ++i) {
+    cloud.points.push_back(
+        {{rng.normal(0.0, 0.02), rng.normal(0.0, 0.02)}, -40.0, 0});
+  }
+  // A couple of far outliers that still density-connect... place them
+  // just within eps chains so they join the cluster.
+  cloud.points.push_back({{0.25, 0.0}, -60.0, 0});
+  cloud.points.push_back({{0.45, 0.0}, -60.0, 0});
+  const auto clusters = rp::extract_clusters(cloud, {0.3, 4});
+  ASSERT_GE(clusters.size(), 1u);
+  // 10-90 percentile box must stay near the core's extent, not 0.45 m.
+  EXPECT_LT(clusters[0].size_m2, 0.02);
+}
+
+TEST(Features, FilterDenseDropsSparse) {
+  auto clusters = rp::extract_clusters(two_blob_cloud(), {0.3, 5});
+  const auto filtered = rp::filter_dense(clusters, 400.0, 10);
+  EXPECT_LT(filtered.size(), clusters.size());
+}
+
+TEST(Features, FilterKeepsEverythingWithZeroThresholds) {
+  auto clusters = rp::extract_clusters(two_blob_cloud(), {0.3, 5});
+  const auto filtered = rp::filter_dense(clusters, 0.0, 0);
+  EXPECT_EQ(filtered.size(), clusters.size());
+}
+
+TEST(Features, EmptyCloudNoClusters) {
+  EXPECT_TRUE(rp::extract_clusters(rp::PointCloud{}, {0.3, 5}).empty());
+}

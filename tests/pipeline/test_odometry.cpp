@@ -1,0 +1,132 @@
+#include "ros/pipeline/odometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ros/common/angles.hpp"
+#include "ros/common/units.hpp"
+
+namespace rp = ros::pipeline;
+namespace rc = ros::common;
+namespace rr = ros::radar;
+
+namespace {
+
+/// Observations from static clutter for a radar moving at `v` along the
+/// travel direction, side-looking (boresight 90 deg from travel).
+std::vector<rp::DopplerObservation> synthetic_obs(double v,
+                                                  double offset_rad) {
+  std::vector<rp::DopplerObservation> out;
+  for (double az_deg = -40.0; az_deg <= 40.0; az_deg += 10.0) {
+    rp::DopplerObservation o;
+    o.azimuth_rad = rc::deg_to_rad(az_deg);
+    o.radial_velocity_mps = v * std::cos(o.azimuth_rad + offset_rad);
+    out.push_back(o);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Odometry, ExactFitOnCleanObservations) {
+  const double offset = rc::deg_to_rad(90.0) - rc::kPi / 2.0 + 0.3;
+  const auto obs = synthetic_obs(8.0, offset);
+  const auto v = rp::estimate_ego_speed(obs, offset);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NEAR(*v, 8.0, 1e-9);
+}
+
+TEST(Odometry, HandlesNegativeSpeed) {
+  const auto obs = synthetic_obs(-3.5, 0.2);
+  const auto v = rp::estimate_ego_speed(obs, 0.2);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NEAR(*v, -3.5, 1e-9);
+}
+
+TEST(Odometry, DegenerateGeometryReturnsNullopt) {
+  // All reflectors exactly broadside to the travel direction: cos = 0.
+  std::vector<rp::DopplerObservation> obs(3);
+  for (auto& o : obs) {
+    o.azimuth_rad = 0.0;
+    o.radial_velocity_mps = 0.0;
+  }
+  EXPECT_FALSE(rp::estimate_ego_speed(obs, rc::kPi / 2.0).has_value());
+}
+
+TEST(Odometry, RobustFitRejectsMovingObject) {
+  auto obs = synthetic_obs(10.0, 0.1);
+  // A moving object violating the static model by 5 m/s.
+  rp::DopplerObservation mover;
+  mover.azimuth_rad = 0.15;
+  mover.radial_velocity_mps = 10.0 * std::cos(0.25) + 5.0;
+  mover.weight = 1.0;
+  obs.push_back(mover);
+  const auto naive = rp::estimate_ego_speed(obs, 0.1);
+  const auto robust = rp::estimate_ego_speed_robust(obs, 0.1);
+  ASSERT_TRUE(robust.has_value());
+  EXPECT_NEAR(*robust, 10.0, 0.05);
+  EXPECT_GT(std::abs(*naive - 10.0), std::abs(*robust - 10.0));
+}
+
+TEST(Odometry, WeightsBiasTheFit) {
+  std::vector<rp::DopplerObservation> obs = synthetic_obs(5.0, 0.0);
+  // One heavy wrong observation pulls the plain fit.
+  rp::DopplerObservation heavy;
+  heavy.azimuth_rad = 0.0;
+  heavy.radial_velocity_mps = 9.0;
+  heavy.weight = 50.0;
+  obs.push_back(heavy);
+  const auto v = rp::estimate_ego_speed(obs, 0.0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_GT(*v, 6.0);
+}
+
+TEST(Odometry, EndToEndFromChirpTrain) {
+  // Full physics: two static reflectors seen from a radar moving at
+  // 6 m/s; recover the ego speed from the range-Doppler map.
+  const double v_ego = 6.0;
+  rr::FmcwChirp chirp = rr::FmcwChirp::ti_iwr1443();
+  rr::RadarArray array = rr::RadarArray::ti_iwr1443();
+  const rr::WaveformSynthesizer synth(chirp, array);
+  const rr::ChirpTrain train{};
+  rc::Rng rng(5);
+
+  std::vector<rr::ScatterReturn> returns;
+  std::vector<rr::Detection> detections;
+  const double lambda = rc::wavelength(chirp.center_hz());
+  for (double az_deg : {-25.0, 10.0, 30.0}) {
+    rr::ScatterReturn r;
+    r.amplitude = 1e-4;
+    r.range_m = 3.0 + az_deg / 20.0;
+    r.azimuth_rad = rc::deg_to_rad(az_deg);
+    // Side-looking radar, travel perpendicular to boresight: closing
+    // speed v * sin(az) (= cos(az - pi/2)).
+    const double v_r = v_ego * std::sin(r.azimuth_rad);
+    r.doppler_hz = 2.0 * v_r / lambda;
+    returns.push_back(r);
+    rr::Detection d;
+    d.range_m = r.range_m;
+    d.azimuth_rad = r.azimuth_rad;
+    d.rss_dbm = -50.0;
+    detections.push_back(d);
+  }
+  const auto profiles =
+      rr::synthesize_train(synth, returns, train, 1e-12, rng);
+  const auto map = rr::range_doppler(profiles, train, chirp.center_hz());
+  const auto obs = rp::observe_doppler(map, detections);
+  ASSERT_EQ(obs.size(), 3u);
+  // boresight-to-travel offset: travel is +90 deg from boresight ->
+  // closing = v cos(az - pi/2).
+  const auto v = rp::estimate_ego_speed_robust(obs, -rc::kPi / 2.0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NEAR(*v, v_ego, 0.4);
+}
+
+TEST(Odometry, InvalidRobustParamsThrow) {
+  const auto obs = synthetic_obs(1.0, 0.0);
+  EXPECT_THROW(rp::estimate_ego_speed_robust(obs, 0.0, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(rp::estimate_ego_speed_robust(obs, 0.0, 0.5, 0),
+               std::invalid_argument);
+}

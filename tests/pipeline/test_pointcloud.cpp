@@ -1,0 +1,76 @@
+#include "ros/pipeline/pointcloud.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ros/common/angles.hpp"
+
+namespace rp = ros::pipeline;
+namespace rc = ros::common;
+using ros::scene::RadarPose;
+using ros::scene::Vec2;
+
+namespace {
+RadarPose side_pose(double x, double y) {
+  RadarPose p;
+  p.position = {x, y};
+  p.boresight = {0.0, -1.0};
+  return p;
+}
+}  // namespace
+
+TEST(PointCloud, DirectionInvertsAzimuth) {
+  const RadarPose pose = side_pose(1.0, 3.0);
+  for (double deg : {-40.0, -10.0, 0.0, 15.0, 35.0}) {
+    const double az = rc::deg_to_rad(deg);
+    const Vec2 dir = rp::direction_for(pose, az);
+    EXPECT_NEAR(dir.norm(), 1.0, 1e-12);
+    const Vec2 target = pose.position + dir * 2.0;
+    EXPECT_NEAR(pose.azimuth_to(target), az, 1e-9) << deg;
+  }
+}
+
+TEST(PointCloud, AccumulatePlacesWorldPoints) {
+  rp::PointCloud cloud;
+  const RadarPose pose = side_pose(0.0, 3.0);
+  ros::radar::Detection d;
+  d.range_m = 3.0;
+  d.azimuth_rad = 0.0;  // straight down the boresight (-y)
+  d.rss_dbm = -40.0;
+  rp::accumulate(cloud, std::vector{d}, pose, 7);
+  ASSERT_EQ(cloud.points.size(), 1u);
+  EXPECT_NEAR(cloud.points[0].world.x, 0.0, 1e-9);
+  EXPECT_NEAR(cloud.points[0].world.y, 0.0, 1e-9);
+  EXPECT_EQ(cloud.points[0].frame, 7u);
+  EXPECT_DOUBLE_EQ(cloud.points[0].rss_dbm, -40.0);
+}
+
+TEST(PointCloud, OffAxisDetectionPlacedCorrectly) {
+  rp::PointCloud cloud;
+  const RadarPose pose = side_pose(0.0, 3.0);
+  ros::radar::Detection d;
+  d.range_m = std::sqrt(18.0);
+  d.azimuth_rad = pose.azimuth_to({3.0, 0.0});
+  rp::accumulate(cloud, std::vector{d}, pose, 0);
+  ASSERT_EQ(cloud.points.size(), 1u);
+  EXPECT_NEAR(cloud.points[0].world.x, 3.0, 1e-6);
+  EXPECT_NEAR(cloud.points[0].world.y, 0.0, 1e-6);
+}
+
+TEST(PointCloud, PositionsExtraction) {
+  rp::PointCloud cloud;
+  cloud.points.push_back({{1.0, 2.0}, -30.0, 0});
+  cloud.points.push_back({{3.0, 4.0}, -31.0, 1});
+  const auto pos = cloud.positions();
+  ASSERT_EQ(pos.size(), 2u);
+  EXPECT_DOUBLE_EQ(pos[1].x, 3.0);
+}
+
+TEST(PointCloud, MultipleFramesAccumulate) {
+  rp::PointCloud cloud;
+  ros::radar::Detection d;
+  d.range_m = 1.0;
+  for (std::size_t f = 0; f < 5; ++f) {
+    rp::accumulate(cloud, std::vector{d}, side_pose(0.1 * f, 3.0), f);
+  }
+  EXPECT_EQ(cloud.points.size(), 5u);
+}

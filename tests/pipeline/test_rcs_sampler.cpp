@@ -1,0 +1,118 @@
+#include "ros/pipeline/rcs_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ros/common/random.hpp"
+#include "ros/common/units.hpp"
+#include "ros/radar/waveform.hpp"
+
+namespace rp = ros::pipeline;
+namespace rc = ros::common;
+using ros::scene::RadarPose;
+using ros::scene::Vec2;
+
+namespace {
+
+struct SamplerRig {
+  ros::radar::FmcwChirp chirp = ros::radar::FmcwChirp::ti_iwr1443();
+  ros::radar::RadarArray array = ros::radar::RadarArray::ti_iwr1443();
+  ros::radar::WaveformSynthesizer synth{chirp, array};
+  rc::Rng rng{11};
+
+  /// Build profiles for a target at `target` as the radar drives along y
+  /// = 3, x in [-2, 2].
+  std::vector<ros::radar::RangeProfile> profiles;
+  std::vector<RadarPose> poses;
+
+  explicit SamplerRig(Vec2 target, double amp = 3e-5) {
+    for (int i = 0; i <= 40; ++i) {
+      RadarPose pose;
+      pose.position = {-2.0 + 0.1 * i, 3.0};
+      pose.boresight = {0.0, -1.0};
+      poses.push_back(pose);
+      const Vec2 d = target - pose.position;
+      ros::radar::ScatterReturn r;
+      r.amplitude = amp;
+      r.range_m = d.norm();
+      r.azimuth_rad = pose.azimuth_to(target);
+      profiles.push_back(ros::radar::range_fft(
+          synth.synthesize(std::vector{r}, 0.0, rng), chirp));
+    }
+  }
+};
+
+}  // namespace
+
+TEST(RcsSampler, SamplesTrackTargetPower) {
+  SamplerRig s({0.0, 0.0});
+  const auto samples = rp::sample_rss(s.profiles, s.poses, {0.0, 0.0},
+                                      {1.0, 0.0}, s.array,
+                                      s.chirp.center_hz());
+  ASSERT_EQ(samples.size(), 41u);
+  for (const auto& smp : samples) {
+    EXPECT_NEAR(smp.rss_dbm, rc::watt_to_dbm(3e-5 * 3e-5), 2.5);
+  }
+}
+
+TEST(RcsSampler, UFollowsGeometry) {
+  SamplerRig s({0.0, 0.0});
+  const auto samples = rp::sample_rss(s.profiles, s.poses, {0.0, 0.0},
+                                      {1.0, 0.0}, s.array,
+                                      s.chirp.center_hz());
+  // u = dx / range; at pose x = -2: u = -2 / sqrt(13).
+  EXPECT_NEAR(samples.front().u, -2.0 / std::sqrt(13.0), 1e-9);
+  // Midpoint (x = 0): u = 0.
+  EXPECT_NEAR(samples[20].u, 0.0, 1e-9);
+  EXPECT_NEAR(samples.back().u, 2.0 / std::sqrt(13.0), 1e-9);
+  // Monotone along the straight pass.
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GT(samples[i].u, samples[i - 1].u);
+  }
+}
+
+TEST(RcsSampler, RangeRecorded) {
+  SamplerRig s({0.0, 0.0});
+  const auto samples = rp::sample_rss(s.profiles, s.poses, {0.0, 0.0},
+                                      {1.0, 0.0}, s.array,
+                                      s.chirp.center_hz());
+  EXPECT_NEAR(samples[20].range_m, 3.0, 1e-9);
+  EXPECT_NEAR(samples.front().range_m, std::sqrt(13.0), 1e-9);
+}
+
+TEST(RcsSampler, ToDecoderSeriesTruncatesFov) {
+  SamplerRig s({0.0, 0.0});
+  const auto samples = rp::sample_rss(s.profiles, s.poses, {0.0, 0.0},
+                                      {1.0, 0.0}, s.array,
+                                      s.chirp.center_hz());
+  const auto all = rp::to_decoder_series(samples);
+  const auto trunc = rp::to_decoder_series(samples, 0.2);
+  EXPECT_EQ(all.u.size(), samples.size());
+  EXPECT_LT(trunc.u.size(), all.u.size());
+  for (double u : trunc.u) EXPECT_LE(std::abs(u), 0.2);
+}
+
+TEST(RcsSampler, ToDecoderSeriesFiltersWeakSamples) {
+  SamplerRig s({0.0, 0.0});
+  auto samples = rp::sample_rss(s.profiles, s.poses, {0.0, 0.0},
+                                {1.0, 0.0}, s.array, s.chirp.center_hz());
+  samples[5].rss_dbm = -120.0;
+  const auto filtered = rp::to_decoder_series(samples, 1.0, -100.0);
+  EXPECT_EQ(filtered.u.size(), samples.size() - 1);
+}
+
+TEST(RcsSampler, MismatchedSizesThrow) {
+  SamplerRig s({0.0, 0.0});
+  std::vector<RadarPose> fewer(s.poses.begin(), s.poses.end() - 1);
+  EXPECT_THROW(rp::sample_rss(s.profiles, fewer, {0.0, 0.0}, {1.0, 0.0},
+                              s.array, s.chirp.center_hz()),
+               std::invalid_argument);
+}
+
+TEST(RcsSampler, ZeroRoadDirectionThrows) {
+  SamplerRig s({0.0, 0.0});
+  EXPECT_THROW(rp::sample_rss(s.profiles, s.poses, {0.0, 0.0}, {0.0, 0.0},
+                              s.array, s.chirp.center_hz()),
+               std::invalid_argument);
+}

@@ -1,0 +1,68 @@
+#include "ros/pipeline/tag_detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rp = ros::pipeline;
+
+namespace {
+rp::Cluster dense_small_cluster() {
+  rp::Cluster c;
+  c.n_points = 200;
+  c.size_m2 = 0.01;
+  c.density = 20000.0;
+  c.centroid = {0.0, 0.0};
+  return c;
+}
+}  // namespace
+
+TEST(TagDetector, TagLikeClusterAccepted) {
+  // Small, dense, low polarization loss (Fig. 13: tag ~13 dB).
+  const auto c = rp::classify_cluster(dense_small_cluster(), -30.0, -43.0,
+                                      {});
+  EXPECT_TRUE(c.is_tag);
+  EXPECT_NEAR(c.rss_loss_db, 13.0, 1e-12);
+}
+
+TEST(TagDetector, ClutterRejectedByRssLoss) {
+  // 18 dB loss: typical street lamp.
+  const auto c = rp::classify_cluster(dense_small_cluster(), -30.0, -48.0,
+                                      {});
+  EXPECT_FALSE(c.is_tag);
+}
+
+TEST(TagDetector, LargeObjectRejectedBySize) {
+  auto cluster = dense_small_cluster();
+  cluster.size_m2 = 0.2;  // tree-sized
+  const auto c = rp::classify_cluster(cluster, -30.0, -43.0, {});
+  EXPECT_FALSE(c.is_tag);
+}
+
+TEST(TagDetector, SparseGhostRejectedByDensity) {
+  auto cluster = dense_small_cluster();
+  cluster.density = 5.0;
+  const auto c = rp::classify_cluster(cluster, -30.0, -43.0, {});
+  EXPECT_FALSE(c.is_tag);
+}
+
+TEST(TagDetector, FewPointsRejected) {
+  auto cluster = dense_small_cluster();
+  cluster.n_points = 3;
+  const auto c = rp::classify_cluster(cluster, -30.0, -43.0, {});
+  EXPECT_FALSE(c.is_tag);
+}
+
+TEST(TagDetector, ThresholdsConfigurable) {
+  rp::TagDetectorOptions opts;
+  opts.max_rss_loss_db = 20.0;  // permissive
+  const auto c = rp::classify_cluster(dense_small_cluster(), -30.0, -48.0,
+                                      opts);
+  EXPECT_TRUE(c.is_tag);
+}
+
+TEST(TagDetector, NegativeLossIsTagLike) {
+  // A tag can even be *stronger* under the switched Tx.
+  const auto c = rp::classify_cluster(dense_small_cluster(), -45.0, -40.0,
+                                      {});
+  EXPECT_TRUE(c.is_tag);
+  EXPECT_LT(c.rss_loss_db, 0.0);
+}

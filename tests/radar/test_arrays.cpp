@@ -1,0 +1,54 @@
+#include "ros/radar/arrays.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ros/common/angles.hpp"
+#include "ros/common/units.hpp"
+
+namespace rr = ros::radar;
+namespace rc = ros::common;
+using ros::em::Polarization;
+
+TEST(Arrays, TiBeamwidthMatchesPaper) {
+  // Sec. 3.2: the TI virtual array has N_a = 8 -> angle resolution
+  // ~14.3 deg. (The 4-physical-Rx beamwidth of Sec. 7.1, 28.6 deg, is
+  // recovered with n_rx = 4.)
+  const auto a = rr::RadarArray::ti_iwr1443();
+  EXPECT_NEAR(rc::rad_to_deg(a.beamwidth_rad()), 14.3, 0.1);
+  rr::RadarArray four;
+  four.n_rx = 4;
+  EXPECT_NEAR(rc::rad_to_deg(four.beamwidth_rad()), 28.6, 0.1);
+}
+
+TEST(Arrays, DefaultSpacingHalfLambda) {
+  const auto a = rr::RadarArray::ti_iwr1443();
+  EXPECT_NEAR(a.rx_spacing(79e9), rc::wavelength(79e9) / 2.0, 1e-12);
+}
+
+TEST(Arrays, PolarizationRoles) {
+  const auto a = rr::RadarArray::ti_iwr1443();
+  EXPECT_EQ(a.tx_normal_pol(), a.rx_pol);
+  EXPECT_EQ(a.tx_switched_pol(), ros::em::orthogonal(a.rx_pol));
+}
+
+TEST(Arrays, ElementFieldTapersAndCuts) {
+  const auto a = rr::RadarArray::ti_iwr1443();
+  EXPECT_DOUBLE_EQ(a.element_field(0.0), 1.0);
+  EXPECT_LT(a.element_field(rc::deg_to_rad(40.0)), 1.0);
+  EXPECT_GT(a.element_field(rc::deg_to_rad(40.0)), 0.0);
+  // Outside the FoV: zero.
+  EXPECT_DOUBLE_EQ(a.element_field(rc::deg_to_rad(50.0)), 0.0);
+}
+
+TEST(Arrays, MoreAntennasNarrowerBeam) {
+  rr::RadarArray a4;
+  a4.n_rx = 4;
+  const auto a8 = rr::RadarArray::ti_iwr1443();
+  EXPECT_LT(a8.beamwidth_rad(), a4.beamwidth_rad());
+}
+
+TEST(Arrays, InvalidThrow) {
+  rr::RadarArray bad;
+  bad.n_rx = 0;
+  EXPECT_THROW(bad.beamwidth_rad(), std::invalid_argument);
+}

@@ -1,0 +1,60 @@
+#include "ros/radar/chirp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rr = ros::radar;
+
+TEST(Chirp, TiDefaults) {
+  const auto c = rr::FmcwChirp::ti_iwr1443();
+  EXPECT_DOUBLE_EQ(c.slope_hz_per_s, 66e12);
+  EXPECT_DOUBLE_EQ(c.sample_rate_hz, 5e6);
+  EXPECT_EQ(c.n_samples, 256);
+  EXPECT_DOUBLE_EQ(c.frame_rate_hz, 1000.0);
+}
+
+TEST(Chirp, SampledDuration) {
+  // 256 samples at 5 Msps = 51.2 us (within the 60 us frame of Sec. 7.1).
+  const auto c = rr::FmcwChirp::ti_iwr1443();
+  EXPECT_NEAR(c.sampled_duration_s(), 51.2e-6, 1e-9);
+}
+
+TEST(Chirp, SampledBandwidth) {
+  // 66 MHz/us * 51.2 us ~= 3.38 GHz.
+  const auto c = rr::FmcwChirp::ti_iwr1443();
+  EXPECT_NEAR(c.sampled_bandwidth_hz(), 3.38e9, 0.01e9);
+}
+
+TEST(Chirp, RangeResolutionNearPaperValue) {
+  // Sec. 3.2 quotes 3.75 cm for the full 4 GHz; the sampled 3.38 GHz
+  // gives ~4.4 cm.
+  const auto c = rr::FmcwChirp::ti_iwr1443();
+  EXPECT_NEAR(c.range_resolution_m(), 0.0443, 0.001);
+}
+
+TEST(Chirp, MaxRangeCoversRoadScenario) {
+  // 5 Msps at 66 MHz/us -> ~11.4 m unambiguous range: covers the 6 m
+  // evaluation distances.
+  const auto c = rr::FmcwChirp::ti_iwr1443();
+  EXPECT_NEAR(c.max_range_m(), 11.36, 0.05);
+}
+
+TEST(Chirp, BeatFrequencyRoundTrip) {
+  const auto c = rr::FmcwChirp::ti_iwr1443();
+  for (double r : {1.0, 3.0, 6.0, 10.0}) {
+    EXPECT_NEAR(c.range_for_beat_hz(c.beat_frequency_hz(r)), r, 1e-9);
+  }
+}
+
+TEST(Chirp, CenterFrequencyInBand) {
+  const auto c = rr::FmcwChirp::ti_iwr1443();
+  EXPECT_GT(c.center_hz(), 77e9);
+  EXPECT_LT(c.center_hz(), 81e9);
+}
+
+TEST(Chirp, InvalidChirpThrows) {
+  rr::FmcwChirp bad;
+  bad.n_samples = 0;
+  EXPECT_THROW(bad.sampled_duration_s(), std::invalid_argument);
+  rr::FmcwChirp neg;
+  EXPECT_THROW(neg.beat_frequency_hz(-1.0), std::invalid_argument);
+}

@@ -1,0 +1,101 @@
+#include "ros/radar/doppler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ros/common/units.hpp"
+
+namespace rr = ros::radar;
+namespace rc = ros::common;
+
+namespace {
+
+struct Rig {
+  rr::FmcwChirp chirp = rr::FmcwChirp::ti_iwr1443();
+  rr::RadarArray array = rr::RadarArray::ti_iwr1443();
+  rr::WaveformSynthesizer synth{chirp, array};
+  rr::ChirpTrain train{};
+  rc::Rng rng{3};
+
+  rr::RangeDopplerMap map_for(std::vector<rr::ScatterReturn> returns,
+                              double noise_w = 0.0) {
+    const auto profiles =
+        rr::synthesize_train(synth, returns, train, noise_w, rng);
+    return rr::range_doppler(profiles, train, chirp.center_hz());
+  }
+
+  rr::ScatterReturn target(double range, double velocity) const {
+    rr::ScatterReturn r;
+    r.amplitude = 1e-4;
+    r.range_m = range;
+    r.doppler_hz = 2.0 * velocity / rc::wavelength(chirp.center_hz());
+    return r;
+  }
+};
+
+}  // namespace
+
+TEST(Doppler, TrainParameters) {
+  const rr::ChirpTrain t{};
+  // lambda/(4T) at 79 GHz, 60 us: ~15.8 m/s unambiguous.
+  EXPECT_NEAR(t.max_unambiguous_velocity(79e9), 15.8, 0.2);
+  EXPECT_NEAR(t.velocity_resolution(79e9),
+              2.0 * t.max_unambiguous_velocity(79e9) / 32.0, 1e-9);
+}
+
+TEST(Doppler, StaticTargetAtZeroVelocity) {
+  Rig rig;
+  const auto map = rig.map_for({rig.target(3.0, 0.0)});
+  EXPECT_NEAR(rr::estimate_radial_velocity(map, 3.0), 0.0, 0.1);
+}
+
+TEST(Doppler, MovingTargetVelocityRecovered) {
+  Rig rig;
+  for (double v : {-8.0, -3.0, 2.0, 5.0, 12.0}) {
+    const auto map = rig.map_for({rig.target(3.0, v)});
+    EXPECT_NEAR(rr::estimate_radial_velocity(map, 3.0), v, 0.3)
+        << "v = " << v;
+  }
+}
+
+TEST(Doppler, TwoTargetsSeparatedInRangeAndVelocity) {
+  Rig rig;
+  const auto map =
+      rig.map_for({rig.target(2.0, 4.0), rig.target(5.0, -6.0)});
+  EXPECT_NEAR(rr::estimate_radial_velocity(map, 2.0), 4.0, 0.3);
+  EXPECT_NEAR(rr::estimate_radial_velocity(map, 5.0), -6.0, 0.3);
+}
+
+TEST(Doppler, SurvivesNoise) {
+  Rig rig;
+  const auto map = rig.map_for({rig.target(3.0, 6.0)}, 1e-10);
+  EXPECT_NEAR(rr::estimate_radial_velocity(map, 3.0), 6.0, 0.5);
+}
+
+TEST(Doppler, PaperClaimDopplerNegligibleForCarrier) {
+  // Sec. 7.3: 19 kHz Doppler at 80 mph vs the 79 GHz carrier.
+  const double v = rc::mph_to_mps(80.0);
+  const double doppler = 2.0 * v / rc::wavelength(79e9);
+  EXPECT_NEAR(doppler, 18.9e3, 0.5e3);
+  EXPECT_LT(doppler / 79e9, 1e-6);
+}
+
+TEST(Doppler, VelocityAxisCentered) {
+  Rig rig;
+  const auto map = rig.map_for({rig.target(3.0, 0.0)});
+  EXPECT_DOUBLE_EQ(map.velocity_of_bin(16), 0.0);  // N/2 for N = 32
+  EXPECT_LT(map.velocity_of_bin(0), 0.0);
+  EXPECT_GT(map.velocity_of_bin(31), 0.0);
+}
+
+TEST(Doppler, InvalidInputsThrow) {
+  Rig rig;
+  rr::ChirpTrain bad;
+  bad.n_chirps = 0;
+  EXPECT_THROW(rr::synthesize_train(rig.synth, {}, bad, 0.0, rig.rng),
+               std::invalid_argument);
+  const auto map = rig.map_for({rig.target(3.0, 0.0)});
+  EXPECT_THROW(rr::estimate_radial_velocity(map, 100.0),
+               std::invalid_argument);
+}

@@ -1,0 +1,138 @@
+#include "ros/radar/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ros/common/angles.hpp"
+#include "ros/common/mathx.hpp"
+#include "ros/common/units.hpp"
+#include "ros/dsp/fft.hpp"
+
+namespace rr = ros::radar;
+namespace rc = ros::common;
+
+namespace {
+rr::WaveformSynthesizer make_synth() {
+  return {rr::FmcwChirp::ti_iwr1443(), rr::RadarArray::ti_iwr1443()};
+}
+}  // namespace
+
+TEST(Waveform, FrameDimensions) {
+  const auto synth = make_synth();
+  rc::Rng rng(1);
+  const auto frame = synth.synthesize({}, 0.0, rng);
+  ASSERT_EQ(frame.size(), 8u);
+  for (const auto& chan : frame) EXPECT_EQ(chan.size(), 256u);
+}
+
+TEST(Waveform, NoReturnsNoNoiseIsZero) {
+  const auto synth = make_synth();
+  rc::Rng rng(1);
+  const auto frame = synth.synthesize({}, 0.0, rng);
+  for (const auto& chan : frame) {
+    for (const auto& v : chan) EXPECT_EQ(v, rc::cplx(0.0, 0.0));
+  }
+}
+
+TEST(Waveform, ToneAppearsAtBeatFrequency) {
+  const auto synth = make_synth();
+  rr::ScatterReturn r;
+  r.amplitude = 1.0;
+  r.range_m = 3.0;
+  rc::Rng rng(1);
+  const auto frame = synth.synthesize(std::vector{r}, 0.0, rng);
+  const auto spec = ros::dsp::fft(frame[0]);
+  const auto mag = ros::dsp::magnitude(spec);
+  const std::size_t peak = ros::common::argmax(mag);
+  // Expected bin: f_beat / (fs / N).
+  const double f_beat = synth.chirp().beat_frequency_hz(3.0);
+  const double expected =
+      f_beat / (synth.chirp().sample_rate_hz / 256.0);
+  EXPECT_NEAR(static_cast<double>(peak), expected, 1.0);
+}
+
+TEST(Waveform, AmplitudePreserved) {
+  const auto synth = make_synth();
+  rr::ScatterReturn r;
+  r.amplitude = 0.5;
+  r.range_m = 2.0;
+  rc::Rng rng(1);
+  const auto frame = synth.synthesize(std::vector{r}, 0.0, rng);
+  for (const auto& v : frame[0]) {
+    EXPECT_NEAR(std::abs(v), 0.5, 1e-9);
+  }
+}
+
+TEST(Waveform, InterAntennaPhaseMatchesAoA) {
+  const auto synth = make_synth();
+  rr::ScatterReturn r;
+  r.amplitude = 1.0;
+  r.range_m = 3.0;
+  r.azimuth_rad = rc::deg_to_rad(20.0);
+  rc::Rng rng(1);
+  const auto frame = synth.synthesize(std::vector{r}, 0.0, rng);
+  // Phase difference between adjacent antennas at sample 0:
+  // 2 pi d sin(az) / lambda with d = lambda/2.
+  const double expected = rc::kPi * std::sin(r.azimuth_rad);
+  const double measured = std::arg(frame[1][0] / frame[0][0]);
+  EXPECT_NEAR(measured, expected, 1e-6);
+}
+
+TEST(Waveform, DopplerShiftsBeat) {
+  const auto synth = make_synth();
+  rr::ScatterReturn stat;
+  stat.amplitude = 1.0;
+  stat.range_m = 3.0;
+  rr::ScatterReturn moving = stat;
+  moving.doppler_hz = 40e3;  // ~2 bins
+  rc::Rng rng(1);
+  const auto f1 = synth.synthesize(std::vector{stat}, 0.0, rng);
+  const auto f2 = synth.synthesize(std::vector{moving}, 0.0, rng);
+  const auto p1 = ros::common::argmax(
+      ros::dsp::magnitude(ros::dsp::fft(f1[0])));
+  const auto p2 = ros::common::argmax(
+      ros::dsp::magnitude(ros::dsp::fft(f2[0])));
+  EXPECT_EQ(p2, p1 + 2);
+}
+
+TEST(Waveform, NoiseAddsExpectedPower) {
+  const auto synth = make_synth();
+  rc::Rng rng(3);
+  const double noise_p = 1e-8;
+  const auto frame = synth.synthesize({}, noise_p, rng);
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& chan : frame) {
+    for (const auto& v : chan) {
+      sum += std::norm(v);
+      ++n;
+    }
+  }
+  EXPECT_NEAR(sum / static_cast<double>(n), noise_p, 0.1 * noise_p);
+}
+
+TEST(Waveform, SuperpositionOfTwoReturns) {
+  const auto synth = make_synth();
+  rr::ScatterReturn a;
+  a.amplitude = 1.0;
+  a.range_m = 2.0;
+  rr::ScatterReturn b;
+  b.amplitude = 1.0;
+  b.range_m = 5.0;
+  rc::Rng rng(1);
+  const auto frame = synth.synthesize(std::vector{a, b}, 0.0, rng);
+  const auto mag = ros::dsp::magnitude(ros::dsp::fft(frame[0]));
+  // Both tones present: two prominent peaks.
+  const auto c = synth.chirp();
+  const double bin_a = c.beat_frequency_hz(2.0) / (c.sample_rate_hz / 256);
+  const double bin_b = c.beat_frequency_hz(5.0) / (c.sample_rate_hz / 256);
+  EXPECT_GT(mag[static_cast<std::size_t>(std::lround(bin_a))], 100.0);
+  EXPECT_GT(mag[static_cast<std::size_t>(std::lround(bin_b))], 100.0);
+}
+
+TEST(Waveform, InvalidNoiseThrows) {
+  const auto synth = make_synth();
+  rc::Rng rng(1);
+  EXPECT_THROW(synth.synthesize({}, -1.0, rng), std::invalid_argument);
+}

@@ -1,0 +1,45 @@
+#include "ros/scene/fog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rs = ros::scene;
+
+TEST(Fog, ClearHasNoLoss) {
+  EXPECT_DOUBLE_EQ(rs::two_way_loss_db(rs::Weather::clear, 100.0), 0.0);
+}
+
+TEST(Fog, HeavyFogMatchesCitedAttenuation) {
+  // Paper Sec. 7.3: ~2 dB per 100 m one-way at 79 GHz.
+  EXPECT_DOUBLE_EQ(
+      rs::one_way_attenuation_db_per_100m(rs::Weather::heavy_fog), 2.0);
+  EXPECT_DOUBLE_EQ(rs::two_way_loss_db(rs::Weather::heavy_fog, 100.0), 4.0);
+}
+
+TEST(Fog, HeavyRainSlightlyWorse) {
+  EXPECT_GT(rs::one_way_attenuation_db_per_100m(rs::Weather::heavy_rain),
+            rs::one_way_attenuation_db_per_100m(rs::Weather::heavy_fog));
+}
+
+TEST(Fog, NegligibleAtTagDistances) {
+  // The paper's core observation: at <= 6 m the fog loss is tiny.
+  EXPECT_LT(rs::two_way_loss_db(rs::Weather::heavy_fog, 6.0), 0.3);
+}
+
+TEST(Fog, LossLinearInDistance) {
+  const double l1 = rs::two_way_loss_db(rs::Weather::light_fog, 50.0);
+  const double l2 = rs::two_way_loss_db(rs::Weather::light_fog, 100.0);
+  EXPECT_NEAR(l2 / l1, 2.0, 1e-12);
+}
+
+TEST(Fog, NamesAreStable) {
+  EXPECT_EQ(std::string(rs::weather_name(rs::Weather::clear)), "clear");
+  EXPECT_EQ(std::string(rs::weather_name(rs::Weather::heavy_fog)),
+            "heavy_fog");
+}
+
+TEST(Fog, NegativeDistanceThrows) {
+  EXPECT_THROW(rs::two_way_loss_db(rs::Weather::clear, -1.0),
+               std::invalid_argument);
+}

@@ -1,0 +1,46 @@
+#include "ros/scene/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ros/common/angles.hpp"
+
+namespace rs = ros::scene;
+namespace rc = ros::common;
+
+TEST(Geometry, Vec2Arithmetic) {
+  const rs::Vec2 a{1.0, 2.0};
+  const rs::Vec2 b{3.0, -1.0};
+  EXPECT_DOUBLE_EQ((a + b).x, 4.0);
+  EXPECT_DOUBLE_EQ((a - b).y, 3.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).x, 2.0);
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  const rs::Vec2 c{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(c.norm(), 5.0);
+}
+
+TEST(Geometry, AzimuthZeroOnBoresight) {
+  rs::RadarPose pose;
+  pose.position = {0.0, 3.0};
+  pose.boresight = {0.0, -1.0};
+  EXPECT_NEAR(pose.azimuth_to({0.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(Geometry, AzimuthSignConvention) {
+  rs::RadarPose pose;
+  pose.position = {0.0, 3.0};
+  pose.boresight = {0.0, -1.0};  // looking toward -y
+  // A point to the radar's left (negative x in world, which is to the
+  // right when facing -y)... verify the two sides have opposite signs
+  // and the magnitudes are correct.
+  const double az_pos_x = pose.azimuth_to({3.0, 0.0});
+  const double az_neg_x = pose.azimuth_to({-3.0, 0.0});
+  EXPECT_NEAR(std::abs(az_pos_x), rc::deg_to_rad(45.0), 1e-9);
+  EXPECT_NEAR(az_pos_x, -az_neg_x, 1e-12);
+}
+
+TEST(Geometry, AzimuthNinetyDegrees) {
+  rs::RadarPose pose;
+  pose.position = {0.0, 0.0};
+  pose.boresight = {1.0, 0.0};
+  EXPECT_NEAR(std::abs(pose.azimuth_to({0.0, 5.0})), rc::kPi / 2.0, 1e-9);
+}

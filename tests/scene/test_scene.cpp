@@ -1,0 +1,229 @@
+#include "ros/scene/scene.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ros/common/units.hpp"
+
+namespace rs = ros::scene;
+namespace rc = ros::common;
+using ros::radar::TxMode;
+
+namespace {
+const ros::em::StriplineStackup& stackup() {
+  static const auto s = ros::em::StriplineStackup::ros_default();
+  return s;
+}
+
+rs::RadarPose side_pose(double x, double y) {
+  rs::RadarPose p;
+  p.position = {x, y};
+  p.boresight = {0.0, -1.0};
+  return p;
+}
+}  // namespace
+
+TEST(Scene, EmptySceneNoReturns) {
+  rs::Scene world;
+  rc::Rng rng(1);
+  const auto r = world.frame_returns(side_pose(0, 3), TxMode::normal,
+                                     ros::radar::RadarArray::ti_iwr1443(),
+                                     ros::tag::RadarLinkBudget::ti_iwr1443(),
+                                     79e9, rng);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Scene, TagRssLossSmallerThanClutter) {
+  // The Fig. 13a feature at the scene level: switching from the normal
+  // to the orthogonal Tx costs the tag noticeably less than it costs a
+  // polarization-preserving object.
+  rc::Rng rng(2);
+  const auto arr = ros::radar::RadarArray::ti_iwr1443();
+  const auto bud = ros::tag::RadarLinkBudget::ti_iwr1443();
+  const auto pass_loss_db = [&](rs::Scene& world) {
+    double p_normal = 0.0;
+    double p_switched = 0.0;
+    for (double x = -2.0; x <= 2.0; x += 0.25) {
+      for (const auto& r :
+           world.frame_returns(side_pose(x, 3.0), TxMode::normal, arr, bud,
+                               79e9, rng)) {
+        p_normal += r.amplitude * r.amplitude;
+      }
+      for (const auto& r :
+           world.frame_returns(side_pose(x, 3.0), TxMode::switched, arr,
+                               bud, 79e9, rng)) {
+        p_switched += r.amplitude * r.amplitude;
+      }
+    }
+    return rc::linear_to_db(p_normal / p_switched);
+  };
+
+  rs::Scene tag_world;
+  tag_world.add_tag(
+      ros::tag::make_default_tag({true, true, true, true}, &stackup(), 32),
+      {{0.0, 0.0}, {0.0, 1.0}, 0.0});
+  rs::Scene lamp_world;
+  lamp_world.add_clutter(rs::street_lamp_params({0.0, 0.0}));
+
+  const double tag_loss = pass_loss_db(tag_world);
+  const double lamp_loss = pass_loss_db(lamp_world);
+  EXPECT_LT(tag_loss, lamp_loss - 1.5);
+  EXPECT_LT(tag_loss, 17.0);   // paper: ~13 dB median
+  EXPECT_GT(lamp_loss, 15.0);  // paper: 16-19 dB
+}
+
+TEST(Scene, ClutterWeakerUnderSwitchedTx) {
+  rs::Scene world;
+  world.add_clutter(rs::street_lamp_params({0.0, 0.0}));
+  rc::Rng rng(3);
+  const auto arr = ros::radar::RadarArray::ti_iwr1443();
+  const auto bud = ros::tag::RadarLinkBudget::ti_iwr1443();
+  // Sum power across sub-scatterers with identical rng streams.
+  const auto sum_p = [&](TxMode mode, std::uint64_t seed) {
+    rc::Rng r(seed);
+    double p = 0.0;
+    for (const auto& ret : world.frame_returns(side_pose(0.0, 3.0), mode,
+                                               arr, bud, 79e9, r)) {
+      p += ret.amplitude * ret.amplitude;
+    }
+    return p;
+  };
+  const double pn = sum_p(TxMode::normal, 9);
+  const double ps = sum_p(TxMode::switched, 9);
+  // ~19 dB rejection for the lamp.
+  EXPECT_GT(rc::linear_to_db(pn / ps), 10.0);
+}
+
+TEST(Scene, ReturnRangeAndAzimuthCorrect) {
+  rs::Scene world;
+  world.add_clutter(rs::tripod_params({0.0, 0.0}));
+  rc::Rng rng(4);
+  const auto rets = world.frame_returns(
+      side_pose(3.0, 3.0), TxMode::normal,
+      ros::radar::RadarArray::ti_iwr1443(),
+      ros::tag::RadarLinkBudget::ti_iwr1443(), 79e9, rng);
+  ASSERT_FALSE(rets.empty());
+  for (const auto& r : rets) {
+    EXPECT_NEAR(r.range_m, std::sqrt(18.0), 0.3);
+    EXPECT_NEAR(std::abs(r.azimuth_rad), rc::kPi / 4.0, 0.1);
+  }
+}
+
+TEST(Scene, ObjectOutsideFovDropped) {
+  rs::Scene world;
+  world.add_clutter(rs::tripod_params({10.0, 2.9}));  // nearly abeam
+  rc::Rng rng(5);
+  const auto rets = world.frame_returns(
+      side_pose(0.0, 3.0), TxMode::normal,
+      ros::radar::RadarArray::ti_iwr1443(),
+      ros::tag::RadarLinkBudget::ti_iwr1443(), 79e9, rng);
+  EXPECT_TRUE(rets.empty());
+}
+
+TEST(Scene, FogAttenuatesReturns) {
+  const auto amp_at = [&](rs::Weather w) {
+    rs::Scene world(w);
+    world.add_clutter(rs::tripod_params({0.0, 0.0}));
+    rc::Rng rng(6);
+    const auto rets = world.frame_returns(
+        side_pose(0.0, 5.0), TxMode::normal,
+        ros::radar::RadarArray::ti_iwr1443(),
+        ros::tag::RadarLinkBudget::ti_iwr1443(), 79e9, rng);
+    double p = 0.0;
+    for (const auto& r : rets) p += r.amplitude * r.amplitude;
+    return p;
+  };
+  const double clear = amp_at(rs::Weather::clear);
+  const double fog = amp_at(rs::Weather::heavy_fog);
+  // 2 dB/100 m two-way over 5 m: ~0.2 dB -- present but tiny.
+  const double loss_db = rc::linear_to_db(clear / fog);
+  EXPECT_GT(loss_db, 0.05);
+  EXPECT_LT(loss_db, 1.0);
+}
+
+TEST(Scene, DopplerSignFollowsClosingSpeed) {
+  rs::Scene world;
+  world.add_clutter(rs::tripod_params({2.0, 0.0}));
+  rs::RadarPose pose = side_pose(0.0, 3.0);
+  pose.velocity = {10.0, 0.0};  // moving toward +x, object ahead-right
+  rc::Rng rng(7);
+  const auto rets = world.frame_returns(
+      pose, TxMode::normal, ros::radar::RadarArray::ti_iwr1443(),
+      ros::tag::RadarLinkBudget::ti_iwr1443(), 79e9, rng);
+  ASSERT_FALSE(rets.empty());
+  for (const auto& r : rets) EXPECT_GT(r.doppler_hz, 0.0);
+}
+
+TEST(Scene, AmplitudeFollowsRadarEquation) {
+  rs::ClutterObject::Params params = rs::tripod_params({0.0, 0.0});
+  params.fluctuation_db = 0.0;
+  params.n_centers = 1;
+  params.extent_x_m = params.extent_y_m = 0.0;
+  const auto power_at = [&](double dist) {
+    rs::Scene world;
+    world.add_clutter(params);
+    rc::Rng rng(8);
+    const auto rets = world.frame_returns(
+        side_pose(0.0, dist), TxMode::normal,
+        ros::radar::RadarArray::ti_iwr1443(),
+        ros::tag::RadarLinkBudget::ti_iwr1443(), 79e9, rng);
+    return rets.at(0).amplitude * rets.at(0).amplitude;
+  };
+  // d^-4 law: doubling distance costs 12 dB.
+  EXPECT_NEAR(rc::linear_to_db(power_at(2.0) / power_at(4.0)), 12.04, 0.3);
+}
+
+TEST(Scene, AddNullObjectThrows) {
+  rs::Scene world;
+  EXPECT_THROW(world.add(nullptr), std::invalid_argument);
+}
+
+TEST(Scene, GroundBounceDisabledIsUnity) {
+  rs::Scene world;
+  EXPECT_DOUBLE_EQ(world.ground_factor(3.0, 79e9), 1.0);
+}
+
+TEST(Scene, GroundBounceOscillatesWithDistance) {
+  rs::Scene world;
+  rs::GroundBounce g;
+  g.enabled = true;
+  g.reflection_coefficient = 0.3;  // strong surface: visible swing
+  world.set_ground(g);
+  double lo = 10.0;
+  double hi = 0.0;
+  for (double d = 2.0; d <= 8.0; d += 0.05) {
+    const double f = world.ground_factor(d, 79e9);
+    lo = std::min(lo, f);
+    hi = std::max(hi, f);
+  }
+  // Two-ray fading: factor swings between (1-G)^2 and (1+G)^2.
+  EXPECT_LT(lo, 0.7);
+  EXPECT_GT(hi, 1.4);
+  EXPECT_GE(lo, (1.0 - g.reflection_coefficient) *
+                    (1.0 - g.reflection_coefficient) - 1e-9);
+  EXPECT_LE(hi, (1.0 + g.reflection_coefficient) *
+                    (1.0 + g.reflection_coefficient) + 1e-9);
+}
+
+TEST(Scene, GroundBounceModulatesReturns) {
+  const auto amp_at = [](bool ground) {
+    rs::Scene world;
+    if (ground) {
+      rs::GroundBounce g;
+      g.enabled = true;
+      g.reflection_coefficient = 0.4;
+      world.set_ground(g);
+    }
+    world.add_clutter(rs::tripod_params({0.0, 0.0}));
+    rc::Rng rng(6);
+    const auto rets = world.frame_returns(
+        side_pose(0.0, 3.7), TxMode::normal,
+        ros::radar::RadarArray::ti_iwr1443(),
+        ros::tag::RadarLinkBudget::ti_iwr1443(), 79e9, rng);
+    double p = 0.0;
+    for (const auto& r : rets) p += r.amplitude * r.amplitude;
+    return p;
+  };
+  EXPECT_NE(amp_at(true), amp_at(false));
+}

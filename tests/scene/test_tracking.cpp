@@ -1,0 +1,77 @@
+#include "ros/scene/tracking.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rs = ros::scene;
+
+namespace {
+std::vector<rs::RadarPose> straight_truth(std::size_t n) {
+  std::vector<rs::RadarPose> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].position = {static_cast<double>(i) * 0.1, 3.0};
+  }
+  return out;
+}
+}  // namespace
+
+TEST(Tracking, ZeroDriftIsIdentity) {
+  const auto truth = straight_truth(20);
+  const rs::TrackingModel model({});
+  const auto est = model.estimate(truth);
+  ASSERT_EQ(est.size(), truth.size());
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    EXPECT_DOUBLE_EQ(est[i].position.x, truth[i].position.x);
+    EXPECT_DOUBLE_EQ(est[i].position.y, truth[i].position.y);
+  }
+}
+
+TEST(Tracking, DriftScalesDisplacement) {
+  const auto truth = straight_truth(11);
+  rs::TrackingModel::Params p;
+  p.relative_drift = 0.05;
+  const rs::TrackingModel model(p);
+  const auto est = model.estimate(truth);
+  // First pose anchored.
+  EXPECT_DOUBLE_EQ(est[0].position.x, truth[0].position.x);
+  // Last pose: displacement 1.0 scaled by 1.05.
+  EXPECT_NEAR(est[10].position.x, 1.05, 1e-12);
+}
+
+TEST(Tracking, NegativeDriftShrinks) {
+  const auto truth = straight_truth(11);
+  rs::TrackingModel::Params p;
+  p.relative_drift = -0.1;
+  const rs::TrackingModel model(p);
+  const auto est = model.estimate(truth);
+  EXPECT_NEAR(est[10].position.x, 0.9, 1e-12);
+}
+
+TEST(Tracking, JitterDeterministicBySeed) {
+  const auto truth = straight_truth(10);
+  rs::TrackingModel::Params p;
+  p.jitter_std_m = 0.01;
+  p.seed = 5;
+  const rs::TrackingModel a(p);
+  const rs::TrackingModel b(p);
+  const auto ea = a.estimate(truth);
+  const auto eb = b.estimate(truth);
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ea[i].position.x, eb[i].position.x);
+  }
+}
+
+TEST(Tracking, EmptyInputOk) {
+  const rs::TrackingModel model({});
+  EXPECT_TRUE(model.estimate(std::vector<rs::RadarPose>{}).empty());
+}
+
+TEST(Tracking, InvalidParamsThrow) {
+  rs::TrackingModel::Params bad;
+  bad.relative_drift = -1.5;
+  EXPECT_THROW(rs::TrackingModel{bad}, std::invalid_argument);
+  bad = {};
+  bad.jitter_std_m = -0.1;
+  EXPECT_THROW(rs::TrackingModel{bad}, std::invalid_argument);
+}

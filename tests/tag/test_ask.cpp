@@ -1,0 +1,96 @@
+#include "ros/tag/ask.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ros/common/grid.hpp"
+
+namespace rt = ros::tag;
+namespace rc = ros::common;
+
+namespace {
+const ros::em::StriplineStackup& stackup() {
+  static const auto s = ros::em::StriplineStackup::ros_default();
+  return s;
+}
+
+rt::AskCodec::AskDecodeResult roundtrip(const std::vector<int>& symbols,
+                                        double distance = 8.0) {
+  const rt::AskCodec codec;
+  const auto tag = codec.make_tag(symbols, &stackup());
+  const auto us = rc::linspace(-0.45, 0.45, 700);
+  std::vector<double> rcs(us.size());
+  for (std::size_t i = 0; i < us.size(); ++i) {
+    rcs[i] = std::norm(
+        tag.retro_scattering_length(std::asin(us[i]), distance, 0.0, 79e9));
+  }
+  return codec.decode(us, rcs);
+}
+}  // namespace
+
+TEST(Ask, CapacityDoublesWithFourLevels) {
+  const rt::AskCodec codec;
+  EXPECT_EQ(codec.levels(), 4);
+  EXPECT_DOUBLE_EQ(codec.capacity_bits(), 8.0);  // vs 4 bits OOK
+}
+
+TEST(Ask, TopLevelSymbolsRoundTrip) {
+  const std::vector<int> symbols = {3, 0, 3, 3};
+  EXPECT_EQ(roundtrip(symbols).symbols, symbols);
+}
+
+TEST(Ask, MixedLevelsRoundTrip) {
+  const std::vector<int> symbols = {3, 1, 2, 0};
+  const auto r = roundtrip(symbols);
+  EXPECT_EQ(r.symbols, symbols);
+}
+
+TEST(Ask, AnotherMixedPattern) {
+  const std::vector<int> symbols = {1, 3, 0, 2};
+  EXPECT_EQ(roundtrip(symbols).symbols, symbols);
+}
+
+TEST(Ask, LevelRatiosOrdered) {
+  const auto r = roundtrip({3, 1, 2, 0});
+  EXPECT_GT(r.level_ratios[0], r.level_ratios[2]);
+  EXPECT_GT(r.level_ratios[2], r.level_ratios[1]);
+  EXPECT_GT(r.level_ratios[1], r.level_ratios[3]);
+  EXPECT_NEAR(r.level_ratios[0], 1.0, 1e-9);  // pilot is full scale
+}
+
+TEST(Ask, RequiresPilot) {
+  const rt::AskCodec codec;
+  EXPECT_THROW(codec.make_tag({1, 2, 1, 0}, &stackup()),
+               std::invalid_argument);
+}
+
+TEST(Ask, RejectsBadSymbols) {
+  const rt::AskCodec codec;
+  EXPECT_THROW(codec.make_tag({4, 0, 0, 3}, &stackup()),
+               std::invalid_argument);
+  EXPECT_THROW(codec.make_tag({3, 0, 0}, &stackup()),
+               std::invalid_argument);
+}
+
+TEST(Ask, InvalidConfigThrows) {
+  rt::AskConfig bad;
+  bad.level_psvaas = {0};
+  EXPECT_THROW(rt::AskCodec{bad}, std::invalid_argument);
+  bad = {};
+  bad.level_psvaas = {8, 16, 32};  // level 0 must be absent
+  bad.level_thresholds = {0.3, 0.7};
+  EXPECT_THROW(rt::AskCodec{bad}, std::invalid_argument);
+  bad = {};
+  bad.level_thresholds = {0.5};  // wrong count
+  EXPECT_THROW(rt::AskCodec{bad}, std::invalid_argument);
+}
+
+TEST(Ask, PerSlotStackSizesRealized) {
+  const rt::AskCodec codec;
+  const auto tag = codec.make_tag({3, 1, 2, 3}, &stackup());
+  // Stacks: reference(32), slot1(32), slot2(8), slot3(16), slot4(32).
+  ASSERT_EQ(tag.layout().n_stacks(), 5);
+  EXPECT_GT(tag.stack(0).height(), tag.stack(2).height());  // ref > 8-unit
+  EXPECT_GT(tag.stack(3).height(), tag.stack(2).height());  // 16 > 8
+}

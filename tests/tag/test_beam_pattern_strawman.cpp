@@ -1,0 +1,71 @@
+#include "ros/tag/beam_pattern_strawman.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ros/common/grid.hpp"
+#include "ros/common/mathx.hpp"
+
+namespace rt = ros::tag;
+namespace rc = ros::common;
+
+TEST(Strawman, GratingPeriodMatchesPaperArithmetic) {
+  // 3 lambda spacing on a retro array: grating lobes every 1/6 in u --
+  // 12x denser than the lambda/4 unambiguous spacing.
+  const rt::BeamPatternStrawman s;
+  EXPECT_NEAR(s.grating_period_u(), 1.0 / 6.0, 1e-12);
+  rt::BeamPatternStrawman::Params quarter;
+  quarter.spacing_lambda = 0.25;
+  EXPECT_NEAR(rt::BeamPatternStrawman(quarter).grating_period_u(), 2.0,
+              1e-12);
+}
+
+TEST(Strawman, AtLeastElevenAmbiguousBeams) {
+  // The paper: "at least 11 ambiguous beams are created".
+  const rt::BeamPatternStrawman s;
+  EXPECT_GE(s.ambiguous_beams(0.0), 11);
+}
+
+TEST(Strawman, QuarterWavelengthSpacingIsUnambiguous) {
+  rt::BeamPatternStrawman::Params p;
+  p.spacing_lambda = 0.25;
+  const rt::BeamPatternStrawman s(p);
+  EXPECT_EQ(s.ambiguous_beams(0.0), 1);
+}
+
+TEST(Strawman, BeamActuallySteers) {
+  const rt::BeamPatternStrawman s;
+  const auto grid = rc::linspace(-0.2, 0.2, 801);
+  const auto p = s.pattern(0.1, grid);
+  const std::size_t peak = rc::argmax(p);
+  EXPECT_NEAR(grid[peak], 0.1, 0.01);
+  EXPECT_NEAR(p[peak], 1.0, 1e-9);
+}
+
+TEST(Strawman, GratingLobesAtFullStrength) {
+  // The ambiguity is not a weak sidelobe problem: the grating copies
+  // reach the SAME height as the intended beam.
+  const rt::BeamPatternStrawman s;
+  const auto grid = rc::linspace(-1.0, 1.0, 4001);
+  const auto p = s.pattern(0.0, grid);
+  // A grating copy sits at u = 1/6.
+  double copy = 0.0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (std::abs(grid[i] - 1.0 / 6.0) < 0.002) copy = std::max(copy, p[i]);
+  }
+  EXPECT_GT(copy, 0.95);
+}
+
+TEST(Strawman, MoreStacksDoNotFixAmbiguity) {
+  rt::BeamPatternStrawman::Params p;
+  p.n_stacks = 16;
+  EXPECT_GE(rt::BeamPatternStrawman(p).ambiguous_beams(0.0), 11);
+}
+
+TEST(Strawman, InvalidParamsThrow) {
+  rt::BeamPatternStrawman::Params bad;
+  bad.n_stacks = 1;
+  EXPECT_THROW(rt::BeamPatternStrawman{bad}, std::invalid_argument);
+  bad = {};
+  bad.spacing_lambda = 0.0;
+  EXPECT_THROW(rt::BeamPatternStrawman{bad}, std::invalid_argument);
+}

@@ -1,0 +1,91 @@
+#include "ros/tag/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ros/common/units.hpp"
+
+namespace rt = ros::tag;
+namespace rc = ros::common;
+
+TEST(Capacity, PaperWidth) {
+  // Sec. 5.3: 4-bit tag with c = 1.5 -> D = 22.5 lambda.
+  const rt::CapacityModel m;
+  EXPECT_NEAR(m.tag_width_m() / rc::wavelength(79e9), 22.5, 1e-9);
+  EXPECT_NEAR(m.span_lambda(), 19.5, 1e-9);
+}
+
+TEST(Capacity, PaperFarField) {
+  const rt::CapacityModel m;
+  EXPECT_NEAR(m.far_field_distance_m(), 2.9, 0.05);
+}
+
+TEST(Capacity, SixBitWidthAndFarField) {
+  // Width matches the paper's 34.5 lambda; far field uses the span
+  // convention (see Layout.SixBitTagFarField): ~7.5 m vs the paper's
+  // quoted 9 m.
+  rt::CapacityModel m;
+  m.n_bits = 6;
+  EXPECT_NEAR(m.tag_width_m() / rc::wavelength(79e9), 34.5, 1e-9);
+  EXPECT_NEAR(m.far_field_distance_m(), 7.5, 0.3);
+}
+
+TEST(Capacity, MaxSpeedMatchesPaper) {
+  // Sec. 5.3: ~38.5 m/s (86 mph) at Fs = 1 kHz; our Nyquist model gives
+  // ~37 m/s.
+  const rt::CapacityModel m;
+  const double v = m.max_vehicle_speed_mps(1000.0);
+  EXPECT_NEAR(v, 38.5, 3.0);
+  EXPECT_NEAR(rc::mps_to_mph(v), 86.0, 7.0);
+}
+
+TEST(Capacity, SpeedScalesWithFrameRate) {
+  const rt::CapacityModel m;
+  EXPECT_NEAR(m.max_vehicle_speed_mps(2000.0) /
+                  m.max_vehicle_speed_mps(1000.0),
+              2.0, 1e-9);
+}
+
+TEST(Capacity, SafetyMarginSlowsLimit) {
+  const rt::CapacityModel m;
+  EXPECT_NEAR(m.max_vehicle_speed_mps(1000.0, 2.0) /
+                  m.max_vehicle_speed_mps(1000.0, 1.0),
+              0.5, 1e-9);
+}
+
+TEST(Capacity, MinTagSeparationMatchesPaper) {
+  // Sec. 5.3: two tags at 6 m need >= 1.53 m separation for a 4-Rx radar.
+  const rt::CapacityModel m;
+  EXPECT_NEAR(m.min_tag_separation_m(4, 6.0), 1.53, 0.02);
+}
+
+TEST(Capacity, MoreRxAntennasAllowCloserTags) {
+  const rt::CapacityModel m;
+  EXPECT_LT(m.min_tag_separation_m(8, 6.0), m.min_tag_separation_m(4, 6.0));
+}
+
+TEST(Capacity, MaxCodingSpacing) {
+  const rt::CapacityModel m;
+  EXPECT_NEAR(m.max_coding_spacing_lambda(), 10.5, 1e-9);
+}
+
+TEST(Capacity, MoreBitsWiderTagLowerSpeed) {
+  rt::CapacityModel m4;
+  rt::CapacityModel m8;
+  m8.n_bits = 8;
+  EXPECT_GT(m8.tag_width_m(), m4.tag_width_m());
+  // Wider tag: farther far field but higher max tone; net speed change
+  // follows d_far / span ~ span: larger tags actually allow faster
+  // sampling at their own far field.
+  EXPECT_GT(m8.max_vehicle_speed_mps(1000.0),
+            m4.max_vehicle_speed_mps(1000.0));
+}
+
+TEST(Capacity, InvalidInputsThrow) {
+  rt::CapacityModel m;
+  EXPECT_THROW(m.max_vehicle_speed_mps(0.0), std::invalid_argument);
+  EXPECT_THROW(m.max_vehicle_speed_mps(1000.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(m.min_tag_separation_m(0, 6.0), std::invalid_argument);
+  EXPECT_THROW(m.min_tag_separation_m(4, -1.0), std::invalid_argument);
+  m.n_bits = 0;
+  EXPECT_THROW(m.tag_width_m(), std::invalid_argument);
+}

@@ -1,0 +1,96 @@
+#include "ros/tag/design_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rt = ros::tag;
+
+namespace {
+rt::TagDesign sample_design() {
+  rt::TagDesign d;
+  d.bits = {true, false, true, true};
+  d.params.psvaas_per_stack = 16;
+  d.params.phase_weights_rad = rt::default_beam_weights(16);
+  return d;
+}
+}  // namespace
+
+TEST(DesignIo, RoundTripPreservesEverything) {
+  const auto original = sample_design();
+  const auto text = rt::serialize_design(original);
+  const auto parsed = rt::parse_design(text);
+  EXPECT_EQ(parsed.bits, original.bits);
+  EXPECT_EQ(parsed.params.layout.n_bits, 4);
+  EXPECT_DOUBLE_EQ(parsed.params.layout.unit_spacing_lambda,
+                   original.params.layout.unit_spacing_lambda);
+  EXPECT_DOUBLE_EQ(parsed.params.layout.design_hz,
+                   original.params.layout.design_hz);
+  EXPECT_EQ(parsed.params.psvaas_per_stack, 16);
+  ASSERT_EQ(parsed.params.phase_weights_rad.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(parsed.params.phase_weights_rad[i],
+                     original.params.phase_weights_rad[i]);
+  }
+  EXPECT_TRUE(parsed.params.unit.switching);
+  EXPECT_FALSE(parsed.params.unit.circular);
+}
+
+TEST(DesignIo, RoundTripAskDesign) {
+  rt::TagDesign d;
+  d.bits = {true, true, true, true};
+  d.params.psvaas_per_slot = {32, 8, 16, 32};
+  const auto parsed = rt::parse_design(rt::serialize_design(d));
+  EXPECT_EQ(parsed.params.psvaas_per_slot,
+            (std::vector<int>{32, 8, 16, 32}));
+}
+
+TEST(DesignIo, CircularFlagSurvives) {
+  rt::TagDesign d;
+  d.bits = {true};
+  d.params.layout.n_bits = 1;
+  d.params.unit.circular = true;
+  const auto parsed = rt::parse_design(rt::serialize_design(d));
+  EXPECT_TRUE(parsed.params.unit.circular);
+}
+
+TEST(DesignIo, BuiltTagMatchesOriginalResponse) {
+  static const auto stackup = ros::em::StriplineStackup::ros_default();
+  const auto design = sample_design();
+  const rt::RosTag original(design.bits, design.params, &stackup);
+  const auto rebuilt =
+      rt::build_tag(rt::parse_design(rt::serialize_design(design)),
+                    &stackup);
+  const auto a = original.retro_scattering_length(0.2, 4.0, 0.0, 79e9);
+  const auto b = rebuilt.retro_scattering_length(0.2, 4.0, 0.0, 79e9);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DesignIo, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "ros_tag_design_v1\n"
+      "# a comment\n"
+      "\n"
+      "bits=101\n";
+  const auto parsed = rt::parse_design(text);
+  EXPECT_EQ(parsed.bits, (std::vector<bool>{true, false, true}));
+  EXPECT_EQ(parsed.params.layout.n_bits, 3);
+}
+
+TEST(DesignIo, MalformedInputsThrow) {
+  EXPECT_THROW(rt::parse_design("nonsense\nbits=1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(rt::parse_design("ros_tag_design_v1\n"),
+               std::invalid_argument);  // no bits
+  EXPECT_THROW(rt::parse_design("ros_tag_design_v1\nbits=10x1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(rt::parse_design("ros_tag_design_v1\nbroken line\n"),
+               std::invalid_argument);
+}
+
+TEST(DesignIo, SerializeValidatesBitCount) {
+  rt::TagDesign bad;
+  bad.bits = {true, false};        // 2 bits
+  bad.params.layout.n_bits = 4;    // but a 4-slot layout
+  EXPECT_THROW(rt::serialize_design(bad), std::invalid_argument);
+}

@@ -1,0 +1,93 @@
+#include "ros/tag/ecc.hpp"
+
+#include "ros/tag/layout.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rt = ros::tag;
+
+namespace {
+std::vector<bool> nibble(int v) {
+  return {(v & 1) != 0, (v & 2) != 0, (v & 4) != 0, (v & 8) != 0};
+}
+}  // namespace
+
+class Hamming : public ::testing::TestWithParam<int> {};
+
+TEST_P(Hamming, RoundTripClean) {
+  const auto data = nibble(GetParam());
+  const auto code = rt::hamming74_encode(data);
+  ASSERT_EQ(code.size(), 7u);
+  const auto decoded = rt::hamming74_decode(code);
+  EXPECT_EQ(decoded.data, data);
+  EXPECT_FALSE(decoded.corrected);
+  EXPECT_EQ(decoded.error_position, -1);
+}
+
+TEST_P(Hamming, CorrectsEverySingleBitError) {
+  const auto data = nibble(GetParam());
+  const auto code = rt::hamming74_encode(data);
+  for (int flip = 0; flip < 7; ++flip) {
+    auto corrupted = code;
+    corrupted[static_cast<std::size_t>(flip)] =
+        !corrupted[static_cast<std::size_t>(flip)];
+    const auto decoded = rt::hamming74_decode(corrupted);
+    EXPECT_EQ(decoded.data, data) << "flip " << flip;
+    EXPECT_TRUE(decoded.corrected);
+    EXPECT_EQ(decoded.error_position, flip);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNibbles, Hamming, ::testing::Range(0, 16));
+
+TEST(HammingBlocks, MultiBlockRoundTrip) {
+  const std::vector<bool> data = {1, 0, 1, 1, 0, 1, 0, 0};
+  const auto code = rt::hamming74_encode_blocks(data);
+  ASSERT_EQ(code.size(), 14u);
+  const auto decoded = rt::hamming74_decode_blocks(code);
+  EXPECT_EQ(decoded.data, data);
+  EXPECT_EQ(decoded.corrected_blocks, 0);
+}
+
+TEST(HammingBlocks, PadsPartialBlock) {
+  const std::vector<bool> data = {1, 1};
+  const auto code = rt::hamming74_encode_blocks(data);
+  ASSERT_EQ(code.size(), 7u);
+  const auto decoded = rt::hamming74_decode_blocks(code);
+  EXPECT_TRUE(decoded.data[0]);
+  EXPECT_TRUE(decoded.data[1]);
+  EXPECT_FALSE(decoded.data[2]);
+  EXPECT_FALSE(decoded.data[3]);
+}
+
+TEST(HammingBlocks, CountsCorrectedBlocks) {
+  const std::vector<bool> data = {1, 0, 1, 1, 0, 1, 0, 0};
+  auto code = rt::hamming74_encode_blocks(data);
+  code[2] = !code[2];   // error in block 0
+  code[10] = !code[10]; // error in block 1
+  const auto decoded = rt::hamming74_decode_blocks(code);
+  EXPECT_EQ(decoded.data, data);
+  EXPECT_EQ(decoded.corrected_blocks, 2);
+}
+
+TEST(HammingBlocks, InvalidSizesThrow) {
+  EXPECT_THROW(rt::hamming74_encode({true, false}), std::invalid_argument);
+  EXPECT_THROW(rt::hamming74_decode({true, false}), std::invalid_argument);
+  EXPECT_THROW(rt::hamming74_decode_blocks(std::vector<bool>(8, false)),
+               std::invalid_argument);
+}
+
+TEST(HammingTagIntegration, SevenBitTagCarriesCodeword) {
+  // The ECC codeword fits a 7-slot tag family and round-trips through
+  // the analytic RCS model even with one slot mis-read.
+  const auto data = nibble(0b1011);
+  const auto code = rt::hamming74_encode(data);
+  rt::LayoutParams lp;
+  lp.n_bits = 7;
+  const auto lay = rt::TagLayout::from_bits(code, lp);
+  EXPECT_EQ(lay.n_bits(), 7);
+  // Emulate a decoder that flipped slot 3.
+  auto read = code;
+  read[3] = !read[3];
+  EXPECT_EQ(rt::hamming74_decode(read).data, data);
+}

@@ -1,0 +1,58 @@
+#include "ros/tag/link_budget.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rt = ros::tag;
+
+TEST(LinkBudget, TiNoiseFloorMatchesPaper) {
+  // Sec. 5.3: L0 = -173.9 + 15 + 10 log10(37.5 MHz) + 9 + 12 ~= -62 dBm.
+  const auto b = rt::RadarLinkBudget::ti_iwr1443();
+  EXPECT_NEAR(b.noise_floor_dbm(), -62.0, 0.5);
+}
+
+TEST(LinkBudget, TiRxGainIs55dB) {
+  const auto b = rt::RadarLinkBudget::ti_iwr1443();
+  EXPECT_DOUBLE_EQ(b.rx_gain_total_db(), 55.0);
+}
+
+TEST(LinkBudget, TiMaxRangeMatchesPaper) {
+  // Sec. 5.3: sigma = -23 dBsm -> d ~ 6.9 m.
+  const auto b = rt::RadarLinkBudget::ti_iwr1443();
+  EXPECT_NEAR(b.max_range_m(-23.0), 6.9, 0.3);
+}
+
+TEST(LinkBudget, CommercialMaxRangeMatchesPaper) {
+  // Sec. 8: N_F = 9 dB, EIRP = 50 dBm -> ~52 m.
+  const auto b = rt::RadarLinkBudget::commercial_automotive();
+  EXPECT_NEAR(b.max_range_m(-23.0), 52.0, 2.0);
+}
+
+TEST(LinkBudget, SnrZeroAtMaxRange) {
+  const auto b = rt::RadarLinkBudget::ti_iwr1443();
+  const double d = b.max_range_m(-23.0);
+  EXPECT_NEAR(b.snr_db(-23.0, d), 0.0, 1e-6);
+}
+
+TEST(LinkBudget, MarginShortensRange) {
+  const auto b = rt::RadarLinkBudget::ti_iwr1443();
+  EXPECT_LT(b.max_range_m(-23.0, 10.0), b.max_range_m(-23.0));
+}
+
+TEST(LinkBudget, FogLossReducesSnr) {
+  const auto b = rt::RadarLinkBudget::ti_iwr1443();
+  EXPECT_NEAR(b.snr_db(-23.0, 5.0) - b.snr_db(-23.0, 5.0, 2.0), 2.0, 1e-9);
+}
+
+TEST(LinkBudget, ReceivedPowerAt6mNearFloor) {
+  // Fig. 15a: the 32-stack's RSS approaches the floor at 6 m.
+  const auto b = rt::RadarLinkBudget::ti_iwr1443();
+  const double p = b.received_power_dbm(-23.0, 6.0);
+  EXPECT_GT(p, b.noise_floor_dbm() - 1.0);
+  EXPECT_LT(p, b.noise_floor_dbm() + 6.0);
+}
+
+TEST(LinkBudget, BiggerRcsLongerRange) {
+  const auto b = rt::RadarLinkBudget::ti_iwr1443();
+  // +12 dB RCS doubles the range (d ~ sigma^(1/4)).
+  EXPECT_NEAR(b.max_range_m(-11.0) / b.max_range_m(-23.0), 2.0, 0.01);
+}
