@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_sec8.dir/bench_extension_sec8.cpp.o"
+  "CMakeFiles/bench_extension_sec8.dir/bench_extension_sec8.cpp.o.d"
+  "bench_extension_sec8"
+  "bench_extension_sec8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_sec8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

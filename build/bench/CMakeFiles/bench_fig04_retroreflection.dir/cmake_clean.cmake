@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_retroreflection.dir/bench_fig04_retroreflection.cpp.o"
+  "CMakeFiles/bench_fig04_retroreflection.dir/bench_fig04_retroreflection.cpp.o.d"
+  "bench_fig04_retroreflection"
+  "bench_fig04_retroreflection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_retroreflection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

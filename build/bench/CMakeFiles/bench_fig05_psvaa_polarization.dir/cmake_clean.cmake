@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_psvaa_polarization.dir/bench_fig05_psvaa_polarization.cpp.o"
+  "CMakeFiles/bench_fig05_psvaa_polarization.dir/bench_fig05_psvaa_polarization.cpp.o.d"
+  "bench_fig05_psvaa_polarization"
+  "bench_fig05_psvaa_polarization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_psvaa_polarization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

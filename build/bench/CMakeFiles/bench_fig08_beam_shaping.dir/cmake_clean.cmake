@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_beam_shaping.dir/bench_fig08_beam_shaping.cpp.o"
+  "CMakeFiles/bench_fig08_beam_shaping.dir/bench_fig08_beam_shaping.cpp.o.d"
+  "bench_fig08_beam_shaping"
+  "bench_fig08_beam_shaping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_beam_shaping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

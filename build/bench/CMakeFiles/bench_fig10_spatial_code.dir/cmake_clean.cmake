@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_spatial_code.dir/bench_fig10_spatial_code.cpp.o"
+  "CMakeFiles/bench_fig10_spatial_code.dir/bench_fig10_spatial_code.cpp.o.d"
+  "bench_fig10_spatial_code"
+  "bench_fig10_spatial_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_spatial_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_interrogation.dir/bench_fig11_interrogation.cpp.o"
+  "CMakeFiles/bench_fig11_interrogation.dir/bench_fig11_interrogation.cpp.o.d"
+  "bench_fig11_interrogation"
+  "bench_fig11_interrogation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_interrogation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

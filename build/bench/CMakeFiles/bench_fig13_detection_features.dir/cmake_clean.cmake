@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_detection_features.dir/bench_fig13_detection_features.cpp.o"
+  "CMakeFiles/bench_fig13_detection_features.dir/bench_fig13_detection_features.cpp.o.d"
+  "bench_fig13_detection_features"
+  "bench_fig13_detection_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_detection_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

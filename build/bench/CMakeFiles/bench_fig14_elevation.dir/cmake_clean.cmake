@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_elevation.dir/bench_fig14_elevation.cpp.o"
+  "CMakeFiles/bench_fig14_elevation.dir/bench_fig14_elevation.cpp.o.d"
+  "bench_fig14_elevation"
+  "bench_fig14_elevation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_elevation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_fov.dir/bench_fig17_fov.cpp.o"
+  "CMakeFiles/bench_fig17_fov.dir/bench_fig17_fov.cpp.o.d"
+  "bench_fig17_fov"
+  "bench_fig17_fov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_fov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_speed.dir/bench_fig18_speed.cpp.o"
+  "CMakeFiles/bench_fig18_speed.dir/bench_fig18_speed.cpp.o.d"
+  "bench_fig18_speed"
+  "bench_fig18_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

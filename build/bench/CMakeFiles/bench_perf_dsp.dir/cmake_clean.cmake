@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_dsp.dir/bench_perf_dsp.cpp.o"
+  "CMakeFiles/bench_perf_dsp.dir/bench_perf_dsp.cpp.o.d"
+  "bench_perf_dsp"
+  "bench_perf_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec53_link_budget.dir/bench_sec53_link_budget.cpp.o"
+  "CMakeFiles/bench_sec53_link_budget.dir/bench_sec53_link_budget.cpp.o.d"
+  "bench_sec53_link_budget"
+  "bench_sec53_link_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec53_link_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

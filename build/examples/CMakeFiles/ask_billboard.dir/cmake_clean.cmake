@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ask_billboard.dir/ask_billboard.cpp.o"
+  "CMakeFiles/ask_billboard.dir/ask_billboard.cpp.o.d"
+  "ask_billboard"
+  "ask_billboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ask_billboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

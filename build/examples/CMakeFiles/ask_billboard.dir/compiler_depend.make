@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ask_billboard.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ask_billboard.
+# This may be replaced when dependencies are built.

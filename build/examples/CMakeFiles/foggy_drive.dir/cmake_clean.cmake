@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foggy_drive.dir/foggy_drive.cpp.o"
+  "CMakeFiles/foggy_drive.dir/foggy_drive.cpp.o.d"
+  "foggy_drive"
+  "foggy_drive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foggy_drive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadside_sign.dir/roadside_sign.cpp.o"
+  "CMakeFiles/roadside_sign.dir/roadside_sign.cpp.o.d"
+  "roadside_sign"
+  "roadside_sign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadside_sign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

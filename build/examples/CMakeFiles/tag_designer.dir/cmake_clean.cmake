@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tag_designer.dir/tag_designer.cpp.o"
+  "CMakeFiles/tag_designer.dir/tag_designer.cpp.o.d"
+  "tag_designer"
+  "tag_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tag_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

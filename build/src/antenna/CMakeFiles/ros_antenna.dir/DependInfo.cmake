@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/antenna/src/beam_shaping.cpp" "src/antenna/CMakeFiles/ros_antenna.dir/src/beam_shaping.cpp.o" "gcc" "src/antenna/CMakeFiles/ros_antenna.dir/src/beam_shaping.cpp.o.d"
+  "/root/repo/src/antenna/src/design_rules.cpp" "src/antenna/CMakeFiles/ros_antenna.dir/src/design_rules.cpp.o" "gcc" "src/antenna/CMakeFiles/ros_antenna.dir/src/design_rules.cpp.o.d"
+  "/root/repo/src/antenna/src/psvaa.cpp" "src/antenna/CMakeFiles/ros_antenna.dir/src/psvaa.cpp.o" "gcc" "src/antenna/CMakeFiles/ros_antenna.dir/src/psvaa.cpp.o.d"
+  "/root/repo/src/antenna/src/scattering.cpp" "src/antenna/CMakeFiles/ros_antenna.dir/src/scattering.cpp.o" "gcc" "src/antenna/CMakeFiles/ros_antenna.dir/src/scattering.cpp.o.d"
+  "/root/repo/src/antenna/src/stack.cpp" "src/antenna/CMakeFiles/ros_antenna.dir/src/stack.cpp.o" "gcc" "src/antenna/CMakeFiles/ros_antenna.dir/src/stack.cpp.o.d"
+  "/root/repo/src/antenna/src/ula.cpp" "src/antenna/CMakeFiles/ros_antenna.dir/src/ula.cpp.o" "gcc" "src/antenna/CMakeFiles/ros_antenna.dir/src/ula.cpp.o.d"
+  "/root/repo/src/antenna/src/vaa.cpp" "src/antenna/CMakeFiles/ros_antenna.dir/src/vaa.cpp.o" "gcc" "src/antenna/CMakeFiles/ros_antenna.dir/src/vaa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ros_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/ros_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/ros_optim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ros_antenna.dir/src/beam_shaping.cpp.o"
+  "CMakeFiles/ros_antenna.dir/src/beam_shaping.cpp.o.d"
+  "CMakeFiles/ros_antenna.dir/src/design_rules.cpp.o"
+  "CMakeFiles/ros_antenna.dir/src/design_rules.cpp.o.d"
+  "CMakeFiles/ros_antenna.dir/src/psvaa.cpp.o"
+  "CMakeFiles/ros_antenna.dir/src/psvaa.cpp.o.d"
+  "CMakeFiles/ros_antenna.dir/src/scattering.cpp.o"
+  "CMakeFiles/ros_antenna.dir/src/scattering.cpp.o.d"
+  "CMakeFiles/ros_antenna.dir/src/stack.cpp.o"
+  "CMakeFiles/ros_antenna.dir/src/stack.cpp.o.d"
+  "CMakeFiles/ros_antenna.dir/src/ula.cpp.o"
+  "CMakeFiles/ros_antenna.dir/src/ula.cpp.o.d"
+  "CMakeFiles/ros_antenna.dir/src/vaa.cpp.o"
+  "CMakeFiles/ros_antenna.dir/src/vaa.cpp.o.d"
+  "libros_antenna.a"
+  "libros_antenna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ros_antenna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

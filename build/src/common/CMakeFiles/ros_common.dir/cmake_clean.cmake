@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ros_common.dir/src/angles.cpp.o"
+  "CMakeFiles/ros_common.dir/src/angles.cpp.o.d"
+  "CMakeFiles/ros_common.dir/src/csv.cpp.o"
+  "CMakeFiles/ros_common.dir/src/csv.cpp.o.d"
+  "CMakeFiles/ros_common.dir/src/grid.cpp.o"
+  "CMakeFiles/ros_common.dir/src/grid.cpp.o.d"
+  "CMakeFiles/ros_common.dir/src/mathx.cpp.o"
+  "CMakeFiles/ros_common.dir/src/mathx.cpp.o.d"
+  "CMakeFiles/ros_common.dir/src/random.cpp.o"
+  "CMakeFiles/ros_common.dir/src/random.cpp.o.d"
+  "CMakeFiles/ros_common.dir/src/units.cpp.o"
+  "CMakeFiles/ros_common.dir/src/units.cpp.o.d"
+  "libros_common.a"
+  "libros_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ros_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

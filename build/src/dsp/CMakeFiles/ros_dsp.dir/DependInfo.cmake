@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/src/cfar.cpp" "src/dsp/CMakeFiles/ros_dsp.dir/src/cfar.cpp.o" "gcc" "src/dsp/CMakeFiles/ros_dsp.dir/src/cfar.cpp.o.d"
+  "/root/repo/src/dsp/src/fft.cpp" "src/dsp/CMakeFiles/ros_dsp.dir/src/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/ros_dsp.dir/src/fft.cpp.o.d"
+  "/root/repo/src/dsp/src/linalg.cpp" "src/dsp/CMakeFiles/ros_dsp.dir/src/linalg.cpp.o" "gcc" "src/dsp/CMakeFiles/ros_dsp.dir/src/linalg.cpp.o.d"
+  "/root/repo/src/dsp/src/ook.cpp" "src/dsp/CMakeFiles/ros_dsp.dir/src/ook.cpp.o" "gcc" "src/dsp/CMakeFiles/ros_dsp.dir/src/ook.cpp.o.d"
+  "/root/repo/src/dsp/src/peaks.cpp" "src/dsp/CMakeFiles/ros_dsp.dir/src/peaks.cpp.o" "gcc" "src/dsp/CMakeFiles/ros_dsp.dir/src/peaks.cpp.o.d"
+  "/root/repo/src/dsp/src/resample.cpp" "src/dsp/CMakeFiles/ros_dsp.dir/src/resample.cpp.o" "gcc" "src/dsp/CMakeFiles/ros_dsp.dir/src/resample.cpp.o.d"
+  "/root/repo/src/dsp/src/spectrum.cpp" "src/dsp/CMakeFiles/ros_dsp.dir/src/spectrum.cpp.o" "gcc" "src/dsp/CMakeFiles/ros_dsp.dir/src/spectrum.cpp.o.d"
+  "/root/repo/src/dsp/src/window.cpp" "src/dsp/CMakeFiles/ros_dsp.dir/src/window.cpp.o" "gcc" "src/dsp/CMakeFiles/ros_dsp.dir/src/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ros_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

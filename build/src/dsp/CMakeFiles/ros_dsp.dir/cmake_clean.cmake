@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ros_dsp.dir/src/cfar.cpp.o"
+  "CMakeFiles/ros_dsp.dir/src/cfar.cpp.o.d"
+  "CMakeFiles/ros_dsp.dir/src/fft.cpp.o"
+  "CMakeFiles/ros_dsp.dir/src/fft.cpp.o.d"
+  "CMakeFiles/ros_dsp.dir/src/linalg.cpp.o"
+  "CMakeFiles/ros_dsp.dir/src/linalg.cpp.o.d"
+  "CMakeFiles/ros_dsp.dir/src/ook.cpp.o"
+  "CMakeFiles/ros_dsp.dir/src/ook.cpp.o.d"
+  "CMakeFiles/ros_dsp.dir/src/peaks.cpp.o"
+  "CMakeFiles/ros_dsp.dir/src/peaks.cpp.o.d"
+  "CMakeFiles/ros_dsp.dir/src/resample.cpp.o"
+  "CMakeFiles/ros_dsp.dir/src/resample.cpp.o.d"
+  "CMakeFiles/ros_dsp.dir/src/spectrum.cpp.o"
+  "CMakeFiles/ros_dsp.dir/src/spectrum.cpp.o.d"
+  "CMakeFiles/ros_dsp.dir/src/window.cpp.o"
+  "CMakeFiles/ros_dsp.dir/src/window.cpp.o.d"
+  "libros_dsp.a"
+  "libros_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ros_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

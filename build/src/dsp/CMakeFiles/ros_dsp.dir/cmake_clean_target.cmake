@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libros_dsp.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/em/src/material.cpp" "src/em/CMakeFiles/ros_em.dir/src/material.cpp.o" "gcc" "src/em/CMakeFiles/ros_em.dir/src/material.cpp.o.d"
+  "/root/repo/src/em/src/patch.cpp" "src/em/CMakeFiles/ros_em.dir/src/patch.cpp.o" "gcc" "src/em/CMakeFiles/ros_em.dir/src/patch.cpp.o.d"
+  "/root/repo/src/em/src/pathloss.cpp" "src/em/CMakeFiles/ros_em.dir/src/pathloss.cpp.o" "gcc" "src/em/CMakeFiles/ros_em.dir/src/pathloss.cpp.o.d"
+  "/root/repo/src/em/src/polarization.cpp" "src/em/CMakeFiles/ros_em.dir/src/polarization.cpp.o" "gcc" "src/em/CMakeFiles/ros_em.dir/src/polarization.cpp.o.d"
+  "/root/repo/src/em/src/transmission_line.cpp" "src/em/CMakeFiles/ros_em.dir/src/transmission_line.cpp.o" "gcc" "src/em/CMakeFiles/ros_em.dir/src/transmission_line.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ros_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ros_em.dir/src/material.cpp.o"
+  "CMakeFiles/ros_em.dir/src/material.cpp.o.d"
+  "CMakeFiles/ros_em.dir/src/patch.cpp.o"
+  "CMakeFiles/ros_em.dir/src/patch.cpp.o.d"
+  "CMakeFiles/ros_em.dir/src/pathloss.cpp.o"
+  "CMakeFiles/ros_em.dir/src/pathloss.cpp.o.d"
+  "CMakeFiles/ros_em.dir/src/polarization.cpp.o"
+  "CMakeFiles/ros_em.dir/src/polarization.cpp.o.d"
+  "CMakeFiles/ros_em.dir/src/transmission_line.cpp.o"
+  "CMakeFiles/ros_em.dir/src/transmission_line.cpp.o.d"
+  "libros_em.a"
+  "libros_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ros_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

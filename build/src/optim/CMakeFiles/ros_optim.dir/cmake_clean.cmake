@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ros_optim.dir/src/differential_evolution.cpp.o"
+  "CMakeFiles/ros_optim.dir/src/differential_evolution.cpp.o.d"
+  "libros_optim.a"
+  "libros_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ros_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/src/dbscan.cpp" "src/pipeline/CMakeFiles/ros_pipeline.dir/src/dbscan.cpp.o" "gcc" "src/pipeline/CMakeFiles/ros_pipeline.dir/src/dbscan.cpp.o.d"
+  "/root/repo/src/pipeline/src/features.cpp" "src/pipeline/CMakeFiles/ros_pipeline.dir/src/features.cpp.o" "gcc" "src/pipeline/CMakeFiles/ros_pipeline.dir/src/features.cpp.o.d"
+  "/root/repo/src/pipeline/src/interrogator.cpp" "src/pipeline/CMakeFiles/ros_pipeline.dir/src/interrogator.cpp.o" "gcc" "src/pipeline/CMakeFiles/ros_pipeline.dir/src/interrogator.cpp.o.d"
+  "/root/repo/src/pipeline/src/odometry.cpp" "src/pipeline/CMakeFiles/ros_pipeline.dir/src/odometry.cpp.o" "gcc" "src/pipeline/CMakeFiles/ros_pipeline.dir/src/odometry.cpp.o.d"
+  "/root/repo/src/pipeline/src/pointcloud.cpp" "src/pipeline/CMakeFiles/ros_pipeline.dir/src/pointcloud.cpp.o" "gcc" "src/pipeline/CMakeFiles/ros_pipeline.dir/src/pointcloud.cpp.o.d"
+  "/root/repo/src/pipeline/src/rcs_sampler.cpp" "src/pipeline/CMakeFiles/ros_pipeline.dir/src/rcs_sampler.cpp.o" "gcc" "src/pipeline/CMakeFiles/ros_pipeline.dir/src/rcs_sampler.cpp.o.d"
+  "/root/repo/src/pipeline/src/tag_detector.cpp" "src/pipeline/CMakeFiles/ros_pipeline.dir/src/tag_detector.cpp.o" "gcc" "src/pipeline/CMakeFiles/ros_pipeline.dir/src/tag_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ros_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ros_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/radar/CMakeFiles/ros_radar.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/ros_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/ros_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/antenna/CMakeFiles/ros_antenna.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/ros_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/ros_optim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ros_pipeline.dir/src/dbscan.cpp.o"
+  "CMakeFiles/ros_pipeline.dir/src/dbscan.cpp.o.d"
+  "CMakeFiles/ros_pipeline.dir/src/features.cpp.o"
+  "CMakeFiles/ros_pipeline.dir/src/features.cpp.o.d"
+  "CMakeFiles/ros_pipeline.dir/src/interrogator.cpp.o"
+  "CMakeFiles/ros_pipeline.dir/src/interrogator.cpp.o.d"
+  "CMakeFiles/ros_pipeline.dir/src/odometry.cpp.o"
+  "CMakeFiles/ros_pipeline.dir/src/odometry.cpp.o.d"
+  "CMakeFiles/ros_pipeline.dir/src/pointcloud.cpp.o"
+  "CMakeFiles/ros_pipeline.dir/src/pointcloud.cpp.o.d"
+  "CMakeFiles/ros_pipeline.dir/src/rcs_sampler.cpp.o"
+  "CMakeFiles/ros_pipeline.dir/src/rcs_sampler.cpp.o.d"
+  "CMakeFiles/ros_pipeline.dir/src/tag_detector.cpp.o"
+  "CMakeFiles/ros_pipeline.dir/src/tag_detector.cpp.o.d"
+  "libros_pipeline.a"
+  "libros_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ros_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

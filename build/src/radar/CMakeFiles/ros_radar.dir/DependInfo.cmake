@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radar/src/arrays.cpp" "src/radar/CMakeFiles/ros_radar.dir/src/arrays.cpp.o" "gcc" "src/radar/CMakeFiles/ros_radar.dir/src/arrays.cpp.o.d"
+  "/root/repo/src/radar/src/chirp.cpp" "src/radar/CMakeFiles/ros_radar.dir/src/chirp.cpp.o" "gcc" "src/radar/CMakeFiles/ros_radar.dir/src/chirp.cpp.o.d"
+  "/root/repo/src/radar/src/doppler.cpp" "src/radar/CMakeFiles/ros_radar.dir/src/doppler.cpp.o" "gcc" "src/radar/CMakeFiles/ros_radar.dir/src/doppler.cpp.o.d"
+  "/root/repo/src/radar/src/music.cpp" "src/radar/CMakeFiles/ros_radar.dir/src/music.cpp.o" "gcc" "src/radar/CMakeFiles/ros_radar.dir/src/music.cpp.o.d"
+  "/root/repo/src/radar/src/processing.cpp" "src/radar/CMakeFiles/ros_radar.dir/src/processing.cpp.o" "gcc" "src/radar/CMakeFiles/ros_radar.dir/src/processing.cpp.o.d"
+  "/root/repo/src/radar/src/tdm_mimo.cpp" "src/radar/CMakeFiles/ros_radar.dir/src/tdm_mimo.cpp.o" "gcc" "src/radar/CMakeFiles/ros_radar.dir/src/tdm_mimo.cpp.o.d"
+  "/root/repo/src/radar/src/waveform.cpp" "src/radar/CMakeFiles/ros_radar.dir/src/waveform.cpp.o" "gcc" "src/radar/CMakeFiles/ros_radar.dir/src/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ros_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/ros_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ros_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/ros_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/antenna/CMakeFiles/ros_antenna.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/ros_optim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ros_radar.dir/src/arrays.cpp.o"
+  "CMakeFiles/ros_radar.dir/src/arrays.cpp.o.d"
+  "CMakeFiles/ros_radar.dir/src/chirp.cpp.o"
+  "CMakeFiles/ros_radar.dir/src/chirp.cpp.o.d"
+  "CMakeFiles/ros_radar.dir/src/doppler.cpp.o"
+  "CMakeFiles/ros_radar.dir/src/doppler.cpp.o.d"
+  "CMakeFiles/ros_radar.dir/src/music.cpp.o"
+  "CMakeFiles/ros_radar.dir/src/music.cpp.o.d"
+  "CMakeFiles/ros_radar.dir/src/processing.cpp.o"
+  "CMakeFiles/ros_radar.dir/src/processing.cpp.o.d"
+  "CMakeFiles/ros_radar.dir/src/tdm_mimo.cpp.o"
+  "CMakeFiles/ros_radar.dir/src/tdm_mimo.cpp.o.d"
+  "CMakeFiles/ros_radar.dir/src/waveform.cpp.o"
+  "CMakeFiles/ros_radar.dir/src/waveform.cpp.o.d"
+  "libros_radar.a"
+  "libros_radar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ros_radar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scene/src/corner_reflector.cpp" "src/scene/CMakeFiles/ros_scene.dir/src/corner_reflector.cpp.o" "gcc" "src/scene/CMakeFiles/ros_scene.dir/src/corner_reflector.cpp.o.d"
+  "/root/repo/src/scene/src/fog.cpp" "src/scene/CMakeFiles/ros_scene.dir/src/fog.cpp.o" "gcc" "src/scene/CMakeFiles/ros_scene.dir/src/fog.cpp.o.d"
+  "/root/repo/src/scene/src/geometry.cpp" "src/scene/CMakeFiles/ros_scene.dir/src/geometry.cpp.o" "gcc" "src/scene/CMakeFiles/ros_scene.dir/src/geometry.cpp.o.d"
+  "/root/repo/src/scene/src/objects.cpp" "src/scene/CMakeFiles/ros_scene.dir/src/objects.cpp.o" "gcc" "src/scene/CMakeFiles/ros_scene.dir/src/objects.cpp.o.d"
+  "/root/repo/src/scene/src/scene.cpp" "src/scene/CMakeFiles/ros_scene.dir/src/scene.cpp.o" "gcc" "src/scene/CMakeFiles/ros_scene.dir/src/scene.cpp.o.d"
+  "/root/repo/src/scene/src/tracking.cpp" "src/scene/CMakeFiles/ros_scene.dir/src/tracking.cpp.o" "gcc" "src/scene/CMakeFiles/ros_scene.dir/src/tracking.cpp.o.d"
+  "/root/repo/src/scene/src/trajectory.cpp" "src/scene/CMakeFiles/ros_scene.dir/src/trajectory.cpp.o" "gcc" "src/scene/CMakeFiles/ros_scene.dir/src/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ros_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/ros_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/antenna/CMakeFiles/ros_antenna.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/ros_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/radar/CMakeFiles/ros_radar.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/ros_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ros_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

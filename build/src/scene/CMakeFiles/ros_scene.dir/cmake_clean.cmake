@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ros_scene.dir/src/corner_reflector.cpp.o"
+  "CMakeFiles/ros_scene.dir/src/corner_reflector.cpp.o.d"
+  "CMakeFiles/ros_scene.dir/src/fog.cpp.o"
+  "CMakeFiles/ros_scene.dir/src/fog.cpp.o.d"
+  "CMakeFiles/ros_scene.dir/src/geometry.cpp.o"
+  "CMakeFiles/ros_scene.dir/src/geometry.cpp.o.d"
+  "CMakeFiles/ros_scene.dir/src/objects.cpp.o"
+  "CMakeFiles/ros_scene.dir/src/objects.cpp.o.d"
+  "CMakeFiles/ros_scene.dir/src/scene.cpp.o"
+  "CMakeFiles/ros_scene.dir/src/scene.cpp.o.d"
+  "CMakeFiles/ros_scene.dir/src/tracking.cpp.o"
+  "CMakeFiles/ros_scene.dir/src/tracking.cpp.o.d"
+  "CMakeFiles/ros_scene.dir/src/trajectory.cpp.o"
+  "CMakeFiles/ros_scene.dir/src/trajectory.cpp.o.d"
+  "libros_scene.a"
+  "libros_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ros_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tag/src/ask.cpp" "src/tag/CMakeFiles/ros_tag.dir/src/ask.cpp.o" "gcc" "src/tag/CMakeFiles/ros_tag.dir/src/ask.cpp.o.d"
+  "/root/repo/src/tag/src/beam_pattern_strawman.cpp" "src/tag/CMakeFiles/ros_tag.dir/src/beam_pattern_strawman.cpp.o" "gcc" "src/tag/CMakeFiles/ros_tag.dir/src/beam_pattern_strawman.cpp.o.d"
+  "/root/repo/src/tag/src/capacity.cpp" "src/tag/CMakeFiles/ros_tag.dir/src/capacity.cpp.o" "gcc" "src/tag/CMakeFiles/ros_tag.dir/src/capacity.cpp.o.d"
+  "/root/repo/src/tag/src/codec.cpp" "src/tag/CMakeFiles/ros_tag.dir/src/codec.cpp.o" "gcc" "src/tag/CMakeFiles/ros_tag.dir/src/codec.cpp.o.d"
+  "/root/repo/src/tag/src/design_io.cpp" "src/tag/CMakeFiles/ros_tag.dir/src/design_io.cpp.o" "gcc" "src/tag/CMakeFiles/ros_tag.dir/src/design_io.cpp.o.d"
+  "/root/repo/src/tag/src/ecc.cpp" "src/tag/CMakeFiles/ros_tag.dir/src/ecc.cpp.o" "gcc" "src/tag/CMakeFiles/ros_tag.dir/src/ecc.cpp.o.d"
+  "/root/repo/src/tag/src/layout.cpp" "src/tag/CMakeFiles/ros_tag.dir/src/layout.cpp.o" "gcc" "src/tag/CMakeFiles/ros_tag.dir/src/layout.cpp.o.d"
+  "/root/repo/src/tag/src/link_budget.cpp" "src/tag/CMakeFiles/ros_tag.dir/src/link_budget.cpp.o" "gcc" "src/tag/CMakeFiles/ros_tag.dir/src/link_budget.cpp.o.d"
+  "/root/repo/src/tag/src/rcs_model.cpp" "src/tag/CMakeFiles/ros_tag.dir/src/rcs_model.cpp.o" "gcc" "src/tag/CMakeFiles/ros_tag.dir/src/rcs_model.cpp.o.d"
+  "/root/repo/src/tag/src/tag.cpp" "src/tag/CMakeFiles/ros_tag.dir/src/tag.cpp.o" "gcc" "src/tag/CMakeFiles/ros_tag.dir/src/tag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ros_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/ros_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ros_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/antenna/CMakeFiles/ros_antenna.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/ros_optim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

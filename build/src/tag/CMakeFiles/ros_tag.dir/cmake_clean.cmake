@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ros_tag.dir/src/ask.cpp.o"
+  "CMakeFiles/ros_tag.dir/src/ask.cpp.o.d"
+  "CMakeFiles/ros_tag.dir/src/beam_pattern_strawman.cpp.o"
+  "CMakeFiles/ros_tag.dir/src/beam_pattern_strawman.cpp.o.d"
+  "CMakeFiles/ros_tag.dir/src/capacity.cpp.o"
+  "CMakeFiles/ros_tag.dir/src/capacity.cpp.o.d"
+  "CMakeFiles/ros_tag.dir/src/codec.cpp.o"
+  "CMakeFiles/ros_tag.dir/src/codec.cpp.o.d"
+  "CMakeFiles/ros_tag.dir/src/design_io.cpp.o"
+  "CMakeFiles/ros_tag.dir/src/design_io.cpp.o.d"
+  "CMakeFiles/ros_tag.dir/src/ecc.cpp.o"
+  "CMakeFiles/ros_tag.dir/src/ecc.cpp.o.d"
+  "CMakeFiles/ros_tag.dir/src/layout.cpp.o"
+  "CMakeFiles/ros_tag.dir/src/layout.cpp.o.d"
+  "CMakeFiles/ros_tag.dir/src/link_budget.cpp.o"
+  "CMakeFiles/ros_tag.dir/src/link_budget.cpp.o.d"
+  "CMakeFiles/ros_tag.dir/src/rcs_model.cpp.o"
+  "CMakeFiles/ros_tag.dir/src/rcs_model.cpp.o.d"
+  "CMakeFiles/ros_tag.dir/src/tag.cpp.o"
+  "CMakeFiles/ros_tag.dir/src/tag.cpp.o.d"
+  "libros_tag.a"
+  "libros_tag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ros_tag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

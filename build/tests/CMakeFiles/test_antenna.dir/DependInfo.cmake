@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/antenna/test_beam_shaping.cpp" "tests/CMakeFiles/test_antenna.dir/antenna/test_beam_shaping.cpp.o" "gcc" "tests/CMakeFiles/test_antenna.dir/antenna/test_beam_shaping.cpp.o.d"
+  "/root/repo/tests/antenna/test_design_rules.cpp" "tests/CMakeFiles/test_antenna.dir/antenna/test_design_rules.cpp.o" "gcc" "tests/CMakeFiles/test_antenna.dir/antenna/test_design_rules.cpp.o.d"
+  "/root/repo/tests/antenna/test_psvaa.cpp" "tests/CMakeFiles/test_antenna.dir/antenna/test_psvaa.cpp.o" "gcc" "tests/CMakeFiles/test_antenna.dir/antenna/test_psvaa.cpp.o.d"
+  "/root/repo/tests/antenna/test_stack.cpp" "tests/CMakeFiles/test_antenna.dir/antenna/test_stack.cpp.o" "gcc" "tests/CMakeFiles/test_antenna.dir/antenna/test_stack.cpp.o.d"
+  "/root/repo/tests/antenna/test_ula.cpp" "tests/CMakeFiles/test_antenna.dir/antenna/test_ula.cpp.o" "gcc" "tests/CMakeFiles/test_antenna.dir/antenna/test_ula.cpp.o.d"
+  "/root/repo/tests/antenna/test_vaa.cpp" "tests/CMakeFiles/test_antenna.dir/antenna/test_vaa.cpp.o" "gcc" "tests/CMakeFiles/test_antenna.dir/antenna/test_vaa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/ros_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/ros_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/radar/CMakeFiles/ros_radar.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/ros_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/antenna/CMakeFiles/ros_antenna.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/ros_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ros_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/ros_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ros_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

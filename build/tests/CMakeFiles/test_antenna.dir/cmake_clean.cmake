@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_antenna.dir/antenna/test_beam_shaping.cpp.o"
+  "CMakeFiles/test_antenna.dir/antenna/test_beam_shaping.cpp.o.d"
+  "CMakeFiles/test_antenna.dir/antenna/test_design_rules.cpp.o"
+  "CMakeFiles/test_antenna.dir/antenna/test_design_rules.cpp.o.d"
+  "CMakeFiles/test_antenna.dir/antenna/test_psvaa.cpp.o"
+  "CMakeFiles/test_antenna.dir/antenna/test_psvaa.cpp.o.d"
+  "CMakeFiles/test_antenna.dir/antenna/test_stack.cpp.o"
+  "CMakeFiles/test_antenna.dir/antenna/test_stack.cpp.o.d"
+  "CMakeFiles/test_antenna.dir/antenna/test_ula.cpp.o"
+  "CMakeFiles/test_antenna.dir/antenna/test_ula.cpp.o.d"
+  "CMakeFiles/test_antenna.dir/antenna/test_vaa.cpp.o"
+  "CMakeFiles/test_antenna.dir/antenna/test_vaa.cpp.o.d"
+  "test_antenna"
+  "test_antenna.pdb"
+  "test_antenna[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_antenna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

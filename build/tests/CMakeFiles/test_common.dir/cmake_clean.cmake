@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_angles.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_angles.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_csv.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_csv.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_grid.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_grid.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_mathx.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_mathx.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_random.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_random.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_units.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_units.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dsp/test_cfar.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_cfar.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_cfar.cpp.o.d"
+  "/root/repo/tests/dsp/test_fft.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_fft.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_fft.cpp.o.d"
+  "/root/repo/tests/dsp/test_linalg.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_linalg.cpp.o.d"
+  "/root/repo/tests/dsp/test_ook.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_ook.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_ook.cpp.o.d"
+  "/root/repo/tests/dsp/test_peaks.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_peaks.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_peaks.cpp.o.d"
+  "/root/repo/tests/dsp/test_resample.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_resample.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_resample.cpp.o.d"
+  "/root/repo/tests/dsp/test_spectrum.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_spectrum.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_spectrum.cpp.o.d"
+  "/root/repo/tests/dsp/test_window.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_window.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/ros_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/ros_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/radar/CMakeFiles/ros_radar.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/ros_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/antenna/CMakeFiles/ros_antenna.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/ros_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ros_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/ros_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ros_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

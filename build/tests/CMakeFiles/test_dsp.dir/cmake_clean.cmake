@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp.dir/dsp/test_cfar.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_cfar.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_fft.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_fft.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_linalg.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_linalg.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_ook.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_ook.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_peaks.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_peaks.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_resample.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_resample.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_spectrum.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_spectrum.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_window.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_window.cpp.o.d"
+  "test_dsp"
+  "test_dsp.pdb"
+  "test_dsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

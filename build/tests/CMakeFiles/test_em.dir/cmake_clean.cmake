@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_em.dir/em/test_circular.cpp.o"
+  "CMakeFiles/test_em.dir/em/test_circular.cpp.o.d"
+  "CMakeFiles/test_em.dir/em/test_material.cpp.o"
+  "CMakeFiles/test_em.dir/em/test_material.cpp.o.d"
+  "CMakeFiles/test_em.dir/em/test_patch.cpp.o"
+  "CMakeFiles/test_em.dir/em/test_patch.cpp.o.d"
+  "CMakeFiles/test_em.dir/em/test_pathloss.cpp.o"
+  "CMakeFiles/test_em.dir/em/test_pathloss.cpp.o.d"
+  "CMakeFiles/test_em.dir/em/test_polarization.cpp.o"
+  "CMakeFiles/test_em.dir/em/test_polarization.cpp.o.d"
+  "CMakeFiles/test_em.dir/em/test_transmission_line.cpp.o"
+  "CMakeFiles/test_em.dir/em/test_transmission_line.cpp.o.d"
+  "test_em"
+  "test_em.pdb"
+  "test_em[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline.dir/pipeline/test_dbscan.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_dbscan.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_features.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_features.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_odometry.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_odometry.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_pointcloud.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_pointcloud.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_rcs_sampler.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_rcs_sampler.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_tag_detector.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_tag_detector.cpp.o.d"
+  "test_pipeline"
+  "test_pipeline.pdb"
+  "test_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

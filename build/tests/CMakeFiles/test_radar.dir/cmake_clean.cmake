@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radar.dir/radar/test_arrays.cpp.o"
+  "CMakeFiles/test_radar.dir/radar/test_arrays.cpp.o.d"
+  "CMakeFiles/test_radar.dir/radar/test_chirp.cpp.o"
+  "CMakeFiles/test_radar.dir/radar/test_chirp.cpp.o.d"
+  "CMakeFiles/test_radar.dir/radar/test_doppler.cpp.o"
+  "CMakeFiles/test_radar.dir/radar/test_doppler.cpp.o.d"
+  "CMakeFiles/test_radar.dir/radar/test_music.cpp.o"
+  "CMakeFiles/test_radar.dir/radar/test_music.cpp.o.d"
+  "CMakeFiles/test_radar.dir/radar/test_processing.cpp.o"
+  "CMakeFiles/test_radar.dir/radar/test_processing.cpp.o.d"
+  "CMakeFiles/test_radar.dir/radar/test_tdm_mimo.cpp.o"
+  "CMakeFiles/test_radar.dir/radar/test_tdm_mimo.cpp.o.d"
+  "CMakeFiles/test_radar.dir/radar/test_waveform.cpp.o"
+  "CMakeFiles/test_radar.dir/radar/test_waveform.cpp.o.d"
+  "test_radar"
+  "test_radar.pdb"
+  "test_radar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

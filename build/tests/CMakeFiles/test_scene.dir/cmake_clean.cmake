@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scene.dir/scene/test_corner_reflector.cpp.o"
+  "CMakeFiles/test_scene.dir/scene/test_corner_reflector.cpp.o.d"
+  "CMakeFiles/test_scene.dir/scene/test_fog.cpp.o"
+  "CMakeFiles/test_scene.dir/scene/test_fog.cpp.o.d"
+  "CMakeFiles/test_scene.dir/scene/test_geometry.cpp.o"
+  "CMakeFiles/test_scene.dir/scene/test_geometry.cpp.o.d"
+  "CMakeFiles/test_scene.dir/scene/test_objects.cpp.o"
+  "CMakeFiles/test_scene.dir/scene/test_objects.cpp.o.d"
+  "CMakeFiles/test_scene.dir/scene/test_scene.cpp.o"
+  "CMakeFiles/test_scene.dir/scene/test_scene.cpp.o.d"
+  "CMakeFiles/test_scene.dir/scene/test_tracking.cpp.o"
+  "CMakeFiles/test_scene.dir/scene/test_tracking.cpp.o.d"
+  "CMakeFiles/test_scene.dir/scene/test_trajectory.cpp.o"
+  "CMakeFiles/test_scene.dir/scene/test_trajectory.cpp.o.d"
+  "test_scene"
+  "test_scene.pdb"
+  "test_scene[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tag/test_ask.cpp" "tests/CMakeFiles/test_tag.dir/tag/test_ask.cpp.o" "gcc" "tests/CMakeFiles/test_tag.dir/tag/test_ask.cpp.o.d"
+  "/root/repo/tests/tag/test_beam_pattern_strawman.cpp" "tests/CMakeFiles/test_tag.dir/tag/test_beam_pattern_strawman.cpp.o" "gcc" "tests/CMakeFiles/test_tag.dir/tag/test_beam_pattern_strawman.cpp.o.d"
+  "/root/repo/tests/tag/test_capacity.cpp" "tests/CMakeFiles/test_tag.dir/tag/test_capacity.cpp.o" "gcc" "tests/CMakeFiles/test_tag.dir/tag/test_capacity.cpp.o.d"
+  "/root/repo/tests/tag/test_codec.cpp" "tests/CMakeFiles/test_tag.dir/tag/test_codec.cpp.o" "gcc" "tests/CMakeFiles/test_tag.dir/tag/test_codec.cpp.o.d"
+  "/root/repo/tests/tag/test_codec_properties.cpp" "tests/CMakeFiles/test_tag.dir/tag/test_codec_properties.cpp.o" "gcc" "tests/CMakeFiles/test_tag.dir/tag/test_codec_properties.cpp.o.d"
+  "/root/repo/tests/tag/test_design_io.cpp" "tests/CMakeFiles/test_tag.dir/tag/test_design_io.cpp.o" "gcc" "tests/CMakeFiles/test_tag.dir/tag/test_design_io.cpp.o.d"
+  "/root/repo/tests/tag/test_ecc.cpp" "tests/CMakeFiles/test_tag.dir/tag/test_ecc.cpp.o" "gcc" "tests/CMakeFiles/test_tag.dir/tag/test_ecc.cpp.o.d"
+  "/root/repo/tests/tag/test_layout.cpp" "tests/CMakeFiles/test_tag.dir/tag/test_layout.cpp.o" "gcc" "tests/CMakeFiles/test_tag.dir/tag/test_layout.cpp.o.d"
+  "/root/repo/tests/tag/test_link_budget.cpp" "tests/CMakeFiles/test_tag.dir/tag/test_link_budget.cpp.o" "gcc" "tests/CMakeFiles/test_tag.dir/tag/test_link_budget.cpp.o.d"
+  "/root/repo/tests/tag/test_rcs_model.cpp" "tests/CMakeFiles/test_tag.dir/tag/test_rcs_model.cpp.o" "gcc" "tests/CMakeFiles/test_tag.dir/tag/test_rcs_model.cpp.o.d"
+  "/root/repo/tests/tag/test_tag.cpp" "tests/CMakeFiles/test_tag.dir/tag/test_tag.cpp.o" "gcc" "tests/CMakeFiles/test_tag.dir/tag/test_tag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/ros_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/ros_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/radar/CMakeFiles/ros_radar.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/ros_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/antenna/CMakeFiles/ros_antenna.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/ros_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ros_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/ros_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ros_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

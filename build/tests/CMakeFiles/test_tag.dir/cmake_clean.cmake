@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tag.dir/tag/test_ask.cpp.o"
+  "CMakeFiles/test_tag.dir/tag/test_ask.cpp.o.d"
+  "CMakeFiles/test_tag.dir/tag/test_beam_pattern_strawman.cpp.o"
+  "CMakeFiles/test_tag.dir/tag/test_beam_pattern_strawman.cpp.o.d"
+  "CMakeFiles/test_tag.dir/tag/test_capacity.cpp.o"
+  "CMakeFiles/test_tag.dir/tag/test_capacity.cpp.o.d"
+  "CMakeFiles/test_tag.dir/tag/test_codec.cpp.o"
+  "CMakeFiles/test_tag.dir/tag/test_codec.cpp.o.d"
+  "CMakeFiles/test_tag.dir/tag/test_codec_properties.cpp.o"
+  "CMakeFiles/test_tag.dir/tag/test_codec_properties.cpp.o.d"
+  "CMakeFiles/test_tag.dir/tag/test_design_io.cpp.o"
+  "CMakeFiles/test_tag.dir/tag/test_design_io.cpp.o.d"
+  "CMakeFiles/test_tag.dir/tag/test_ecc.cpp.o"
+  "CMakeFiles/test_tag.dir/tag/test_ecc.cpp.o.d"
+  "CMakeFiles/test_tag.dir/tag/test_layout.cpp.o"
+  "CMakeFiles/test_tag.dir/tag/test_layout.cpp.o.d"
+  "CMakeFiles/test_tag.dir/tag/test_link_budget.cpp.o"
+  "CMakeFiles/test_tag.dir/tag/test_link_budget.cpp.o.d"
+  "CMakeFiles/test_tag.dir/tag/test_rcs_model.cpp.o"
+  "CMakeFiles/test_tag.dir/tag/test_rcs_model.cpp.o.d"
+  "CMakeFiles/test_tag.dir/tag/test_tag.cpp.o"
+  "CMakeFiles/test_tag.dir/tag/test_tag.cpp.o.d"
+  "test_tag"
+  "test_tag.pdb"
+  "test_tag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
