@@ -7,7 +7,8 @@
 
 #include "ros/scene/objects.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv, "bench_ablation_decoder");
   using namespace ros;
   const auto bits = bench::truth_bits();
   pipeline::InterrogatorConfig cfg;

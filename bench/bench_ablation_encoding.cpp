@@ -44,7 +44,8 @@ void spectrum_report(const char* title,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv, "bench_ablation_encoding");
   using namespace ros;
 
   // (1) Naive equispaced layout: stacks at 0, 1.5, 3.0, 4.5, 6.0 lambda.

@@ -16,7 +16,8 @@
 #include "ros/tag/ecc.hpp"
 #include "ros/tag/link_budget.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv, "bench_extension_sec8");
   using namespace ros;
   const auto& stackup = bench::stackup();
 

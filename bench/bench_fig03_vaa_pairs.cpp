@@ -6,7 +6,8 @@
 #include "ros/antenna/vaa.hpp"
 #include "ros/common/grid.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv, "bench_fig03_vaa_pairs");
   using namespace ros;
   const auto& stackup = bench::stackup();
 

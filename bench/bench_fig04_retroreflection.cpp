@@ -9,7 +9,8 @@
 #include "ros/common/angles.hpp"
 #include "ros/common/grid.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv, "bench_fig04_retroreflection");
   using namespace ros;
   const antenna::VanAttaArray vaa({}, &bench::stackup());
   const antenna::UniformLinearArray ula({});

@@ -8,7 +8,8 @@
 #include "ros/common/angles.hpp"
 #include "ros/common/grid.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv, "bench_fig05_psvaa_polarization");
   using namespace ros;
   using em::Polarization;
   const antenna::Psvaa psvaa({}, &bench::stackup());

@@ -11,7 +11,8 @@
 #include "ros/common/angles.hpp"
 #include "ros/common/grid.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv, "bench_fig08_beam_shaping");
   using namespace ros;
   const auto& stackup = bench::stackup();
 

@@ -11,7 +11,8 @@
 #include "ros/tag/codec.hpp"
 #include "ros/tag/rcs_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv, "bench_fig10_spatial_code");
   using namespace ros;
   const auto layout = tag::TagLayout::all_ones({});
 

@@ -8,7 +8,8 @@
 #include "ros/dsp/spectrum.hpp"
 #include "ros/pipeline/interrogator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv, "bench_fig11_interrogation");
   using namespace ros;
   scene::Scene world = bench::tag_scene(bench::truth_bits());
   world.add_clutter(scene::tripod_params({1.3, 0.4}));

@@ -11,7 +11,8 @@
 
 #include "ros/pipeline/interrogator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv, "bench_fig13_detection_features");
   using namespace ros;
 
   struct Entry {

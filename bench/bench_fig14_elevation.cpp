@@ -9,7 +9,8 @@
 
 #include "ros/common/angles.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv, "bench_fig14_elevation");
   using namespace ros;
   const auto bits = bench::truth_bits();
 

@@ -4,7 +4,8 @@
 // detectable, with the 32-stack penalized inside its ~6 m far field.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv, "bench_fig15_distance");
   using namespace ros;
   const auto bits = bench::truth_bits();
 

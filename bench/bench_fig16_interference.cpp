@@ -10,7 +10,8 @@
 
 #include "ros/common/angles.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv, "bench_fig16_interference");
   using namespace ros;
   const auto bits = bench::truth_bits();
   pipeline::InterrogatorConfig cfg;

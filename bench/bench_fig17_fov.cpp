@@ -4,7 +4,8 @@
 // suffices (location resolution < 0.5 lambda).
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv, "bench_fig17_fov");
   using namespace ros;
   const auto bits = bench::truth_bits();
   pipeline::InterrogatorConfig cfg;

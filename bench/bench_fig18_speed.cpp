@@ -2,7 +2,8 @@
 // > 14 dB; Doppler negligible at mmWave).
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv, "bench_fig18_speed");
   using namespace ros;
   const auto bits = bench::truth_bits();
 

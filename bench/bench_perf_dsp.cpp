@@ -121,4 +121,12 @@ BENCHMARK(BM_FullDecodeDrive)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // ObsSession first so --metrics-out / --trace-out cover the whole run;
+  // google-benchmark ignores the flags it does not recognize.
+  const bench::ObsSession obs_session(argc, argv, "bench_perf_dsp");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

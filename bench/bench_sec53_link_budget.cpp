@@ -6,7 +6,8 @@
 #include "ros/tag/layout.hpp"
 #include "ros/tag/link_budget.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv, "bench_sec53_link_budget");
   using namespace ros;
 
   const auto ti = tag::RadarLinkBudget::ti_iwr1443();

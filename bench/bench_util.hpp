@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "ros/common/angles.hpp"
@@ -14,12 +16,93 @@
 #include "ros/common/units.hpp"
 #include "ros/dsp/ook.hpp"
 #include "ros/em/material.hpp"
+#include "ros/obs/json.hpp"
+#include "ros/obs/log.hpp"
+#include "ros/obs/metrics.hpp"
+#include "ros/obs/trace.hpp"
 #include "ros/pipeline/interrogator.hpp"
 #include "ros/scene/scene.hpp"
 #include "ros/scene/trajectory.hpp"
 #include "ros/tag/tag.hpp"
 
 namespace bench {
+
+/// Per-bench observability session.
+///
+/// Recognized flags (also honored when run without any):
+///   --metrics-out=PATH   write a JSON metrics sidecar (all counters,
+///                        gauges, and stage-latency histograms the run
+///                        accumulated) when the bench exits;
+///   --trace-out=PATH     record a Chrome trace_event JSON of every
+///                        instrumented span (same as ROS_TRACE_FILE).
+/// Construct first thing in main so the sidecar covers the whole run.
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv, std::string bench_name)
+      : bench_name_(std::move(bench_name)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (!take_value(arg, "--metrics-out", argc, argv, i, &metrics_out_)) {
+        std::string trace_out;
+        if (take_value(arg, "--trace-out", argc, argv, i, &trace_out)) {
+          ros::obs::TraceExporter::global().enable(std::move(trace_out));
+        }
+      }
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  ~ObsSession() {
+    if (metrics_out_.empty()) return;
+    const std::string json = sidecar_json();
+    std::FILE* f = std::fopen(metrics_out_.c_str(), "w");
+    if (f == nullptr) {
+      ROS_LOG_ERROR("bench", "cannot open metrics sidecar",
+                    ros::obs::kv("path", metrics_out_));
+      return;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::fprintf(stderr, "# metrics sidecar written to %s\n",
+                 metrics_out_.c_str());
+  }
+
+  const std::string& metrics_out() const { return metrics_out_; }
+
+  /// {"bench": name, "metrics": <registry snapshot>}.
+  std::string sidecar_json() const {
+    std::string out = "{\"bench\":\"";
+    out += ros::obs::json_escape(bench_name_);
+    out += "\",\"metrics\":";
+    out += ros::obs::MetricsRegistry::global().to_json();
+    out += "}";
+    return out;
+  }
+
+ private:
+  /// Match `--flag=VALUE` or `--flag VALUE`; advances `i` in the latter
+  /// form. Returns true when `arg` was this flag and `*out` was set.
+  static bool take_value(std::string_view arg, std::string_view flag,
+                         int argc, char** argv, int& i, std::string* out) {
+    if (arg.size() > flag.size() + 1 &&
+        arg.substr(0, flag.size()) == flag &&
+        arg[flag.size()] == '=') {
+      *out = std::string(arg.substr(flag.size() + 1));
+      return true;
+    }
+    if (arg == flag && i + 1 < argc) {
+      *out = argv[++i];
+      return true;
+    }
+    return false;
+  }
+
+  std::string bench_name_;
+  std::string metrics_out_;
+};
 
 inline const ros::em::StriplineStackup& stackup() {
   static const auto s = ros::em::StriplineStackup::ros_default();

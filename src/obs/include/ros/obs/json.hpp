@@ -1,0 +1,50 @@
+// Minimal JSON emission helper used by the observability sinks (metrics
+// snapshots, Chrome trace export, telemetry sidecars). Not a general
+// JSON library: it only writes, the caller is responsible for calling
+// begin/end in a balanced order, and non-finite doubles serialize as
+// null so the output stays standard-compliant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ros::obs {
+
+/// Escape `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit an object key; must be followed by a value or begin_*.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);  ///< non-finite -> null
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma_for_value();
+  std::string out_;
+  /// One entry per open container: true until the first element is
+  /// written (suppresses the leading comma).
+  std::vector<bool> first_;
+  bool after_key_ = false;
+};
+
+}  // namespace ros::obs

@@ -1,0 +1,103 @@
+// Structured logging for the RoS pipeline (logfmt lines on stderr).
+//
+// Two gates keep the hot paths free of logging cost:
+//   * compile time: statements below ROS_LOG_COMPILED_MIN vanish entirely
+//     (define it to 2 to strip trace+debug from a release build);
+//   * run time: the minimum level defaults to `warn` and is raised or
+//     lowered with the ROS_LOG_LEVEL environment variable
+//     (trace|debug|info|warn|error|off) or set_log_level().
+//
+// Usage:
+//   ROS_LOG_INFO("pipeline", "clustered point cloud",
+//                ros::obs::kv("points", cloud.points.size()),
+//                ros::obs::kv("clusters", clusters.size()));
+// emits
+//   ts=2026-08-06T12:00:00.123Z level=info component=pipeline
+//   msg="clustered point cloud" points=4180 clusters=2
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+namespace ros::obs {
+
+enum class LogLevel : int { trace = 0, debug = 1, info = 2, warn = 3,
+                            error = 4, off = 5 };
+
+const char* to_string(LogLevel level);
+
+/// Parse "debug", "WARN", ... ; unknown strings return `fallback`.
+LogLevel parse_log_level(std::string_view text, LogLevel fallback);
+
+/// Current runtime minimum level. First call reads ROS_LOG_LEVEL
+/// (default: warn).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+inline bool log_enabled(LogLevel level) { return level >= log_level(); }
+
+/// One structured field, pre-rendered to text by the kv() helpers.
+struct Field {
+  std::string key;
+  std::string value;
+  bool quoted = false;  ///< string values get quotes in the output line
+};
+
+Field kv(std::string_view key, std::string_view value);
+Field kv(std::string_view key, const char* value);
+Field kv(std::string_view key, double value);
+Field kv(std::string_view key, bool value);
+
+template <std::integral T>
+Field kv(std::string_view key, T value) {
+  if constexpr (std::signed_integral<T>) {
+    return Field{std::string(key),
+                 std::to_string(static_cast<long long>(value)), false};
+  } else {
+    return Field{std::string(key),
+                 std::to_string(static_cast<unsigned long long>(value)),
+                 false};
+  }
+}
+
+/// Render one logfmt line (no trailing newline). Exposed so tests can
+/// check formatting without capturing stderr.
+std::string format_log_line(LogLevel level, std::string_view component,
+                            std::string_view message,
+                            std::initializer_list<Field> fields);
+
+/// Format and write one line to stderr (thread-safe).
+void write_log(LogLevel level, std::string_view component,
+               std::string_view message,
+               std::initializer_list<Field> fields);
+
+}  // namespace ros::obs
+
+/// Statements below this level compile to nothing. Levels: 0 trace,
+/// 1 debug, 2 info, 3 warn, 4 error.
+#ifndef ROS_LOG_COMPILED_MIN
+#define ROS_LOG_COMPILED_MIN 0
+#endif
+
+#define ROS_LOG_AT(level, component, message, ...)                        \
+  do {                                                                    \
+    if constexpr (static_cast<int>(level) >= ROS_LOG_COMPILED_MIN) {      \
+      if (::ros::obs::log_enabled(level)) {                               \
+        ::ros::obs::write_log(level, component, message, {__VA_ARGS__});  \
+      }                                                                   \
+    }                                                                     \
+  } while (false)
+
+#define ROS_LOG_TRACE(component, message, ...) \
+  ROS_LOG_AT(::ros::obs::LogLevel::trace, component, message, ##__VA_ARGS__)
+#define ROS_LOG_DEBUG(component, message, ...) \
+  ROS_LOG_AT(::ros::obs::LogLevel::debug, component, message, ##__VA_ARGS__)
+#define ROS_LOG_INFO(component, message, ...) \
+  ROS_LOG_AT(::ros::obs::LogLevel::info, component, message, ##__VA_ARGS__)
+#define ROS_LOG_WARN(component, message, ...) \
+  ROS_LOG_AT(::ros::obs::LogLevel::warn, component, message, ##__VA_ARGS__)
+#define ROS_LOG_ERROR(component, message, ...) \
+  ROS_LOG_AT(::ros::obs::LogLevel::error, component, message, ##__VA_ARGS__)

@@ -1,0 +1,74 @@
+// Chrome trace_event exporter: records complete ("ph":"X") spans and
+// writes a JSON file loadable in chrome://tracing or ui.perfetto.dev.
+//
+// The global exporter is disabled (and effectively free) unless a trace
+// path is set, either programmatically via enable() or with the
+// ROS_TRACE_FILE environment variable; with the env var set the file is
+// flushed automatically at process exit. Timestamps are microseconds on
+// the steady clock relative to the session epoch, and each OS thread
+// gets a small dense track id so nested spans from different threads
+// land on separate tracks.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ros::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::int64_t ts_us = 0;   ///< span start, relative to session epoch
+  std::int64_t dur_us = 0;  ///< span duration
+  std::uint32_t tid = 0;    ///< per-thread track id
+};
+
+class TraceExporter {
+ public:
+  TraceExporter();
+  ~TraceExporter();  ///< flushes if enabled with a path
+  TraceExporter(const TraceExporter&) = delete;
+  TraceExporter& operator=(const TraceExporter&) = delete;
+
+  /// Process-wide exporter; first access honors ROS_TRACE_FILE.
+  static TraceExporter& global();
+
+  /// Start (or retarget) a session writing to `path` on flush.
+  void enable(std::string path);
+  /// Stop recording and drop buffered events.
+  void disable();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_acquire);
+  }
+
+  /// Microseconds since the session epoch (monotonic).
+  std::int64_t now_us() const;
+
+  /// Record one complete span. No-op while disabled.
+  void record_complete(std::string_view name, std::string_view category,
+                       std::int64_t ts_us, std::int64_t dur_us);
+
+  std::size_t event_count() const;
+  /// Serialize the current buffer as Chrome trace JSON.
+  std::string to_json() const;
+  /// Write to_json() to the enabled path. Returns false when disabled,
+  /// pathless, or the file cannot be written.
+  bool flush() const;
+
+  /// Dense id of the calling thread (stable for the thread's lifetime).
+  static std::uint32_t this_thread_id();
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
+  std::string path_;
+  std::vector<TraceEvent> events_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace ros::obs

@@ -1,0 +1,146 @@
+#include "ros/obs/log.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <mutex>
+
+namespace ros::obs {
+
+namespace {
+
+std::atomic<int>& level_slot() {
+  // First touch seeds from the environment; set_log_level overrides.
+  static std::atomic<int> level = [] {
+    const char* env = std::getenv("ROS_LOG_LEVEL");
+    const LogLevel lvl =
+        env ? parse_log_level(env, LogLevel::warn) : LogLevel::warn;
+    return static_cast<int>(lvl);
+  }();
+  return level;
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+/// ISO-8601 UTC with millisecond precision.
+std::string timestamp_now() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const auto ms = duration_cast<milliseconds>(now.time_since_epoch()) % 1000;
+  const std::time_t t = system_clock::to_time_t(now);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[40];
+  const std::size_t n = std::strftime(buf, sizeof(buf), "%FT%T", &tm);
+  std::snprintf(buf + n, sizeof(buf) - n, ".%03dZ",
+                static_cast<int>(ms.count()));
+  return buf;
+}
+
+/// Quote a value if it contains characters that would break logfmt.
+void append_value(std::string& line, const std::string& value, bool quoted) {
+  if (!quoted) {
+    line += value;
+    return;
+  }
+  line += '"';
+  for (char c : value) {
+    if (c == '"' || c == '\\') line += '\\';
+    if (c == '\n') { line += "\\n"; continue; }
+    line += c;
+  }
+  line += '"';
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::trace: return "trace";
+    case LogLevel::debug: return "debug";
+    case LogLevel::info: return "info";
+    case LogLevel::warn: return "warn";
+    case LogLevel::error: return "error";
+    case LogLevel::off: return "off";
+  }
+  return "unknown";
+}
+
+LogLevel parse_log_level(std::string_view text, LogLevel fallback) {
+  std::string lower(text);
+  for (char& c : lower) c = static_cast<char>(std::tolower(c));
+  if (lower == "trace") return LogLevel::trace;
+  if (lower == "debug") return LogLevel::debug;
+  if (lower == "info") return LogLevel::info;
+  if (lower == "warn" || lower == "warning") return LogLevel::warn;
+  if (lower == "error") return LogLevel::error;
+  if (lower == "off" || lower == "none") return LogLevel::off;
+  return fallback;
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(
+      level_slot().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  level_slot().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+Field kv(std::string_view key, std::string_view value) {
+  return Field{std::string(key), std::string(value), true};
+}
+
+Field kv(std::string_view key, const char* value) {
+  return kv(key, std::string_view(value));
+}
+
+Field kv(std::string_view key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return Field{std::string(key), buf, false};
+}
+
+Field kv(std::string_view key, bool value) {
+  return Field{std::string(key), value ? "true" : "false", false};
+}
+
+std::string format_log_line(LogLevel level, std::string_view component,
+                            std::string_view message,
+                            std::initializer_list<Field> fields) {
+  std::string line;
+  line.reserve(96 + message.size());
+  line += "ts=";
+  line += timestamp_now();
+  line += " level=";
+  line += to_string(level);
+  line += " component=";
+  line += component;
+  line += " msg=";
+  append_value(line, std::string(message), true);
+  for (const Field& f : fields) {
+    line += ' ';
+    line += f.key;
+    line += '=';
+    append_value(line, f.value, f.quoted);
+  }
+  return line;
+}
+
+void write_log(LogLevel level, std::string_view component,
+               std::string_view message,
+               std::initializer_list<Field> fields) {
+  const std::string line =
+      format_log_line(level, component, message, fields);
+  const std::scoped_lock lock(sink_mutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace ros::obs

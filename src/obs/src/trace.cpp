@@ -1,0 +1,117 @@
+#include "ros/obs/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "ros/obs/json.hpp"
+#include "ros/obs/log.hpp"
+
+namespace ros::obs {
+
+TraceExporter::TraceExporter()
+    : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceExporter::~TraceExporter() {
+  if (enabled() && !path_.empty()) flush();
+}
+
+TraceExporter& TraceExporter::global() {
+  static TraceExporter exporter;
+  static const bool env_checked = [] {
+    if (const char* path = std::getenv("ROS_TRACE_FILE");
+        path != nullptr && path[0] != '\0') {
+      exporter.enable(path);
+    }
+    return true;
+  }();
+  (void)env_checked;
+  return exporter;
+}
+
+void TraceExporter::enable(std::string path) {
+  const std::scoped_lock lock(mu_);
+  path_ = std::move(path);
+  epoch_ = std::chrono::steady_clock::now();
+  events_.clear();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceExporter::disable() {
+  const std::scoped_lock lock(mu_);
+  enabled_.store(false, std::memory_order_release);
+  path_.clear();
+  events_.clear();
+}
+
+std::int64_t TraceExporter::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceExporter::record_complete(std::string_view name,
+                                    std::string_view category,
+                                    std::int64_t ts_us,
+                                    std::int64_t dur_us) {
+  if (!enabled()) return;
+  TraceEvent ev{std::string(name), std::string(category), ts_us, dur_us,
+                this_thread_id()};
+  const std::scoped_lock lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+std::size_t TraceExporter::event_count() const {
+  const std::scoped_lock lock(mu_);
+  return events_.size();
+}
+
+std::string TraceExporter::to_json() const {
+  const std::scoped_lock lock(mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent& ev : events_) {
+    w.begin_object();
+    w.key("name").value(ev.name);
+    w.key("cat").value(ev.category);
+    w.key("ph").value("X");
+    w.key("ts").value(static_cast<std::int64_t>(ev.ts_us));
+    w.key("dur").value(static_cast<std::int64_t>(ev.dur_us));
+    w.key("pid").value(1);
+    w.key("tid").value(static_cast<std::int64_t>(ev.tid));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+bool TraceExporter::flush() const {
+  std::string path;
+  {
+    const std::scoped_lock lock(mu_);
+    if (!enabled_.load(std::memory_order_acquire) || path_.empty()) {
+      return false;
+    }
+    path = path_;
+  }
+  const std::string json = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    ROS_LOG_ERROR("obs", "cannot open trace file", kv("path", path));
+    return false;
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+std::uint32_t TraceExporter::this_thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace ros::obs

@@ -37,6 +37,8 @@ struct DeResult {
   std::size_t generations = 0;     ///< generations actually run
   std::size_t evaluations = 0;     ///< objective evaluations
   std::vector<double> history;     ///< best value per generation
+  std::vector<double> mean_history;///< population-mean value per generation
+  bool converged_early = false;    ///< stopped by the patience window
 };
 
 using Objective = std::function<double(const std::vector<double>&)>;

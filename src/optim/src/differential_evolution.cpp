@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 
 #include "ros/common/expect.hpp"
 #include "ros/common/random.hpp"
+#include "ros/obs/log.hpp"
+#include "ros/obs/metrics.hpp"
+#include "ros/obs/timer.hpp"
 
 namespace ros::optim {
 
@@ -24,11 +28,20 @@ DeResult minimize(const Objective& f, const std::vector<Bounds>& bounds,
     ROS_EXPECT(b.lo <= b.hi, "bounds must be ordered");
   }
 
+  auto& reg = ros::obs::MetricsRegistry::global();
+  ros::obs::ScopedTimer de_timer("optim.de.minimize", "optim",
+                                 &reg.histogram("optim.de.minimize.ms"));
+  reg.counter("optim.de.runs").inc();
+
   const std::size_t dim = bounds.size();
   const std::size_t np = config.population;
   Rng rng(config.seed);
 
   DeResult result;
+  ROS_LOG_DEBUG("optim", "DE-GA started",
+                ros::obs::kv("dim", dim),
+                ros::obs::kv("population", np),
+                ros::obs::kv("max_generations", config.max_generations));
 
   // Initialize the population uniformly inside the box.
   std::vector<std::vector<double>> pop(np, std::vector<double>(dim));
@@ -91,8 +104,16 @@ DeResult minimize(const Objective& f, const std::vector<Bounds>& bounds,
       }
     }
 
+    const double mean =
+        std::accumulate(score.begin(), score.end(), 0.0) /
+        static_cast<double>(np);
     result.history.push_back(best);
+    result.mean_history.push_back(mean);
     ++result.generations;
+    ROS_LOG_TRACE("optim", "DE-GA generation",
+                  ros::obs::kv("gen", gen),
+                  ros::obs::kv("best", best),
+                  ros::obs::kv("mean", mean));
 
     // Convergence: no meaningful improvement across a patience window.
     ++since_improvement;
@@ -100,12 +121,21 @@ DeResult minimize(const Objective& f, const std::vector<Bounds>& bounds,
       best_at_patience_start = best;
       since_improvement = 0;
     } else if (since_improvement >= config.patience) {
+      result.converged_early = true;
       break;
     }
   }
 
   result.best = pop[best_idx];
   result.best_value = best;
+  reg.counter("optim.de.generations").inc(result.generations);
+  reg.counter("optim.de.evaluations").inc(result.evaluations);
+  if (result.converged_early) reg.counter("optim.de.converged_early").inc();
+  ROS_LOG_DEBUG("optim", "DE-GA finished",
+                ros::obs::kv("generations", result.generations),
+                ros::obs::kv("evaluations", result.evaluations),
+                ros::obs::kv("best", result.best_value),
+                ros::obs::kv("converged_early", result.converged_early));
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include "ros/pipeline/pointcloud.hpp"
 #include "ros/pipeline/rcs_sampler.hpp"
 #include "ros/pipeline/tag_detector.hpp"
+#include "ros/pipeline/telemetry.hpp"
 #include "ros/radar/arrays.hpp"
 #include "ros/radar/chirp.hpp"
 #include "ros/radar/processing.hpp"
@@ -43,6 +44,12 @@ struct InterrogatorConfig {
   std::uint64_t noise_seed = 1;
 };
 
+/// Throw std::invalid_argument (via ROS_EXPECT) when `config` holds
+/// values the pipeline would silently misbehave on: frame_stride < 1,
+/// non-positive DBSCAN eps / min_points, or a non-finite / negative
+/// decode FoV. Called by the Interrogator constructor and decode_drive.
+void validate(const InterrogatorConfig& config);
+
 /// One decoded tag candidate.
 struct TagReadout {
   TagCandidate candidate;
@@ -56,6 +63,7 @@ struct InterrogationReport {
   std::vector<Cluster> clusters;        ///< dense clusters
   std::vector<TagCandidate> candidates; ///< all classified clusters
   std::vector<TagReadout> tags;         ///< decoded tag candidates
+  PipelineTelemetry telemetry;          ///< stage timings + funnel counts
 };
 
 class Interrogator {
@@ -82,6 +90,7 @@ struct DecodeDriveResult {
   std::vector<RssSample> samples;
   ros::tag::DecodeResult decode;
   double mean_rss_dbm = 0.0;  ///< mean spotlighted RSS over the pass
+  PipelineTelemetry telemetry;
 };
 
 DecodeDriveResult decode_drive(const ros::scene::Scene& scene,

@@ -1,9 +1,14 @@
 #include "ros/pipeline/interrogator.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "ros/common/expect.hpp"
 #include "ros/common/units.hpp"
+#include "ros/dsp/ook.hpp"
+#include "ros/obs/log.hpp"
+#include "ros/obs/metrics.hpp"
+#include "ros/obs/timer.hpp"
 #include "ros/radar/waveform.hpp"
 
 namespace ros::pipeline {
@@ -15,23 +20,91 @@ using ros::radar::TxMode;
 using ros::scene::RadarPose;
 using ros::scene::Vec2;
 
+namespace {
+
+constexpr const char* kLog = "pipeline";
+
+/// Single-read OOK quality estimate: pool slot amplitudes by decoded
+/// bit and apply the paper's SNR/BER mapping. NaN SNR (and 0.5 BER)
+/// when only one symbol class was read.
+TagDecodeTelemetry decode_telemetry(const ros::tag::DecodeResult& decode,
+                                    const std::vector<RssSample>& samples) {
+  TagDecodeTelemetry out;
+  out.bits = decode.bits;
+  out.n_samples = samples.size();
+  double sum_w = 0.0;
+  for (const auto& s : samples) sum_w += s.rss_w;
+  out.mean_rss_dbm =
+      watt_to_dbm(sum_w / std::max<std::size_t>(1, samples.size()));
+
+  std::vector<double> ones;
+  std::vector<double> zeros;
+  for (std::size_t k = 0; k < decode.bits.size(); ++k) {
+    (decode.bits[k] ? ones : zeros).push_back(decode.slot_amplitudes[k]);
+  }
+  if (ones.empty() || zeros.empty()) {
+    out.snr_db = std::numeric_limits<double>::quiet_NaN();
+    out.ber = 0.5;
+    return out;
+  }
+  const double snr = ros::dsp::ook_snr(ones, zeros);
+  out.snr_db = linear_to_db(snr);
+  out.ber = ros::dsp::ook_ber(snr);
+  return out;
+}
+
+void record_funnel(const PipelineTelemetry& t) {
+  auto& reg = ros::obs::MetricsRegistry::global();
+  reg.counter("pipeline.runs").inc();
+  reg.counter("pipeline.frames").inc(t.n_frames);
+  reg.counter("pipeline.points").inc(t.n_points);
+  reg.counter("pipeline.clusters").inc(t.n_clusters);
+  reg.counter("pipeline.candidates").inc(t.n_candidates);
+  reg.counter("pipeline.tags_decoded").inc(t.n_tags);
+}
+
+}  // namespace
+
+void validate(const InterrogatorConfig& config) {
+  ROS_EXPECT(config.frame_stride >= 1, "frame stride must be >= 1");
+  ROS_EXPECT(config.dbscan.eps_m > 0.0, "DBSCAN eps must be > 0");
+  ROS_EXPECT(config.dbscan.min_points > 0,
+             "DBSCAN min_points must be > 0");
+  ROS_EXPECT(std::isfinite(config.decode_fov_rad) &&
+                 config.decode_fov_rad >= 0.0,
+             "decode FoV must be finite and >= 0 (0 disables truncation)");
+}
+
 Interrogator::Interrogator(InterrogatorConfig config)
     : config_(std::move(config)) {
-  ROS_EXPECT(config_.frame_stride >= 1, "frame stride must be >= 1");
+  validate(config_);
 }
 
 InterrogationReport Interrogator::run(
     const ros::scene::Scene& scene,
     const ros::scene::StraightDrive& drive) const {
+  auto& reg = ros::obs::MetricsRegistry::global();
+  ros::obs::ScopedTimer run_timer(
+      "interrogate.run", "pipeline",
+      &reg.histogram("interrogate.run.ms"));
   InterrogationReport report;
+  PipelineTelemetry& tel = report.telemetry;
 
   // Ground-truth poses at the frame rate; the decoder sees only the
   // tracking estimate.
+  ros::obs::ScopedTimer track_timer("interrogate.track", "pipeline");
   const auto truth = drive.frames(config_.chirp.frame_rate_hz /
                                   static_cast<double>(config_.frame_stride));
   const ros::scene::TrackingModel tracker(config_.tracking);
   const auto estimated = tracker.estimate(truth);
+  tel.add_stage("track", track_timer.stop());
   report.n_frames = truth.size();
+  tel.n_frames = truth.size();
+
+  ROS_LOG_INFO(kLog, "interrogation started",
+               ros::obs::kv("frames", truth.size()),
+               ros::obs::kv("frame_stride", config_.frame_stride),
+               ros::obs::kv("objects", scene.objects().size()));
 
   const double fc = config_.chirp.center_hz();
   const ros::radar::WaveformSynthesizer synth(config_.chirp, config_.array);
@@ -51,39 +124,77 @@ InterrogationReport Interrogator::run(
   profiles_normal.reserve(truth.size());
   profiles_switched.reserve(truth.size());
 
-  for (std::size_t i = 0; i < truth.size(); ++i) {
-    const RadarPose& pose = truth[i];
-    const auto ret_n = scene.frame_returns(pose, TxMode::normal,
-                                           config_.array, config_.budget,
-                                           fc, rng);
-    const auto ret_s = scene.frame_returns(pose, TxMode::switched,
-                                           config_.array, config_.budget,
-                                           fc, rng);
-    const FrameCube f_n = synth.synthesize(ret_n, noise_w, rng);
-    const FrameCube f_s = synth.synthesize(ret_s, noise_w, rng);
-    profiles_normal.push_back(ros::radar::range_fft(f_n, config_.chirp));
-    profiles_switched.push_back(ros::radar::range_fft(f_s, config_.chirp));
+  {
+    // One trace span for the whole frame loop; the per-sub-stage cost
+    // is accumulated into the telemetry (per-frame spans would swamp
+    // the trace at the 1 kHz frame rate).
+    ros::obs::ScopedTimer frames_timer("interrogate.frames", "pipeline");
+    double synth_ms = 0.0;
+    double fft_ms = 0.0;
+    double detect_ms = 0.0;
+    ros::obs::Histogram& frame_hist =
+        reg.histogram("interrogate.frame.ms");
 
-    // Point cloud from both Tx passes (the radar time-multiplexes the
-    // two Tx antennas anyway): clutter anchors through the normal pass,
-    // the tag through the switched pass where its retro response is
-    // strong. Points are placed with the *estimated* pose as the paper
-    // does.
-    accumulate(report.cloud,
-               ros::radar::detect_points(profiles_normal.back(),
-                                         config_.array, fc,
-                                         config_.detector),
-               estimated[i], i);
-    accumulate(report.cloud,
-               ros::radar::detect_points(profiles_switched.back(),
-                                         config_.array, fc,
-                                         config_.detector),
-               estimated[i], i);
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      const double frame_t0 = frames_timer.elapsed_ms();
+      const RadarPose& pose = truth[i];
+      ros::obs::ScopedTimer t_synth("interrogate.synthesize", "pipeline");
+      const auto ret_n = scene.frame_returns(pose, TxMode::normal,
+                                             config_.array, config_.budget,
+                                             fc, rng);
+      const auto ret_s = scene.frame_returns(pose, TxMode::switched,
+                                             config_.array, config_.budget,
+                                             fc, rng);
+      const FrameCube f_n = synth.synthesize(ret_n, noise_w, rng);
+      const FrameCube f_s = synth.synthesize(ret_s, noise_w, rng);
+      synth_ms += t_synth.stop();
+
+      ros::obs::ScopedTimer t_fft("interrogate.range_fft", "pipeline");
+      profiles_normal.push_back(ros::radar::range_fft(f_n, config_.chirp));
+      profiles_switched.push_back(
+          ros::radar::range_fft(f_s, config_.chirp));
+      fft_ms += t_fft.stop();
+
+      // Point cloud from both Tx passes (the radar time-multiplexes the
+      // two Tx antennas anyway): clutter anchors through the normal
+      // pass, the tag through the switched pass where its retro
+      // response is strong. Points are placed with the *estimated* pose
+      // as the paper does.
+      ros::obs::ScopedTimer t_detect("interrogate.detect_points",
+                                     "pipeline");
+      accumulate(report.cloud,
+                 ros::radar::detect_points(profiles_normal.back(),
+                                           config_.array, fc,
+                                           config_.detector),
+                 estimated[i], i);
+      accumulate(report.cloud,
+                 ros::radar::detect_points(profiles_switched.back(),
+                                           config_.array, fc,
+                                           config_.detector),
+                 estimated[i], i);
+      detect_ms += t_detect.stop();
+      frame_hist.observe(frames_timer.elapsed_ms() - frame_t0);
+    }
+    tel.add_stage("synthesize", synth_ms);
+    tel.add_stage("range_fft", fft_ms);
+    tel.add_stage("detect_points", detect_ms);
+    frames_timer.stop();
   }
+  tel.n_points = report.cloud.points.size();
 
-  report.clusters = filter_dense(
-      extract_clusters(report.cloud, config_.dbscan),
-      config_.tag_detector.min_density, config_.tag_detector.min_points);
+  {
+    ros::obs::ScopedTimer t_cluster(
+        "interrogate.cluster", "pipeline",
+        &reg.histogram("interrogate.cluster.ms"));
+    report.clusters = filter_dense(
+        extract_clusters(report.cloud, config_.dbscan),
+        config_.tag_detector.min_density, config_.tag_detector.min_points);
+    tel.add_stage("cluster", t_cluster.stop());
+  }
+  tel.n_clusters = report.clusters.size();
+  ROS_LOG_DEBUG(kLog, "point cloud clustered",
+                ros::obs::kv("points", tel.n_points),
+                ros::obs::kv("dense_clusters", tel.n_clusters));
 
   const Vec2 road = drive.velocity() *
                     (1.0 / std::max(drive.velocity().norm(), 1e-9));
@@ -93,6 +204,9 @@ InterrogationReport Interrogator::run(
 
   for (const Cluster& cluster : report.clusters) {
     // Spotlight the cluster in both passes to get the RSS-loss feature.
+    ros::obs::ScopedTimer t_disc(
+        "interrogate.discriminate", "pipeline",
+        &reg.histogram("interrogate.discriminate.ms"));
     const auto samples_n =
         sample_rss(profiles_normal, estimated, cluster.centroid, road,
                    config_.array, fc);
@@ -109,19 +223,49 @@ InterrogationReport Interrogator::run(
     TagCandidate cand =
         classify_cluster(cluster, mean_dbm(samples_n), mean_dbm(samples_s),
                          config_.tag_detector);
+    tel.add_stage("discriminate", t_disc.stop());
     report.candidates.push_back(cand);
+    ROS_LOG_DEBUG(kLog, "cluster classified",
+                  ros::obs::kv("centroid_x", cand.cluster.centroid.x),
+                  ros::obs::kv("centroid_y", cand.cluster.centroid.y),
+                  ros::obs::kv("rss_loss_db", cand.rss_loss_db),
+                  ros::obs::kv("is_tag", cand.is_tag));
     if (!cand.is_tag) continue;
 
     // Decode from the switched-pass samples.
+    ros::obs::ScopedTimer t_decode(
+        "interrogate.decode", "pipeline",
+        &reg.histogram("interrogate.decode.ms"));
     const auto series = to_decoder_series(samples_s, max_abs_u);
-    if (series.u.size() < 16) continue;
+    if (series.u.size() < 16) {
+      tel.add_stage("decode", t_decode.stop());
+      ROS_LOG_WARN(kLog, "tag candidate dropped: too few decoder samples",
+                   ros::obs::kv("samples", series.u.size()),
+                   ros::obs::kv("centroid_x", cand.cluster.centroid.x));
+      reg.counter("pipeline.decode_dropped_short_series").inc();
+      continue;
+    }
     const ros::tag::SpatialDecoder decoder(config_.decoder);
     TagReadout readout;
     readout.candidate = cand;
     readout.samples = samples_s;
     readout.decode = decoder.decode(series.u, series.rss_linear);
+    tel.add_stage("decode", t_decode.stop());
+    tel.tags.push_back(decode_telemetry(readout.decode, readout.samples));
     report.tags.push_back(std::move(readout));
   }
+  tel.n_candidates = report.candidates.size();
+  tel.n_tags = report.tags.size();
+  tel.total_ms = run_timer.stop();
+  record_funnel(tel);
+
+  ROS_LOG_INFO(kLog, "interrogation finished",
+               ros::obs::kv("frames", tel.n_frames),
+               ros::obs::kv("points", tel.n_points),
+               ros::obs::kv("clusters", tel.n_clusters),
+               ros::obs::kv("candidates", tel.n_candidates),
+               ros::obs::kv("tags", tel.n_tags),
+               ros::obs::kv("total_ms", tel.total_ms));
   return report;
 }
 
@@ -129,10 +273,21 @@ DecodeDriveResult decode_drive(const ros::scene::Scene& scene,
                                const ros::scene::StraightDrive& drive,
                                const Vec2& tag_position,
                                const InterrogatorConfig& config) {
+  validate(config);
+  auto& reg = ros::obs::MetricsRegistry::global();
+  ros::obs::ScopedTimer run_timer(
+      "decode_drive.run", "pipeline",
+      &reg.histogram("decode_drive.run.ms"));
+  DecodeDriveResult out;
+  PipelineTelemetry& tel = out.telemetry;
+
+  ros::obs::ScopedTimer track_timer("decode_drive.track", "pipeline");
   const auto truth = drive.frames(config.chirp.frame_rate_hz /
                                   static_cast<double>(config.frame_stride));
   const ros::scene::TrackingModel tracker(config.tracking);
   const auto estimated = tracker.estimate(truth);
+  tel.add_stage("track", track_timer.stop());
+  tel.n_frames = truth.size();
 
   const double fc = config.chirp.center_hz();
   const ros::radar::WaveformSynthesizer synth(config.chirp, config.array);
@@ -147,30 +302,66 @@ DecodeDriveResult decode_drive(const ros::scene::Scene& scene,
   Rng rng(config.noise_seed);
   std::vector<RangeProfile> profiles;
   profiles.reserve(truth.size());
-  for (const RadarPose& pose : truth) {
-    const auto returns = scene.frame_returns(
-        pose, TxMode::switched, config.array, config.budget, fc, rng);
-    profiles.push_back(
-        ros::radar::range_fft(synth.synthesize(returns, noise_w, rng),
-                              config.chirp));
+  {
+    ros::obs::ScopedTimer frames_timer("decode_drive.frames", "pipeline");
+    double synth_ms = 0.0;
+    double fft_ms = 0.0;
+    for (const RadarPose& pose : truth) {
+      ros::obs::ScopedTimer t_synth("decode_drive.synthesize",
+                                    "pipeline");
+      const auto returns = scene.frame_returns(
+          pose, TxMode::switched, config.array, config.budget, fc, rng);
+      const FrameCube cube = synth.synthesize(returns, noise_w, rng);
+      synth_ms += t_synth.stop();
+      ros::obs::ScopedTimer t_fft("decode_drive.range_fft", "pipeline");
+      profiles.push_back(ros::radar::range_fft(cube, config.chirp));
+      fft_ms += t_fft.stop();
+    }
+    tel.add_stage("synthesize", synth_ms);
+    tel.add_stage("range_fft", fft_ms);
   }
 
   const Vec2 road = drive.velocity() *
                     (1.0 / std::max(drive.velocity().norm(), 1e-9));
-  DecodeDriveResult out;
-  out.samples = sample_rss(profiles, estimated, tag_position, road,
-                           config.array, fc);
+  {
+    ros::obs::ScopedTimer t_sample(
+        "decode_drive.sample_rss", "pipeline",
+        &reg.histogram("decode_drive.sample_rss.ms"));
+    out.samples = sample_rss(profiles, estimated, tag_position, road,
+                             config.array, fc);
+    tel.add_stage("sample_rss", t_sample.stop());
+  }
+  tel.n_points = out.samples.size();
+
   const double max_abs_u = config.decode_fov_rad > 0.0
                                ? std::sin(config.decode_fov_rad / 2.0)
                                : 1.0;
-  const auto series = to_decoder_series(out.samples, max_abs_u);
-  const ros::tag::SpatialDecoder decoder(config.decoder);
-  out.decode = decoder.decode(series.u, series.rss_linear);
+  {
+    ros::obs::ScopedTimer t_decode(
+        "decode_drive.decode", "pipeline",
+        &reg.histogram("decode_drive.decode.ms"));
+    const auto series = to_decoder_series(out.samples, max_abs_u);
+    const ros::tag::SpatialDecoder decoder(config.decoder);
+    out.decode = decoder.decode(series.u, series.rss_linear);
+    tel.add_stage("decode", t_decode.stop());
+  }
 
   double sum_w = 0.0;
   for (const auto& s : out.samples) sum_w += s.rss_w;
   out.mean_rss_dbm =
       watt_to_dbm(sum_w / std::max<std::size_t>(1, out.samples.size()));
+
+  tel.n_tags = 1;  // decode-only mode reads exactly the targeted tag
+  tel.n_clusters = 1;
+  tel.n_candidates = 1;
+  tel.tags.push_back(decode_telemetry(out.decode, out.samples));
+  tel.total_ms = run_timer.stop();
+  reg.counter("pipeline.decode_drives").inc();
+  ROS_LOG_DEBUG(kLog, "decode drive finished",
+                ros::obs::kv("frames", tel.n_frames),
+                ros::obs::kv("samples", out.samples.size()),
+                ros::obs::kv("mean_rss_dbm", out.mean_rss_dbm),
+                ros::obs::kv("total_ms", tel.total_ms));
   return out;
 }
 

@@ -1,0 +1,60 @@
+#include "ros/pipeline/telemetry.hpp"
+
+#include "ros/obs/json.hpp"
+
+namespace ros::pipeline {
+
+double PipelineTelemetry::stage_ms(std::string_view stage) const {
+  for (const StageTiming& s : stages) {
+    if (s.stage == stage) return s.ms;
+  }
+  return 0.0;
+}
+
+void PipelineTelemetry::add_stage(std::string_view stage, double ms) {
+  for (StageTiming& s : stages) {
+    if (s.stage == stage) {
+      s.ms += ms;
+      return;
+    }
+  }
+  stages.push_back({std::string(stage), ms});
+}
+
+bool PipelineTelemetry::funnel_consistent() const {
+  return n_points >= n_clusters && n_clusters >= n_candidates &&
+         n_candidates >= n_tags;
+}
+
+std::string PipelineTelemetry::to_json() const {
+  ros::obs::JsonWriter w;
+  w.begin_object();
+  w.key("funnel").begin_object();
+  w.key("frames").value(static_cast<std::uint64_t>(n_frames));
+  w.key("points").value(static_cast<std::uint64_t>(n_points));
+  w.key("clusters").value(static_cast<std::uint64_t>(n_clusters));
+  w.key("candidates").value(static_cast<std::uint64_t>(n_candidates));
+  w.key("tags").value(static_cast<std::uint64_t>(n_tags));
+  w.end_object();
+  w.key("total_ms").value(total_ms);
+  w.key("stages_ms").begin_object();
+  for (const StageTiming& s : stages) w.key(s.stage).value(s.ms);
+  w.end_object();
+  w.key("tags").begin_array();
+  for (const TagDecodeTelemetry& t : tags) {
+    w.begin_object();
+    w.key("snr_db").value(t.snr_db);
+    w.key("ber").value(t.ber);
+    w.key("mean_rss_dbm").value(t.mean_rss_dbm);
+    w.key("n_samples").value(static_cast<std::uint64_t>(t.n_samples));
+    w.key("bits").begin_array();
+    for (bool b : t.bits) w.value(b);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace ros::pipeline

@@ -1,0 +1,83 @@
+#include "ros/obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace obs = ros::obs;
+
+namespace {
+
+/// Restore the global level after each test so ordering cannot leak.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = obs::log_level(); }
+  void TearDown() override { obs::set_log_level(saved_); }
+  obs::LogLevel saved_ = obs::LogLevel::warn;
+};
+
+}  // namespace
+
+TEST_F(LogTest, ParseLevelRoundTrip) {
+  using obs::LogLevel;
+  for (LogLevel lvl : {LogLevel::trace, LogLevel::debug, LogLevel::info,
+                       LogLevel::warn, LogLevel::error, LogLevel::off}) {
+    EXPECT_EQ(obs::parse_log_level(obs::to_string(lvl), LogLevel::info),
+              lvl);
+  }
+}
+
+TEST_F(LogTest, ParseLevelIsCaseInsensitiveWithAliases) {
+  using obs::LogLevel;
+  EXPECT_EQ(obs::parse_log_level("DEBUG", LogLevel::info),
+            LogLevel::debug);
+  EXPECT_EQ(obs::parse_log_level("Warning", LogLevel::info),
+            LogLevel::warn);
+  EXPECT_EQ(obs::parse_log_level("none", LogLevel::info), LogLevel::off);
+  EXPECT_EQ(obs::parse_log_level("bogus", LogLevel::error),
+            LogLevel::error);
+}
+
+TEST_F(LogTest, RuntimeLevelGatesStatements) {
+  obs::set_log_level(obs::LogLevel::warn);
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::debug));
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::warn));
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::error));
+
+  obs::set_log_level(obs::LogLevel::trace);
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::trace));
+
+  obs::set_log_level(obs::LogLevel::off);
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::error));
+}
+
+TEST_F(LogTest, FormatLineIsLogfmt) {
+  const std::string line = obs::format_log_line(
+      obs::LogLevel::info, "pipeline", "clustered",
+      {obs::kv("points", std::size_t{4180}), obs::kv("eps", 0.35),
+       obs::kv("ok", true), obs::kv("stage", "dbscan")});
+  EXPECT_NE(line.find("level=info"), std::string::npos);
+  EXPECT_NE(line.find("component=pipeline"), std::string::npos);
+  EXPECT_NE(line.find("msg=\"clustered\""), std::string::npos);
+  EXPECT_NE(line.find("points=4180"), std::string::npos);
+  EXPECT_NE(line.find("eps=0.35"), std::string::npos);
+  EXPECT_NE(line.find("ok=true"), std::string::npos);
+  EXPECT_NE(line.find("stage=\"dbscan\""), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  // Timestamp leads the line: ts=YYYY-...Z
+  EXPECT_EQ(line.rfind("ts=", 0), 0u);
+}
+
+TEST_F(LogTest, FormatLineEscapesQuotesAndNewlines) {
+  const std::string line = obs::format_log_line(
+      obs::LogLevel::error, "obs", "bad \"value\"\nnext",
+      {obs::kv("path", "/tmp/a b")});
+  EXPECT_NE(line.find("msg=\"bad \\\"value\\\"\\nnext\""),
+            std::string::npos);
+  EXPECT_NE(line.find("path=\"/tmp/a b\""), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST_F(LogTest, NegativeIntegersKeepSign) {
+  const auto f = obs::kv("delta", -42);
+  EXPECT_EQ(f.value, "-42");
+  EXPECT_FALSE(f.quoted);
+}

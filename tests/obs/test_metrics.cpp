@@ -1,0 +1,135 @@
+#include "ros/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace obs = ros::obs;
+
+TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
+  const std::array<double, 3> edges = {1.0, 10.0, 100.0};
+  obs::Histogram h(edges);
+
+  h.observe(0.5);    // <= 1       -> bucket 0
+  h.observe(1.0);    // == edge    -> bucket 0 (inclusive)
+  h.observe(5.0);    //            -> bucket 1
+  h.observe(10.0);   // == edge    -> bucket 1
+  h.observe(99.9);   //            -> bucket 2
+  h.observe(1000.0); // > all      -> overflow
+
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 5.0 + 10.0 + 99.9 + 1000.0, 1e-9);
+  EXPECT_NEAR(h.mean(), h.sum() / 6.0, 1e-12);
+}
+
+TEST(Histogram, RejectsNonIncreasingEdges) {
+  const std::array<double, 3> unsorted = {1.0, 0.5, 2.0};
+  const std::array<double, 3> duplicated = {1.0, 1.0, 2.0};
+  EXPECT_THROW(obs::Histogram{std::span<const double>(unsorted)},
+               std::invalid_argument);
+  EXPECT_THROW(obs::Histogram{std::span<const double>(duplicated)},
+               std::invalid_argument);
+}
+
+TEST(Histogram, EmptyEdgesGetDefaultLatencyBuckets) {
+  obs::Histogram h({});
+  EXPECT_EQ(h.upper_edges().size(),
+            obs::Histogram::default_latency_buckets_ms().size());
+  EXPECT_GT(h.upper_edges().size(), 4u);
+}
+
+TEST(Counter, ConcurrentIncrementsAreLossless) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Resolve through the registry each time to also exercise the
+      // find-or-create lock under contention.
+      auto& c = registry.counter("test.concurrent");
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.counter("test.concurrent").value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Histogram, ConcurrentObservationsKeepTotalCount) {
+  obs::Histogram h({});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.observe(0.001 * static_cast<double>((i + t) % 5000));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t c : h.bucket_counts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableInstances) {
+  obs::MetricsRegistry registry;
+  obs::Counter& a = registry.counter("x");
+  obs::Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  obs::Gauge& g = registry.gauge("g");
+  g.set(2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("g").value(), 1.5);
+
+  obs::Histogram& h = registry.histogram("h");
+  EXPECT_EQ(&h, &registry.histogram("h"));
+}
+
+TEST(MetricsRegistry, SnapshotAndJsonCoverAllInstruments) {
+  obs::MetricsRegistry registry;
+  registry.counter("runs").inc(7);
+  registry.gauge("load").set(0.25);
+  registry.histogram("lat").observe(2.0);
+
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "runs");
+  EXPECT_EQ(snap.counters[0].second, 7u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 0.25);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"runs\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"load\":0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"bucket_counts\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, ClearDropsEverything) {
+  obs::MetricsRegistry registry;
+  registry.counter("a").inc();
+  registry.clear();
+  const auto snap = registry.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  // Re-created after clear, starting from zero.
+  EXPECT_EQ(registry.counter("a").value(), 0u);
+}
