@@ -1,0 +1,63 @@
+// bench_compare: diff a fresh rosbench run against a committed
+// baseline. Exit codes: 0 clean; 1 perf regression (suppressed by
+// --perf-warn-only); 2 fidelity drift or missing bench coverage (always
+// hard); 3 unreadable/unparseable input. See EXPERIMENTS.md.
+//
+// Usage:
+//   bench_compare NEW.json BASELINE.json
+//     [--threshold RATIO] [--min-abs-ms MS] [--perf-warn-only]
+//     [--allow-missing]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ros/obs/bench.hpp"
+#include "ros/obs/bench_compare.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  ros::obs::CompareOptions opts;
+  bool perf_warn_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string v;
+    if (arg == "--perf-warn-only") {
+      perf_warn_only = true;
+    } else if (arg == "--allow-missing") {
+      opts.allow_missing = true;
+    } else if (ros::obs::arg_take_value(arg, "--threshold", argc, argv, i,
+                                        &v)) {
+      opts.default_perf_ratio = std::atof(v.c_str());
+    } else if (ros::obs::arg_take_value(arg, "--min-abs-ms", argc, argv, i,
+                                        &v)) {
+      opts.min_abs_delta_ms = std::atof(v.c_str());
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "bench_compare: unknown flag '%s'\n",
+                   std::string(arg).c_str());
+      return 64;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare NEW.json BASELINE.json "
+                 "[--threshold RATIO] [--min-abs-ms MS] "
+                 "[--perf-warn-only] [--allow-missing]\n");
+    return 64;
+  }
+
+  const auto report =
+      ros::obs::compare_run_files(paths[0], paths[1], opts);
+  std::fputs(report.render().c_str(), stdout);
+  const int code = report.exit_code(perf_warn_only);
+  if (code == 1 || (perf_warn_only && !report.perf_ok())) {
+    std::fprintf(stderr, "bench_compare: perf regression%s\n",
+                 perf_warn_only ? " (warn-only)" : "");
+  }
+  if (!report.fidelity_ok() || report.missing > 0) {
+    std::fprintf(stderr, "bench_compare: fidelity/coverage failure\n");
+  }
+  return code;
+}

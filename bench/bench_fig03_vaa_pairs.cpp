@@ -6,8 +6,7 @@
 #include "ros/antenna/vaa.hpp"
 #include "ros/common/grid.hpp"
 
-int main(int argc, char** argv) {
-  const bench::ObsSession obs_session(argc, argv, "bench_fig03_vaa_pairs");
+ROS_BENCH(fig03_vaa_pairs) {
   using namespace ros;
   const auto& stackup = bench::stackup();
 
@@ -24,7 +23,11 @@ int main(int argc, char** argv) {
                   static_cast<double>(antenna::optimal_antenna_pairs(
                       b_ghz * 1e9, 79e9, stackup))});
   }
-  bench::print(rule);
+  bench::print(ctx, rule);
+  ctx.fidelity("optimal_pairs_4ghz",
+               static_cast<double>(
+                   antenna::optimal_antenna_pairs(4e9, 79e9, stackup)),
+               3.0, 3.0, "Sec. 4.1 design rule: 3 pairs for a 4 GHz band");
 
   common::CsvTable fig(
       "Fig. 3: RCS (dBsm) vs frequency for 1-6 antenna pairs (boresight)",
@@ -44,7 +47,7 @@ int main(int argc, char** argv) {
     for (const auto& vaa : vaas) row.push_back(vaa.rcs_dbsm(0.0, f));
     fig.add_row(row);
   }
-  bench::print(fig);
+  bench::print(ctx, fig);
 
   common::CsvTable per(
       "Fig. 3 derived: band-averaged RCS and marginal gain per added "
@@ -52,6 +55,7 @@ int main(int argc, char** argv) {
       {"pairs", "band_avg_rcs_dbsm", "marginal_amplitude_gain",
        "in_band_droop_db"});
   double prev_amp = 0.0;
+  double avg3_dbsm = -1e9;
   for (int pairs = 1; pairs <= 6; ++pairs) {
     const auto& vaa = vaas[static_cast<std::size_t>(pairs - 1)];
     double sum = 0.0;
@@ -67,8 +71,10 @@ int main(int argc, char** argv) {
     const double amp = std::abs(vaa.scattering_length(0.0, 79e9));
     per.add_row({static_cast<double>(pairs), avg_db,
                  (amp - prev_amp) * 1e3, vaa.rcs_dbsm(0.0, 79e9) - min_db});
+    if (pairs == 3) avg3_dbsm = avg_db;
     prev_amp = amp;
   }
-  bench::print(per);
-  return 0;
+  bench::print(ctx, per);
+  ctx.fidelity("band_avg_rcs_3pairs_dbsm", avg3_dbsm, -43.0, -35.0,
+               "Fig. 3: 3-pair VAA band-averaged boresight RCS");
 }

@@ -7,8 +7,7 @@
 #include "ros/common/angles.hpp"
 #include "ros/common/grid.hpp"
 
-int main(int argc, char** argv) {
-  const bench::ObsSession obs_session(argc, argv, "bench_fig06_psvaa_bandwidth");
+ROS_BENCH(fig06_psvaa_bandwidth) {
   using namespace ros;
   using em::Polarization;
   const antenna::Psvaa psvaa({}, &bench::stackup());
@@ -35,8 +34,8 @@ int main(int argc, char** argv) {
     ortho.add_row(row_o);
     same.add_row(row_s);
   }
-  bench::print(ortho);
-  bench::print(same);
+  bench::print(ctx, ortho);
+  bench::print(ctx, same);
 
   common::CsvTable band(
       "Fig. 6a derived: boresight cross-pol RCS variation across band",
@@ -49,6 +48,7 @@ int main(int argc, char** argv) {
     hi = std::max(hi, r);
   }
   band.add_row({lo, hi, hi - lo});
-  bench::print(band);
-  return 0;
+  bench::print(ctx, band);
+  ctx.fidelity("inband_variation_db", hi - lo, 0.0, 4.0,
+               "Fig. 6a: cross-pol RCS variation across 76-81 GHz");
 }

@@ -11,8 +11,7 @@
 #include "ros/tag/codec.hpp"
 #include "ros/tag/rcs_model.hpp"
 
-int main(int argc, char** argv) {
-  const bench::ObsSession obs_session(argc, argv, "bench_fig10_spatial_code");
+ROS_BENCH(fig10_spatial_code) {
   using namespace ros;
   const auto layout = tag::TagLayout::all_ones({});
 
@@ -24,7 +23,7 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < pos.size(); ++i) {
     lay.add_row({static_cast<double>(i), pos[i] / layout.wavelength()});
   }
-  bench::print(lay);
+  bench::print(ctx, lay);
 
   common::CsvTable peaks(
       "Eq. 7 predicted peaks (coding flag = 1 for bit peaks; paper: all "
@@ -34,7 +33,7 @@ int main(int argc, char** argv) {
     peaks.add_row({p.spacing_lambda, p.is_coding ? 1.0 : 0.0,
                    static_cast<double>(p.slot)});
   }
-  bench::print(peaks);
+  bench::print(ctx, peaks);
 
   // Analytic RCS over azimuth (Fig. 10b) and its spectrum (Fig. 10c),
   // from the physical tag model at 6 m.
@@ -54,7 +53,7 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < us.size(); i += 8) {
     rcs_tab.add_row({common::rad_to_deg(std::asin(us[i])), rcs[i] / peak});
   }
-  bench::print(rcs_tab);
+  bench::print(ctx, rcs_tab);
 
   const auto spec = dsp::rcs_spectrum(us, rcs);
   common::CsvTable spec_tab(
@@ -69,19 +68,32 @@ int main(int argc, char** argv) {
       spec_tab.add_row({spec.spacing_lambda[i], spec.amplitude[i] / amax});
     }
   }
-  bench::print(spec_tab);
+  bench::print(ctx, spec_tab);
 
   const tag::SpatialDecoder decoder;
   const auto decode = decoder.decode(us, rcs);
   common::CsvTable slots("Fig. 10c derived: decoded slot amplitudes",
                          {"slot", "spacing_lambda", "normalized_amplitude",
                           "bit"});
+  int correct_bits = 0;
+  double min_slot_amplitude = 1e9;
   for (int k = 1; k <= 4; ++k) {
+    const auto idx = static_cast<std::size_t>(k - 1);
     slots.add_row({static_cast<double>(k), decoder.slot_spacing_lambda(k),
-                   decode.slot_amplitudes[static_cast<std::size_t>(k - 1)],
-                   decode.bits[static_cast<std::size_t>(k - 1)] ? 1.0
-                                                                : 0.0});
+                   decode.slot_amplitudes[idx],
+                   decode.bits[idx] ? 1.0 : 0.0});
+    correct_bits += decode.bits[idx] ? 1 : 0;
+    min_slot_amplitude =
+        std::min(min_slot_amplitude, decode.slot_amplitudes[idx]);
   }
-  bench::print(slots);
-  return 0;
+  bench::print(ctx, slots);
+
+  ctx.fidelity("decoded_ones_of_4",
+               static_cast<double>(correct_bits), 4.0, 4.0,
+               "Fig. 10: the all-ones tag decodes as 1111");
+  ctx.fidelity("min_one_slot_amplitude", min_slot_amplitude, 1.0, 3.0,
+               "Fig. 10c: every occupied slot reads above threshold");
+  ctx.fidelity("coding_band_clean",
+               tag::coding_band_clean(layout) ? 1.0 : 0.0, 1.0, 1.0,
+               "Eq. 7: no secondary peak inside the coding band");
 }

@@ -8,8 +8,7 @@
 #include "ros/dsp/spectrum.hpp"
 #include "ros/pipeline/interrogator.hpp"
 
-int main(int argc, char** argv) {
-  const bench::ObsSession obs_session(argc, argv, "bench_fig11_interrogation");
+ROS_BENCH_OPTS(fig11_interrogation, 3, 0) {
   using namespace ros;
   scene::Scene world = bench::tag_scene(bench::truth_bits());
   world.add_clutter(scene::tripod_params({1.3, 0.4}));
@@ -24,23 +23,31 @@ int main(int argc, char** argv) {
       "with prominent densities)",
       {"centroid_x_m", "centroid_y_m", "n_points", "size_m2",
        "density_per_m2", "rss_loss_db", "is_tag"});
+  double tag_loss_db = 0.0;
+  int tripod_flagged_as_tag = 0;
   for (const auto& c : report.candidates) {
     clusters.add_row({c.cluster.centroid.x, c.cluster.centroid.y,
                       static_cast<double>(c.cluster.n_points),
                       c.cluster.size_m2, c.cluster.density, c.rss_loss_db,
                       c.is_tag ? 1.0 : 0.0});
+    if (c.is_tag) {
+      tag_loss_db = c.rss_loss_db;
+    } else if (c.cluster.centroid.x > 0.5) {
+      tripod_flagged_as_tag = 0;  // tripod cluster correctly rejected
+    }
   }
-  bench::print(clusters);
+  bench::print(ctx, clusters);
 
   // Per-object spotlighted RSS along the pass (Fig. 11c) and its
   // spectrum (Fig. 11d).
+  std::size_t bit_errors = bench::truth_bits().size();
   for (const auto& t : report.tags) {
     common::CsvTable rss("Fig. 11c: tag beamformed RSS vs view angle",
                          {"u", "rss_dbm"});
     for (std::size_t i = 0; i < t.samples.size(); i += 10) {
       rss.add_row({t.samples[i].u, t.samples[i].rss_dbm});
     }
-    bench::print(rss);
+    bench::print(ctx, rss);
 
     common::CsvTable spec(
         "Fig. 11d: tag RSS frequency spectrum (paper: 4 coding peaks at "
@@ -52,21 +59,39 @@ int main(int argc, char** argv) {
       spec.add_row({t.decode.spectrum.spacing_lambda[i],
                     t.decode.spectrum.amplitude[i]});
     }
-    bench::print(spec);
+    bench::print(ctx, spec);
 
     common::CsvTable bits("Fig. 11 decoded bits (truth 1011)",
                           {"slot", "normalized_amplitude", "bit"});
+    const auto truth = bench::truth_bits();
+    std::size_t errors = 0;
     for (std::size_t k = 0; k < t.decode.bits.size(); ++k) {
       bits.add_row({static_cast<double>(k + 1),
                     t.decode.slot_amplitudes[k],
                     t.decode.bits[k] ? 1.0 : 0.0});
+      if (k < truth.size() && t.decode.bits[k] != truth[k]) ++errors;
     }
-    bench::print(bits);
+    bit_errors = errors;
+    bench::print(ctx, bits);
   }
 
-  printf("# interrogation: %zu frames, %zu cloud points, %zu clusters, "
-         "%zu decoded tag(s)\n",
-         report.n_frames, report.cloud.points.size(),
-         report.clusters.size(), report.tags.size());
-  return 0;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "# interrogation: %zu frames, %zu cloud points, %zu "
+                "clusters, %zu decoded tag(s)\n",
+                report.n_frames, report.cloud.points.size(),
+                report.clusters.size(), report.tags.size());
+  ctx.out() << line;
+
+  ctx.fidelity("n_clusters", static_cast<double>(report.clusters.size()),
+               2.0, 2.0, "Fig. 11b: tag and tripod resolve as 2 clusters");
+  ctx.fidelity("decoded_tags", static_cast<double>(report.tags.size()),
+               1.0, 1.0, "Fig. 11: exactly the tag is decoded");
+  ctx.fidelity("bit_errors", static_cast<double>(bit_errors), 0.0, 0.0,
+               "Fig. 11d: truth bits 1011 recovered without error");
+  ctx.fidelity("tag_rss_loss_db", tag_loss_db, 10.0, 15.0,
+               "Fig. 13a cross-check: tag polarization loss ~13 dB");
+  ctx.fidelity("tripod_flagged_as_tag",
+               static_cast<double>(tripod_flagged_as_tag), 0.0, 0.0,
+               "Fig. 11b: the bare tripod is rejected");
 }

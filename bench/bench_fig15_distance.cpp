@@ -4,8 +4,9 @@
 // detectable, with the 32-stack penalized inside its ~6 m far field.
 #include "bench_util.hpp"
 
-int main(int argc, char** argv) {
-  const bench::ObsSession obs_session(argc, argv, "bench_fig15_distance");
+#include <cmath>
+
+ROS_BENCH_OPTS(fig15_distance, 2, 0) {
   using namespace ros;
   const auto bits = bench::truth_bits();
 
@@ -18,7 +19,14 @@ int main(int argc, char** argv) {
   pipeline::InterrogatorConfig cfg;
   cfg.frame_stride = 4;
 
-  for (double d = 2.0; d <= 6.01; d += 1.0) {
+  // Quick mode trims the sweep to {2, 3, 4} m; those are exactly the
+  // fidelity points, evaluated identically in full mode.
+  const double max_d = ctx.quick() ? 4.01 : 6.01;
+  double rss8_at_2m = 0.0;
+  double rss8_at_4m = 0.0;
+  double rss32_at_2m = 0.0;
+  double snr32_at_3m = 0.0;
+  for (double d = 2.0; d <= max_d; d += 1.0) {
     std::vector<double> row = {d};
     for (int n : {8, 16, 32}) {
       const auto world = bench::tag_scene(bits, n, true);
@@ -27,9 +35,19 @@ int main(int argc, char** argv) {
       const auto r = bench::measure_snr(world, drv, bits, cfg, 2);
       row.push_back(r.mean_rss_dbm);
       row.push_back(r.snr_db);
+      if (n == 8 && std::abs(d - 2.0) < 0.01) rss8_at_2m = r.mean_rss_dbm;
+      if (n == 8 && std::abs(d - 4.0) < 0.01) rss8_at_4m = r.mean_rss_dbm;
+      if (n == 32 && std::abs(d - 2.0) < 0.01) rss32_at_2m = r.mean_rss_dbm;
+      if (n == 32 && std::abs(d - 3.0) < 0.01) snr32_at_3m = r.snr_db;
     }
     table.add_row(row);
   }
-  bench::print(table);
-  return 0;
+  bench::print(ctx, table);
+
+  ctx.fidelity("snr32_at_3m_db", snr32_at_3m, 14.0, 30.0,
+               "Fig. 15: 32-stack decodes with >= 14 dB SNR at 3 m");
+  ctx.fidelity("rss8_drop_2m_to_4m_db", rss8_at_2m - rss8_at_4m, 8.0, 15.0,
+               "Fig. 15: d^-4 law predicts ~12 dB per distance doubling");
+  ctx.fidelity("rss32_at_2m_dbm", rss32_at_2m, -50.0, -38.0,
+               "Fig. 15: absolute link budget anchor for the 32-stack");
 }

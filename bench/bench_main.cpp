@@ -1,0 +1,91 @@
+// Shared main() for the standalone figure benches: each bench binary
+// links exactly one (or, for grouped micro-benches like perf_dsp,
+// several) ROS_BENCH bodies plus this file. Default behavior matches
+// the historical harness — run every linked body once and print its CSV
+// blocks to stdout.
+//
+// Flags:
+//   --quick          trimmed sweeps (fidelity points still computed)
+//   --time           additionally measure each body with warmup + reps
+//                    (ros::obs::run_timed); summary lines go to stderr
+//   --check          exit 1 if any fidelity check fails its envelope
+//   --filter=SUB     only run bodies whose name contains SUB
+//   --metrics-out=P  JSON metrics sidecar (see ObsSession)
+//   --trace-out=P    Chrome trace of the run (see ObsSession)
+#include "bench_util.hpp"
+
+#include <exception>
+
+namespace {
+
+void print_scorecard(const ros::obs::Scorecard& card) {
+  if (card.checks().empty()) return;
+  std::printf("# fidelity scorecard (%zu checks, %zu failed)\n",
+              card.checks().size(), card.failures());
+  for (const auto& c : card.checks()) {
+    std::printf("# %-38s %12.4f in [%g, %g]  %s\n", c.name.c_str(),
+                c.value, c.lo, c.hi, c.pass() ? "ok" : "FAIL");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto& defs = bench::registry();
+  if (defs.empty()) {
+    std::fprintf(stderr, "no benches registered in this binary\n");
+    return 64;
+  }
+
+  bool quick = false;
+  bool timed = false;
+  bool check = false;
+  std::string filter;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--quick") quick = true;
+    if (arg == "--time") timed = true;
+    if (arg == "--check") check = true;
+    ros::obs::arg_take_value(arg, "--filter", argc, argv, i, &filter);
+  }
+
+  const bench::ObsSession session(argc, argv,
+                                  "bench_" + defs.front().name);
+  ros::obs::Scorecard card;
+  bool fidelity_ok = true;
+  for (const bench::BenchDef& def : defs) {
+    if (!filter.empty() && def.name.find(filter) == std::string::npos) {
+      continue;
+    }
+    if (defs.size() > 1) std::printf("## bench %s\n", def.name.c_str());
+    const bench::BenchContext ctx(quick, &std::cout, &card);
+    try {
+      def.fn(ctx);
+      if (timed) {
+        // The reporting run above already warmed caches; time the body
+        // again with its output discarded.
+        const bench::BenchContext quiet(quick, &bench::null_stream(),
+                                        &card);
+        ros::obs::BenchRunOptions opts;
+        opts.reps = def.reps;
+        opts.warmup = 0;
+        const auto t = ros::obs::run_timed([&] { def.fn(quiet); }, opts);
+        std::fprintf(stderr,
+                     "# timing %s: median %.3f ms (MAD %.3f, min %.3f, "
+                     "n=%d), cpu %.3f ms, peak RSS %ld kB%s\n",
+                     def.name.c_str(), t.wall_ms.median, t.wall_ms.mad,
+                     t.wall_ms.min, t.reps, t.cpu_ms.median,
+                     t.peak_rss_kb,
+                     t.perf.valid ? "" : " (perf counters unavailable)");
+      }
+    } catch (const std::exception& e) {
+      ROS_LOG_ERROR("bench", "bench body threw",
+                    ros::obs::kv("bench", def.name),
+                    ros::obs::kv("what", e.what()));
+      return 70;
+    }
+  }
+  print_scorecard(card);
+  fidelity_ok = card.all_pass();
+  return (check && !fidelity_ok) ? 1 : 0;
+}

@@ -1,12 +1,15 @@
-// Compute-performance benchmarks (google-benchmark): the hot paths of
-// the interrogation pipeline.
-#include <benchmark/benchmark.h>
-
+// Compute-performance benchmarks: the hot paths of the interrogation
+// pipeline, registered as framework benches so rosbench times them with
+// the same robust statistics (and perf counters) as the figure benches.
+// Each body loops its kernel enough times for a stable per-rep wall
+// time; quick mode shrinks the inner iteration counts only (the work
+// per iteration is identical).
 #include "bench_util.hpp"
+
+#include "ros/common/grid.hpp"
 #include "ros/dsp/fft.hpp"
 #include "ros/dsp/spectrum.hpp"
 #include "ros/pipeline/dbscan.hpp"
-#include "ros/common/grid.hpp"
 #include "ros/radar/processing.hpp"
 #include "ros/radar/waveform.hpp"
 #include "ros/tag/codec.hpp"
@@ -14,53 +17,78 @@
 
 namespace {
 
-using namespace ros;
-
-void BM_FftPow2(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  common::Rng rng(1);
-  std::vector<common::cplx> x(n);
+std::vector<ros::common::cplx> random_signal(std::size_t n) {
+  ros::common::Rng rng(1);
+  std::vector<ros::common::cplx> x(n);
   for (auto& v : x) v = {rng.normal(), rng.normal()};
-  for (auto _ : state) {
-    auto y = dsp::fft(x);
-    benchmark::DoNotOptimize(y);
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(n));
+  return x;
 }
-BENCHMARK(BM_FftPow2)->Arg(256)->Arg(1024)->Arg(4096);
 
-void BM_FftBluestein(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  common::Rng rng(1);
-  std::vector<common::cplx> x(n);
-  for (auto& v : x) v = {rng.normal(), rng.normal()};
-  for (auto _ : state) {
-    auto y = dsp::fft(x);
-    benchmark::DoNotOptimize(y);
+}  // namespace
+
+ROS_BENCH(perf_fft_pow2) {
+  using namespace ros;
+  const int iters = ctx.quick() ? 20 : 100;
+  common::CsvTable table("perf: radix-2 FFT (per-call work, looped)",
+                         {"n", "iterations"});
+  for (std::size_t n : {std::size_t{256}, std::size_t{1024},
+                        std::size_t{4096}}) {
+    const auto x = random_signal(n);
+    for (int i = 0; i < iters; ++i) {
+      auto y = dsp::fft(x);
+      bench::do_not_optimize(y);
+    }
+    table.add_row({static_cast<double>(n), static_cast<double>(iters)});
   }
+  bench::print(ctx, table);
 }
-BENCHMARK(BM_FftBluestein)->Arg(1000)->Arg(2501);
 
-void BM_FrameSynthesis(benchmark::State& state) {
+ROS_BENCH(perf_fft_bluestein) {
+  using namespace ros;
+  const int iters = ctx.quick() ? 10 : 50;
+  common::CsvTable table(
+      "perf: Bluestein FFT for non-power-of-2 lengths (looped)",
+      {"n", "iterations"});
+  for (std::size_t n : {std::size_t{1000}, std::size_t{2501}}) {
+    const auto x = random_signal(n);
+    for (int i = 0; i < iters; ++i) {
+      auto y = dsp::fft(x);
+      bench::do_not_optimize(y);
+    }
+    table.add_row({static_cast<double>(n), static_cast<double>(iters)});
+  }
+  bench::print(ctx, table);
+}
+
+ROS_BENCH(perf_frame_synthesis) {
+  using namespace ros;
+  const int iters = ctx.quick() ? 20 : 100;
   const radar::WaveformSynthesizer synth(radar::FmcwChirp::ti_iwr1443(),
                                          radar::RadarArray::ti_iwr1443());
-  std::vector<radar::ScatterReturn> returns(
-      static_cast<std::size_t>(state.range(0)));
-  for (std::size_t i = 0; i < returns.size(); ++i) {
-    returns[i].amplitude = 1e-5;
-    returns[i].range_m = 2.0 + 0.3 * static_cast<double>(i);
-    returns[i].azimuth_rad = 0.01 * static_cast<double>(i);
+  common::CsvTable table("perf: FMCW frame synthesis (looped)",
+                         {"n_returns", "iterations"});
+  for (std::size_t n_returns : {std::size_t{1}, std::size_t{4},
+                                std::size_t{16}}) {
+    std::vector<radar::ScatterReturn> returns(n_returns);
+    for (std::size_t i = 0; i < returns.size(); ++i) {
+      returns[i].amplitude = 1e-5;
+      returns[i].range_m = 2.0 + 0.3 * static_cast<double>(i);
+      returns[i].azimuth_rad = 0.01 * static_cast<double>(i);
+    }
+    common::Rng rng(1);
+    for (int i = 0; i < iters; ++i) {
+      auto f = synth.synthesize(returns, 1e-10, rng);
+      bench::do_not_optimize(f);
+    }
+    table.add_row({static_cast<double>(n_returns),
+                   static_cast<double>(iters)});
   }
-  common::Rng rng(1);
-  for (auto _ : state) {
-    auto f = synth.synthesize(returns, 1e-10, rng);
-    benchmark::DoNotOptimize(f);
-  }
+  bench::print(ctx, table);
 }
-BENCHMARK(BM_FrameSynthesis)->Arg(1)->Arg(4)->Arg(16);
 
-void BM_RangeFftAndDetect(benchmark::State& state) {
+ROS_BENCH(perf_range_fft_detect) {
+  using namespace ros;
+  const int iters = ctx.quick() ? 50 : 200;
   const radar::WaveformSynthesizer synth(radar::FmcwChirp::ti_iwr1443(),
                                          radar::RadarArray::ti_iwr1443());
   radar::ScatterReturn r;
@@ -70,27 +98,39 @@ void BM_RangeFftAndDetect(benchmark::State& state) {
   const auto frame = synth.synthesize(std::vector{r}, 1e-10, rng);
   const auto chirp = radar::FmcwChirp::ti_iwr1443();
   const auto array = radar::RadarArray::ti_iwr1443();
-  for (auto _ : state) {
+  for (int i = 0; i < iters; ++i) {
     auto profile = radar::range_fft(frame, chirp);
     auto dets = radar::detect_points(profile, array, chirp.center_hz());
-    benchmark::DoNotOptimize(dets);
+    bench::do_not_optimize(dets);
   }
+  common::CsvTable table("perf: range FFT + CFAR detection (looped)",
+                         {"iterations"});
+  table.add_row({static_cast<double>(iters)});
+  bench::print(ctx, table);
 }
-BENCHMARK(BM_RangeFftAndDetect);
 
-void BM_Dbscan(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  common::Rng rng(1);
-  std::vector<scene::Vec2> pts(n);
-  for (auto& p : pts) p = {rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
-  for (auto _ : state) {
-    auto labels = pipeline::dbscan(pts, {0.2, 6});
-    benchmark::DoNotOptimize(labels);
+ROS_BENCH(perf_dbscan) {
+  using namespace ros;
+  const int iters = ctx.quick() ? 5 : 20;
+  common::CsvTable table("perf: DBSCAN clustering (looped)",
+                         {"n_points", "iterations"});
+  for (std::size_t n : {std::size_t{200}, std::size_t{1000},
+                        std::size_t{3000}}) {
+    common::Rng rng(1);
+    std::vector<scene::Vec2> pts(n);
+    for (auto& p : pts) p = {rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
+    for (int i = 0; i < iters; ++i) {
+      auto labels = pipeline::dbscan(pts, {0.2, 6});
+      bench::do_not_optimize(labels);
+    }
+    table.add_row({static_cast<double>(n), static_cast<double>(iters)});
   }
+  bench::print(ctx, table);
 }
-BENCHMARK(BM_Dbscan)->Arg(200)->Arg(1000)->Arg(3000);
 
-void BM_SpectrumAndDecode(benchmark::State& state) {
+ROS_BENCH(perf_spectrum_decode) {
+  using namespace ros;
+  const int iters = ctx.quick() ? 20 : 100;
   const auto lay = tag::TagLayout::all_ones({});
   const auto us = common::linspace(-0.6, 0.6, 2500);
   common::Rng rng(1);
@@ -99,34 +139,29 @@ void BM_SpectrumAndDecode(benchmark::State& state) {
     rcs[i] = tag::multi_stack_rcs_factor(lay, us[i]) + rng.normal(0.0, 0.3);
   }
   const tag::SpatialDecoder decoder;
-  for (auto _ : state) {
+  for (int i = 0; i < iters; ++i) {
     auto d = decoder.decode(us, rcs);
-    benchmark::DoNotOptimize(d);
+    bench::do_not_optimize(d);
   }
+  common::CsvTable table("perf: RCS spectrum + slot decode (looped)",
+                         {"n_samples", "iterations"});
+  table.add_row({static_cast<double>(us.size()),
+                 static_cast<double>(iters)});
+  bench::print(ctx, table);
 }
-BENCHMARK(BM_SpectrumAndDecode);
 
-void BM_FullDecodeDrive(benchmark::State& state) {
+ROS_BENCH_OPTS(perf_decode_drive, 3, 1) {
+  using namespace ros;
   const auto bits = bench::truth_bits();
   const auto world = bench::tag_scene(bits);
   const auto drv = bench::drive();
   pipeline::InterrogatorConfig cfg;
   cfg.frame_stride = 10;  // 100 Hz effective: keep the benchmark short
-  for (auto _ : state) {
-    auto r = pipeline::decode_drive(world, drv, {0.0, 0.0}, cfg);
-    benchmark::DoNotOptimize(r);
-  }
-}
-BENCHMARK(BM_FullDecodeDrive)->Unit(benchmark::kMillisecond);
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  // ObsSession first so --metrics-out / --trace-out cover the whole run;
-  // google-benchmark ignores the flags it does not recognize.
-  const bench::ObsSession obs_session(argc, argv, "bench_perf_dsp");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  auto r = pipeline::decode_drive(world, drv, {0.0, 0.0}, cfg);
+  bench::do_not_optimize(r);
+  common::CsvTable table("perf: full decode_drive pass (one call)",
+                         {"frame_stride", "decoded_ok"});
+  table.add_row({static_cast<double>(cfg.frame_stride),
+                 r.decode.bits == bits ? 1.0 : 0.0});
+  bench::print(ctx, table);
 }

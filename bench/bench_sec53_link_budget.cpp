@@ -6,8 +6,7 @@
 #include "ros/tag/layout.hpp"
 #include "ros/tag/link_budget.hpp"
 
-int main(int argc, char** argv) {
-  const bench::ObsSession obs_session(argc, argv, "bench_sec53_link_budget");
+ROS_BENCH(sec53_link_budget) {
   using namespace ros;
 
   const auto ti = tag::RadarLinkBudget::ti_iwr1443();
@@ -23,7 +22,7 @@ int main(int argc, char** argv) {
   budget.add_row("commercial", {commercial.noise_floor_dbm(),
                                 commercial.rx_gain_total_db(),
                                 commercial.max_range_m(-23.0)});
-  bench::print(budget);
+  bench::print(ctx, budget);
 
   common::CsvTable rss(
       "Fig. 15a analytic overlay: received power (dBm) vs distance for "
@@ -32,7 +31,7 @@ int main(int argc, char** argv) {
   for (double d = 2.0; d <= 7.01; d += 1.0) {
     rss.add_row({d, ti.received_power_dbm(-23.0, d), ti.snr_db(-23.0, d)});
   }
-  bench::print(rss);
+  bench::print(ctx, rss);
 
   common::CsvTable capacity(
       "Sec. 5.3 capacity model vs bits (paper 4-bit row: width 22.5 "
@@ -48,7 +47,7 @@ int main(int argc, char** argv) {
                       common::mps_to_mph(m.max_vehicle_speed_mps(1000.0)),
                       m.min_tag_separation_m(4, 6.0)});
   }
-  bench::print(capacity);
+  bench::print(ctx, capacity);
 
   common::CsvTable family(
       "Sec. 7.2 stack family far fields (paper: 0.31 / 1.36 / 6.14 m for "
@@ -60,6 +59,13 @@ int main(int argc, char** argv) {
     family.add_row({static_cast<double>(n), t.stack_height() * 100.0,
                     t.stack(0).far_field_distance(79e9)});
   }
-  bench::print(family);
-  return 0;
+  bench::print(ctx, family);
+
+  ctx.fidelity("ti_max_range_m", ti.max_range_m(-23.0), 6.0, 8.0,
+               "Sec. 5.3: TI IWR1443 detection range ~6.9 m");
+  ctx.fidelity("commercial_max_range_m", commercial.max_range_m(-23.0),
+               45.0, 60.0,
+               "Sec. 8: commercial automotive radar range ~52 m");
+  ctx.fidelity("ti_noise_floor_dbm", ti.noise_floor_dbm(), -63.0, -61.0,
+               "Sec. 5.3: TI noise floor ~-62 dBm");
 }

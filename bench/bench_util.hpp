@@ -1,14 +1,25 @@
-// Shared helpers for the figure-reproduction benchmark harness.
+// Shared harness for the figure-reproduction benchmarks.
 //
-// Every bench prints the data series behind one of the paper's figures
-// (or tables) as CSV blocks on stdout, so `for b in build/bench/*; do
-// $b; done` regenerates the full evaluation.
+// Each bench file defines its body with ROS_BENCH(name) { ... } instead
+// of main(); the body receives a bench::BenchContext carrying the
+// output stream, the --quick flag, and the fidelity scorecard. Two
+// drivers run the registered bodies:
+//   * bench_main.cpp links with ONE bench file per binary and preserves
+//     the classic behavior: run once, print the CSV blocks on stdout
+//     (`for b in build/bench/*; do $b; done` regenerates the paper's
+//     evaluation). `--time` additionally measures warmup+reps through
+//     ros::obs::run_timed.
+//   * rosbench.cpp links with ALL bench files, times every body, and
+//     emits one canonical BENCH_<timestamp>.json with timing stats,
+//     metrics snapshots, and the fidelity scorecard (see EXPERIMENTS.md
+//     for the schema and bench_compare for the CI gate).
 #pragma once
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ros/common/angles.hpp"
@@ -16,9 +27,11 @@
 #include "ros/common/units.hpp"
 #include "ros/dsp/ook.hpp"
 #include "ros/em/material.hpp"
+#include "ros/obs/bench.hpp"
 #include "ros/obs/json.hpp"
 #include "ros/obs/log.hpp"
 #include "ros/obs/metrics.hpp"
+#include "ros/obs/scorecard.hpp"
 #include "ros/obs/trace.hpp"
 #include "ros/pipeline/interrogator.hpp"
 #include "ros/scene/scene.hpp"
@@ -27,25 +40,124 @@
 
 namespace bench {
 
+/// Everything a bench body needs from its driver. `quick` asks the body
+/// to trim sweeps to the points the fidelity scorecard needs (fidelity
+/// values MUST be computed from the same inputs in quick and full mode,
+/// or baseline comparisons would drift).
+class BenchContext {
+ public:
+  BenchContext(bool quick, std::ostream* out,
+               ros::obs::Scorecard* scorecard)
+      : quick_(quick), out_(out), scorecard_(scorecard) {}
+
+  bool quick() const { return quick_; }
+  std::ostream& out() const { return *out_; }
+
+  /// Record one fidelity check: `value` must land in [lo, hi].
+  void fidelity(std::string_view name, double value, double lo, double hi,
+                std::string_view note = {}) const {
+    if (scorecard_ != nullptr) {
+      scorecard_->record(name, value, lo, hi, note);
+    }
+  }
+
+  const ros::obs::Scorecard* scorecard() const { return scorecard_; }
+
+ private:
+  bool quick_;
+  std::ostream* out_;
+  ros::obs::Scorecard* scorecard_;
+};
+
+using BenchFn = void (*)(const BenchContext&);
+
+struct BenchDef {
+  std::string name;  ///< registry key, e.g. "fig15_distance"
+  BenchFn fn = nullptr;
+  int reps = 5;    ///< default timed repetitions under rosbench/--time
+  int warmup = 1;  ///< default untimed warmup runs
+};
+
+inline std::vector<BenchDef>& registry() {
+  static std::vector<BenchDef> defs;
+  return defs;
+}
+
+inline bool register_bench(BenchDef def) {
+  registry().push_back(std::move(def));
+  return true;
+}
+
+/// Defines and registers a bench body. Heavy decode_drive sweeps should
+/// use ROS_BENCH_OPTS with fewer reps / no warmup to keep rosbench runs
+/// bounded.
+#define ROS_BENCH_OPTS(bench_name, reps_, warmup_)                        \
+  static void ros_bench_body_##bench_name(const bench::BenchContext&);    \
+  [[maybe_unused]] static const bool ros_bench_reg_##bench_name =         \
+      bench::register_bench(                                              \
+          {#bench_name, &ros_bench_body_##bench_name, (reps_),            \
+           (warmup_)});                                                   \
+  static void ros_bench_body_##bench_name(                                \
+      [[maybe_unused]] const bench::BenchContext& ctx)
+
+#define ROS_BENCH(bench_name) ROS_BENCH_OPTS(bench_name, 5, 1)
+
+/// Keeps a computed value alive so the optimizer cannot delete the
+/// kernel under test (same trick as google-benchmark's DoNotOptimize).
+template <typename T>
+inline void do_not_optimize(const T& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r,m"(value) : "memory");
+#else
+  volatile const T* sink = &value;
+  (void)sink;
+#endif
+}
+
+/// Swallow-everything stream for timed reps whose CSV output nobody
+/// reads.
+inline std::ostream& null_stream() {
+  struct NullBuf : std::streambuf {
+    int overflow(int c) override { return c; }
+  };
+  static NullBuf buf;
+  static std::ostream os(&buf);
+  return os;
+}
+
 /// Per-bench observability session.
 ///
 /// Recognized flags (also honored when run without any):
 ///   --metrics-out=PATH   write a JSON metrics sidecar (all counters,
 ///                        gauges, and stage-latency histograms the run
-///                        accumulated) when the bench exits;
+///                        accumulated) when the session finishes;
 ///   --trace-out=PATH     record a Chrome trace_event JSON of every
 ///                        instrumented span (same as ROS_TRACE_FILE).
-/// Construct first thing in main so the sidecar covers the whole run.
+/// Construct first thing so the sidecar covers the whole run.
+/// Construction resets per-bench metric state in the global registry so
+/// repeated sessions in one process (as rosbench does) never accumulate
+/// counts across benches; finish() — idempotent, also run by the
+/// destructor, so early returns and caught exceptions both land here —
+/// writes the sidecar, then flushes and disables the TraceExporter when
+/// this session enabled it.
 class ObsSession {
  public:
   ObsSession(int argc, char** argv, std::string bench_name)
       : bench_name_(std::move(bench_name)) {
+    // Reset per-bench state: instruments registered by a previous
+    // session in this process would otherwise leak into our sidecar.
+    // Safe here because no pipeline code holds instrument references
+    // across calls.
+    ros::obs::MetricsRegistry::global().clear();
     for (int i = 1; i < argc; ++i) {
       const std::string_view arg = argv[i];
-      if (!take_value(arg, "--metrics-out", argc, argv, i, &metrics_out_)) {
+      if (!ros::obs::arg_take_value(arg, "--metrics-out", argc, argv, i,
+                                    &metrics_out_)) {
         std::string trace_out;
-        if (take_value(arg, "--trace-out", argc, argv, i, &trace_out)) {
+        if (ros::obs::arg_take_value(arg, "--trace-out", argc, argv, i,
+                                     &trace_out)) {
           ros::obs::TraceExporter::global().enable(std::move(trace_out));
+          owns_trace_ = true;
         }
       }
     }
@@ -54,20 +166,19 @@ class ObsSession {
   ObsSession(const ObsSession&) = delete;
   ObsSession& operator=(const ObsSession&) = delete;
 
-  ~ObsSession() {
-    if (metrics_out_.empty()) return;
-    const std::string json = sidecar_json();
-    std::FILE* f = std::fopen(metrics_out_.c_str(), "w");
-    if (f == nullptr) {
-      ROS_LOG_ERROR("bench", "cannot open metrics sidecar",
-                    ros::obs::kv("path", metrics_out_));
-      return;
+  ~ObsSession() { finish(); }
+
+  /// Flush all sinks; safe to call multiple times and from unwind
+  /// paths. The trace is flushed before being disabled so the file is
+  /// complete even though the global exporter outlives the session.
+  void finish() noexcept {
+    if (finished_) return;
+    finished_ = true;
+    write_sidecar();
+    if (owns_trace_) {
+      ros::obs::TraceExporter::global().flush();
+      ros::obs::TraceExporter::global().disable();
     }
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
-    std::fprintf(stderr, "# metrics sidecar written to %s\n",
-                 metrics_out_.c_str());
   }
 
   const std::string& metrics_out() const { return metrics_out_; }
@@ -83,25 +194,26 @@ class ObsSession {
   }
 
  private:
-  /// Match `--flag=VALUE` or `--flag VALUE`; advances `i` in the latter
-  /// form. Returns true when `arg` was this flag and `*out` was set.
-  static bool take_value(std::string_view arg, std::string_view flag,
-                         int argc, char** argv, int& i, std::string* out) {
-    if (arg.size() > flag.size() + 1 &&
-        arg.substr(0, flag.size()) == flag &&
-        arg[flag.size()] == '=') {
-      *out = std::string(arg.substr(flag.size() + 1));
-      return true;
+  void write_sidecar() const noexcept {
+    if (metrics_out_.empty()) return;
+    const std::string json = sidecar_json();
+    std::FILE* f = std::fopen(metrics_out_.c_str(), "w");
+    if (f == nullptr) {
+      ROS_LOG_ERROR("bench", "cannot open metrics sidecar",
+                    ros::obs::kv("path", metrics_out_));
+      return;
     }
-    if (arg == flag && i + 1 < argc) {
-      *out = argv[++i];
-      return true;
-    }
-    return false;
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::fprintf(stderr, "# metrics sidecar written to %s\n",
+                 metrics_out_.c_str());
   }
 
   std::string bench_name_;
   std::string metrics_out_;
+  bool owns_trace_ = false;
+  bool finished_ = false;
 };
 
 inline const ros::em::StriplineStackup& stackup() {
@@ -184,9 +296,10 @@ inline SnrResult measure_snr(const ros::scene::Scene& world,
   return out;
 }
 
-inline void print(const ros::common::CsvTable& table) {
-  table.print(std::cout);
-  std::cout << "\n";
+inline void print(const BenchContext& ctx,
+                  const ros::common::CsvTable& table) {
+  table.print(ctx.out());
+  ctx.out() << "\n";
 }
 
 }  // namespace bench

@@ -1,0 +1,233 @@
+// rosbench: the unified benchmark runner. Links every ROS_BENCH body in
+// bench/, times each one with warmup + repetitions (robust stats, peak
+// RSS, optional perf_event hardware counters), snapshots the metrics
+// registry the body populated, collects the fidelity scorecard, and
+// emits ONE canonical BENCH_<timestamp>.json. The schema is documented
+// in EXPERIMENTS.md; bench_compare diffs two such files and gates CI.
+//
+// Usage:
+//   rosbench [--quick] [--out PATH] [--filter SUB] [--list]
+//            [--reps N] [--warmup N] [--no-perf] [--strip-metrics]
+//            [--trace-out PATH]
+//
+//   --quick          trimmed sweeps; fidelity checks still computed from
+//                    the same inputs as full mode (quick baselines stay
+//                    comparable to quick runs, full to full)
+//   --out PATH       output file (default: BENCH_<utc timestamp>.json)
+//   --filter SUB     only run benches whose name contains SUB
+//   --list           print registered bench names and exit
+//   --reps/--warmup  override every bench's registered defaults
+//   --no-perf        skip perf_event_open counters
+//   --strip-metrics  omit per-bench metrics snapshots (small baselines)
+//   --trace-out P    Chrome trace of the whole run
+//
+// Exit code is 0 even when fidelity checks fail: gating is
+// bench_compare's job so CI distinguishes "run broke" from "physics
+// drifted".
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <fstream>
+
+namespace {
+
+using ros::obs::JsonWriter;
+
+void write_stats(JsonWriter& w, const ros::obs::SampleStats& s) {
+  w.begin_object();
+  w.key("n").value(static_cast<std::int64_t>(s.n));
+  w.key("min").value(s.min);
+  w.key("median").value(s.median);
+  w.key("mad").value(s.mad);
+  w.key("mean").value(s.mean);
+  w.key("max").value(s.max);
+  w.end_object();
+}
+
+void write_perf(JsonWriter& w, const ros::obs::BenchTiming& t) {
+  w.begin_object();
+  w.key("valid").value(t.perf.valid);
+  if (t.perf.valid) {
+    w.key("cycles").value(t.perf.cycles);
+    w.key("instructions").value(t.perf.instructions);
+    w.key("cache_references").value(t.perf.cache_references);
+    w.key("cache_misses").value(t.perf.cache_misses);
+    w.key("ipc").value(t.perf.ipc());
+  } else if (!t.perf_error.empty()) {
+    w.key("error").value(t.perf_error);
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool list = false;
+  bool no_perf = false;
+  bool strip_metrics = false;
+  std::string out_path;
+  std::string filter;
+  std::string trace_out;
+  int reps_override = 0;
+  int warmup_override = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string v;
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--no-perf") {
+      no_perf = true;
+    } else if (arg == "--strip-metrics") {
+      strip_metrics = true;
+    } else if (ros::obs::arg_take_value(arg, "--out", argc, argv, i, &v)) {
+      out_path = v;
+    } else if (ros::obs::arg_take_value(arg, "--filter", argc, argv, i,
+                                        &v)) {
+      filter = v;
+    } else if (ros::obs::arg_take_value(arg, "--trace-out", argc, argv, i,
+                                        &v)) {
+      trace_out = v;
+    } else if (ros::obs::arg_take_value(arg, "--reps", argc, argv, i,
+                                        &v)) {
+      reps_override = std::max(1, std::atoi(v.c_str()));
+    } else if (ros::obs::arg_take_value(arg, "--warmup", argc, argv, i,
+                                        &v)) {
+      warmup_override = std::max(0, std::atoi(v.c_str()));
+    } else {
+      std::fprintf(stderr, "rosbench: unknown flag '%s'\n",
+                   std::string(arg).c_str());
+      return 64;
+    }
+  }
+
+  auto defs = bench::registry();  // copy: we sort for stable JSON
+  std::sort(defs.begin(), defs.end(),
+            [](const bench::BenchDef& a, const bench::BenchDef& b) {
+              return a.name < b.name;
+            });
+  if (list) {
+    for (const auto& def : defs) {
+      std::printf("%-28s reps=%d warmup=%d\n", def.name.c_str(), def.reps,
+                  def.warmup);
+    }
+    return 0;
+  }
+  if (!trace_out.empty()) {
+    ros::obs::TraceExporter::global().enable(trace_out);
+  }
+
+  const auto build = ros::obs::build_info();
+  const auto host = ros::obs::host_info();
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("rosbench-v1");
+  w.key("created_utc").value(ros::obs::utc_timestamp_iso8601());
+  w.key("quick").value(quick);
+  w.key("build").begin_object();
+  w.key("git_sha").value(build.git_sha);
+  w.key("compiler").value(build.compiler);
+  w.key("flags").value(build.flags);
+  w.key("build_type").value(build.build_type);
+  w.end_object();
+  w.key("host").begin_object();
+  w.key("os").value(host.os);
+  w.key("arch").value(host.arch);
+  w.key("hostname").value(host.hostname);
+  w.key("n_cpus").value(host.n_cpus);
+  w.end_object();
+  w.key("run").begin_object();
+  w.key("perf_counters").value(!no_perf);
+  w.key("reps_override").value(reps_override);
+  w.key("warmup_override").value(warmup_override);
+  w.key("filter").value(filter);
+  w.end_object();
+
+  int ran = 0;
+  w.key("benches").begin_object();
+  for (const auto& def : defs) {
+    if (!filter.empty() && def.name.find(filter) == std::string::npos) {
+      continue;
+    }
+    ++ran;
+    std::fprintf(stderr, "rosbench: %-28s ", def.name.c_str());
+    std::fflush(stderr);
+
+    // Fresh per-bench metric state; bodies repopulate the global
+    // registry through the instrumented pipeline (safe: no code holds
+    // instrument pointers across calls).
+    ros::obs::MetricsRegistry::global().clear();
+    ros::obs::Scorecard card;
+    const bench::BenchContext ctx(quick, &bench::null_stream(), &card);
+
+    ros::obs::BenchRunOptions opts;
+    opts.reps = reps_override > 0 ? reps_override : def.reps;
+    opts.warmup = warmup_override >= 0 ? warmup_override : def.warmup;
+    opts.collect_perf_counters = !no_perf;
+
+    ros::obs::BenchTiming t;
+    try {
+      t = ros::obs::run_timed([&] { def.fn(ctx); }, opts);
+    } catch (const std::exception& e) {
+      ROS_LOG_ERROR("rosbench", "bench body threw",
+                    ros::obs::kv("bench", def.name),
+                    ros::obs::kv("what", e.what()));
+      return 70;
+    }
+
+    std::fprintf(stderr,
+                 "median %9.3f ms (n=%d)  fidelity %zu/%zu%s\n",
+                 t.wall_ms.median, t.reps,
+                 card.checks().size() - card.failures(),
+                 card.checks().size(),
+                 card.all_pass() ? "" : "  FAIL");
+
+    w.key(def.name).begin_object();
+    w.key("reps").value(t.reps);
+    w.key("warmup").value(opts.warmup);
+    w.key("wall_ms");
+    write_stats(w, t.wall_ms);
+    w.key("cpu_ms");
+    write_stats(w, t.cpu_ms);
+    w.key("peak_rss_kb").value(static_cast<std::int64_t>(t.peak_rss_kb));
+    w.key("perf");
+    write_perf(w, t);
+    w.key("fidelity");
+    card.write_json(w);
+    if (!strip_metrics) {
+      w.key("metrics").raw(ros::obs::MetricsRegistry::global().to_json());
+    }
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+
+  if (ran == 0) {
+    std::fprintf(stderr, "rosbench: no benches match filter '%s'\n",
+                 filter.c_str());
+    return 64;
+  }
+
+  if (out_path.empty()) {
+    out_path = "BENCH_" + ros::obs::utc_timestamp_compact() + ".json";
+  }
+  {
+    std::ofstream f(out_path, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "rosbench: cannot write %s\n",
+                   out_path.c_str());
+      return 74;
+    }
+    f << w.str() << "\n";
+  }
+  std::fprintf(stderr, "rosbench: %d bench(es) -> %s\n", ran,
+               out_path.c_str());
+  if (!trace_out.empty()) {
+    ros::obs::TraceExporter::global().flush();
+    ros::obs::TraceExporter::global().disable();
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Micro-benchmark engine behind the `rosbench` driver and per-bench
+// `--time` mode: warmup + repetitions around an arbitrary body, robust
+// wall/CPU statistics (min/median/MAD, see stats.hpp), peak RSS, and
+// optional perf_event hardware counters with graceful fallback.
+//
+//   ros::obs::BenchRunOptions opts;
+//   opts.reps = 5;
+//   const auto t = ros::obs::run_timed([&] { workload(); }, opts);
+//   // t.wall_ms.median, t.perf.cycles (0 if unavailable), ...
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "ros/obs/perf_counters.hpp"
+#include "ros/obs/stats.hpp"
+
+namespace ros::obs {
+
+struct BenchRunOptions {
+  int warmup = 1;  ///< untimed runs before measurement
+  int reps = 3;    ///< timed repetitions (clamped to >= 1)
+  bool collect_perf_counters = true;
+};
+
+/// Result of timing one body for opts.reps repetitions.
+struct BenchTiming {
+  int reps = 0;
+  SampleStats wall_ms;  ///< steady-clock wall time per rep
+  SampleStats cpu_ms;   ///< process CPU time per rep
+  /// Peak resident set size of the process after the run (ru_maxrss,
+  /// kB). High-water mark, so it only ever grows across benches in the
+  /// same process.
+  long peak_rss_kb = 0;
+  /// Per-rep median of each hardware counter; valid == false when
+  /// perf_event_open is unavailable (non-Linux, paranoid kernel,
+  /// containers without PMU access).
+  PerfCounterSample perf;
+  std::string perf_error;  ///< reason when perf.valid is false
+};
+
+BenchTiming run_timed(const std::function<void()>& body,
+                      const BenchRunOptions& opts = {});
+
+/// Compile-time provenance baked in by the build system.
+struct BuildInfo {
+  std::string git_sha;     ///< "unknown" outside a git checkout
+  std::string compiler;    ///< e.g. "GNU 13.2.0"
+  std::string flags;       ///< CMAKE_CXX_FLAGS + build-type flags
+  std::string build_type;  ///< e.g. "Release"
+};
+BuildInfo build_info();
+
+struct HostInfo {
+  std::string os;        ///< kernel name + release
+  std::string arch;      ///< e.g. "x86_64"
+  std::string hostname;
+  int n_cpus = 0;
+};
+HostInfo host_info();
+
+/// "YYYYMMDDTHHMMSSZ" (UTC), filesystem-safe for BENCH_<timestamp>.json.
+std::string utc_timestamp_compact();
+/// "YYYY-MM-DDTHH:MM:SSZ" (UTC) for inside JSON documents.
+std::string utc_timestamp_iso8601();
+
+/// CLI helper: match `--flag=VALUE` or `--flag VALUE`; advances `i`
+/// past the consumed value in the two-token form. Returns true when
+/// `arg` was this flag and `*out` was set.
+bool arg_take_value(std::string_view arg, std::string_view flag, int argc,
+                    char** argv, int& i, std::string* out);
+
+}  // namespace ros::obs

@@ -1,0 +1,80 @@
+// Comparison engine behind the `bench_compare` CLI and the CI gate:
+// diff a fresh rosbench run (BENCH_*.json) against a committed
+// baseline, flagging per-bench wall-time regressions beyond a relative
+// threshold and any fidelity check that left its envelope or vanished.
+// Lives in the library (not the tool) so the verdict logic is unit-
+// testable on synthetic run pairs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ros/obs/json_parse.hpp"
+
+namespace ros::obs {
+
+struct CompareOptions {
+  /// A bench regresses when new_median > ratio * base_median. A
+  /// baseline bench entry may override this with its own
+  /// "perf_threshold_ratio" field.
+  double default_perf_ratio = 1.35;
+  /// Ignore regressions whose absolute slowdown is below this (guards
+  /// microsecond-scale benches against timer noise tripping the ratio).
+  double min_abs_delta_ms = 0.5;
+  /// When true, benches present in the baseline but absent from the new
+  /// run are reported but do not fail the comparison (for --filter
+  /// runs).
+  bool allow_missing = false;
+};
+
+enum class BenchVerdict {
+  pass,
+  perf_regression,   ///< slowed beyond threshold
+  fidelity_drift,    ///< a fidelity check failed or disappeared
+  missing_in_new,    ///< baseline bench absent from the new run
+  new_bench,         ///< no baseline entry yet (informational)
+};
+
+std::string_view to_string(BenchVerdict v);
+
+struct BenchDelta {
+  std::string name;
+  BenchVerdict verdict = BenchVerdict::pass;
+  double base_median_ms = 0.0;
+  double new_median_ms = 0.0;
+  double ratio = 0.0;      ///< new/base (0 when either side missing)
+  double threshold = 0.0;  ///< effective perf ratio applied
+  std::vector<std::string> notes;  ///< per-check fidelity detail lines
+};
+
+struct CompareReport {
+  std::vector<BenchDelta> benches;
+  int perf_regressions = 0;
+  int fidelity_failures = 0;
+  int missing = 0;
+  bool parse_ok = true;
+  std::string parse_error;
+
+  bool perf_ok() const { return perf_regressions == 0; }
+  bool fidelity_ok() const { return fidelity_failures == 0; }
+  /// 0 clean; 1 perf regression only (suppressed when perf_warn_only);
+  /// 2 fidelity drift or missing coverage (always hard); 3 unreadable
+  /// input.
+  int exit_code(bool perf_warn_only) const;
+  /// Multi-line human-readable summary table.
+  std::string render() const;
+};
+
+/// Compare two parsed rosbench documents (see EXPERIMENTS.md for the
+/// schema). `allow_missing` handling per CompareOptions.
+CompareReport compare_runs(const JsonValue& new_run,
+                           const JsonValue& baseline,
+                           const CompareOptions& opts = {});
+
+/// Convenience: parse both documents then compare; parse failures set
+/// parse_ok = false and exit_code() == 3.
+CompareReport compare_run_files(const std::string& new_path,
+                                const std::string& baseline_path,
+                                const CompareOptions& opts = {});
+
+}  // namespace ros::obs

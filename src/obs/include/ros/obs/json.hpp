@@ -34,6 +34,10 @@ class JsonWriter {
   JsonWriter& value(int v);
   JsonWriter& value(bool v);
   JsonWriter& null();
+  /// Splice an already-serialized JSON value verbatim (e.g. a metrics
+  /// snapshot from MetricsRegistry::to_json()). The caller guarantees
+  /// `json` is one well-formed value.
+  JsonWriter& raw(std::string_view json);
 
   const std::string& str() const { return out_; }
   std::string take() { return std::move(out_); }

@@ -1,0 +1,67 @@
+// Minimal recursive-descent JSON reader — the consuming half of
+// json.hpp's writer. Exists so bench_compare can load BENCH_*.json and
+// bench/baseline.json without an external dependency; it is a strict
+// RFC 8259 subset reader (no comments, no trailing commas) tuned for
+// small config-sized documents, not a streaming parser.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ros::obs {
+
+class JsonValue {
+ public:
+  enum class Type { null, boolean, number, string, array, object };
+
+  Type type = Type::null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered; duplicate keys keep the last occurrence on
+  /// lookup via find().
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return type == Type::null; }
+  bool is_object() const { return type == Type::object; }
+  bool is_array() const { return type == Type::array; }
+  bool is_number() const { return type == Type::number; }
+  bool is_string() const { return type == Type::string; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  /// find() chained over a path, e.g. at("benches", "fig15_distance").
+  template <typename... Keys>
+  const JsonValue* at(std::string_view key, Keys... rest) const {
+    const JsonValue* v = find(key);
+    if constexpr (sizeof...(rest) == 0) {
+      return v;
+    } else {
+      return v == nullptr ? nullptr : v->at(rest...);
+    }
+  }
+
+  double number_or(double fallback) const {
+    return is_number() ? number : fallback;
+  }
+  bool bool_or(bool fallback) const {
+    return type == Type::boolean ? boolean : fallback;
+  }
+  std::string_view string_or(std::string_view fallback) const {
+    return is_string() ? std::string_view(string) : fallback;
+  }
+};
+
+/// Parse `text` as one JSON document (trailing whitespace allowed,
+/// trailing garbage rejected). On failure returns nullopt and, when
+/// `error` is non-null, stores a message with the byte offset.
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error = nullptr);
+
+}  // namespace ros::obs

@@ -83,6 +83,12 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> bucket_counts;  ///< last entry = overflow
   std::uint64_t count = 0;
   double sum = 0.0;
+
+  /// Interpolated summary quantile (q in [0,1]) from the bucket edges
+  /// (see stats.hpp: uniform-within-bucket assumption; the overflow
+  /// bucket collapses to the last edge). Snapshots serialize p50/p90/
+  /// p99 so sidecar consumers need not re-derive them from raw buckets.
+  double quantile(double q) const;
 };
 
 struct MetricsSnapshot {

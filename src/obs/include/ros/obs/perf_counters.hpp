@@ -1,0 +1,60 @@
+// Hardware performance counters via perf_event_open (Linux): cycles,
+// instructions, and cache references/misses for the calling process.
+//
+// Counter availability is probed at construction; on any failure —
+// non-Linux build, kernel.perf_event_paranoid too strict, seccomp,
+// missing PMU in a VM/container — the group degrades to available() ==
+// false and start()/stop() become no-ops, so callers never need to
+// guard. Counts are scaled for multiplexing (time_enabled /
+// time_running) the way `perf stat` does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ros::obs {
+
+struct PerfCounterSample {
+  bool valid = false;  ///< false when counters were unavailable
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t cache_misses = 0;
+
+  /// Instructions per cycle; 0 when invalid or cycles == 0.
+  double ipc() const {
+    return (valid && cycles > 0)
+               ? static_cast<double>(instructions) /
+                     static_cast<double>(cycles)
+               : 0.0;
+  }
+};
+
+class PerfCounterGroup {
+ public:
+  /// Opens the counter group for this process (all threads inherit on
+  /// Linux is not requested; counts cover the calling thread).
+  PerfCounterGroup();
+  ~PerfCounterGroup();
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  bool available() const { return fd_leader_ >= 0; }
+  /// Human-readable reason when available() is false.
+  const std::string& error() const { return error_; }
+
+  /// Reset and enable the group. No-op when unavailable.
+  void start();
+  /// Disable and read; sample.valid is false when unavailable or the
+  /// read failed.
+  PerfCounterSample stop();
+
+ private:
+  int fd_leader_ = -1;  ///< cycles (group leader)
+  int fd_instructions_ = -1;
+  int fd_cache_refs_ = -1;
+  int fd_cache_misses_ = -1;
+  std::string error_;
+};
+
+}  // namespace ros::obs

@@ -1,0 +1,47 @@
+// Fidelity scorecard: headline physics numbers from the figure
+// reproductions (SNR at reference distances, retroreflection FoV,
+// end-to-end BER, ...) checked against the envelopes the paper
+// establishes. Benches record named values with [lo, hi] bounds; the
+// rosbench driver serializes the card into BENCH_*.json where
+// bench_compare gates on any check leaving its envelope.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ros::obs {
+
+class JsonWriter;
+
+struct FidelityCheck {
+  std::string name;
+  double value = 0.0;
+  double lo = 0.0;  ///< inclusive lower envelope bound
+  double hi = 0.0;  ///< inclusive upper envelope bound
+  std::string note;
+
+  bool pass() const { return value >= lo && value <= hi; }
+};
+
+class Scorecard {
+ public:
+  /// Record (or overwrite, by name) one check. Insertion order is kept
+  /// so reports read in the order the bench computed them.
+  void record(std::string_view name, double value, double lo, double hi,
+              std::string_view note = {});
+
+  const std::vector<FidelityCheck>& checks() const { return checks_; }
+  const FidelityCheck* find(std::string_view name) const;
+  bool all_pass() const;
+  std::size_t failures() const;
+
+  /// Emits {"<name>": {"value":v,"lo":l,"hi":h,"pass":b,"note":s}, ...}
+  /// as one JSON object value (the caller writes the surrounding key).
+  void write_json(JsonWriter& w) const;
+
+ private:
+  std::vector<FidelityCheck> checks_;
+};
+
+}  // namespace ros::obs

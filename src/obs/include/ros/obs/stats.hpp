@@ -1,0 +1,45 @@
+// Small-sample robust statistics for the benchmark harness: median and
+// MAD (median absolute deviation) are preferred over mean/stddev for
+// timing data because a single scheduler hiccup would otherwise drag
+// both location and spread. Also hosts the histogram-quantile
+// interpolation shared by MetricsRegistry JSON snapshots and rosbench.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ros::obs {
+
+/// Median of `v` (copies; averages the two middle elements for even n).
+/// Returns 0.0 for an empty sample.
+double median(std::vector<double> v);
+
+/// Median absolute deviation around the sample median (unscaled: no
+/// 1.4826 consistency factor). Returns 0.0 for samples of size < 2.
+double mad(const std::vector<double>& v);
+
+/// Five-number-ish robust summary of one sample.
+struct SampleStats {
+  std::size_t n = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double mad = 0.0;
+
+  static SampleStats from(const std::vector<double>& v);
+};
+
+/// Interpolated quantile (q in [0,1]) from fixed-bucket histogram data:
+/// `upper_edges` are the bucket upper bounds, `bucket_counts` has one
+/// extra trailing overflow bucket (same layout as obs::Histogram).
+/// Observations are assumed uniformly spread inside each bucket; the
+/// first bucket's lower bound is taken as min(0, upper_edges[0]) and the
+/// overflow bucket collapses to its lower edge (nothing to interpolate
+/// against). Returns 0.0 when the histogram is empty.
+double quantile_from_buckets(std::span<const double> upper_edges,
+                             std::span<const std::uint64_t> bucket_counts,
+                             double q);
+
+}  // namespace ros::obs

@@ -1,0 +1,181 @@
+#include "ros/obs/bench.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <ctime>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <sys/utsname.h>
+#include <unistd.h>
+#endif
+
+namespace ros::obs {
+
+namespace {
+
+double process_cpu_ms() {
+#if defined(__unix__) || defined(__APPLE__)
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e3 +
+           static_cast<double>(ts.tv_nsec) * 1e-6;
+  }
+#endif
+  return 0.0;
+}
+
+long peak_rss_kb_now() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    return ru.ru_maxrss / 1024;  // bytes on macOS
+#else
+    return ru.ru_maxrss;  // kB on Linux
+#endif
+  }
+#endif
+  return 0;
+}
+
+std::string utc_format(const char* fmt) {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+#if defined(__unix__) || defined(__APPLE__)
+  gmtime_r(&now, &tm);
+#else
+  tm = *std::gmtime(&now);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), fmt, &tm);
+  return buf;
+}
+
+}  // namespace
+
+BenchTiming run_timed(const std::function<void()>& body,
+                      const BenchRunOptions& opts) {
+  const int reps = opts.reps < 1 ? 1 : opts.reps;
+  for (int i = 0; i < opts.warmup; ++i) body();
+
+  PerfCounterGroup counters;
+  const bool use_perf = opts.collect_perf_counters && counters.available();
+
+  std::vector<double> wall_ms;
+  std::vector<double> cpu_ms;
+  std::vector<double> cycles;
+  std::vector<double> instructions;
+  std::vector<double> cache_refs;
+  std::vector<double> cache_misses;
+  wall_ms.reserve(static_cast<std::size_t>(reps));
+  cpu_ms.reserve(static_cast<std::size_t>(reps));
+  bool perf_ok = use_perf;
+
+  for (int i = 0; i < reps; ++i) {
+    const double cpu0 = process_cpu_ms();
+    if (use_perf) counters.start();
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const auto t1 = std::chrono::steady_clock::now();
+    const PerfCounterSample s =
+        use_perf ? counters.stop() : PerfCounterSample{};
+    const double cpu1 = process_cpu_ms();
+    wall_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    cpu_ms.push_back(cpu1 - cpu0);
+    if (use_perf && s.valid) {
+      cycles.push_back(static_cast<double>(s.cycles));
+      instructions.push_back(static_cast<double>(s.instructions));
+      cache_refs.push_back(static_cast<double>(s.cache_references));
+      cache_misses.push_back(static_cast<double>(s.cache_misses));
+    } else {
+      perf_ok = false;
+    }
+  }
+
+  BenchTiming t;
+  t.reps = reps;
+  t.wall_ms = SampleStats::from(wall_ms);
+  t.cpu_ms = SampleStats::from(cpu_ms);
+  t.peak_rss_kb = peak_rss_kb_now();
+  if (perf_ok) {
+    t.perf.valid = true;
+    t.perf.cycles = static_cast<std::uint64_t>(median(cycles));
+    t.perf.instructions = static_cast<std::uint64_t>(median(instructions));
+    t.perf.cache_references =
+        static_cast<std::uint64_t>(median(cache_refs));
+    t.perf.cache_misses = static_cast<std::uint64_t>(median(cache_misses));
+  } else if (opts.collect_perf_counters) {
+    t.perf_error = counters.available() ? "perf counter read failed"
+                                        : counters.error();
+  } else {
+    t.perf_error = "disabled";
+  }
+  return t;
+}
+
+BuildInfo build_info() {
+  BuildInfo b;
+#ifdef ROS_BUILD_GIT_SHA
+  b.git_sha = ROS_BUILD_GIT_SHA;
+#else
+  b.git_sha = "unknown";
+#endif
+#if defined(__VERSION__)
+  b.compiler =
+#if defined(__clang__)
+      std::string("clang ") + __VERSION__;
+#else
+      std::string("gcc ") + __VERSION__;
+#endif
+#else
+  b.compiler = "unknown";
+#endif
+#ifdef ROS_BUILD_CXX_FLAGS
+  b.flags = ROS_BUILD_CXX_FLAGS;
+#endif
+#ifdef ROS_BUILD_TYPE
+  b.build_type = ROS_BUILD_TYPE;
+#endif
+  return b;
+}
+
+HostInfo host_info() {
+  HostInfo h;
+  h.n_cpus = static_cast<int>(std::thread::hardware_concurrency());
+#if defined(__unix__) || defined(__APPLE__)
+  utsname u{};
+  if (uname(&u) == 0) {
+    h.os = std::string(u.sysname) + " " + u.release;
+    h.arch = u.machine;
+    h.hostname = u.nodename;
+  }
+#endif
+  return h;
+}
+
+std::string utc_timestamp_compact() { return utc_format("%Y%m%dT%H%M%SZ"); }
+
+std::string utc_timestamp_iso8601() {
+  return utc_format("%Y-%m-%dT%H:%M:%SZ");
+}
+
+bool arg_take_value(std::string_view arg, std::string_view flag, int argc,
+                    char** argv, int& i, std::string* out) {
+  if (arg.size() > flag.size() + 1 && arg.substr(0, flag.size()) == flag &&
+      arg[flag.size()] == '=') {
+    *out = std::string(arg.substr(flag.size() + 1));
+    return true;
+  }
+  if (arg == flag && i + 1 < argc) {
+    *out = argv[++i];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ros::obs

@@ -1,0 +1,211 @@
+#include "ros/obs/bench_compare.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace ros::obs {
+
+namespace {
+
+double median_wall_ms(const JsonValue& bench) {
+  const JsonValue* v = bench.at("wall_ms", "median");
+  return v == nullptr ? 0.0 : v->number_or(0.0);
+}
+
+/// Appends fidelity failures of `entry` ("<name>: value out of
+/// [lo, hi]") to notes; returns the failure count.
+int fidelity_failures(const JsonValue& bench,
+                      std::vector<std::string>& notes) {
+  const JsonValue* fid = bench.find("fidelity");
+  if (fid == nullptr || !fid->is_object()) return 0;
+  int failures = 0;
+  for (const auto& [name, check] : fid->object) {
+    if (check.at("pass") != nullptr && check.at("pass")->bool_or(true)) {
+      continue;
+    }
+    ++failures;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "fidelity %s: value %.6g outside [%.6g, %.6g]",
+                  name.c_str(),
+                  check.at("value") ? check.at("value")->number_or(0.0)
+                                    : 0.0,
+                  check.at("lo") ? check.at("lo")->number_or(0.0) : 0.0,
+                  check.at("hi") ? check.at("hi")->number_or(0.0) : 0.0);
+    notes.push_back(buf);
+  }
+  return failures;
+}
+
+/// Fidelity checks present in the baseline but gone from the new run
+/// are coverage loss and count as drift.
+int missing_fidelity(const JsonValue& base_bench,
+                     const JsonValue& new_bench,
+                     std::vector<std::string>& notes) {
+  const JsonValue* base_fid = base_bench.find("fidelity");
+  if (base_fid == nullptr || !base_fid->is_object()) return 0;
+  const JsonValue* new_fid = new_bench.find("fidelity");
+  int lost = 0;
+  for (const auto& [name, unused] : base_fid->object) {
+    (void)unused;
+    if (new_fid == nullptr || new_fid->find(name) == nullptr) {
+      ++lost;
+      notes.push_back("fidelity " + name +
+                      ": present in baseline, missing from new run");
+    }
+  }
+  return lost;
+}
+
+}  // namespace
+
+std::string_view to_string(BenchVerdict v) {
+  switch (v) {
+    case BenchVerdict::pass: return "pass";
+    case BenchVerdict::perf_regression: return "PERF-REGRESSION";
+    case BenchVerdict::fidelity_drift: return "FIDELITY-DRIFT";
+    case BenchVerdict::missing_in_new: return "MISSING";
+    case BenchVerdict::new_bench: return "new";
+  }
+  return "?";
+}
+
+CompareReport compare_runs(const JsonValue& new_run,
+                           const JsonValue& baseline,
+                           const CompareOptions& opts) {
+  CompareReport report;
+  const JsonValue* new_benches = new_run.find("benches");
+  const JsonValue* base_benches = baseline.find("benches");
+  if (new_benches == nullptr || !new_benches->is_object() ||
+      base_benches == nullptr || !base_benches->is_object()) {
+    report.parse_ok = false;
+    report.parse_error = "missing \"benches\" object in one of the runs";
+    return report;
+  }
+
+  // Baseline-driven pass: every baseline bench must appear and hold.
+  for (const auto& [name, base_bench] : base_benches->object) {
+    BenchDelta d;
+    d.name = name;
+    d.base_median_ms = median_wall_ms(base_bench);
+    const JsonValue* thr = base_bench.find("perf_threshold_ratio");
+    d.threshold = thr != nullptr ? thr->number_or(opts.default_perf_ratio)
+                                 : opts.default_perf_ratio;
+
+    const JsonValue* new_bench = new_benches->find(name);
+    if (new_bench == nullptr) {
+      d.verdict = BenchVerdict::missing_in_new;
+      if (!opts.allow_missing) ++report.missing;
+      report.benches.push_back(std::move(d));
+      continue;
+    }
+    d.new_median_ms = median_wall_ms(*new_bench);
+    d.ratio = d.base_median_ms > 0.0 ? d.new_median_ms / d.base_median_ms
+                                     : 0.0;
+
+    int drift = fidelity_failures(*new_bench, d.notes);
+    drift += missing_fidelity(base_bench, *new_bench, d.notes);
+    const bool slowed =
+        d.base_median_ms > 0.0 && d.ratio > d.threshold &&
+        (d.new_median_ms - d.base_median_ms) > opts.min_abs_delta_ms;
+    if (drift > 0) {
+      d.verdict = BenchVerdict::fidelity_drift;
+      report.fidelity_failures += drift;
+      // A bench can drift and regress at once; keep the perf count too.
+      if (slowed) ++report.perf_regressions;
+    } else if (slowed) {
+      d.verdict = BenchVerdict::perf_regression;
+      ++report.perf_regressions;
+    }
+    report.benches.push_back(std::move(d));
+  }
+
+  // New benches without a baseline entry: informational only (the
+  // baseline needs a refresh to start gating them).
+  for (const auto& [name, new_bench] : new_benches->object) {
+    if (base_benches->find(name) != nullptr) continue;
+    BenchDelta d;
+    d.name = name;
+    d.verdict = BenchVerdict::new_bench;
+    d.new_median_ms = median_wall_ms(new_bench);
+    // Fidelity envelopes still gate even before a perf baseline exists.
+    const int drift = fidelity_failures(new_bench, d.notes);
+    if (drift > 0) {
+      d.verdict = BenchVerdict::fidelity_drift;
+      report.fidelity_failures += drift;
+    }
+    report.benches.push_back(std::move(d));
+  }
+  return report;
+}
+
+int CompareReport::exit_code(bool perf_warn_only) const {
+  if (!parse_ok) return 3;
+  if (fidelity_failures > 0 || missing > 0) return 2;
+  if (perf_regressions > 0 && !perf_warn_only) return 1;
+  return 0;
+}
+
+std::string CompareReport::render() const {
+  std::ostringstream os;
+  if (!parse_ok) {
+    os << "bench_compare: " << parse_error << "\n";
+    return os.str();
+  }
+  char line[256];
+  os << "bench                          base_ms      new_ms   ratio  "
+        "verdict\n";
+  for (const BenchDelta& d : benches) {
+    std::snprintf(line, sizeof(line), "%-28s %9.3f  %9.3f  %6.2f  %s\n",
+                  d.name.c_str(), d.base_median_ms, d.new_median_ms,
+                  d.ratio, std::string(to_string(d.verdict)).c_str());
+    os << line;
+    for (const std::string& n : d.notes) os << "    " << n << "\n";
+  }
+  os << "summary: " << perf_regressions << " perf regression(s), "
+     << fidelity_failures << " fidelity failure(s), " << missing
+     << " missing bench(es)\n";
+  return os.str();
+}
+
+CompareReport compare_run_files(const std::string& new_path,
+                                const std::string& baseline_path,
+                                const CompareOptions& opts) {
+  const auto slurp = [](const std::string& path,
+                        std::string* out) -> bool {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) return false;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    *out = ss.str();
+    return true;
+  };
+  CompareReport bad;
+  bad.parse_ok = false;
+  std::string new_text;
+  std::string base_text;
+  if (!slurp(new_path, &new_text)) {
+    bad.parse_error = "cannot read " + new_path;
+    return bad;
+  }
+  if (!slurp(baseline_path, &base_text)) {
+    bad.parse_error = "cannot read " + baseline_path;
+    return bad;
+  }
+  std::string err;
+  const auto new_doc = json_parse(new_text, &err);
+  if (!new_doc) {
+    bad.parse_error = new_path + ": " + err;
+    return bad;
+  }
+  const auto base_doc = json_parse(base_text, &err);
+  if (!base_doc) {
+    bad.parse_error = baseline_path + ": " + err;
+    return bad;
+  }
+  return compare_runs(*new_doc, *base_doc, opts);
+}
+
+}  // namespace ros::obs

@@ -126,4 +126,10 @@ JsonWriter& JsonWriter::null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  comma_for_value();
+  out_ += json;
+  return *this;
+}
+
 }  // namespace ros::obs

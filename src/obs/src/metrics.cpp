@@ -4,6 +4,7 @@
 
 #include "ros/common/expect.hpp"
 #include "ros/obs/json.hpp"
+#include "ros/obs/stats.hpp"
 
 namespace ros::obs {
 
@@ -122,6 +123,10 @@ void MetricsRegistry::clear() {
   histograms_.clear();
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  return quantile_from_buckets(upper_edges, bucket_counts, q);
+}
+
 std::string MetricsSnapshot::to_json() const {
   JsonWriter w;
   w.begin_object();
@@ -136,6 +141,9 @@ std::string MetricsSnapshot::to_json() const {
     w.key(h.name).begin_object();
     w.key("count").value(h.count);
     w.key("sum").value(h.sum);
+    w.key("p50").value(h.quantile(0.50));
+    w.key("p90").value(h.quantile(0.90));
+    w.key("p99").value(h.quantile(0.99));
     w.key("upper_edges").begin_array();
     for (double e : h.upper_edges) w.value(e);
     w.end_array();

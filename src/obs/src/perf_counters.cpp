@@ -1,0 +1,108 @@
+#include "ros/obs/perf_counters.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace ros::obs {
+
+#if defined(__linux__)
+
+namespace {
+
+int open_counter(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr{};
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // group enabled via the leader
+  attr.exclude_kernel = 1;               // works at perf_event_paranoid<=2
+  attr.exclude_hv = 1;
+  attr.inherit = 0;
+  attr.read_format = PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, /*flags=*/0UL));
+}
+
+/// One counter's scaled value; false when the read fails.
+bool read_scaled(int fd, std::uint64_t* out) {
+  if (fd < 0) return false;
+  struct {
+    std::uint64_t value;
+    std::uint64_t time_enabled;
+    std::uint64_t time_running;
+  } buf{};
+  if (read(fd, &buf, sizeof(buf)) != sizeof(buf)) return false;
+  if (buf.time_running == 0) {
+    *out = 0;  // never scheduled (over-committed PMU)
+    return buf.value == 0;
+  }
+  const double scale = static_cast<double>(buf.time_enabled) /
+                       static_cast<double>(buf.time_running);
+  *out = static_cast<std::uint64_t>(static_cast<double>(buf.value) * scale);
+  return true;
+}
+
+}  // namespace
+
+PerfCounterGroup::PerfCounterGroup() {
+  fd_leader_ = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES,
+                            -1);
+  if (fd_leader_ < 0) {
+    error_ = std::string("perf_event_open(cycles): ") +
+             std::strerror(errno);
+    return;
+  }
+  // Secondary counters are best-effort: a PMU with few programmable
+  // slots can still deliver cycles + instructions.
+  fd_instructions_ = open_counter(
+      PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, fd_leader_);
+  fd_cache_refs_ = open_counter(
+      PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES, fd_leader_);
+  fd_cache_misses_ = open_counter(
+      PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, fd_leader_);
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (int fd : {fd_leader_, fd_instructions_, fd_cache_refs_,
+                 fd_cache_misses_}) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+void PerfCounterGroup::start() {
+  if (!available()) return;
+  ioctl(fd_leader_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(fd_leader_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfCounterSample PerfCounterGroup::stop() {
+  PerfCounterSample s;
+  if (!available()) return s;
+  ioctl(fd_leader_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  s.valid = read_scaled(fd_leader_, &s.cycles);
+  // Leave the optional counters at 0 when their fds failed to open.
+  read_scaled(fd_instructions_, &s.instructions);
+  read_scaled(fd_cache_refs_, &s.cache_references);
+  read_scaled(fd_cache_misses_, &s.cache_misses);
+  return s;
+}
+
+#else  // !__linux__
+
+PerfCounterGroup::PerfCounterGroup()
+    : error_("perf_event_open is Linux-only") {}
+PerfCounterGroup::~PerfCounterGroup() = default;
+void PerfCounterGroup::start() {}
+PerfCounterSample PerfCounterGroup::stop() { return {}; }
+
+#endif
+
+}  // namespace ros::obs

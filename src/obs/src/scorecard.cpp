@@ -1,0 +1,52 @@
+#include "ros/obs/scorecard.hpp"
+
+#include <algorithm>
+
+#include "ros/obs/json.hpp"
+
+namespace ros::obs {
+
+void Scorecard::record(std::string_view name, double value, double lo,
+                      double hi, std::string_view note) {
+  for (FidelityCheck& c : checks_) {
+    if (c.name == name) {
+      c.value = value;
+      c.lo = lo;
+      c.hi = hi;
+      c.note = std::string(note);
+      return;
+    }
+  }
+  checks_.push_back({std::string(name), value, lo, hi, std::string(note)});
+}
+
+const FidelityCheck* Scorecard::find(std::string_view name) const {
+  const auto it = std::find_if(
+      checks_.begin(), checks_.end(),
+      [&](const FidelityCheck& c) { return c.name == name; });
+  return it == checks_.end() ? nullptr : &*it;
+}
+
+bool Scorecard::all_pass() const { return failures() == 0; }
+
+std::size_t Scorecard::failures() const {
+  std::size_t n = 0;
+  for (const FidelityCheck& c : checks_) n += c.pass() ? 0 : 1;
+  return n;
+}
+
+void Scorecard::write_json(JsonWriter& w) const {
+  w.begin_object();
+  for (const FidelityCheck& c : checks_) {
+    w.key(c.name).begin_object();
+    w.key("value").value(c.value);
+    w.key("lo").value(c.lo);
+    w.key("hi").value(c.hi);
+    w.key("pass").value(c.pass());
+    if (!c.note.empty()) w.key("note").value(c.note);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace ros::obs

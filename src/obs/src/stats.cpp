@@ -1,0 +1,77 @@
+#include "ros/obs/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ros::obs {
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  const double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  const double lo = *std::max_element(
+      v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double mad(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double med = median(v);
+  std::vector<double> dev;
+  dev.reserve(v.size());
+  for (double x : v) dev.push_back(std::abs(x - med));
+  return median(std::move(dev));
+}
+
+SampleStats SampleStats::from(const std::vector<double>& v) {
+  SampleStats s;
+  s.n = v.size();
+  if (v.empty()) return s;
+  s.min = *std::min_element(v.begin(), v.end());
+  s.max = *std::max_element(v.begin(), v.end());
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  s.mean = sum / static_cast<double>(v.size());
+  s.median = ros::obs::median(v);
+  s.mad = ros::obs::mad(v);
+  return s;
+}
+
+double quantile_from_buckets(std::span<const double> upper_edges,
+                             std::span<const std::uint64_t> bucket_counts,
+                             double q) {
+  if (upper_edges.empty() ||
+      bucket_counts.size() != upper_edges.size() + 1) {
+    return 0.0;
+  }
+  std::uint64_t total = 0;
+  for (std::uint64_t c : bucket_counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, ceil so q=0.5 of n=2 lands
+  // on the first).
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    const double c = static_cast<double>(bucket_counts[i]);
+    if (c == 0.0) continue;
+    if (cum + c >= target) {
+      if (i == upper_edges.size()) {
+        // Overflow bucket: no upper bound to interpolate against.
+        return upper_edges.back();
+      }
+      const double lo = i == 0 ? std::min(0.0, upper_edges[0])
+                               : upper_edges[i - 1];
+      const double hi = upper_edges[i];
+      const double frac = (target - cum) / c;
+      return lo + frac * (hi - lo);
+    }
+    cum += c;
+  }
+  return upper_edges.back();
+}
+
+}  // namespace ros::obs

@@ -1,0 +1,222 @@
+// Unit tests for the bench_compare verdict logic on synthetic rosbench
+// document pairs, plus the JSON parser it rides on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "ros/obs/bench_compare.hpp"
+#include "ros/obs/json_parse.hpp"
+
+namespace {
+
+using namespace ros::obs;
+
+/// Minimal rosbench-v1 document with one bench entry.
+std::string doc(const std::string& bench_name, double median_ms,
+                const std::string& fidelity_json = "{}",
+                const std::string& extra_bench_fields = "") {
+  return "{\"schema\":\"rosbench-v1\",\"benches\":{\"" + bench_name +
+         "\":{\"wall_ms\":{\"median\":" + std::to_string(median_ms) +
+         "},\"fidelity\":" + fidelity_json + extra_bench_fields + "}}}";
+}
+
+JsonValue parse(const std::string& text) {
+  std::string err;
+  auto v = json_parse(text, &err);
+  EXPECT_TRUE(v.has_value()) << err << " in: " << text;
+  return v ? *v : JsonValue{};
+}
+
+std::string passing_check() {
+  return "{\"snr_db\":{\"value\":20.0,\"lo\":14.0,\"hi\":35.0,"
+         "\"pass\":true}}";
+}
+
+std::string failing_check() {
+  return "{\"snr_db\":{\"value\":10.0,\"lo\":14.0,\"hi\":35.0,"
+         "\"pass\":false}}";
+}
+
+TEST(BenchCompare, CleanPass) {
+  const auto base = parse(doc("fig15", 100.0, passing_check()));
+  const auto fresh = parse(doc("fig15", 104.0, passing_check()));
+  const auto r = compare_runs(fresh, base);
+  ASSERT_EQ(r.benches.size(), 1u);
+  EXPECT_EQ(r.benches[0].verdict, BenchVerdict::pass);
+  EXPECT_NEAR(r.benches[0].ratio, 1.04, 1e-9);
+  EXPECT_EQ(r.exit_code(false), 0);
+}
+
+TEST(BenchCompare, PerfRegressionTripsThreshold) {
+  const auto base = parse(doc("fig15", 100.0, passing_check()));
+  const auto fresh = parse(doc("fig15", 150.0, passing_check()));
+  const auto r = compare_runs(fresh, base);  // default ratio 1.35
+  ASSERT_EQ(r.benches.size(), 1u);
+  EXPECT_EQ(r.benches[0].verdict, BenchVerdict::perf_regression);
+  EXPECT_EQ(r.perf_regressions, 1);
+  EXPECT_EQ(r.exit_code(false), 1);
+  // Warn-only CI mode suppresses the perf gate but not the report.
+  EXPECT_EQ(r.exit_code(true), 0);
+}
+
+TEST(BenchCompare, MinAbsDeltaGuardsMicrobenchNoise) {
+  // 0.1 ms -> 0.3 ms is 3x but only 0.2 ms absolute: below the 0.5 ms
+  // floor, so not a regression.
+  const auto base = parse(doc("tiny", 0.1, passing_check()));
+  const auto fresh = parse(doc("tiny", 0.3, passing_check()));
+  const auto r = compare_runs(fresh, base);
+  EXPECT_EQ(r.benches[0].verdict, BenchVerdict::pass);
+  EXPECT_EQ(r.exit_code(false), 0);
+}
+
+TEST(BenchCompare, PerBenchThresholdOverride) {
+  // Baseline entry relaxes its own threshold to 2.0x: 1.5x passes.
+  const auto base = parse(doc("noisy", 100.0, passing_check(),
+                              ",\"perf_threshold_ratio\":2.0"));
+  const auto fresh = parse(doc("noisy", 150.0, passing_check()));
+  const auto r = compare_runs(fresh, base);
+  EXPECT_EQ(r.benches[0].verdict, BenchVerdict::pass);
+  EXPECT_DOUBLE_EQ(r.benches[0].threshold, 2.0);
+  // 2.5x still fails.
+  const auto worse = parse(doc("noisy", 250.0, passing_check()));
+  const auto r2 = compare_runs(worse, base);
+  EXPECT_EQ(r2.benches[0].verdict, BenchVerdict::perf_regression);
+}
+
+TEST(BenchCompare, FidelityDriftIsHard) {
+  const auto base = parse(doc("fig15", 100.0, passing_check()));
+  const auto fresh = parse(doc("fig15", 100.0, failing_check()));
+  const auto r = compare_runs(fresh, base);
+  EXPECT_EQ(r.benches[0].verdict, BenchVerdict::fidelity_drift);
+  EXPECT_EQ(r.fidelity_failures, 1);
+  ASSERT_FALSE(r.benches[0].notes.empty());
+  EXPECT_NE(r.benches[0].notes[0].find("snr_db"), std::string::npos);
+  // Fidelity failures exit 2 even in perf-warn-only mode.
+  EXPECT_EQ(r.exit_code(false), 2);
+  EXPECT_EQ(r.exit_code(true), 2);
+}
+
+TEST(BenchCompare, LostFidelityCheckIsDrift) {
+  // The check existed in the baseline but the new run no longer
+  // computes it: coverage loss, treated as drift.
+  const auto base = parse(doc("fig15", 100.0, passing_check()));
+  const auto fresh = parse(doc("fig15", 100.0, "{}"));
+  const auto r = compare_runs(fresh, base);
+  EXPECT_EQ(r.benches[0].verdict, BenchVerdict::fidelity_drift);
+  EXPECT_EQ(r.exit_code(true), 2);
+}
+
+TEST(BenchCompare, MissingBenchFailsUnlessAllowed) {
+  const auto base = parse(doc("fig15", 100.0, passing_check()));
+  const auto fresh = parse(doc("other_bench", 5.0, "{}"));
+  const auto r = compare_runs(fresh, base);
+  EXPECT_EQ(r.missing, 1);
+  EXPECT_EQ(r.exit_code(false), 2);
+
+  CompareOptions opts;
+  opts.allow_missing = true;
+  const auto r2 = compare_runs(fresh, base, opts);
+  EXPECT_EQ(r2.missing, 0);
+  EXPECT_EQ(r2.exit_code(false), 0);
+}
+
+TEST(BenchCompare, NewBenchIsInformationalButFidelityGates) {
+  const auto base = parse(doc("fig15", 100.0, passing_check()));
+  // New run has the baseline bench plus a brand-new one that passes.
+  const auto fresh = parse(
+      "{\"benches\":{"
+      "\"fig15\":{\"wall_ms\":{\"median\":100.0},\"fidelity\":" +
+      passing_check() +
+      "},"
+      "\"brand_new\":{\"wall_ms\":{\"median\":7.0},\"fidelity\":" +
+      passing_check() + "}}}");
+  const auto r = compare_runs(fresh, base);
+  ASSERT_EQ(r.benches.size(), 2u);
+  EXPECT_EQ(r.benches[1].name, "brand_new");
+  EXPECT_EQ(r.benches[1].verdict, BenchVerdict::new_bench);
+  EXPECT_EQ(r.exit_code(false), 0);
+
+  // A new bench whose own fidelity fails still gates.
+  const auto bad = parse(
+      "{\"benches\":{"
+      "\"fig15\":{\"wall_ms\":{\"median\":100.0},\"fidelity\":" +
+      passing_check() +
+      "},"
+      "\"brand_new\":{\"wall_ms\":{\"median\":7.0},\"fidelity\":" +
+      failing_check() + "}}}");
+  const auto r2 = compare_runs(bad, base);
+  EXPECT_EQ(r2.exit_code(true), 2);
+}
+
+TEST(BenchCompare, MalformedDocumentExits3) {
+  const auto base = parse(doc("fig15", 100.0));
+  const auto noBenches = parse("{\"schema\":\"rosbench-v1\"}");
+  const auto r = compare_runs(noBenches, base);
+  EXPECT_FALSE(r.parse_ok);
+  EXPECT_EQ(r.exit_code(false), 3);
+}
+
+TEST(BenchCompare, CompareRunFiles) {
+  const std::string dir = ::testing::TempDir();
+  const std::string new_path = dir + "/bc_new.json";
+  const std::string base_path = dir + "/bc_base.json";
+  {
+    std::ofstream(new_path) << doc("fig15", 300.0, passing_check());
+    std::ofstream(base_path) << doc("fig15", 100.0, passing_check());
+  }
+  const auto r = compare_run_files(new_path, base_path);
+  EXPECT_TRUE(r.parse_ok);
+  EXPECT_EQ(r.exit_code(false), 1);
+  const auto rendered = r.render();
+  EXPECT_NE(rendered.find("fig15"), std::string::npos);
+  EXPECT_NE(rendered.find("PERF-REGRESSION"), std::string::npos);
+
+  // Unreadable path -> exit 3.
+  const auto bad = compare_run_files(dir + "/does_not_exist.json",
+                                     base_path);
+  EXPECT_EQ(bad.exit_code(false), 3);
+
+  // Unparseable content -> exit 3.
+  const std::string junk_path = dir + "/bc_junk.json";
+  std::ofstream(junk_path) << "{not json";
+  const auto junk = compare_run_files(new_path, junk_path);
+  EXPECT_EQ(junk.exit_code(false), 3);
+  std::remove(new_path.c_str());
+  std::remove(base_path.c_str());
+  std::remove(junk_path.c_str());
+}
+
+TEST(JsonParse, Basics) {
+  std::string err;
+  const auto v = json_parse(
+      "{\"a\":1.5,\"b\":[true,null,\"x\\ny\"],\"c\":{\"d\":-2e3}}", &err);
+  ASSERT_TRUE(v.has_value()) << err;
+  EXPECT_TRUE(v->is_object());
+  EXPECT_DOUBLE_EQ(v->at("a")->number_or(0.0), 1.5);
+  ASSERT_NE(v->find("b"), nullptr);
+  ASSERT_TRUE(v->find("b")->is_array());
+  EXPECT_EQ(v->find("b")->array.size(), 3u);
+  EXPECT_TRUE(v->find("b")->array[0].bool_or(false));
+  EXPECT_EQ(v->find("b")->array[2].string_or(""), "x\ny");
+  EXPECT_DOUBLE_EQ(v->at("c", "d")->number_or(0.0), -2000.0);
+}
+
+TEST(JsonParse, RejectsGarbage) {
+  std::string err;
+  EXPECT_FALSE(json_parse("{", &err).has_value());
+  EXPECT_FALSE(json_parse("", &err).has_value());
+  EXPECT_FALSE(json_parse("{} trailing", &err).has_value());
+  EXPECT_FALSE(json_parse("{\"a\":}", &err).has_value());
+  EXPECT_FALSE(json_parse("[1,2,]", &err).has_value());
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  std::string err;
+  const auto v = json_parse("\"\\u0041\\u00e9\"", &err);
+  ASSERT_TRUE(v.has_value()) << err;
+  EXPECT_EQ(v->string_or(""), "A\xc3\xa9");
+}
+
+}  // namespace
