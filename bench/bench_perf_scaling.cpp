@@ -1,0 +1,97 @@
+// Thread-scaling benchmark for the ros::exec parallel runtime: runs the
+// two parallelized hot paths -- the interrogation frame loop and the
+// DE-GA beam-shaping search -- at 1, 2, 4, and ROS_THREADS executors,
+// reporting wall time and speedup per thread count. The fidelity checks
+// assert the determinism contract rather than machine-dependent timing:
+// every thread count must produce identical outputs.
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "ros/antenna/beam_shaping.hpp"
+#include "ros/exec/thread_pool.hpp"
+
+namespace {
+
+double wall_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+ROS_BENCH_OPTS(perf_scaling, 1, 0) {
+  using namespace ros;
+
+  const auto bits = bench::truth_bits();
+  const auto world = bench::tag_scene(bits);
+  const auto drv = bench::drive();
+  pipeline::InterrogatorConfig cfg;
+  cfg.frame_stride = ctx.quick() ? 20 : 10;
+  const pipeline::Interrogator inter(cfg);
+
+  optim::DeConfig de;
+  de.population = 24;
+  de.max_generations = ctx.quick() ? 4 : 10;
+  de.patience = de.max_generations;
+  de.seed = 5;
+
+  std::vector<std::size_t> counts = {1, 2, 4, exec::default_threads()};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+
+  common::CsvTable table(
+      "perf: ros::exec scaling (interrogation + DE-GA beam shaping)",
+      {"threads", "interrogate_ms", "de_ms", "interrogate_speedup",
+       "de_speedup"});
+
+  pipeline::InterrogationReport first_report;
+  antenna::BeamShapingResult first_shape;
+  bool outputs_identical = true;
+  double interrogate_ms_1t = 0.0;
+  double de_ms_1t = 0.0;
+  for (std::size_t n : counts) {
+    exec::ThreadPool::set_global_threads(n);
+
+    pipeline::InterrogationReport report;
+    const double t_run = wall_ms([&] { report = inter.run(world, drv); });
+    antenna::BeamShapingResult shape;
+    const double t_de = wall_ms([&] {
+      shape = antenna::shape_elevation_beam(8, {}, {}, &bench::stackup(), de);
+    });
+
+    if (n == counts.front()) {
+      first_report = report;
+      first_shape = shape;
+      interrogate_ms_1t = t_run;
+      de_ms_1t = t_de;
+    } else {
+      outputs_identical =
+          outputs_identical &&
+          report.cloud.points.size() == first_report.cloud.points.size() &&
+          report.tags.size() == first_report.tags.size() &&
+          shape.phase_weights_rad == first_shape.phase_weights_rad &&
+          shape.objective == first_shape.objective;
+      for (std::size_t t = 0;
+           outputs_identical && t < report.tags.size(); ++t) {
+        outputs_identical =
+            report.tags[t].decode.bits == first_report.tags[t].decode.bits;
+      }
+    }
+    table.add_row({static_cast<double>(n), t_run, t_de,
+                   interrogate_ms_1t / t_run, de_ms_1t / t_de});
+  }
+  exec::ThreadPool::set_global_threads(exec::default_threads());
+
+  const bool decoded_ok = !first_report.tags.empty() &&
+                          first_report.tags.front().decode.bits == bits;
+  ctx.fidelity("scaling_outputs_identical", outputs_identical ? 1.0 : 0.0,
+               1.0, 1.0,
+               "serial and parallel runs must be bit-identical");
+  ctx.fidelity("scaling_decoded_ok", decoded_ok ? 1.0 : 0.0, 1.0, 1.0,
+               "parallel interrogation still decodes the tag");
+  bench::print(ctx, table);
+}

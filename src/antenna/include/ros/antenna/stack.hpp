@@ -12,6 +12,7 @@
 // field, Fig. 15b) emerges from geometry rather than a fudge factor.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "ros/antenna/psvaa.hpp"
@@ -47,6 +48,14 @@ class PsvaaStack {
   /// elevation angle off the stack normal; the retro round trip doubles
   /// the aperture phase.
   double elevation_pattern(double elevation_rad, double hz) const;
+
+  /// `elevation_pattern` evaluated at every angle in `elevation_rad`
+  /// (identical formula and per-unit summation order). The per-unit
+  /// responses are angle-independent, so the sweep computes them once
+  /// and reuses them: n angles cost n_units unit evaluations instead
+  /// of the n * n_units that calling elevation_pattern in a loop pays.
+  std::vector<double> elevation_pattern_sweep(
+      std::span<const double> elevation_rad, double hz) const;
 
   /// Half-power beamwidth of the *uniform* equivalent stack (Eq. 5).
   double uniform_beamwidth_rad(double hz) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "ros/common/angles.hpp"
 #include "ros/common/expect.hpp"
@@ -33,20 +34,22 @@ struct WindowStats {
   double mean_gain_db = 0.0;
 };
 
+// `angles` is precomputed by the caller (once per shape_elevation_beam
+// call, not once per DE candidate) and swept in one pass so the
+// angle-independent per-unit trig is evaluated once per candidate.
 WindowStats window_stats(const PsvaaStack& stack, double hz,
-                         double half_window_rad, std::size_t n) {
-  const auto angles = linspace(-half_window_rad, half_window_rad, n);
+                         std::span<const double> angles) {
+  const auto pattern = stack.elevation_pattern_sweep(angles, hz);
   double lo = 1e300;
   double hi = -1e300;
   double sum_db = 0.0;
-  for (double a : angles) {
-    const double p = std::max(stack.elevation_pattern(a, hz), 1e-12);
-    const double db = linear_to_db(p);
+  for (double pv : pattern) {
+    const double db = linear_to_db(std::max(pv, 1e-12));
     lo = std::min(lo, db);
     hi = std::max(hi, db);
     sum_db += db;
   }
-  return {hi - lo, sum_db / static_cast<double>(n)};
+  return {hi - lo, sum_db / static_cast<double>(angles.size())};
 }
 
 }  // namespace
@@ -64,22 +67,34 @@ double measure_beamwidth_rad(const PsvaaStack& stack, double hz,
                              double span_rad, std::size_t n_samples) {
   ROS_EXPECT(n_samples >= 3, "need at least 3 samples");
   const auto angles = linspace(-span_rad / 2.0, span_rad / 2.0, n_samples);
-  std::vector<double> p(n_samples);
-  double peak = 0.0;
-  for (std::size_t i = 0; i < n_samples; ++i) {
-    p[i] = stack.elevation_pattern(angles[i], hz);
-    peak = std::max(peak, p[i]);
-  }
+  const std::vector<double> p = stack.elevation_pattern_sweep(angles, hz);
+  const std::size_t ipk = static_cast<std::size_t>(
+      std::max_element(p.begin(), p.end()) - p.begin());
+  const double peak = p[ipk];
   if (peak <= 0.0) return 0.0;
   const double half_power = peak / 2.0;
   // Width of the contiguous region around the peak above -3 dB.
-  const std::size_t ipk = static_cast<std::size_t>(
-      std::max_element(p.begin(), p.end()) - p.begin());
   std::size_t lo = ipk;
   while (lo > 0 && p[lo - 1] >= half_power) --lo;
   std::size_t hi = ipk;
   while (hi + 1 < n_samples && p[hi + 1] >= half_power) ++hi;
-  return angles[hi] - angles[lo];
+  // Interpolate the exact half-power crossings between the last sample
+  // inside the region and the first one outside, rather than snapping
+  // the edges to the sample grid (a span/n quantization error that
+  // dominates for narrow beams or coarse grids). The loop invariants
+  // guarantee p[lo-1] < half_power <= p[lo] (and symmetrically on the
+  // right), so each divisor is strictly positive.
+  double left = angles[lo];
+  if (lo > 0) {
+    const double f = (half_power - p[lo - 1]) / (p[lo] - p[lo - 1]);
+    left = angles[lo - 1] + f * (angles[lo] - angles[lo - 1]);
+  }
+  double right = angles[hi];
+  if (hi + 1 < n_samples) {
+    const double f = (p[hi] - half_power) / (p[hi] - p[hi + 1]);
+    right = angles[hi] + f * (angles[hi + 1] - angles[hi]);
+  }
+  return right - left;
 }
 
 BeamShapingResult shape_elevation_beam(
@@ -91,6 +106,12 @@ BeamShapingResult shape_elevation_beam(
   const int half = (n_units + 1) / 2;
   const double hz = unit.vaa.design_hz;
   const double half_window = goal.target_beamwidth_rad / 2.0;
+  // Fixed evaluation grid, shared by every DE candidate. The objective
+  // runs on the ros::exec pool (see ros::optim::minimize), which is
+  // safe here: each call builds its own PsvaaStack and only reads the
+  // shared grid.
+  const auto window_angles =
+      linspace(-half_window, half_window, goal.n_samples);
 
   const auto objective = [&](const std::vector<double>& x) {
     PsvaaStack::Params sp;
@@ -98,8 +119,7 @@ BeamShapingResult shape_elevation_beam(
     sp.unit = unit;
     sp.phase_weights_rad = mirror_weights(x, n_units);
     const PsvaaStack stack(sp, stackup);
-    const auto stats =
-        window_stats(stack, hz, half_window, goal.n_samples);
+    const auto stats = window_stats(stack, hz, window_angles);
     // Flat and high: minimize ripple, maximize in-window mean gain.
     return stats.ripple_db - goal.gain_weight * stats.mean_gain_db;
   };
@@ -117,7 +137,7 @@ BeamShapingResult shape_elevation_beam(
   sp.unit = unit;
   sp.phase_weights_rad = result.phase_weights_rad;
   const PsvaaStack shaped(sp, stackup);
-  const auto stats = window_stats(shaped, hz, half_window, goal.n_samples);
+  const auto stats = window_stats(shaped, hz, window_angles);
   result.ripple_db = stats.ripple_db;
   result.mean_gain_db = stats.mean_gain_db;
   result.achieved_beamwidth_rad =

@@ -93,6 +93,32 @@ double PsvaaStack::elevation_pattern(double elevation_rad, double hz) const {
   return std::norm(sum) / (norm * norm);
 }
 
+std::vector<double> PsvaaStack::elevation_pattern_sweep(
+    std::span<const double> elevation_rad, double hz) const {
+  const double beta = 2.0 * kPi / wavelength(hz);
+  const auto n_units = static_cast<std::size_t>(params_.n_units);
+  // The unit responses do not depend on the elevation angle; hoist them
+  // out of the sweep. Keep the unit iteration order identical to
+  // elevation_pattern so both produce bit-identical sums.
+  std::vector<cplx> unit_resp(n_units);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < n_units; ++i) {
+    unit_resp[i] = units_[i].retro_scattering_length(0.0, 0.0, hz);
+    norm += std::abs(unit_resp[i]);
+  }
+  std::vector<double> out(elevation_rad.size(), 0.0);
+  if (norm <= 0.0) return out;
+  for (std::size_t a = 0; a < elevation_rad.size(); ++a) {
+    const double s = std::sin(elevation_rad[a]);
+    cplx sum{0.0, 0.0};
+    for (std::size_t i = 0; i < n_units; ++i) {
+      sum += unit_resp[i] * std::polar(1.0, 2.0 * beta * centers_[i] * s);
+    }
+    out[a] = std::norm(sum) / (norm * norm);
+  }
+  return out;
+}
+
 double PsvaaStack::uniform_beamwidth_rad(double hz) const {
   const double spacing =
       params_.n_units > 1

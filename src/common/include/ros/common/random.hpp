@@ -12,7 +12,21 @@
 
 namespace ros::common {
 
-/// Seedable random source. Not thread-safe; use one per thread.
+/// SplitMix64 finalizer (Steele et al., "Fast splittable pseudorandom
+/// number generators"): a cheap bijective avalanche mix of a 64-bit
+/// word. Building block for derive_stream_seed.
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// Derive the seed of an independent sub-stream `stream` from a master
+/// `seed`. Counter-based: stream k of a given seed is always the same
+/// value, distinct streams decorrelate even for adjacent counters, and
+/// no draws from any other stream are consumed — which is what lets a
+/// parallel loop give frame/trial k its own Rng and still match the
+/// serial run bit for bit.
+std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t stream);
+
+/// Seedable random source. Not thread-safe; use one per thread (e.g.
+/// one per derive_stream_seed stream inside a parallel_for body).
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}

@@ -6,6 +6,19 @@
 
 namespace ros::common {
 
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t stream) {
+  // Mix the counter before combining so that adjacent streams of the
+  // same seed land in unrelated parts of the seed space, then finalize.
+  return splitmix64(seed ^ splitmix64(stream + 0x632BE59BD9B4E019ull));
+}
+
 double Rng::uniform(double lo, double hi) {
   ROS_EXPECT(lo <= hi, "uniform range must be ordered");
   return std::uniform_real_distribution<double>(lo, hi)(engine_);

@@ -4,6 +4,14 @@
 // chirp-z algorithm for everything else, so callers never need to care
 // about the length. Used for range FFTs (Eq. 3), AoA pseudo-spectra
 // (Eq. 4) and the RCS frequency spectrum (Eq. 7).
+//
+// Per-size plans (bit-reversal tables, twiddles, the Bluestein chirp
+// and its padded kernel FFT) are cached in thread-local storage, so
+// repeated same-size transforms -- the per-frame range FFTs -- skip the
+// trig setup. Caching is transparent: results are bit-identical across
+// calls and across ros::exec worker threads, and the caches are bounded
+// so varied sizes degrade to the uncached cost, never to unbounded
+// memory.
 #pragma once
 
 #include <cstddef>

@@ -1,6 +1,9 @@
 #include "ros/dsp/fft.hpp"
 
 #include <cmath>
+#include <map>
+#include <unordered_map>
+#include <utility>
 
 #include "ros/common/expect.hpp"
 #include "ros/common/units.hpp"
@@ -16,30 +19,68 @@ std::size_t next_pow2(std::size_t n) {
   return p;
 }
 
+namespace {
+
+/// Radix-2 plan for one size: the bit-reversal permutation and the
+/// forward twiddles exp(-2 pi j k / n) for k < n/2 (conjugated for the
+/// inverse). The pipeline transforms the same handful of sizes over and
+/// over (one per chirp configuration), so recomputing this trig per
+/// call dominated small-FFT cost.
+struct Pow2Plan {
+  std::vector<std::size_t> bitrev;
+  std::vector<cplx> twiddle;
+};
+
+/// Plans are cached per thread: lookups need no locking under the
+/// ros::exec pool, and identical inputs produce bit-identical plans on
+/// every thread, so results never depend on which thread ran the
+/// transform. The cache is bounded; an adversarial size sequence just
+/// rebuilds plans as before.
+const Pow2Plan& pow2_plan(std::size_t n) {
+  thread_local std::unordered_map<std::size_t, Pow2Plan> cache;
+  if (cache.size() > 32) cache.clear();
+  const auto [it, inserted] = cache.try_emplace(n);
+  if (inserted) {
+    Pow2Plan& plan = it->second;
+    plan.bitrev.assign(n, 0);
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+      std::size_t bit = n >> 1;
+      for (; j & bit; bit >>= 1) j ^= bit;
+      j ^= bit;
+      plan.bitrev[i] = j;
+    }
+    plan.twiddle.resize(n / 2);
+    for (std::size_t k = 0; k < n / 2; ++k) {
+      plan.twiddle[k] =
+          std::polar(1.0, -2.0 * kPi * static_cast<double>(k) /
+                              static_cast<double>(n));
+    }
+  }
+  return it->second;
+}
+
+}  // namespace
+
 void fft_pow2_inplace(std::vector<cplx>& x, bool inverse) {
   const std::size_t n = x.size();
   ROS_EXPECT(n > 0 && (n & (n - 1)) == 0, "size must be a power of two");
+  const Pow2Plan& plan = pow2_plan(n);
 
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = plan.bitrev[i];
     if (i < j) std::swap(x[i], x[j]);
   }
 
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = (inverse ? 2.0 : -2.0) * kPi /
-                         static_cast<double>(len);
-    const cplx wlen = std::polar(1.0, angle);
+    const std::size_t stride = n / len;
     for (std::size_t i = 0; i < n; i += len) {
-      cplx w{1.0, 0.0};
       for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx w = inverse ? std::conj(plan.twiddle[k * stride])
+                               : plan.twiddle[k * stride];
         const cplx u = x[i + k];
         const cplx v = x[i + k + len / 2] * w;
         x[i + k] = u + v;
         x[i + k + len / 2] = u - v;
-        w *= wlen;
       }
     }
   }
@@ -52,33 +93,56 @@ void fft_pow2_inplace(std::vector<cplx>& x, bool inverse) {
 
 namespace {
 
+/// Everything in Bluestein's transform that depends only on (n,
+/// inverse): the chirp, the padded size m, and the forward FFT of the
+/// zero-padded conjugate-chirp kernel. Amortizes two of the three
+/// pow2 FFTs plus the chirp trig across repeated same-size calls.
+struct BluesteinPlan {
+  std::size_t m = 0;
+  std::vector<cplx> chirp;
+  std::vector<cplx> kernel_fft;
+};
+
+const BluesteinPlan& bluestein_plan(std::size_t n, bool inverse) {
+  thread_local std::map<std::pair<std::size_t, bool>, BluesteinPlan> cache;
+  if (cache.size() > 32) cache.clear();
+  const auto [it, inserted] = cache.try_emplace(std::pair{n, inverse});
+  if (inserted) {
+    BluesteinPlan& plan = it->second;
+    const double sign = inverse ? 1.0 : -1.0;
+    // Chirp: w[k] = exp(sign * j * pi * k^2 / n). Use k^2 mod 2n to
+    // keep the argument small for large k.
+    plan.chirp.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const auto k2 = static_cast<double>((k * k) % (2 * n));
+      plan.chirp[k] =
+          std::polar(1.0, sign * kPi * k2 / static_cast<double>(n));
+    }
+    plan.m = next_pow2(2 * n - 1);
+    std::vector<cplx> b(plan.m, cplx{0.0, 0.0});
+    for (std::size_t k = 0; k < n; ++k) {
+      b[k] = std::conj(plan.chirp[k]);
+      if (k != 0) b[plan.m - k] = std::conj(plan.chirp[k]);
+    }
+    fft_pow2_inplace(b);
+    plan.kernel_fft = std::move(b);
+  }
+  return it->second;
+}
+
 /// Bluestein chirp-z transform for arbitrary N.
 std::vector<cplx> bluestein(std::span<const cplx> x, bool inverse) {
   const std::size_t n = x.size();
-  const double sign = inverse ? 1.0 : -1.0;
-  // Chirp: w[k] = exp(sign * j * pi * k^2 / n). Use k^2 mod 2n to keep
-  // the argument small for large k.
-  std::vector<cplx> chirp(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    const auto k2 = static_cast<double>((k * k) % (2 * n));
-    chirp[k] = std::polar(1.0, sign * kPi * k2 / static_cast<double>(n));
-  }
+  const BluesteinPlan& plan = bluestein_plan(n, inverse);
 
-  const std::size_t m = next_pow2(2 * n - 1);
-  std::vector<cplx> a(m, cplx{0.0, 0.0});
-  std::vector<cplx> b(m, cplx{0.0, 0.0});
-  for (std::size_t k = 0; k < n; ++k) {
-    a[k] = x[k] * chirp[k];
-    b[k] = std::conj(chirp[k]);
-    if (k != 0) b[m - k] = std::conj(chirp[k]);
-  }
+  std::vector<cplx> a(plan.m, cplx{0.0, 0.0});
+  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * plan.chirp[k];
   fft_pow2_inplace(a);
-  fft_pow2_inplace(b);
-  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  for (std::size_t k = 0; k < plan.m; ++k) a[k] *= plan.kernel_fft[k];
   fft_pow2_inplace(a, /*inverse=*/true);
 
   std::vector<cplx> out(n);
-  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * chirp[k];
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * plan.chirp[k];
   if (inverse) {
     const double inv = 1.0 / static_cast<double>(n);
     for (auto& v : out) v *= inv;

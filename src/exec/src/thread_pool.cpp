@@ -1,0 +1,211 @@
+#include "ros/exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "ros/obs/log.hpp"
+#include "ros/obs/metrics.hpp"
+
+namespace ros::exec {
+
+namespace {
+
+/// Depth of pool-task nesting on this thread. Non-zero inside a chunk
+/// body (worker or participating caller); nested parallel_for calls see
+/// it and fall back to the serial path instead of deadlocking on the
+/// pool they are already occupying.
+thread_local int t_task_depth = 0;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::size_t default_threads() {
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const char* env = std::getenv("ROS_THREADS");
+  if (env == nullptr || *env == '\0') return hw;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 0) {
+    ROS_LOG_WARN("exec", "ignoring unparsable ROS_THREADS",
+                 ros::obs::kv("value", env));
+    return hw;
+  }
+  if (v == 0) return hw;
+  return std::min<std::size_t>(static_cast<std::size_t>(v), 512);
+}
+
+struct ThreadPool::Job {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t chunk = 1;
+  const std::function<void(std::size_t)>* body = nullptr;
+
+  std::atomic<std::size_t> next{0};     ///< next unclaimed index
+  std::atomic<bool> failed{false};      ///< skip remaining chunks
+  std::mutex mu;                        ///< guards pending + error
+  std::condition_variable done_cv;
+  std::size_t pending = 0;              ///< chunks not yet finished
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(std::size_t n_threads)
+    : n_threads_(std::max<std::size_t>(1, n_threads)) {
+  workers_.reserve(n_threads_ - 1);
+  for (std::size_t i = 0; i + 1 < n_threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+namespace {
+std::mutex g_global_mu;
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  auto& slot = global_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>(default_threads());
+  return *slot;
+}
+
+void ThreadPool::set_global_threads(std::size_t n_threads) {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  auto& slot = global_slot();
+  slot.reset();  // join the old workers before spawning the new pool
+  slot = std::make_unique<ThreadPool>(n_threads);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stop_ set and nothing left to run
+      job = jobs_.front();
+      if (job->next.load(std::memory_order_relaxed) >= job->end) {
+        // Exhausted: retire it and look again.
+        jobs_.pop_front();
+        continue;
+      }
+    }
+    run_chunks(*job, /*is_worker=*/true);
+  }
+}
+
+void ThreadPool::run_chunks(Job& job, bool is_worker) {
+  auto& reg = ros::obs::MetricsRegistry::global();
+  ++t_task_depth;
+  std::size_t executed = 0;
+  for (;;) {
+    const std::size_t start =
+        job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+    if (start >= job.end) break;
+    const std::size_t stop = std::min(start + job.chunk, job.end);
+    const double t0 = now_ms();
+    if (!job.failed.load(std::memory_order_acquire)) {
+      try {
+        for (std::size_t i = start; i < stop; ++i) (*job.body)(i);
+      } catch (...) {
+        job.failed.store(true, std::memory_order_release);
+        std::lock_guard<std::mutex> lock(job.mu);
+        if (!job.error) job.error = std::current_exception();
+      }
+    }
+    reg.histogram("exec.chunk.ms").observe(now_ms() - t0);
+    ++executed;
+    {
+      std::lock_guard<std::mutex> lock(job.mu);
+      if (--job.pending == 0) job.done_cv.notify_all();
+    }
+  }
+  --t_task_depth;
+  if (executed > 0) {
+    reg.counter(is_worker ? "exec.chunks.worker" : "exec.chunks.caller")
+        .inc(executed);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  auto& reg = ros::obs::MetricsRegistry::global();
+  reg.counter("exec.parallel_for").inc();
+
+  // Serial path: singleton pool, a single iteration, or a nested call
+  // from inside a pool task. Runs inline in index order; exceptions
+  // propagate directly.
+  if (n_threads_ <= 1 || n == 1 || t_task_depth > 0) {
+    reg.counter("exec.parallel_for.serial").inc();
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  reg.gauge("exec.pool.threads").set(static_cast<double>(n_threads_));
+
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  // ~4 chunks per executor balances load without shredding the range.
+  const std::size_t target_chunks = n_threads_ * 4;
+  job->chunk = std::max(std::max<std::size_t>(1, grain),
+                        (n + target_chunks - 1) / target_chunks);
+  job->body = &body;
+  job->next.store(begin, std::memory_order_relaxed);
+  job->pending = (n + job->chunk - 1) / job->chunk;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(job);
+  }
+  cv_.notify_all();
+
+  run_chunks(*job, /*is_worker=*/false);
+
+  // The caller saw the cursor run out; drop the job from the queue if
+  // no worker retired it yet so idle workers stop inspecting it.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      if (it->get() == job.get()) {
+        jobs_.erase(it);
+        break;
+      }
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(job->mu);
+  job->done_cv.wait(lock, [&] { return job->pending == 0; });
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  ThreadPool::global().parallel_for(begin, end, body, grain);
+}
+
+}  // namespace ros::exec

@@ -41,9 +41,18 @@ struct DeResult {
   bool converged_early = false;    ///< stopped by the patience window
 };
 
+/// Objective to minimize. Evaluations are fanned out over the
+/// ros::exec pool (sized by ROS_THREADS), so `f` must be safe to call
+/// concurrently when ROS_THREADS > 1. `f` never observes the RNG.
 using Objective = std::function<double(const std::vector<double>&)>;
 
 /// Minimize `f` over the box given by `bounds`.
+///
+/// Generation-synchronous DE/rand/1/bin: each generation's trial
+/// vectors are all drawn from the master RNG in member order against
+/// the generation-start population, scored in parallel, then selected.
+/// The search is deterministic for a given seed at every ROS_THREADS
+/// setting (serial and parallel runs are bit-identical).
 DeResult minimize(const Objective& f, const std::vector<Bounds>& bounds,
                   const DeConfig& config = {});
 

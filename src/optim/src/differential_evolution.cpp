@@ -1,11 +1,13 @@
 #include "ros/optim/differential_evolution.hpp"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 #include <numeric>
 
 #include "ros/common/expect.hpp"
 #include "ros/common/random.hpp"
+#include "ros/exec/thread_pool.hpp"
 #include "ros/obs/log.hpp"
 #include "ros/obs/metrics.hpp"
 #include "ros/obs/timer.hpp"
@@ -13,6 +15,40 @@
 namespace ros::optim {
 
 using ros::common::Rng;
+
+namespace {
+
+/// Three distinct population indices, all different from `i`, drawn
+/// without replacement: always exactly three uniform_int calls (the old
+/// rejection-sampling do/while loops could spin arbitrarily long at
+/// small populations), and the draw count is fixed, which keeps the
+/// master RNG stream aligned regardless of which indices come up.
+std::array<std::size_t, 3> pick_distinct3(Rng& rng, std::size_t np,
+                                          std::size_t i) {
+  std::array<std::size_t, 3> out{};
+  std::array<std::size_t, 4> taken{};  // i + picks so far, kept sorted
+  taken[0] = i;
+  for (std::size_t k = 0; k < 3; ++k) {
+    auto v = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(np - 2 - k)));
+    // Map the draw from the shrunken range onto the indices not yet
+    // taken: each exclusion at or below v shifts it up by one.
+    for (std::size_t t = 0; t <= k; ++t) {
+      if (v >= taken[t]) ++v;
+    }
+    out[k] = v;
+    // Insert v into the sorted exclusion list.
+    std::size_t pos = k + 1;
+    while (pos > 0 && taken[pos - 1] > v) {
+      taken[pos] = taken[pos - 1];
+      --pos;
+    }
+    taken[pos] = v;
+  }
+  return out;
+}
+
+}  // namespace
 
 DeResult minimize(const Objective& f, const std::vector<Bounds>& bounds,
                   const DeConfig& config) {
@@ -43,16 +79,19 @@ DeResult minimize(const Objective& f, const std::vector<Bounds>& bounds,
                 ros::obs::kv("population", np),
                 ros::obs::kv("max_generations", config.max_generations));
 
-  // Initialize the population uniformly inside the box.
+  // Initialize the population uniformly inside the box. All vectors
+  // are drawn from the master RNG in index order first, then scored
+  // across the pool: the RNG stream never depends on evaluation
+  // order or thread count.
   std::vector<std::vector<double>> pop(np, std::vector<double>(dim));
-  std::vector<double> score(np);
   for (std::size_t i = 0; i < np; ++i) {
     for (std::size_t d = 0; d < dim; ++d) {
       pop[i][d] = rng.uniform(bounds[d].lo, bounds[d].hi);
     }
-    score[i] = f(pop[i]);
-    ++result.evaluations;
   }
+  std::vector<double> score = ros::exec::parallel_map<double>(
+      np, [&](std::size_t i) { return f(pop[i]); });
+  result.evaluations += np;
 
   auto best_idx = static_cast<std::size_t>(
       std::min_element(score.begin(), score.end()) - score.begin());
@@ -60,26 +99,18 @@ DeResult minimize(const Objective& f, const std::vector<Bounds>& bounds,
   double best_at_patience_start = best;
   std::size_t since_improvement = 0;
 
-  std::vector<double> trial(dim);
+  // Generation-synchronous DE: draw every trial vector from the master
+  // RNG in member order against the generation-start population, score
+  // them all across the pool, then select. Serial (ROS_THREADS=1) and
+  // parallel runs consume the identical RNG stream and produce the
+  // identical trial sequence, so the whole search is bit-reproducible
+  // at any thread count.
+  std::vector<std::vector<double>> trials(np, std::vector<double>(dim));
   for (std::size_t gen = 0; gen < config.max_generations; ++gen) {
     for (std::size_t i = 0; i < np; ++i) {
-      // Pick three distinct members different from i.
-      std::size_t a;
-      std::size_t b;
-      std::size_t c;
-      do {
-        a = static_cast<std::size_t>(
-            rng.uniform_int(0, static_cast<int>(np) - 1));
-      } while (a == i);
-      do {
-        b = static_cast<std::size_t>(
-            rng.uniform_int(0, static_cast<int>(np) - 1));
-      } while (b == i || b == a);
-      do {
-        c = static_cast<std::size_t>(
-            rng.uniform_int(0, static_cast<int>(np) - 1));
-      } while (c == i || c == a || c == b);
-
+      // Three distinct members different from i, without replacement.
+      const auto [a, b, c] = pick_distinct3(rng, np, i);
+      std::vector<double>& trial = trials[i];
       const auto forced =
           static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(dim) - 1));
       for (std::size_t d = 0; d < dim; ++d) {
@@ -91,14 +122,18 @@ DeResult minimize(const Objective& f, const std::vector<Bounds>& bounds,
           trial[d] = pop[i][d];
         }
       }
+    }
 
-      const double t = f(trial);
-      ++result.evaluations;
-      if (t <= score[i]) {
-        pop[i] = trial;
-        score[i] = t;
-        if (t < best) {
-          best = t;
+    const std::vector<double> tscore = ros::exec::parallel_map<double>(
+        np, [&](std::size_t i) { return f(trials[i]); });
+    result.evaluations += np;
+
+    for (std::size_t i = 0; i < np; ++i) {
+      if (tscore[i] <= score[i]) {
+        pop[i] = trials[i];
+        score[i] = tscore[i];
+        if (tscore[i] < best) {
+          best = tscore[i];
           best_idx = i;
         }
       }

@@ -41,6 +41,10 @@ struct InterrogatorConfig {
   /// adjacent radar, Fig. 16b). Combined in power with the thermal
   /// floor; <= -200 disables it.
   double extra_noise_dbm = -300.0;
+  /// Master noise seed. Frame i draws from the counter-derived stream
+  /// derive_stream_seed(noise_seed, i), so the frame loop parallelizes
+  /// over ros::exec without changing any output: results are identical
+  /// at every ROS_THREADS setting.
   std::uint64_t noise_seed = 1;
 };
 

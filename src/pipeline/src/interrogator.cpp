@@ -1,11 +1,13 @@
 #include "ros/pipeline/interrogator.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 
 #include "ros/common/expect.hpp"
 #include "ros/common/units.hpp"
 #include "ros/dsp/ook.hpp"
+#include "ros/exec/thread_pool.hpp"
 #include "ros/obs/log.hpp"
 #include "ros/obs/metrics.hpp"
 #include "ros/obs/timer.hpp"
@@ -51,6 +53,37 @@ TagDecodeTelemetry decode_telemetry(const ros::tag::DecodeResult& decode,
   out.snr_db = linear_to_db(snr);
   out.ber = ros::dsp::ook_ber(snr);
   return out;
+}
+
+/// Relaxed add-only accumulator for per-stage time measured on several
+/// threads at once.
+class AtomicMs {
+ public:
+  void add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Frame stages run concurrently, so the summed per-thread stage times
+/// can exceed the wall time of the frame loop. Telemetry keeps the
+/// wall-clock convention (stages fit inside total_ms): book the loop's
+/// wall time split across the stages in proportion to their thread-time
+/// shares.
+void book_frame_stages(PipelineTelemetry& tel, double wall_ms,
+                       std::initializer_list<
+                           std::pair<const char*, double>> stages) {
+  double sum = 0.0;
+  for (const auto& [name, ms] : stages) sum += ms;
+  for (const auto& [name, ms] : stages) {
+    tel.add_stage(name, sum > 0.0 ? wall_ms * (ms / sum) : 0.0);
+  }
 }
 
 void record_funnel(const PipelineTelemetry& t) {
@@ -118,7 +151,16 @@ InterrogationReport Interrogator::run(
   const double noise_w =
       floor_w * static_cast<double>(config_.chirp.n_samples);
 
-  Rng rng(config_.noise_seed);
+  // Per-frame results land in pre-sized slots; the merge below walks
+  // them in frame order, so the report is identical no matter how many
+  // threads executed the loop.
+  struct FrameResult {
+    RangeProfile normal;
+    RangeProfile switched;
+    std::vector<ros::radar::Detection> det_normal;
+    std::vector<ros::radar::Detection> det_switched;
+  };
+  std::vector<FrameResult> frames(truth.size());
   std::vector<RangeProfile> profiles_normal;
   std::vector<RangeProfile> profiles_switched;
   profiles_normal.reserve(truth.size());
@@ -129,15 +171,22 @@ InterrogationReport Interrogator::run(
     // is accumulated into the telemetry (per-frame spans would swamp
     // the trace at the 1 kHz frame rate).
     ros::obs::ScopedTimer frames_timer("interrogate.frames", "pipeline");
-    double synth_ms = 0.0;
-    double fft_ms = 0.0;
-    double detect_ms = 0.0;
+    AtomicMs synth_ms;
+    AtomicMs fft_ms;
+    AtomicMs detect_ms;
     ros::obs::Histogram& frame_hist =
         reg.histogram("interrogate.frame.ms");
 
-    for (std::size_t i = 0; i < truth.size(); ++i) {
+    // Each frame draws noise from its own counter-derived RNG stream,
+    // so frame i sees the same noise whether the loop runs on 1 thread
+    // or N (and independently of every other frame).
+    const std::uint64_t seed = config_.noise_seed;
+    ros::exec::parallel_for(0, truth.size(), [&](std::size_t i) {
       const double frame_t0 = frames_timer.elapsed_ms();
+      Rng rng(derive_stream_seed(seed, i));
       const RadarPose& pose = truth[i];
+      FrameResult& fr = frames[i];
+
       ros::obs::ScopedTimer t_synth("interrogate.synthesize", "pipeline");
       const auto ret_n = scene.frame_returns(pose, TxMode::normal,
                                              config_.array, config_.budget,
@@ -147,38 +196,40 @@ InterrogationReport Interrogator::run(
                                              fc, rng);
       const FrameCube f_n = synth.synthesize(ret_n, noise_w, rng);
       const FrameCube f_s = synth.synthesize(ret_s, noise_w, rng);
-      synth_ms += t_synth.stop();
+      synth_ms.add(t_synth.stop());
 
       ros::obs::ScopedTimer t_fft("interrogate.range_fft", "pipeline");
-      profiles_normal.push_back(ros::radar::range_fft(f_n, config_.chirp));
-      profiles_switched.push_back(
-          ros::radar::range_fft(f_s, config_.chirp));
-      fft_ms += t_fft.stop();
+      fr.normal = ros::radar::range_fft(f_n, config_.chirp);
+      fr.switched = ros::radar::range_fft(f_s, config_.chirp);
+      fft_ms.add(t_fft.stop());
 
-      // Point cloud from both Tx passes (the radar time-multiplexes the
-      // two Tx antennas anyway): clutter anchors through the normal
-      // pass, the tag through the switched pass where its retro
-      // response is strong. Points are placed with the *estimated* pose
-      // as the paper does.
       ros::obs::ScopedTimer t_detect("interrogate.detect_points",
                                      "pipeline");
-      accumulate(report.cloud,
-                 ros::radar::detect_points(profiles_normal.back(),
-                                           config_.array, fc,
-                                           config_.detector),
-                 estimated[i], i);
-      accumulate(report.cloud,
-                 ros::radar::detect_points(profiles_switched.back(),
-                                           config_.array, fc,
-                                           config_.detector),
-                 estimated[i], i);
-      detect_ms += t_detect.stop();
+      fr.det_normal = ros::radar::detect_points(fr.normal, config_.array,
+                                                fc, config_.detector);
+      fr.det_switched = ros::radar::detect_points(fr.switched,
+                                                  config_.array, fc,
+                                                  config_.detector);
+      detect_ms.add(t_detect.stop());
       frame_hist.observe(frames_timer.elapsed_ms() - frame_t0);
+    });
+
+    // Point cloud from both Tx passes (the radar time-multiplexes the
+    // two Tx antennas anyway): clutter anchors through the normal pass,
+    // the tag through the switched pass where its retro response is
+    // strong. Points are placed with the *estimated* pose as the paper
+    // does; merging in frame order keeps the cloud deterministic.
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      FrameResult& fr = frames[i];
+      accumulate(report.cloud, fr.det_normal, estimated[i], i);
+      accumulate(report.cloud, fr.det_switched, estimated[i], i);
+      profiles_normal.push_back(std::move(fr.normal));
+      profiles_switched.push_back(std::move(fr.switched));
     }
-    tel.add_stage("synthesize", synth_ms);
-    tel.add_stage("range_fft", fft_ms);
-    tel.add_stage("detect_points", detect_ms);
-    frames_timer.stop();
+    book_frame_stages(tel, frames_timer.stop(),
+                      {{"synthesize", synth_ms.value()},
+                       {"range_fft", fft_ms.value()},
+                       {"detect_points", detect_ms.value()}});
   }
   tel.n_points = report.cloud.points.size();
 
@@ -299,26 +350,30 @@ DecodeDriveResult decode_drive(const ros::scene::Scene& scene,
   const double noise_w =
       floor_w * static_cast<double>(config.chirp.n_samples);
 
-  Rng rng(config.noise_seed);
-  std::vector<RangeProfile> profiles;
-  profiles.reserve(truth.size());
+  std::vector<RangeProfile> profiles(truth.size());
   {
     ros::obs::ScopedTimer frames_timer("decode_drive.frames", "pipeline");
-    double synth_ms = 0.0;
-    double fft_ms = 0.0;
-    for (const RadarPose& pose : truth) {
+    AtomicMs synth_ms;
+    AtomicMs fft_ms;
+    // Same per-frame RNG streams as Interrogator::run: frame i's noise
+    // depends only on (noise_seed, i), never on the thread count.
+    const std::uint64_t seed = config.noise_seed;
+    ros::exec::parallel_for(0, truth.size(), [&](std::size_t i) {
+      Rng rng(derive_stream_seed(seed, i));
       ros::obs::ScopedTimer t_synth("decode_drive.synthesize",
                                     "pipeline");
       const auto returns = scene.frame_returns(
-          pose, TxMode::switched, config.array, config.budget, fc, rng);
+          truth[i], TxMode::switched, config.array, config.budget, fc,
+          rng);
       const FrameCube cube = synth.synthesize(returns, noise_w, rng);
-      synth_ms += t_synth.stop();
+      synth_ms.add(t_synth.stop());
       ros::obs::ScopedTimer t_fft("decode_drive.range_fft", "pipeline");
-      profiles.push_back(ros::radar::range_fft(cube, config.chirp));
-      fft_ms += t_fft.stop();
-    }
-    tel.add_stage("synthesize", synth_ms);
-    tel.add_stage("range_fft", fft_ms);
+      profiles[i] = ros::radar::range_fft(cube, config.chirp);
+      fft_ms.add(t_fft.stop());
+    });
+    book_frame_stages(tel, frames_timer.stop(),
+                      {{"synthesize", synth_ms.value()},
+                       {"range_fft", fft_ms.value()}});
   }
 
   const Vec2 road = drive.velocity() *

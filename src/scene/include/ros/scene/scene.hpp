@@ -63,6 +63,10 @@ class Scene {
   /// polarization comes from `array`. Amplitudes follow the radar
   /// equation with `budget`'s EIRP and receive gain, the radar antenna
   /// taper applied two-way, and the weather loss.
+  ///
+  /// Const and state-free: safe to call concurrently from ros::exec
+  /// workers as long as each call gets its own `rng` (the interrogator
+  /// hands frame i the stream derive_stream_seed(noise_seed, i)).
   std::vector<ros::radar::ScatterReturn> frame_returns(
       const RadarPose& pose, ros::radar::TxMode tx_mode,
       const ros::radar::RadarArray& array,

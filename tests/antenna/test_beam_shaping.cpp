@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <complex>
+
 #include "ros/common/angles.hpp"
+#include "ros/common/grid.hpp"
+#include "ros/common/units.hpp"
 
 namespace ra = ros::antenna;
 namespace rc = ros::common;
@@ -105,6 +110,66 @@ TEST(BeamShaping, MeasureBeamwidthOfKnownPattern) {
   p.n_units = 1;
   const ra::PsvaaStack s(p, &stackup());
   EXPECT_GT(ra::measure_beamwidth_rad(s, 79e9, 0.5), 0.3);
+}
+
+TEST(BeamShaping, BeamwidthMatchesAnalyticUniformArray) {
+  // For a uniform stack every unit response is identical, so the
+  // elevation pattern reduces to the uniform-array factor
+  // |sum_i exp(j 2 beta c_i sin(theta))|^2 / N^2. Solve its -3 dB
+  // crossing by bisection and require measure_beamwidth_rad to agree to
+  // well under one sample step: the interpolated edges must beat the
+  // grid quantization the old implementation snapped to.
+  ra::PsvaaStack::Params p;
+  p.n_units = 8;
+  const ra::PsvaaStack s(p, &stackup());
+  const double hz = 79e9;
+  const double beta = 2.0 * rc::kPi / rc::wavelength(hz);
+  const auto& centers = s.unit_centers();
+  const auto af2 = [&](double theta) {
+    std::complex<double> sum{0.0, 0.0};
+    for (double c : centers) {
+      sum += std::polar(1.0, 2.0 * beta * c * std::sin(theta));
+    }
+    return std::norm(sum) / (8.0 * 8.0);
+  };
+  // Bracket the first -3 dB crossing on the positive side, then bisect.
+  double lo = 0.0;
+  double hi = 0.0;
+  while (af2(hi) > 0.5) hi += 1e-4;
+  for (int it = 0; it < 80; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (af2(mid) > 0.5 ? lo : hi) = mid;
+  }
+  const double analytic = lo + hi;  // symmetric pattern: full width
+
+  const double span = 0.1;
+  const std::size_t n_samples = 101;  // coarse: step ~1 mrad vs ~19 mrad bw
+  const double measured = ra::measure_beamwidth_rad(s, hz, span, n_samples);
+  EXPECT_NEAR(measured, analytic, 0.02 * analytic);
+}
+
+TEST(BeamShaping, BeamwidthIsGridResolutionIndependent) {
+  ra::PsvaaStack::Params p;
+  p.n_units = 8;
+  p.phase_weights_rad = ra::paper_example_weights_8();
+  const ra::PsvaaStack shaped(p, &stackup());
+  const double coarse = ra::measure_beamwidth_rad(shaped, 79e9, 0.35, 176);
+  const double fine = ra::measure_beamwidth_rad(shaped, 79e9, 0.35, 1401);
+  // Without edge interpolation the coarse grid quantizes to ~2 mrad.
+  EXPECT_NEAR(coarse, fine, 5e-4);
+}
+
+TEST(BeamShaping, SweepMatchesPointwisePattern) {
+  ra::PsvaaStack::Params p;
+  p.n_units = 8;
+  p.phase_weights_rad = ra::paper_example_weights_8();
+  const ra::PsvaaStack shaped(p, &stackup());
+  const auto angles = ros::common::linspace(-0.1, 0.1, 41);
+  const auto swept = shaped.elevation_pattern_sweep(angles, 79e9);
+  ASSERT_EQ(swept.size(), angles.size());
+  for (std::size_t i = 0; i < angles.size(); ++i) {
+    EXPECT_DOUBLE_EQ(swept[i], shaped.elevation_pattern(angles[i], 79e9));
+  }
 }
 
 TEST(BeamShaping, InvalidInputsThrow) {

@@ -87,6 +87,31 @@ TEST(Random, BernoulliFrequency) {
   EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
 }
 
+TEST(Random, SplitMix64IsDeterministicAndMixes) {
+  EXPECT_EQ(rc::splitmix64(1), rc::splitmix64(1));
+  // Adjacent inputs avalanche to far-apart outputs.
+  EXPECT_NE(rc::splitmix64(1), rc::splitmix64(2));
+  EXPECT_NE(rc::splitmix64(0), 0u);
+}
+
+TEST(Random, DeriveStreamSeedIsCounterBased) {
+  // Stream k of a master seed is a pure function of (seed, k): no state,
+  // no dependence on other streams having been derived first.
+  EXPECT_EQ(rc::derive_stream_seed(42, 7), rc::derive_stream_seed(42, 7));
+  EXPECT_NE(rc::derive_stream_seed(42, 7), rc::derive_stream_seed(42, 8));
+  EXPECT_NE(rc::derive_stream_seed(42, 7), rc::derive_stream_seed(43, 7));
+}
+
+TEST(Random, AdjacentStreamsDecorrelate) {
+  rc::Rng a(rc::derive_stream_seed(1, 0));
+  rc::Rng b(rc::derive_stream_seed(1, 1));
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
 TEST(Random, InvalidArgumentsThrow) {
   rc::Rng rng(1);
   EXPECT_THROW(rng.uniform(1.0, 0.0), std::invalid_argument);

@@ -97,6 +97,36 @@ TEST(DifferentialEvolution, EarlyStopOnConvergence) {
   EXPECT_LT(r.generations, 5000u);
 }
 
+TEST(DifferentialEvolution, MinimumPopulationWorks) {
+  // NP=4 leaves exactly three candidates for the mutation triple; the
+  // without-replacement index draw must handle this edge without
+  // stalling (the old rejection sampler spun hardest here).
+  const std::vector<ro::Bounds> bounds(2, {-1.0, 1.0});
+  ro::DeConfig cfg;
+  cfg.population = 4;
+  cfg.max_generations = 400;
+  cfg.patience = 400;
+  cfg.seed = 7;
+  const auto r = ro::minimize(sphere, bounds, cfg);
+  EXPECT_EQ(r.evaluations, 4u * (r.generations + 1));
+  EXPECT_LT(r.best_value, 1e-2);
+  const auto again = ro::minimize(sphere, bounds, cfg);
+  EXPECT_EQ(r.best, again.best);
+  EXPECT_EQ(r.history, again.history);
+}
+
+TEST(DifferentialEvolution, EvaluationCountIsExact) {
+  // Fixed draw count per member means evaluations are exactly
+  // NP * (generations + 1), independent of which indices came up.
+  const std::vector<ro::Bounds> bounds(3, {-1.0, 1.0});
+  ro::DeConfig cfg;
+  cfg.population = 10;
+  cfg.max_generations = 25;
+  cfg.patience = 25;
+  const auto r = ro::minimize(sphere, bounds, cfg);
+  EXPECT_EQ(r.evaluations, 10u * (r.generations + 1));
+}
+
 TEST(DifferentialEvolution, InvalidConfigThrows) {
   const std::vector<ro::Bounds> bounds(1, {0.0, 1.0});
   ro::DeConfig bad;
