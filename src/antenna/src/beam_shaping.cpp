@@ -66,6 +66,8 @@ std::vector<double> paper_example_weights_8() {
 double measure_beamwidth_rad(const PsvaaStack& stack, double hz,
                              double span_rad, std::size_t n_samples) {
   ROS_EXPECT(n_samples >= 3, "need at least 3 samples");
+  ROS_EXPECT(std::isfinite(span_rad) && span_rad > 0.0,
+             "span_rad must be finite and positive");
   const auto angles = linspace(-span_rad / 2.0, span_rad / 2.0, n_samples);
   const std::vector<double> p = stack.elevation_pattern_sweep(angles, hz);
   const std::size_t ipk = static_cast<std::size_t>(
@@ -103,6 +105,14 @@ BeamShapingResult shape_elevation_beam(
     const ros::optim::DeConfig& de_config) {
   ROS_EXPECT(n_units >= 2, "beam shaping needs at least two units");
   ROS_EXPECT(stackup != nullptr, "stackup must not be null");
+  ROS_EXPECT(goal.n_samples >= 3,
+             "beam shaping needs at least 3 window samples");
+  ROS_EXPECT(std::isfinite(goal.target_beamwidth_rad) &&
+                 goal.target_beamwidth_rad > 0.0,
+             "target beamwidth must be finite and positive");
+  ROS_EXPECT(std::isfinite(goal.evaluation_span_rad) &&
+                 goal.evaluation_span_rad >= goal.target_beamwidth_rad,
+             "evaluation span must be finite and cover the target window");
   const int half = (n_units + 1) / 2;
   const double hz = unit.vaa.design_hz;
   const double half_window = goal.target_beamwidth_rad / 2.0;

@@ -288,15 +288,17 @@ InterrogationReport Interrogator::run(
         "interrogate.decode", "pipeline",
         &reg.histogram("interrogate.decode.ms"));
     const auto series = to_decoder_series(samples_s, max_abs_u);
-    if (series.u.size() < 16) {
+    const ros::tag::SpatialDecoder decoder(config_.decoder);
+    if (series.u.size() < 16 || !decoder.can_decode(series.u)) {
       tel.add_stage("decode", t_decode.stop());
-      ROS_LOG_WARN(kLog, "tag candidate dropped: too few decoder samples",
+      ROS_LOG_WARN(kLog,
+                   "tag candidate dropped: series too short or narrow "
+                   "for the coding band",
                    ros::obs::kv("samples", series.u.size()),
                    ros::obs::kv("centroid_x", cand.cluster.centroid.x));
       reg.counter("pipeline.decode_dropped_short_series").inc();
       continue;
     }
-    const ros::tag::SpatialDecoder decoder(config_.decoder);
     TagReadout readout;
     readout.candidate = cand;
     readout.samples = samples_s;
@@ -397,7 +399,18 @@ DecodeDriveResult decode_drive(const ros::scene::Scene& scene,
         &reg.histogram("decode_drive.decode.ms"));
     const auto series = to_decoder_series(out.samples, max_abs_u);
     const ros::tag::SpatialDecoder decoder(config.decoder);
-    out.decode = decoder.decode(series.u, series.rss_linear);
+    if (decoder.can_decode(series.u)) {
+      out.decode = decoder.decode(series.u, series.rss_linear);
+    } else {
+      // Short or narrow pass (e.g. a tiny decode FoV leaves < 8 usable
+      // samples): report an explicit no-read instead of violating the
+      // spectrum preconditions. bits/slot vectors stay empty.
+      ROS_LOG_WARN(kLog,
+                   "decode drive: series too short or narrow for the "
+                   "coding band; reporting no-read",
+                   ros::obs::kv("samples", series.u.size()));
+      reg.counter("pipeline.decode_no_read").inc();
+    }
     tel.add_stage("decode", t_decode.stop());
   }
 

@@ -60,6 +60,13 @@ class SpatialDecoder {
   DecodeResult decode(std::span<const double> u,
                       std::span<const double> rss_linear) const;
 
+  /// True when decode() would satisfy its preconditions for this u
+  /// series: >= 8 distinct samples spanning a window wide enough that
+  /// the RCS spectrum reaches the tag family's coding band. Callers
+  /// (e.g. the pipeline) use this to degrade to an explicit no-read on
+  /// short or narrow passes instead of throwing.
+  bool can_decode(std::span<const double> u) const;
+
   /// Spacing [wavelengths] of coding slot `k` (1-based).
   double slot_spacing_lambda(int k) const;
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ros/common/expect.hpp"
+#include "ros/dsp/fft.hpp"
 
 namespace ros::tag {
 
@@ -22,6 +23,31 @@ SpatialDecoder::SpatialDecoder(DecoderConfig config)
 
 double SpatialDecoder::slot_spacing_lambda(int k) const {
   return reference_layout_.slot_spacing_lambda(k);
+}
+
+bool SpatialDecoder::can_decode(std::span<const double> u) const {
+  if (u.size() < 8) return false;
+  std::vector<double> us(u.begin(), u.end());
+  std::sort(us.begin(), us.end());
+  us.erase(std::unique(us.begin(), us.end()), us.end());
+  if (us.size() < 8) return false;
+  const double span = us.back() - us.front();
+  if (!(span > 0.0) || !std::isfinite(span)) return false;
+  // Mirror rcs_spectrum's grid: n resampled points over `span` give a
+  // top analysis spacing of 0.5 * (nfft/2 - 1) / (nfft * du). The
+  // coding band is reachable only when that tops band_lo.
+  const std::size_t n = config_.spectrum.resample_points > 0
+                            ? config_.spectrum.resample_points
+                            : 256;
+  const std::size_t nfft = ros::dsp::next_pow2(
+      n * std::max<std::size_t>(1, config_.spectrum.zero_pad_factor));
+  const double du = span / static_cast<double>(n - 1);
+  const double max_spacing =
+      0.5 * static_cast<double>(nfft / 2 - 1) /
+      (static_cast<double>(nfft) * du);
+  const double band_lo = reference_layout_.coding_band_lambda().first -
+                         config_.slot_tolerance_lambda;
+  return max_spacing >= band_lo;
 }
 
 namespace {

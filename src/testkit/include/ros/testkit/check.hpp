@@ -1,0 +1,218 @@
+// Property-check harness core (ros::testkit), GTest-free.
+//
+// check_property draws `cases` values from a Gen, evaluates the property
+// on each, and on the first failure shrinks the counterexample (see
+// shrink.hpp) before reporting. Case i uses the RNG stream
+// derive_stream_seed(run_seed, i): a failure report prints (run_seed,
+// case) and `ROS_PROPERTY_SEED=<run_seed> ROS_PROPERTY_CASES=...`
+// reproduces it exactly, independent of every other case.
+//
+// Properties are callables over the generated value returning either
+//   * bool            -- true = holds, or
+//   * std::string     -- empty = holds, non-empty = failure detail.
+// A thrown exception counts as a failure with the exception text as the
+// detail (and shrinking continues through throwing candidates).
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "ros/common/random.hpp"
+#include "ros/testkit/gen.hpp"
+#include "ros/testkit/shrink.hpp"
+
+namespace ros::testkit {
+
+struct PropertyConfig {
+  /// Generated cases per property. The ROS_PROPERTY_CASES environment
+  /// variable overrides this globally (soak runs, quick smokes).
+  int cases = 200;
+  /// Run seed; 0 resolves to ROS_PROPERTY_SEED or the built-in default.
+  std::uint64_t seed = 0;
+  /// Budget of candidate evaluations during shrinking.
+  int max_shrink_steps = 400;
+};
+
+/// cfg_seed if non-zero, else ROS_PROPERTY_SEED (decimal or 0x hex),
+/// else the built-in default seed.
+std::uint64_t resolve_run_seed(std::uint64_t cfg_seed);
+
+/// ROS_PROPERTY_CASES override when set and positive, else cfg_cases.
+int resolve_cases(int cfg_cases);
+
+struct PropertyResult {
+  bool ok = true;
+  int cases_run = 0;
+  std::uint64_t run_seed = 0;
+  std::uint64_t failing_case = 0;
+  int shrink_steps = 0;
+  std::string counterexample;  ///< printed (possibly shrunk) value
+  std::string original;        ///< printed pre-shrink failing value
+  std::string note;            ///< property detail or exception text
+};
+
+/// Multi-line failure report with the reproduction recipe.
+std::string failure_message(const char* name, const PropertyResult& r);
+
+namespace detail {
+
+template <typename T, typename = void>
+struct is_streamable : std::false_type {};
+template <typename T>
+struct is_streamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                             << std::declval<const T&>())>>
+    : std::true_type {};
+
+template <typename T>
+void show_value(std::ostream& os, const T& v);
+
+template <typename T>
+void show_sequence(std::ostream& os, const T& v) {
+  os << "[";
+  std::size_t i = 0;
+  for (const auto& e : v) {
+    if (i++ > 0) os << ", ";
+    if (i > 32) {
+      os << "... (" << v.size() << " elements)";
+      break;
+    }
+    show_value(os, e);
+  }
+  os << "]";
+}
+
+template <typename T>
+void show_value(std::ostream& os, const T& v) {
+  if constexpr (std::is_same_v<T, bool>) {
+    os << (v ? "true" : "false");
+  } else if constexpr (is_streamable<T>::value) {
+    os << v;
+  } else if constexpr (requires { v.begin(); v.end(); v.size(); }) {
+    show_sequence(os, v);
+  } else {
+    os << "<value of " << sizeof(T) << " bytes; add operator<< to print>";
+  }
+}
+
+template <typename A, typename B>
+void show_value(std::ostream& os, const std::pair<A, B>& v) {
+  os << "(";
+  show_value(os, v.first);
+  os << ", ";
+  show_value(os, v.second);
+  os << ")";
+}
+
+template <typename... Ts>
+void show_value(std::ostream& os, const std::tuple<Ts...>& v) {
+  os << "(";
+  std::size_t i = 0;
+  std::apply(
+      [&](const auto&... e) {
+        ((os << (i++ > 0 ? ", " : ""), show_value(os, e)), ...);
+      },
+      v);
+  os << ")";
+}
+
+// std::vector<bool>'s proxy reference confuses the generic sequence
+// printer; special-case it as a bit string.
+inline void show_value(std::ostream& os, const std::vector<bool>& v) {
+  os << "bits\"";
+  for (bool b : v) os << (b ? '1' : '0');
+  os << "\"";
+}
+
+/// Evaluate a property on one value: {holds, detail}.
+template <typename Prop, typename T>
+std::pair<bool, std::string> eval_property(const Prop& prop, const T& v) {
+  try {
+    using R = std::decay_t<decltype(prop(v))>;
+    if constexpr (std::is_same_v<R, std::string>) {
+      std::string detail = prop(v);
+      return {detail.empty(), std::move(detail)};
+    } else {
+      static_assert(std::is_convertible_v<R, bool>,
+                    "a property must return bool or std::string");
+      return {static_cast<bool>(prop(v)), std::string{}};
+    }
+  } catch (const std::exception& e) {
+    return {false, std::string("threw: ") + e.what()};
+  } catch (...) {
+    return {false, "threw a non-std exception"};
+  }
+}
+
+}  // namespace detail
+
+template <typename T>
+std::string show(const T& v) {
+  std::ostringstream os;
+  detail::show_value(os, v);
+  return os.str();
+}
+
+template <typename T, typename Prop>
+PropertyResult check_property(const char* /*name*/, const Gen<T>& gen,
+                              Prop&& prop, PropertyConfig cfg = {}) {
+  PropertyResult result;
+  result.run_seed = resolve_run_seed(cfg.seed);
+  const int cases = resolve_cases(cfg.cases);
+
+  for (int i = 0; i < cases; ++i) {
+    ros::common::Rng rng(ros::common::derive_stream_seed(
+        result.run_seed, static_cast<std::uint64_t>(i)));
+    // optional<> so T need not be default-constructible (domain types
+    // like TagLayout only build through factories).
+    std::optional<T> value;
+    try {
+      value.emplace(gen(rng));
+    } catch (const std::exception& e) {
+      // A generator that cannot produce a value is a failure of the
+      // test's domain model, reported with the same reproduction seed.
+      result.ok = false;
+      result.failing_case = static_cast<std::uint64_t>(i);
+      result.counterexample = "<generator failed>";
+      result.note = std::string("generator threw: ") + e.what();
+      ++result.cases_run;
+      return result;
+    }
+    auto [ok, note] = detail::eval_property(prop, *value);
+    ++result.cases_run;
+    if (ok) continue;
+
+    result.ok = false;
+    result.failing_case = static_cast<std::uint64_t>(i);
+    result.original = show(*value);
+    result.note = std::move(note);
+
+    // Greedy shrink: restart the candidate walk from every improvement.
+    int steps = 0;
+    bool improved = true;
+    while (improved && steps < cfg.max_shrink_steps) {
+      improved = false;
+      for (const T& cand : Shrinker<T>::candidates(*value)) {
+        if (++steps > cfg.max_shrink_steps) break;
+        auto [cand_ok, cand_note] = detail::eval_property(prop, cand);
+        if (!cand_ok) {
+          value = cand;
+          result.note = std::move(cand_note);
+          improved = true;
+          break;
+        }
+      }
+    }
+    result.shrink_steps = steps;
+    result.counterexample = show(*value);
+    return result;
+  }
+  return result;
+}
+
+}  // namespace ros::testkit

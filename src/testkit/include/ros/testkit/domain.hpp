@@ -1,0 +1,54 @@
+// Domain generators for the repro's core types (ros::testkit).
+//
+// Each generator honors the corresponding design rules from the paper
+// (Secs. 4-6), so properties quantify over *valid* tags, stacks, chirps
+// and scenes -- the harness should falsify physics invariants, not
+// precondition checks. Deliberately-invalid inputs are exercised by the
+// dedicated degenerate-input regression tests instead.
+#pragma once
+
+#include "ros/antenna/stack.hpp"
+#include "ros/radar/chirp.hpp"
+#include "ros/scene/geometry.hpp"
+#include "ros/scene/objects.hpp"
+#include "ros/tag/layout.hpp"
+#include "ros/testkit/gen.hpp"
+
+namespace ros::testkit {
+
+/// Layout families in the practical range: 2-6 bits, delta_c in
+/// [1.0, 2.0] lambda, the automotive design frequency.
+Gen<ros::tag::LayoutParams> layout_params_gen();
+
+/// Non-all-zero payload of width `n_bits` (all-zero tags are
+/// undecodable by construction: no coding peak exists).
+Gen<std::vector<bool>> bits_gen(int n_bits);
+
+/// A full TagLayout: random family params + random payload.
+Gen<ros::tag::TagLayout> tag_layout_gen();
+
+/// PSVAA stack parameters honoring the design rules: 1..max_units
+/// units, non-negative phase weights in [0, 2 pi), height growth
+/// fraction in [0, 1].
+Gen<ros::antenna::PsvaaStack::Params> stack_params_gen(int max_units = 12);
+
+/// FMCW chirp configs around the TI IWR1443 operating point: slope,
+/// ADC rate, samples per chirp and frame rate all within the ranges the
+/// automotive band supports.
+Gen<ros::radar::FmcwChirp> fmcw_chirp_gen();
+
+/// One of the paper's six clutter classes (Fig. 13) at a position in
+/// the roadside band x in [-6, 6], y in [-1, 2].
+Gen<ros::scene::ClutterObject::Params> clutter_gen();
+
+/// Gaussian blob clouds for clustering properties: n_blobs well-spread
+/// centers with per-blob points, plus sparse background noise points.
+struct BlobCloud {
+  std::vector<ros::scene::Vec2> points;
+  int n_blobs = 0;
+  double blob_sigma_m = 0.05;
+};
+Gen<BlobCloud> blob_cloud_gen(int max_blobs = 4, int max_points_per_blob = 40,
+                              int max_noise_points = 12);
+
+}  // namespace ros::testkit

@@ -1,0 +1,59 @@
+// Invariant oracles over pipeline outputs (ros::testkit).
+//
+// These encode what must hold for EVERY valid scenario, independent of
+// the specific scene: finiteness of every reported number, funnel
+// consistency, payload-width agreement, sample-domain bounds. roztest
+// runs them on fuzzed scenarios; the golden-report test reuses the JSON
+// serializer; property suites reuse individual checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ros/obs/json_parse.hpp"
+#include "ros/pipeline/interrogator.hpp"
+#include "ros/testkit/scenario.hpp"
+
+namespace ros::testkit {
+
+struct OracleVerdict {
+  bool ok = true;
+  std::string failure;  ///< first violated invariant, human-readable
+
+  static OracleVerdict pass() { return {}; }
+  static OracleVerdict fail(std::string why) {
+    return {false, std::move(why)};
+  }
+};
+
+/// Invariants of a full Interrogator::run report.
+OracleVerdict check_report_invariants(
+    const ros::pipeline::InterrogationReport& report, const Scenario& s);
+
+/// Invariants of a decode_drive result.
+OracleVerdict check_decode_invariants(
+    const ros::pipeline::DecodeDriveResult& result, const Scenario& s);
+
+/// Bucketized behavior signature for coverage-guided fuzzing: two runs
+/// land in the same bucket iff they exercised the same funnel shape,
+/// decode outcome, and coarse signal regime. New signature = the input
+/// reached behavior the corpus had not covered yet.
+std::uint64_t behavior_signature(
+    const ros::pipeline::InterrogationReport& report, const Scenario& s);
+std::uint64_t behavior_signature(
+    const ros::pipeline::DecodeDriveResult& result, const Scenario& s);
+
+/// Deterministic JSON view of a report: physics and funnel numbers
+/// only, no wall-clock timings, so two runs of the same scenario
+/// serialize byte-identically and the golden diff is meaningful.
+std::string report_to_json(const ros::pipeline::InterrogationReport& report);
+
+/// Recursive numeric comparison of two parsed JSON documents. Numbers
+/// match within max(abs_tol, rel_tol * |expected|); strings, bools and
+/// container shapes must match exactly. Returns an empty string on
+/// match, else the path and values of the first mismatch.
+std::string json_numeric_diff(const ros::obs::JsonValue& actual,
+                              const ros::obs::JsonValue& expected,
+                              double rel_tol, double abs_tol);
+
+}  // namespace ros::testkit

@@ -1,0 +1,39 @@
+// GTest integration for ros::testkit properties.
+//
+// Use inside a TEST body:
+//
+//   ROS_PROPERTY("parseval holds", complex_signal_gen(),
+//                [](const std::vector<cplx>& x) { return parseval(x); });
+//
+// On failure the test reports the (shrunk) counterexample plus the
+// reproduction recipe:
+//
+//   ROS_PROPERTY_SEED=<seed> ctest -R <test> --output-on-failure
+//
+// The property (last macro argument, so lambdas with commas survive
+// preprocessing) returns bool or std::string -- see check.hpp.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "ros/testkit/check.hpp"
+
+#define ROS_PROPERTY_CFG(name, cfg, gen, ...)                              \
+  do {                                                                     \
+    const ::ros::testkit::PropertyResult ros_testkit_result_ =             \
+        ::ros::testkit::check_property((name), (gen), __VA_ARGS__, (cfg)); \
+    if (!ros_testkit_result_.ok) {                                         \
+      ADD_FAILURE() << ::ros::testkit::failure_message(                    \
+          (name), ros_testkit_result_);                                    \
+    }                                                                      \
+  } while (false)
+
+/// Default config: 200 cases (ROS_PROPERTY_CASES overrides).
+#define ROS_PROPERTY(name, gen, ...) \
+  ROS_PROPERTY_CFG(name, ::ros::testkit::PropertyConfig{}, gen, __VA_ARGS__)
+
+/// Explicit case count for unusually cheap or expensive properties.
+#define ROS_PROPERTY_N(name, n_cases, gen, ...)                        \
+  ROS_PROPERTY_CFG(name,                                               \
+                   (::ros::testkit::PropertyConfig{.cases = (n_cases)}), \
+                   gen, __VA_ARGS__)

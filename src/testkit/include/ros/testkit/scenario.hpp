@@ -1,0 +1,80 @@
+// Fuzzable interrogation scenarios (ros::testkit).
+//
+// A Scenario is a flat, text-serializable description of one drive-by:
+// tag payload + hardware, drive geometry, weather, interference, and
+// clutter. The fuzzer (roztest) mutates scenarios byte- and field-wise;
+// sanitize() then clamps every field into the envelope the pipeline is
+// specified for, so ANY mutated file still denotes a valid experiment
+// and every failure an oracle reports is a genuine model bug rather
+// than a violated precondition.
+//
+// The text encoding is line-oriented `key = value` (clutter entries as
+// `clutter = <class> <x> <y>`), chosen over a binary blob so corpus
+// files double as human-readable regression descriptions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ros/common/random.hpp"
+#include "ros/em/material.hpp"
+#include "ros/pipeline/interrogator.hpp"
+#include "ros/scene/scene.hpp"
+#include "ros/scene/trajectory.hpp"
+
+namespace ros::testkit {
+
+struct ClutterSpec {
+  int cls = 0;  ///< 0 tripod, 1 parking meter, 2 street lamp, 3 road
+                ///< sign, 4 pedestrian, 5 tree
+  double x = 1.3;
+  double y = 0.4;
+};
+
+struct Scenario {
+  int n_bits = 4;
+  std::uint32_t bits = 0b1011;  ///< LSB = coding slot 1
+  int psvaas_per_stack = 16;
+  bool beam_shaped = true;
+  double lane_offset_m = 3.0;
+  double speed_mps = 2.0;
+  double span_m = 5.0;  ///< drive from -span/2 to +span/2
+  int frame_stride = 10;
+  int weather = 0;  ///< ros::scene::Weather index 0..3
+  double extra_noise_dbm = -300.0;
+  double relative_drift = 0.0;
+  double jitter_std_m = 0.0;
+  double decode_fov_rad = 0.0;
+  std::uint64_t noise_seed = 1;
+  bool ground_bounce = false;
+  double ground_reflection = 0.12;
+  std::vector<ClutterSpec> clutter;
+
+  /// Clamp every field into the supported envelope (see the .cpp for
+  /// the exact ranges). Idempotent; called by parse() and mutate().
+  void sanitize();
+
+  /// Payload as the decoder-facing bit vector (slot 1 first).
+  std::vector<bool> bit_vector() const;
+
+  /// Frames the drive will synthesize (bounds the cost of one run).
+  std::size_t n_frames() const;
+
+  std::string encode() const;
+
+  /// Lenient parse: unknown keys are ignored, malformed values keep the
+  /// default, and the result is sanitize()d -- mutation-safe by design.
+  static Scenario parse(std::string_view text);
+
+  ros::scene::Scene make_scene(
+      const ros::em::StriplineStackup* stackup) const;
+  ros::scene::StraightDrive make_drive() const;
+  ros::pipeline::InterrogatorConfig make_config() const;
+};
+
+/// Apply 1-3 random field mutations and re-sanitize. Pure in (s, rng).
+Scenario mutate(const Scenario& s, ros::common::Rng& rng);
+
+}  // namespace ros::testkit

@@ -1,0 +1,136 @@
+// Counterexample shrinking (ros::testkit).
+//
+// Shrinker<T>::candidates(v) proposes strictly "smaller" variants of a
+// failing value, most aggressive first. The harness greedily walks this
+// lattice: whenever a candidate still fails the property it becomes the
+// new counterexample, until no candidate fails or the step budget runs
+// out. Scalars halve toward zero; containers drop halves, then single
+// elements, then shrink elements in place. Domain types without a
+// specialization simply don't shrink -- the original failing value is
+// still reported with its reproduction seed.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ros::testkit {
+
+template <typename T, typename Enable = void>
+struct Shrinker {
+  static std::vector<T> candidates(const T&) { return {}; }
+};
+
+template <typename T>
+struct Shrinker<T, std::enable_if_t<std::is_integral_v<T> &&
+                                    !std::is_same_v<T, bool>>> {
+  static std::vector<T> candidates(const T& v) {
+    std::vector<T> out;
+    if (v == T{0}) return out;
+    out.push_back(T{0});
+    const T half = static_cast<T>(v / 2);
+    if (half != T{0}) out.push_back(half);
+    const T step = static_cast<T>(v > T{0} ? v - 1 : v + 1);
+    if (step != half && step != T{0}) out.push_back(step);
+    return out;
+  }
+};
+
+template <>
+struct Shrinker<bool> {
+  static std::vector<bool> candidates(const bool& v) {
+    return v ? std::vector<bool>{false} : std::vector<bool>{};
+  }
+};
+
+template <typename T>
+struct Shrinker<T, std::enable_if_t<std::is_floating_point_v<T>>> {
+  static std::vector<T> candidates(const T& v) {
+    std::vector<T> out;
+    if (!std::isfinite(v) || v == T{0}) return out;
+    out.push_back(T{0});
+    out.push_back(v / 2);
+    const T trunc = std::trunc(v);
+    if (trunc != v && trunc != v / 2) out.push_back(trunc);
+    return out;
+  }
+};
+
+template <typename T>
+struct Shrinker<std::vector<T>> {
+  static std::vector<std::vector<T>> candidates(const std::vector<T>& v) {
+    std::vector<std::vector<T>> out;
+    if (v.empty()) return out;
+    out.emplace_back();  // the empty vector
+    const std::size_t n = v.size();
+    if (n >= 2) {
+      out.emplace_back(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(
+                                                  n / 2));  // first half
+      out.emplace_back(v.begin() + static_cast<std::ptrdiff_t>(n / 2),
+                       v.end());  // second half
+    }
+    // Drop single elements at up to 8 evenly spaced positions.
+    const std::size_t stride = n <= 8 ? 1 : n / 8;
+    for (std::size_t i = 0; i < n; i += stride) {
+      std::vector<T> smaller = v;
+      smaller.erase(smaller.begin() + static_cast<std::ptrdiff_t>(i));
+      out.push_back(std::move(smaller));
+    }
+    // Shrink elements in place (same positions as above).
+    for (std::size_t i = 0; i < n; i += stride) {
+      for (const T& cand : Shrinker<T>::candidates(v[i])) {
+        std::vector<T> tweaked = v;
+        tweaked[i] = cand;
+        out.push_back(std::move(tweaked));
+      }
+    }
+    return out;
+  }
+};
+
+template <typename A, typename B>
+struct Shrinker<std::pair<A, B>> {
+  static std::vector<std::pair<A, B>> candidates(const std::pair<A, B>& v) {
+    std::vector<std::pair<A, B>> out;
+    for (const A& a : Shrinker<A>::candidates(v.first)) {
+      out.emplace_back(a, v.second);
+    }
+    for (const B& b : Shrinker<B>::candidates(v.second)) {
+      out.emplace_back(v.first, b);
+    }
+    return out;
+  }
+};
+
+template <typename... Ts>
+struct Shrinker<std::tuple<Ts...>> {
+  using Tuple = std::tuple<Ts...>;
+
+  static std::vector<Tuple> candidates(const Tuple& v) {
+    std::vector<Tuple> out;
+    shrink_each(v, out, std::index_sequence_for<Ts...>{});
+    return out;
+  }
+
+ private:
+  template <std::size_t... Is>
+  static void shrink_each(const Tuple& v, std::vector<Tuple>& out,
+                          std::index_sequence<Is...>) {
+    (shrink_one<Is>(v, out), ...);
+  }
+
+  template <std::size_t I>
+  static void shrink_one(const Tuple& v, std::vector<Tuple>& out) {
+    using E = std::tuple_element_t<I, Tuple>;
+    for (const E& cand : Shrinker<E>::candidates(std::get<I>(v))) {
+      Tuple tweaked = v;
+      std::get<I>(tweaked) = cand;
+      out.push_back(std::move(tweaked));
+    }
+  }
+};
+
+}  // namespace ros::testkit

@@ -1,0 +1,77 @@
+#include "ros/testkit/check.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace ros::testkit {
+
+namespace {
+
+// Arbitrary fixed default so unconfigured runs are reproducible too; a
+// failure report always prints the seed actually used.
+constexpr std::uint64_t kDefaultRunSeed = 0x526f532d54657374ull;  // "RoS-Test"
+
+std::uint64_t parse_seed(const char* s) {
+  if (s == nullptr || *s == '\0') return 0;
+  return std::strtoull(s, nullptr, 0);  // base 0: decimal or 0x hex
+}
+
+}  // namespace
+
+std::uint64_t resolve_run_seed(std::uint64_t cfg_seed) {
+  if (cfg_seed != 0) return cfg_seed;
+  const std::uint64_t env = parse_seed(std::getenv("ROS_PROPERTY_SEED"));
+  return env != 0 ? env : kDefaultRunSeed;
+}
+
+int resolve_cases(int cfg_cases) {
+  const char* s = std::getenv("ROS_PROPERTY_CASES");
+  if (s != nullptr && *s != '\0') {
+    const long n = std::strtol(s, nullptr, 10);
+    if (n > 0) return static_cast<int>(n);
+  }
+  return cfg_cases;
+}
+
+std::string failure_message(const char* name, const PropertyResult& r) {
+  std::ostringstream os;
+  os << "property \"" << name << "\" falsified at case " << r.failing_case
+     << " of " << r.cases_run << " (run seed 0x" << std::hex << r.run_seed
+     << std::dec << ")\n";
+  os << "  counterexample: " << r.counterexample << "\n";
+  if (!r.original.empty() && r.original != r.counterexample) {
+    os << "  before shrinking (" << r.shrink_steps
+       << " steps): " << r.original << "\n";
+  }
+  if (!r.note.empty()) os << "  detail: " << r.note << "\n";
+  os << "  reproduce: ROS_PROPERTY_SEED=0x" << std::hex << r.run_seed
+     << std::dec << " (same binary, same property)";
+  return os.str();
+}
+
+Gen<double> log_uniform(double lo, double hi) {
+  ROS_EXPECT(lo > 0.0 && lo <= hi, "log_uniform needs 0 < lo <= hi");
+  const double llo = std::log(lo);
+  const double lhi = std::log(hi);
+  return Gen<double>([llo, lhi](ros::common::Rng& rng) {
+    return std::exp(rng.uniform(llo, lhi));
+  });
+}
+
+Gen<std::vector<std::size_t>> permutation_of(std::size_t n) {
+  return Gen<std::vector<std::size_t>>([n](ros::common::Rng& rng) {
+    std::vector<std::size_t> p(n);
+    for (std::size_t i = 0; i < n; ++i) p[i] = i;
+    // Fisher-Yates with draws from the shared uniform_int path so the
+    // stream stays engine-stable.
+    for (std::size_t i = n; i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(i) - 1));
+      std::swap(p[i - 1], p[j]);
+    }
+    return p;
+  });
+}
+
+}  // namespace ros::testkit

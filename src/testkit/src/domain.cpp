@@ -1,0 +1,125 @@
+#include "ros/testkit/domain.hpp"
+
+#include <cmath>
+
+#include "ros/common/units.hpp"
+
+namespace ros::testkit {
+
+using ros::common::kPi;
+using ros::common::Rng;
+
+Gen<ros::tag::LayoutParams> layout_params_gen() {
+  return Gen<ros::tag::LayoutParams>([](Rng& rng) {
+    ros::tag::LayoutParams p;
+    p.n_bits = rng.uniform_int(2, 6);
+    p.unit_spacing_lambda = rng.uniform(1.0, 2.0);
+    p.design_hz = 79e9;
+    return p;
+  });
+}
+
+Gen<std::vector<bool>> bits_gen(int n_bits) {
+  ROS_EXPECT(n_bits >= 1, "bits_gen needs at least one bit");
+  return Gen<std::vector<bool>>([n_bits](Rng& rng) {
+    std::vector<bool> bits(static_cast<std::size_t>(n_bits));
+    bool any = false;
+    for (std::size_t k = 0; k < bits.size(); ++k) {
+      bits[k] = rng.bernoulli(0.5);
+      any = any || bits[k];
+    }
+    if (!any) {
+      bits[static_cast<std::size_t>(
+          rng.uniform_int(0, n_bits - 1))] = true;
+    }
+    return bits;
+  });
+}
+
+Gen<ros::tag::TagLayout> tag_layout_gen() {
+  return Gen<ros::tag::TagLayout>([](Rng& rng) {
+    const auto params = layout_params_gen()(rng);
+    const auto bits = bits_gen(params.n_bits)(rng);
+    return ros::tag::TagLayout::from_bits(bits, params);
+  });
+}
+
+Gen<ros::antenna::PsvaaStack::Params> stack_params_gen(int max_units) {
+  ROS_EXPECT(max_units >= 1, "stack_params_gen needs max_units >= 1");
+  return Gen<ros::antenna::PsvaaStack::Params>([max_units](Rng& rng) {
+    ros::antenna::PsvaaStack::Params p;
+    p.n_units = rng.uniform_int(1, max_units);
+    p.height_per_extension = rng.uniform(0.0, 1.0);
+    if (rng.bernoulli(0.6)) {
+      p.phase_weights_rad.resize(static_cast<std::size_t>(p.n_units));
+      for (auto& w : p.phase_weights_rad) {
+        w = rng.uniform(0.0, 2.0 * kPi);
+      }
+    }
+    p.unit.switching = rng.bernoulli(0.8);
+    return p;
+  });
+}
+
+Gen<ros::radar::FmcwChirp> fmcw_chirp_gen() {
+  return Gen<ros::radar::FmcwChirp>([](Rng& rng) {
+    ros::radar::FmcwChirp c;
+    c.slope_hz_per_s = rng.uniform(20e12, 100e12);
+    c.sample_rate_hz = rng.uniform(2e6, 10e6);
+    c.n_samples = 1 << rng.uniform_int(6, 9);  // 64..512 per chirp
+    c.start_hz = rng.uniform(76e9, 78e9);
+    c.frame_rate_hz = rng.uniform(100.0, 2000.0);
+    return c;
+  });
+}
+
+Gen<ros::scene::ClutterObject::Params> clutter_gen() {
+  return Gen<ros::scene::ClutterObject::Params>([](Rng& rng) {
+    const ros::scene::Vec2 pos{rng.uniform(-6.0, 6.0),
+                               rng.uniform(-1.0, 2.0)};
+    ros::scene::ClutterObject::Params p;
+    switch (rng.uniform_int(0, 5)) {
+      case 0: p = ros::scene::tripod_params(pos); break;
+      case 1: p = ros::scene::parking_meter_params(pos); break;
+      case 2: p = ros::scene::street_lamp_params(pos); break;
+      case 3: p = ros::scene::road_sign_params(pos); break;
+      case 4: p = ros::scene::pedestrian_params(pos); break;
+      default: p = ros::scene::tree_params(pos); break;
+    }
+    p.seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 20));
+    return p;
+  });
+}
+
+Gen<BlobCloud> blob_cloud_gen(int max_blobs, int max_points_per_blob,
+                              int max_noise_points) {
+  ROS_EXPECT(max_blobs >= 1 && max_points_per_blob >= 1,
+             "blob_cloud_gen needs at least one blob and point");
+  return Gen<BlobCloud>([max_blobs, max_points_per_blob,
+                         max_noise_points](Rng& rng) {
+    BlobCloud cloud;
+    cloud.n_blobs = rng.uniform_int(1, max_blobs);
+    cloud.blob_sigma_m = rng.uniform(0.02, 0.08);
+    // Centers on a coarse jittered grid so blobs stay separated by
+    // several DBSCAN radii and the expected partition is unambiguous.
+    for (int b = 0; b < cloud.n_blobs; ++b) {
+      const ros::scene::Vec2 center{3.0 * b + rng.uniform(-0.4, 0.4),
+                                    rng.uniform(-0.4, 0.4)};
+      const int n = rng.uniform_int(8, max_points_per_blob);
+      for (int i = 0; i < n; ++i) {
+        cloud.points.push_back(
+            {center.x + rng.normal(0.0, cloud.blob_sigma_m),
+             center.y + rng.normal(0.0, cloud.blob_sigma_m)});
+      }
+    }
+    // Background noise, far off the blob row.
+    const int n_noise = rng.uniform_int(0, max_noise_points);
+    for (int i = 0; i < n_noise; ++i) {
+      cloud.points.push_back({rng.uniform(-2.0, 3.0 * max_blobs),
+                              rng.uniform(4.0, 8.0)});
+    }
+    return cloud;
+  });
+}
+
+}  // namespace ros::testkit

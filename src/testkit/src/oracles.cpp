@@ -1,0 +1,341 @@
+#include "ros/testkit/oracles.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "ros/common/random.hpp"
+#include "ros/obs/json.hpp"
+
+namespace ros::testkit {
+
+namespace {
+
+using ros::pipeline::DecodeDriveResult;
+using ros::pipeline::InterrogationReport;
+using ros::pipeline::RssSample;
+
+bool finite(double v) { return std::isfinite(v); }
+
+std::string describe_sample(const RssSample& s, std::size_t i) {
+  std::ostringstream os;
+  os << "sample " << i << " (u=" << s.u << ", rss_dbm=" << s.rss_dbm
+     << ", rss_w=" << s.rss_w << ", range_m=" << s.range_m << ")";
+  return os.str();
+}
+
+OracleVerdict check_samples(const std::vector<RssSample>& samples) {
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto& s = samples[i];
+    if (!finite(s.u) || !finite(s.rss_dbm) || !finite(s.rss_w) ||
+        !finite(s.range_m)) {
+      return OracleVerdict::fail("non-finite field in " +
+                                 describe_sample(s, i));
+    }
+    if (s.u < -1.0 - 1e-9 || s.u > 1.0 + 1e-9) {
+      return OracleVerdict::fail("u outside [-1, 1] in " +
+                                 describe_sample(s, i));
+    }
+    if (s.rss_w < 0.0) {
+      return OracleVerdict::fail("negative linear power in " +
+                                 describe_sample(s, i));
+    }
+    if (s.range_m < 0.0) {
+      return OracleVerdict::fail("negative range in " +
+                                 describe_sample(s, i));
+    }
+  }
+  return OracleVerdict::pass();
+}
+
+/// A decode either produced a full payload read (bits.size() == n_bits,
+/// per-slot vectors aligned, every number finite and non-negative) or
+/// degraded to an explicit no-read (all three vectors empty).
+OracleVerdict check_decode_result(const ros::tag::DecodeResult& d,
+                                  int n_bits) {
+  if (d.bits.empty() && d.slot_amplitudes.empty() &&
+      d.slot_modulation.empty()) {
+    return OracleVerdict::pass();  // explicit no-read
+  }
+  if (d.bits.size() != static_cast<std::size_t>(n_bits)) {
+    return OracleVerdict::fail(
+        "decoded payload width " + std::to_string(d.bits.size()) +
+        " != tag family width " + std::to_string(n_bits));
+  }
+  if (d.slot_amplitudes.size() != d.bits.size() ||
+      d.slot_modulation.size() != d.bits.size()) {
+    return OracleVerdict::fail("slot vectors misaligned with payload");
+  }
+  if (!finite(d.band_rms) || d.band_rms < 0.0) {
+    return OracleVerdict::fail("band_rms not a finite non-negative value");
+  }
+  for (std::size_t k = 0; k < d.bits.size(); ++k) {
+    if (!finite(d.slot_amplitudes[k]) || d.slot_amplitudes[k] < 0.0 ||
+        !finite(d.slot_modulation[k]) || d.slot_modulation[k] < 0.0) {
+      return OracleVerdict::fail("slot " + std::to_string(k + 1) +
+                                 " amplitude/modulation not finite >= 0");
+    }
+  }
+  for (std::size_t i = 0; i < d.spectrum.amplitude.size(); ++i) {
+    if (!finite(d.spectrum.amplitude[i]) || d.spectrum.amplitude[i] < 0.0) {
+      return OracleVerdict::fail("spectrum bin " + std::to_string(i) +
+                                 " not finite >= 0");
+    }
+  }
+  return OracleVerdict::pass();
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  return ros::common::splitmix64(h ^ (v + 0x9e3779b97f4a7c15ull));
+}
+
+std::uint64_t bits_key(const std::vector<bool>& bits) {
+  std::uint64_t key = 1;  // distinguishes empty from all-zero
+  for (bool b : bits) key = (key << 1) | (b ? 1u : 0u);
+  return key;
+}
+
+int db_bucket(double dbm) {
+  if (!std::isfinite(dbm)) return -1000;
+  return static_cast<int>(std::floor(dbm / 5.0));
+}
+
+}  // namespace
+
+OracleVerdict check_report_invariants(const InterrogationReport& report,
+                                      const Scenario& s) {
+  const auto& tel = report.telemetry;
+  if (!tel.funnel_consistent()) {
+    return OracleVerdict::fail(
+        "telemetry funnel widened: points " + std::to_string(tel.n_points) +
+        " clusters " + std::to_string(tel.n_clusters) + " candidates " +
+        std::to_string(tel.n_candidates) + " tags " +
+        std::to_string(tel.n_tags));
+  }
+  if (report.n_frames == 0) {
+    return OracleVerdict::fail("report claims zero synthesized frames");
+  }
+  for (std::size_t i = 0; i < report.cloud.points.size(); ++i) {
+    const auto& p = report.cloud.points[i];
+    if (!finite(p.world.x) || !finite(p.world.y) || !finite(p.rss_dbm)) {
+      return OracleVerdict::fail("non-finite cloud point " +
+                                 std::to_string(i));
+    }
+  }
+  for (std::size_t i = 0; i < report.clusters.size(); ++i) {
+    const auto& c = report.clusters[i];
+    if (c.n_points == 0 || c.point_indices.empty()) {
+      return OracleVerdict::fail("empty cluster " + std::to_string(i));
+    }
+    if (!finite(c.centroid.x) || !finite(c.centroid.y) ||
+        !finite(c.size_m2) || c.size_m2 < 0.0 || !finite(c.density) ||
+        c.density < 0.0 || !finite(c.mean_rss_dbm)) {
+      return OracleVerdict::fail("non-finite/negative feature in cluster " +
+                                 std::to_string(i));
+    }
+    for (std::size_t idx : c.point_indices) {
+      if (idx >= report.cloud.points.size()) {
+        return OracleVerdict::fail("cluster " + std::to_string(i) +
+                                   " references point " +
+                                   std::to_string(idx) + " out of range");
+      }
+    }
+  }
+  if (report.candidates.size() < report.tags.size()) {
+    return OracleVerdict::fail("more decoded tags than candidates");
+  }
+  for (std::size_t t = 0; t < report.tags.size(); ++t) {
+    const auto& tag = report.tags[t];
+    if (!finite(tag.candidate.rss_loss_db)) {
+      return OracleVerdict::fail("non-finite rss_loss on tag " +
+                                 std::to_string(t));
+    }
+    if (auto v = check_samples(tag.samples); !v.ok) return v;
+    if (auto v = check_decode_result(tag.decode, s.n_bits); !v.ok) {
+      return v;
+    }
+  }
+  return OracleVerdict::pass();
+}
+
+OracleVerdict check_decode_invariants(const DecodeDriveResult& result,
+                                      const Scenario& s) {
+  if (auto v = check_samples(result.samples); !v.ok) return v;
+  if (auto v = check_decode_result(result.decode, s.n_bits); !v.ok) {
+    return v;
+  }
+  if (!result.samples.empty() && !finite(result.mean_rss_dbm)) {
+    return OracleVerdict::fail("non-finite mean RSS over a non-empty pass");
+  }
+  if (result.samples.size() > result.telemetry.n_frames) {
+    return OracleVerdict::fail(
+        "more RSS samples than frames: " +
+        std::to_string(result.samples.size()) + " > " +
+        std::to_string(result.telemetry.n_frames));
+  }
+  return OracleVerdict::pass();
+}
+
+std::uint64_t behavior_signature(const InterrogationReport& report,
+                                 const Scenario& s) {
+  std::uint64_t h = 0xf0f0;
+  h = mix(h, static_cast<std::uint64_t>(s.weather));
+  h = mix(h, report.clusters.size());
+  h = mix(h, report.candidates.size());
+  h = mix(h, report.tags.size());
+  h = mix(h, static_cast<std::uint64_t>(
+                 report.cloud.points.size() / 64));  // coarse cloud size
+  for (const auto& tag : report.tags) {
+    h = mix(h, bits_key(tag.decode.bits));
+    h = mix(h, static_cast<std::uint64_t>(
+                   db_bucket(tag.candidate.rss_normal_dbm) + 512));
+  }
+  return h;
+}
+
+std::uint64_t behavior_signature(const DecodeDriveResult& result,
+                                 const Scenario& s) {
+  std::uint64_t h = 0x0d0d;
+  h = mix(h, static_cast<std::uint64_t>(s.weather));
+  h = mix(h, bits_key(result.decode.bits));
+  h = mix(h, static_cast<std::uint64_t>(result.decode.bits ==
+                                        s.bit_vector()));
+  h = mix(h,
+          static_cast<std::uint64_t>(db_bucket(result.mean_rss_dbm) + 512));
+  h = mix(h, result.samples.size() / 32);
+  return h;
+}
+
+namespace {
+
+void write_decode(ros::obs::JsonWriter& w,
+                  const ros::tag::DecodeResult& d) {
+  w.begin_object();
+  w.key("bits");
+  w.begin_array();
+  for (bool b : d.bits) w.value(b);
+  w.end_array();
+  w.key("slot_amplitudes");
+  w.begin_array();
+  for (double a : d.slot_amplitudes) w.value(a);
+  w.end_array();
+  w.key("slot_modulation");
+  w.begin_array();
+  for (double a : d.slot_modulation) w.value(a);
+  w.end_array();
+  w.key("band_rms").value(d.band_rms);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string report_to_json(const InterrogationReport& report) {
+  ros::obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("ros-report-v1");
+  w.key("n_frames").value(static_cast<std::uint64_t>(report.n_frames));
+  w.key("n_points").value(
+      static_cast<std::uint64_t>(report.cloud.points.size()));
+  w.key("clusters");
+  w.begin_array();
+  for (const auto& c : report.clusters) {
+    w.begin_object();
+    w.key("n_points").value(static_cast<std::uint64_t>(c.n_points));
+    w.key("centroid_x").value(c.centroid.x);
+    w.key("centroid_y").value(c.centroid.y);
+    w.key("size_m2").value(c.size_m2);
+    w.key("extent_m").value(c.extent_m);
+    w.key("mean_rss_dbm").value(c.mean_rss_dbm);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("candidates");
+  w.begin_array();
+  for (const auto& c : report.candidates) {
+    w.begin_object();
+    w.key("is_tag").value(c.is_tag);
+    w.key("rss_loss_db").value(c.rss_loss_db);
+    w.key("rss_normal_dbm").value(c.rss_normal_dbm);
+    w.key("rss_switched_dbm").value(c.rss_switched_dbm);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("tags");
+  w.begin_array();
+  for (const auto& t : report.tags) {
+    w.begin_object();
+    w.key("n_samples").value(static_cast<std::uint64_t>(t.samples.size()));
+    w.key("decode");
+    write_decode(w, t.decode);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::string json_numeric_diff(const ros::obs::JsonValue& actual,
+                              const ros::obs::JsonValue& expected,
+                              double rel_tol, double abs_tol) {
+  using ros::obs::JsonValue;
+  struct Walker {
+    double rel, abs;
+    std::string diff(const JsonValue& a, const JsonValue& e,
+                     const std::string& path) {
+      if (a.type != e.type) {
+        return path + ": type mismatch";
+      }
+      switch (a.type) {
+        case JsonValue::Type::number: {
+          const double tol = std::max(abs, rel * std::abs(e.number));
+          if (std::abs(a.number - e.number) > tol) {
+            std::ostringstream os;
+            os.precision(12);
+            os << path << ": " << a.number << " != " << e.number
+               << " (tol " << tol << ")";
+            return os.str();
+          }
+          return {};
+        }
+        case JsonValue::Type::string:
+          return a.string == e.string ? std::string{}
+                                      : path + ": string mismatch";
+        case JsonValue::Type::boolean:
+          return a.boolean == e.boolean
+                     ? std::string{}
+                     : path + ": " + (a.boolean ? "true" : "false") +
+                           " != " + (e.boolean ? "true" : "false");
+        case JsonValue::Type::array: {
+          if (a.array.size() != e.array.size()) {
+            return path + ": array size " +
+                   std::to_string(a.array.size()) + " != " +
+                   std::to_string(e.array.size());
+          }
+          for (std::size_t i = 0; i < a.array.size(); ++i) {
+            auto d = diff(a.array[i], e.array[i],
+                          path + "[" + std::to_string(i) + "]");
+            if (!d.empty()) return d;
+          }
+          return {};
+        }
+        case JsonValue::Type::object: {
+          if (a.object.size() != e.object.size()) {
+            return path + ": object size mismatch";
+          }
+          for (const auto& [key, ev] : e.object) {
+            const JsonValue* av = a.find(key);
+            if (av == nullptr) return path + ": missing key " + key;
+            auto d = diff(*av, ev, path + "." + key);
+            if (!d.empty()) return d;
+          }
+          return {};
+        }
+        case JsonValue::Type::null:
+          return {};
+      }
+      return path + ": unhandled type";
+    }
+  };
+  return Walker{rel_tol, abs_tol}.diff(actual, expected, "$");
+}
+
+}  // namespace ros::testkit

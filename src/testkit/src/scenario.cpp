@@ -1,0 +1,304 @@
+#include "ros/testkit/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/units.hpp"
+#include "ros/tag/tag.hpp"
+
+namespace ros::testkit {
+
+using ros::common::Rng;
+
+namespace {
+
+double clampd(double v, double lo, double hi) {
+  if (!std::isfinite(v)) return lo;
+  return std::clamp(v, lo, hi);
+}
+
+int clampi(int v, int lo, int hi) { return std::clamp(v, lo, hi); }
+
+ros::scene::ClutterObject::Params clutter_params(const ClutterSpec& c) {
+  const ros::scene::Vec2 pos{c.x, c.y};
+  switch (c.cls) {
+    case 0: return ros::scene::tripod_params(pos);
+    case 1: return ros::scene::parking_meter_params(pos);
+    case 2: return ros::scene::street_lamp_params(pos);
+    case 3: return ros::scene::road_sign_params(pos);
+    case 4: return ros::scene::pedestrian_params(pos);
+    default: return ros::scene::tree_params(pos);
+  }
+}
+
+}  // namespace
+
+void Scenario::sanitize() {
+  // Payload: 2-5 coding slots keeps one run affordable for the fuzz
+  // loop while still sweeping tag-family width; never all-zero.
+  n_bits = clampi(n_bits, 2, 5);
+  bits &= (1u << n_bits) - 1u;
+  if (bits == 0) bits = 1;
+
+  // Hardware: the paper's three stack heights.
+  psvaas_per_stack = psvaas_per_stack <= 11 ? 8
+                     : psvaas_per_stack <= 23 ? 16
+                                              : 32;
+
+  // Drive geometry: the evaluated deployment envelope (Sec. 7.1).
+  lane_offset_m = clampd(lane_offset_m, 1.5, 6.0);
+  speed_mps = clampd(speed_mps, 0.5, 12.0);
+  span_m = clampd(span_m, 2.0, 8.0);
+
+  weather = clampi(weather, 0, 3);
+  extra_noise_dbm = clampd(extra_noise_dbm, -300.0, -70.0);
+  relative_drift = clampd(relative_drift, 0.0, 0.05);
+  jitter_std_m = clampd(jitter_std_m, 0.0, 0.02);
+  decode_fov_rad = clampd(decode_fov_rad, 0.0, ros::common::kPi);
+  if (noise_seed == 0) noise_seed = 1;
+  ground_reflection = clampd(ground_reflection, 0.0, 0.5);
+
+  // Frame budget: stride keeps one run in the 60..400 frame band so a
+  // fuzz iteration costs a bounded amount of work.
+  frame_stride = clampi(frame_stride, 1, 50);
+  const double duration_s = span_m / speed_mps;
+  const double frames_at = [&](int stride) {
+    return duration_s * 1000.0 / static_cast<double>(stride);
+  }(frame_stride);
+  if (frames_at > 400.0) {
+    frame_stride = static_cast<int>(std::ceil(duration_s * 1000.0 / 400.0));
+  } else if (frames_at < 60.0) {
+    frame_stride = std::max(
+        1, static_cast<int>(std::floor(duration_s * 1000.0 / 60.0)));
+  }
+
+  if (clutter.size() > 4) clutter.resize(4);
+  for (auto& c : clutter) {
+    c.cls = clampi(c.cls, 0, 5);
+    c.x = clampd(c.x, -6.0, 6.0);
+    // Keep clutter off the tag itself so "tag cluster absorbed clutter"
+    // stays a detection outcome, not a generator artifact.
+    if (std::abs(c.x) < 0.8 && std::abs(c.y) < 0.8) c.x = 1.3;
+    c.y = clampd(c.y, -1.0, 2.0);
+  }
+}
+
+std::vector<bool> Scenario::bit_vector() const {
+  std::vector<bool> out(static_cast<std::size_t>(n_bits));
+  for (int k = 0; k < n_bits; ++k) {
+    out[static_cast<std::size_t>(k)] = (bits >> k) & 1u;
+  }
+  return out;
+}
+
+std::size_t Scenario::n_frames() const {
+  const double duration_s = span_m / speed_mps;
+  return static_cast<std::size_t>(
+      duration_s * 1000.0 / static_cast<double>(frame_stride));
+}
+
+std::string Scenario::encode() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "# roztest scenario v1\n";
+  os << "n_bits = " << n_bits << "\n";
+  os << "bits = " << bits << "\n";
+  os << "psvaas_per_stack = " << psvaas_per_stack << "\n";
+  os << "beam_shaped = " << (beam_shaped ? 1 : 0) << "\n";
+  os << "lane_offset_m = " << lane_offset_m << "\n";
+  os << "speed_mps = " << speed_mps << "\n";
+  os << "span_m = " << span_m << "\n";
+  os << "frame_stride = " << frame_stride << "\n";
+  os << "weather = " << weather << "\n";
+  os << "extra_noise_dbm = " << extra_noise_dbm << "\n";
+  os << "relative_drift = " << relative_drift << "\n";
+  os << "jitter_std_m = " << jitter_std_m << "\n";
+  os << "decode_fov_rad = " << decode_fov_rad << "\n";
+  os << "noise_seed = " << noise_seed << "\n";
+  os << "ground_bounce = " << (ground_bounce ? 1 : 0) << "\n";
+  os << "ground_reflection = " << ground_reflection << "\n";
+  for (const auto& c : clutter) {
+    os << "clutter = " << c.cls << " " << c.x << " " << c.y << "\n";
+  }
+  return os.str();
+}
+
+Scenario Scenario::parse(std::string_view text) {
+  Scenario s;
+  s.clutter.clear();
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos || line.starts_with("#")) continue;
+    std::istringstream key_in(line.substr(0, eq));
+    std::string key;
+    key_in >> key;
+    std::istringstream val(line.substr(eq + 1));
+    if (key == "n_bits") {
+      val >> s.n_bits;
+    } else if (key == "bits") {
+      val >> s.bits;
+    } else if (key == "psvaas_per_stack") {
+      val >> s.psvaas_per_stack;
+    } else if (key == "beam_shaped") {
+      int b = 1;
+      val >> b;
+      s.beam_shaped = b != 0;
+    } else if (key == "lane_offset_m") {
+      val >> s.lane_offset_m;
+    } else if (key == "speed_mps") {
+      val >> s.speed_mps;
+    } else if (key == "span_m") {
+      val >> s.span_m;
+    } else if (key == "frame_stride") {
+      val >> s.frame_stride;
+    } else if (key == "weather") {
+      val >> s.weather;
+    } else if (key == "extra_noise_dbm") {
+      val >> s.extra_noise_dbm;
+    } else if (key == "relative_drift") {
+      val >> s.relative_drift;
+    } else if (key == "jitter_std_m") {
+      val >> s.jitter_std_m;
+    } else if (key == "decode_fov_rad") {
+      val >> s.decode_fov_rad;
+    } else if (key == "noise_seed") {
+      val >> s.noise_seed;
+    } else if (key == "ground_bounce") {
+      int b = 0;
+      val >> b;
+      s.ground_bounce = b != 0;
+    } else if (key == "ground_reflection") {
+      val >> s.ground_reflection;
+    } else if (key == "clutter") {
+      ClutterSpec c;
+      if (val >> c.cls >> c.x >> c.y) s.clutter.push_back(c);
+    }
+    // Unknown keys and parse misses fall through to the defaults.
+  }
+  s.sanitize();
+  return s;
+}
+
+ros::scene::Scene Scenario::make_scene(
+    const ros::em::StriplineStackup* stackup) const {
+  ROS_EXPECT(stackup != nullptr, "stackup must not be null");
+  ros::scene::Scene world(static_cast<ros::scene::Weather>(weather));
+  if (ground_bounce) {
+    ros::scene::GroundBounce g;
+    g.enabled = true;
+    g.reflection_coefficient = ground_reflection;
+    world.set_ground(g);
+  }
+  ros::tag::RosTag::Params tp;
+  tp.layout.n_bits = n_bits;
+  tp.psvaas_per_stack = psvaas_per_stack;
+  if (beam_shaped) {
+    tp.phase_weights_rad = ros::tag::default_beam_weights(psvaas_per_stack);
+  }
+  world.add_tag(ros::tag::RosTag(bit_vector(), tp, stackup),
+                {{0.0, 0.0}, {0.0, 1.0}, 0.0});
+  for (const auto& c : clutter) {
+    world.add_clutter(clutter_params(c));
+  }
+  return world;
+}
+
+ros::scene::StraightDrive Scenario::make_drive() const {
+  return ros::scene::StraightDrive({.lane_offset_m = lane_offset_m,
+                                    .speed_mps = speed_mps,
+                                    .start_x_m = -span_m / 2.0,
+                                    .end_x_m = span_m / 2.0});
+}
+
+ros::pipeline::InterrogatorConfig Scenario::make_config() const {
+  ros::pipeline::InterrogatorConfig cfg;
+  cfg.frame_stride = frame_stride;
+  cfg.extra_noise_dbm = extra_noise_dbm;
+  cfg.decode_fov_rad = decode_fov_rad;
+  cfg.noise_seed = noise_seed;
+  cfg.tracking.relative_drift = relative_drift;
+  cfg.tracking.jitter_std_m = jitter_std_m;
+  cfg.decoder.n_bits = n_bits;
+  return cfg;
+}
+
+Scenario mutate(const Scenario& s, Rng& rng) {
+  Scenario out = s;
+  const int n_mutations = rng.uniform_int(1, 3);
+  for (int m = 0; m < n_mutations; ++m) {
+    switch (rng.uniform_int(0, 13)) {
+      case 0:  // flip a payload bit
+        out.bits ^= 1u << rng.uniform_int(0, std::max(0, out.n_bits - 1));
+        break;
+      case 1:
+        out.n_bits += rng.uniform_int(-1, 1);
+        break;
+      case 2:
+        out.lane_offset_m *= rng.uniform(0.7, 1.4);
+        break;
+      case 3:
+        out.speed_mps *= rng.uniform(0.6, 1.7);
+        break;
+      case 4:
+        out.span_m *= rng.uniform(0.7, 1.4);
+        break;
+      case 5:
+        out.frame_stride += rng.uniform_int(-5, 5);
+        break;
+      case 6:
+        out.weather = rng.uniform_int(0, 3);
+        break;
+      case 7:
+        out.extra_noise_dbm =
+            rng.bernoulli(0.5) ? -300.0 : rng.uniform(-130.0, -75.0);
+        break;
+      case 8:
+        out.relative_drift = rng.uniform(0.0, 0.05);
+        out.jitter_std_m = rng.uniform(0.0, 0.02);
+        break;
+      case 9:
+        out.decode_fov_rad =
+            rng.bernoulli(0.4) ? 0.0 : rng.uniform(0.1, ros::common::kPi);
+        break;
+      case 10:
+        out.noise_seed =
+            ros::common::splitmix64(out.noise_seed + 0x9e3779b9u);
+        break;
+      case 11:  // add / move / drop a clutter object
+        if (out.clutter.size() < 4 && rng.bernoulli(0.5)) {
+          out.clutter.push_back({rng.uniform_int(0, 5),
+                                 rng.uniform(-6.0, 6.0),
+                                 rng.uniform(-1.0, 2.0)});
+        } else if (!out.clutter.empty()) {
+          auto& c = out.clutter[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<int>(out.clutter.size()) - 1))];
+          if (rng.bernoulli(0.3)) {
+            out.clutter.erase(out.clutter.begin() +
+                              (&c - out.clutter.data()));
+          } else {
+            c.x += rng.uniform(-1.5, 1.5);
+            c.y += rng.uniform(-0.5, 0.5);
+          }
+        }
+        break;
+      case 12:
+        out.ground_bounce = rng.bernoulli(0.5);
+        out.ground_reflection = rng.uniform(0.0, 0.4);
+        break;
+      default:
+        out.psvaas_per_stack =
+            std::vector<int>{8, 16, 32}[static_cast<std::size_t>(
+                rng.uniform_int(0, 2))];
+        out.beam_shaped = rng.bernoulli(0.8);
+        break;
+    }
+  }
+  out.sanitize();
+  return out;
+}
+
+}  // namespace ros::testkit

@@ -178,3 +178,71 @@ TEST(BeamShaping, InvalidInputsThrow) {
   EXPECT_THROW(ra::shape_elevation_beam(8, {}, {}, nullptr),
                std::invalid_argument);
 }
+
+// --- degenerate-input regressions + property checks (ros::testkit) ---
+
+#include <limits>
+
+#include "ros/testkit/property.hpp"
+
+namespace tk = ros::testkit;
+
+TEST(BeamShaping, MeasureBeamwidthRejectsDegenerateWindows) {
+  // Regression: a zero/negative/NaN span used to divide by zero inside
+  // the sampling grid and return garbage instead of throwing.
+  ra::PsvaaStack::Params p;
+  p.n_units = 8;
+  const ra::PsvaaStack s(p, &stackup());
+  EXPECT_THROW(ra::measure_beamwidth_rad(s, 79e9, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(ra::measure_beamwidth_rad(s, 79e9, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ra::measure_beamwidth_rad(
+          s, 79e9, std::numeric_limits<double>::quiet_NaN()),
+      std::invalid_argument);
+}
+
+TEST(BeamShaping, ShapeRejectsDegenerateGoals) {
+  ra::BeamShapingGoal g;
+  g.n_samples = 2;  // cannot bracket a -3 dB edge with two samples
+  EXPECT_THROW(ra::shape_elevation_beam(8, {}, g, &stackup()),
+               std::invalid_argument);
+
+  g = {};
+  g.target_beamwidth_rad = 0.0;
+  EXPECT_THROW(ra::shape_elevation_beam(8, {}, g, &stackup()),
+               std::invalid_argument);
+
+  g = {};
+  g.evaluation_span_rad = 0.5 * g.target_beamwidth_rad;  // window < goal
+  EXPECT_THROW(ra::shape_elevation_beam(8, {}, g, &stackup()),
+               std::invalid_argument);
+
+  g = {};
+  g.evaluation_span_rad = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(ra::shape_elevation_beam(8, {}, g, &stackup()),
+               std::invalid_argument);
+}
+
+TEST(BeamShaping, PropertyBeamwidthPositiveAndWithinSpan) {
+  // For any single-unit or multi-unit stack and any sane window the
+  // measured width is positive, finite, and cannot exceed the window.
+  ROS_PROPERTY_N(
+      "beamwidth bounded by span", 60,
+      tk::tuple_of(tk::uniform_int(1, 12), tk::uniform(0.05, 0.6)),
+      [](const std::tuple<int, double>& t) -> std::string {
+        const auto [n, span] = t;
+        ra::PsvaaStack::Params p;
+        p.n_units = n;
+        const ra::PsvaaStack s(p, &stackup());
+        const double bw = ra::measure_beamwidth_rad(s, 79e9, span, 301);
+        if (!std::isfinite(bw)) return "non-finite beamwidth";
+        if (bw <= 0.0) return "non-positive beamwidth";
+        if (bw > span + 1e-12) {
+          return "beamwidth " + std::to_string(bw) + " exceeds span " +
+                 std::to_string(span);
+        }
+        return "";
+      });
+}

@@ -172,3 +172,59 @@ TEST(Psvaa, BoardDimensionsDefaulted) {
   EXPECT_NEAR(ps.board_width() / rc::wavelength(79e9), 3.0, 1e-9);
   EXPECT_NEAR(ps.board_height() / rc::wavelength(79e9), 0.725, 1e-9);
 }
+
+// --- property checks (ros::testkit) ---------------------------------
+
+#include "ros/testkit/property.hpp"
+
+namespace tk = ros::testkit;
+
+TEST(Psvaa, PropertyScatterMatrixReciprocal) {
+  // Reciprocity must hold at every angle, frequency, and element count,
+  // not just the pinned example above: hv == vh and hh == vv exactly.
+  ROS_PROPERTY(
+      "scatter reciprocity",
+      tk::tuple_of(tk::uniform(-1.4, 1.4), tk::uniform(76e9, 81e9),
+                   tk::uniform_int(4, 32)),
+      [](const std::tuple<double, double, int>& t) -> std::string {
+        const auto [az, hz, n] = t;
+        ra::Psvaa::Params p;
+        p.vaa.n_pairs = n;
+        const ra::Psvaa ps(p, &stackup());
+        const auto m = ps.scatter(az, hz);
+        if (m.hv != m.vh) return "hv != vh";
+        if (m.hh != m.vv) return "hh != vv";
+        const auto vals = {m.hh, m.hv, m.vh, m.vv};
+        for (const auto& v : vals) {
+          if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) {
+            return "non-finite scatter entry";
+          }
+        }
+        return "";
+      });
+}
+
+TEST(Psvaa, PropertySwitchingSplitIsExactEverywhere) {
+  // The 6.02 dB polarization split (Sec. 4.2) is angle- and
+  // frequency-independent: switching halves the retro amplitude at
+  // every geometry where the plain VAA responds at all.
+  ROS_PROPERTY_N(
+      "6 dB split", 100,
+      tk::tuple_of(tk::uniform(-1.0, 1.0), tk::uniform(76e9, 81e9)),
+      [](const std::tuple<double, double>& t) -> std::string {
+        const auto [az, hz] = t;
+        const ra::Psvaa ps({}, &stackup());
+        ra::Psvaa::Params plain;
+        plain.switching = false;
+        const ra::Psvaa vaa(plain, &stackup());
+        const double s_vaa =
+            std::abs(vaa.retro_scattering_length(az, az, hz));
+        if (s_vaa < 1e-12) return "";  // pattern null: ratio undefined
+        const double s_ps =
+            std::abs(ps.retro_scattering_length(az, az, hz));
+        if (std::abs(s_ps / s_vaa - 0.5) > 1e-9) {
+          return "split ratio " + std::to_string(s_ps / s_vaa);
+        }
+        return "";
+      });
+}

@@ -119,3 +119,61 @@ TEST(Random, InvalidArgumentsThrow) {
   EXPECT_THROW(rng.complex_gaussian(-0.5), std::invalid_argument);
   EXPECT_THROW(rng.bernoulli(1.5), std::invalid_argument);
 }
+
+// --- property checks (ros::testkit) ---------------------------------
+
+#include "ros/testkit/property.hpp"
+
+namespace tk = ros::testkit;
+
+TEST(Random, PropertyStreamsAreCounterIndependent) {
+  // Stream i's draws depend only on (master, i): interleaving draws
+  // from other streams must not perturb it. This is the contract the
+  // parallel frame loop and the property harness both rely on.
+  ROS_PROPERTY(
+      "stream independence",
+      tk::tuple_of(tk::uniform_int(0, 1 << 20), tk::uniform_int(0, 1000),
+                   tk::uniform_int(1, 16)),
+      [](const std::tuple<int, int, int>& t) {
+        const auto [master, stream, interleave] = t;
+        rc::Rng clean(rc::derive_stream_seed(
+            static_cast<std::uint64_t>(master),
+            static_cast<std::uint64_t>(stream)));
+        // "Dirty" run: burn draws from neighboring streams first.
+        for (int s = 0; s < interleave; ++s) {
+          rc::Rng other(rc::derive_stream_seed(
+              static_cast<std::uint64_t>(master),
+              static_cast<std::uint64_t>(stream + s + 1)));
+          (void)other.uniform(0.0, 1.0);
+        }
+        rc::Rng again(rc::derive_stream_seed(
+            static_cast<std::uint64_t>(master),
+            static_cast<std::uint64_t>(stream)));
+        for (int i = 0; i < 16; ++i) {
+          if (clean.uniform(0.0, 1.0) != again.uniform(0.0, 1.0)) {
+            return false;
+          }
+        }
+        return true;
+      });
+}
+
+TEST(Random, PropertyUniformIntCoversInclusiveRange) {
+  ROS_PROPERTY(
+      "uniform_int bounds",
+      tk::tuple_of(tk::uniform_int(-50, 50), tk::uniform_int(0, 100),
+                   tk::uniform_int(0, 1 << 20)),
+      [](const std::tuple<int, int, int>& t) -> std::string {
+        const auto [lo, width, seed] = t;
+        const int hi = lo + width;
+        rc::Rng rng(static_cast<std::uint64_t>(seed));
+        for (int i = 0; i < 32; ++i) {
+          const int v = rng.uniform_int(lo, hi);
+          if (v < lo || v > hi) {
+            return "uniform_int(" + std::to_string(lo) + ", " +
+                   std::to_string(hi) + ") produced " + std::to_string(v);
+          }
+        }
+        return "";
+      });
+}

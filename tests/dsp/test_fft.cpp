@@ -134,3 +134,62 @@ TEST(Fft, EmptyInputThrows) {
   EXPECT_THROW(rd::fft(empty), std::invalid_argument);
   EXPECT_THROW(rd::ifft(empty), std::invalid_argument);
 }
+
+// --- property checks (ros::testkit) ---------------------------------
+
+#include "ros/testkit/property.hpp"
+
+namespace tk = ros::testkit;
+
+namespace {
+
+/// Random complex signal: length from the whole supported regime
+/// (power-of-two radix-2 path AND odd-length Bluestein path).
+tk::Gen<std::vector<cplx>> signal_gen() {
+  return tk::uniform_int(2, 96).and_then([](int n) {
+    return tk::vector_of(
+        tk::pair_of(tk::uniform(-5.0, 5.0), tk::uniform(-5.0, 5.0)), n)
+        .map([](const std::vector<std::pair<double, double>>& re_im) {
+          std::vector<cplx> x(re_im.size());
+          for (std::size_t i = 0; i < x.size(); ++i) {
+            x[i] = {re_im[i].first, re_im[i].second};
+          }
+          return x;
+        });
+  });
+}
+
+}  // namespace
+
+TEST(Fft, PropertyIfftInvertsFftAtEveryLength) {
+  ROS_PROPERTY("ifft . fft = id", signal_gen(),
+               [](const std::vector<cplx>& x) -> std::string {
+                 const auto y = rd::ifft(rd::fft(x));
+                 if (y.size() != x.size()) return "size changed";
+                 for (std::size_t i = 0; i < x.size(); ++i) {
+                   if (std::abs(y[i] - x[i]) > 1e-8) {
+                     return "mismatch at index " + std::to_string(i) +
+                            " for n=" + std::to_string(x.size());
+                   }
+                 }
+                 return "";
+               });
+}
+
+TEST(Fft, PropertyParsevalAtEveryLength) {
+  ROS_PROPERTY("parseval", signal_gen(),
+               [](const std::vector<cplx>& x) -> std::string {
+                 double t = 0.0;
+                 for (const auto& v : x) t += std::norm(v);
+                 const auto X = rd::fft(x);
+                 double f = 0.0;
+                 for (const auto& v : X) f += std::norm(v);
+                 f /= static_cast<double>(x.size());
+                 if (std::abs(f - t) > 1e-7 * (1.0 + t)) {
+                   return "energy " + std::to_string(t) + " vs " +
+                          std::to_string(f) + " at n=" +
+                          std::to_string(x.size());
+                 }
+                 return "";
+               });
+}

@@ -121,3 +121,78 @@ TEST(Spectrum, AmplitudeAtInterpolates) {
   // Interpolated lookup is continuous: nearby spacings give nearby values.
   EXPECT_NEAR(spec.amplitude_at(6.0), spec.amplitude_at(6.01), 0.2);
 }
+
+// --- property checks (ros::testkit) ---------------------------------
+
+#include "ros/common/random.hpp"
+#include "ros/testkit/property.hpp"
+
+namespace tk = ros::testkit;
+
+TEST(Spectrum, PropertySampleOrderInvariance) {
+  // rcs_spectrum promises "u need not be sorted": any permutation of
+  // the (u, rcs) pairs must give the identical spectrum, bit for bit.
+  // This is what lets the pipeline feed samples in frame order.
+  using Case = std::pair<int, std::uint64_t>;
+  const auto gen = tk::pair_of(
+      tk::uniform_int(16, 200),
+      tk::uniform_int(0, 1 << 30).map([](int s) {
+        return static_cast<std::uint64_t>(s);
+      }));
+  ROS_PROPERTY_N(
+      "permutation invariance", 100, gen,
+      [](const Case& c) -> std::string {
+        const auto [n, seed] = c;
+        ros::common::Rng rng(seed + 1);
+        const auto u = linspace(-0.9, 0.9, static_cast<std::size_t>(n));
+        std::vector<double> rcs(u.size());
+        for (auto& v : rcs) v = rng.uniform(0.0, 2.0);
+        const auto perm =
+            tk::permutation_of(u.size())(rng);
+        std::vector<double> u_p(u.size());
+        std::vector<double> rcs_p(u.size());
+        for (std::size_t i = 0; i < u.size(); ++i) {
+          u_p[i] = u[perm[i]];
+          rcs_p[i] = rcs[perm[i]];
+        }
+        const auto a = rd::rcs_spectrum(u, rcs);
+        const auto b = rd::rcs_spectrum(u_p, rcs_p);
+        if (a.amplitude.size() != b.amplitude.size()) {
+          return "spectrum sizes differ";
+        }
+        for (std::size_t i = 0; i < a.amplitude.size(); ++i) {
+          if (a.amplitude[i] != b.amplitude[i]) {
+            return "amplitude differs at bin " + std::to_string(i);
+          }
+        }
+        return "";
+      });
+}
+
+TEST(Spectrum, PropertySyntheticLayoutPeaksAtPairwiseSpacings) {
+  // Eq. 7 on random two-stack layouts: the spectrum of |F|^2 for
+  // stacks {0, d} peaks at spacing d, for any d in the coding regime.
+  ROS_PROPERTY_N(
+      "two-stack peak placement", 60, tk::uniform(3.0, 12.0),
+      [](double d) -> std::string {
+        const auto u = linspace(-0.9, 0.9, 600);
+        const auto rcs = synthetic_rcs(u, {0.0, d});
+        const auto spec = rd::rcs_spectrum(u, rcs);
+        // Strongest feature above 1 lambda must sit within a
+        // resolution cell of d.
+        double best_amp = 0.0;
+        double best_spacing = 0.0;
+        for (std::size_t i = 0; i < spec.spacing_lambda.size(); ++i) {
+          if (spec.spacing_lambda[i] < 1.0) continue;
+          if (spec.amplitude[i] > best_amp) {
+            best_amp = spec.amplitude[i];
+            best_spacing = spec.spacing_lambda[i];
+          }
+        }
+        if (std::abs(best_spacing - d) > 2.0 * spec.resolution_lambda) {
+          return "peak at " + std::to_string(best_spacing) +
+                 " for spacing " + std::to_string(d);
+        }
+        return "";
+      });
+}

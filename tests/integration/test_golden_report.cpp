@@ -1,0 +1,79 @@
+// Golden-file regression for Interrogator::run (ros::testkit): one
+// checked-in scenario, one checked-in JSON report. Any change to the
+// physics or the detection funnel shows up as a numeric diff with the
+// JSON path of the first divergence, instead of a silent drift.
+//
+// Refresh after an intentional model change with:
+//   ROS_REFRESH_GOLDEN=1 ./test_integration --gtest_filter='Golden*'
+// and commit the updated tests/golden/interrogation_report.json.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "ros/em/material.hpp"
+#include "ros/pipeline/interrogator.hpp"
+#include "ros/testkit/oracles.hpp"
+#include "ros/testkit/scenario.hpp"
+
+namespace tk = ros::testkit;
+
+namespace {
+
+const char* kGoldenPath = ROS_TESTS_SOURCE_DIR
+    "/golden/interrogation_report.json";
+
+/// The pinned scenario: nominal drive with one clutter object, matching
+/// tests/corpus/seed-nominal.scenario.
+tk::Scenario golden_scenario() {
+  tk::Scenario s;
+  s.clutter.push_back({0, 1.3, 0.4});
+  s.sanitize();
+  return s;
+}
+
+std::string run_and_serialize() {
+  static const auto stackup = ros::em::StriplineStackup::ros_default();
+  const auto s = golden_scenario();
+  const ros::pipeline::Interrogator inter(s.make_config());
+  const auto report = inter.run(s.make_scene(&stackup), s.make_drive());
+  return tk::report_to_json(report);
+}
+
+}  // namespace
+
+TEST(GoldenReport, MatchesCheckedInReport) {
+  const std::string actual_text = run_and_serialize();
+
+  if (std::getenv("ROS_REFRESH_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath);
+    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
+    out << actual_text << "\n";
+    GTEST_SKIP() << "golden refreshed: " << kGoldenPath;
+  }
+
+  std::ifstream in(kGoldenPath);
+  ASSERT_TRUE(in.good())
+      << "missing " << kGoldenPath
+      << " -- generate it with ROS_REFRESH_GOLDEN=1";
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  std::string err;
+  const auto actual = ros::obs::json_parse(actual_text, &err);
+  ASSERT_TRUE(actual.has_value()) << err;
+  const auto expected = ros::obs::json_parse(buf.str(), &err);
+  ASSERT_TRUE(expected.has_value()) << err;
+
+  // Counts serialize as integers and must match exactly (tolerance way
+  // below 1); physics numbers get a relative band for libm drift.
+  const std::string diff =
+      tk::json_numeric_diff(*actual, *expected, 1e-4, 1e-7);
+  EXPECT_TRUE(diff.empty())
+      << diff << "\n(refresh with ROS_REFRESH_GOLDEN=1 if intentional)";
+}
+
+TEST(GoldenReport, SerializationIsDeterministic) {
+  EXPECT_EQ(run_and_serialize(), run_and_serialize());
+}

@@ -1,0 +1,205 @@
+// Clustering invariants (ros::testkit, ISSUE satellite): the multi-frame
+// merge + DBSCAN + feature stage must not care how the points arrived.
+// The partition is invariant under point permutation (frames land in
+// arbitrary order) and under global SE(2) motions of the whole cloud
+// (the world origin is an odometry convention, not physics).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "ros/common/random.hpp"
+#include "ros/pipeline/dbscan.hpp"
+#include "ros/pipeline/features.hpp"
+#include "ros/testkit/domain.hpp"
+#include "ros/testkit/gen.hpp"
+#include "ros/testkit/property.hpp"
+
+namespace rp = ros::pipeline;
+namespace tk = ros::testkit;
+using ros::common::Rng;
+using ros::scene::Vec2;
+
+namespace {
+
+constexpr rp::DbscanOptions kOpts{};  // eps 0.35 m, min_points 6
+
+/// Canonical partition: clusters as sorted index sets (noise excluded),
+/// sorted by smallest member. Label numbering drops out.
+std::vector<std::vector<std::size_t>> partition_of(
+    const std::vector<int>& labels,
+    const std::vector<std::size_t>* index_map = nullptr) {
+  const int n = rp::cluster_count(labels);
+  std::vector<std::vector<std::size_t>> part(
+      static_cast<std::size_t>(std::max(n, 0)));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0) continue;
+    const std::size_t orig = index_map ? (*index_map)[i] : i;
+    part[static_cast<std::size_t>(labels[i])].push_back(orig);
+  }
+  for (auto& c : part) std::sort(c.begin(), c.end());
+  std::sort(part.begin(), part.end());
+  return part;
+}
+
+/// DBSCAN reachability has ties exactly at distance eps; a case whose
+/// pairwise distance grazes eps is legal but numerically unstable under
+/// rotation round-off, so the properties discard it (rare: the gap is
+/// 1e-6 m wide).
+bool has_eps_tie(const std::vector<Vec2>& pts, double eps) {
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      if (std::abs((pts[i] - pts[j]).norm() - eps) < 1e-6) return true;
+    }
+  }
+  return false;
+}
+
+rp::PointCloud make_cloud(const std::vector<Vec2>& pts) {
+  rp::PointCloud cloud;
+  cloud.points.reserve(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    cloud.points.push_back({pts[i], -40.0 - static_cast<double>(i % 7),
+                            i % 5});
+  }
+  return cloud;
+}
+
+struct Se2 {
+  double angle;
+  Vec2 t;
+  Vec2 apply(const Vec2& p) const {
+    const double c = std::cos(angle);
+    const double s = std::sin(angle);
+    return {c * p.x - s * p.y + t.x, s * p.x + c * p.y + t.y};
+  }
+};
+
+tk::Gen<Se2> se2_gen() {
+  return tk::tuple_of(tk::uniform(-3.14, 3.14), tk::uniform(-30.0, 30.0),
+                      tk::uniform(-30.0, 30.0))
+      .map([](const std::tuple<double, double, double>& t) {
+        return Se2{std::get<0>(t), {std::get<1>(t), std::get<2>(t)}};
+      });
+}
+
+}  // namespace
+
+TEST(DbscanProperty, PartitionInvariantUnderPointPermutation) {
+  // Frames merge into the cloud in drive order, but nothing downstream
+  // may depend on it: any reordering of the merged points must produce
+  // the identical partition into clusters + noise.
+  const auto gen = tk::pair_of(
+      tk::blob_cloud_gen(),
+      tk::uniform_int(0, 1 << 30));
+  ROS_PROPERTY(
+      "dbscan permutation invariance", gen,
+      [](const std::pair<tk::BlobCloud, int>& c) -> std::string {
+        const auto& pts = c.first.points;
+        if (pts.size() < 2) return "";
+        Rng rng(static_cast<std::uint64_t>(c.second) + 1);
+        const auto perm = tk::permutation_of(pts.size())(rng);
+        std::vector<Vec2> shuffled(pts.size());
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+          shuffled[i] = pts[perm[i]];
+        }
+        const auto base = rp::dbscan(pts, kOpts);
+        const auto alt = rp::dbscan(shuffled, kOpts);
+        if (partition_of(base) != partition_of(alt, &perm)) {
+          return "partition changed under permutation (" +
+                 std::to_string(pts.size()) + " points)";
+        }
+        return "";
+      });
+}
+
+TEST(DbscanProperty, PartitionInvariantUnderRigidMotion) {
+  // DBSCAN sees only pairwise distances, so any global rotation +
+  // translation of the world frame must keep the partition (clusters
+  // AND the noise set) exactly.
+  const auto gen = tk::pair_of(tk::blob_cloud_gen(), se2_gen());
+  ROS_PROPERTY(
+      "dbscan SE(2) invariance", gen,
+      [](const std::pair<tk::BlobCloud, Se2>& c) -> std::string {
+        const auto& pts = c.first.points;
+        if (pts.empty()) return "";
+        if (has_eps_tie(pts, kOpts.eps_m)) return "";  // degenerate tie
+        std::vector<Vec2> moved(pts.size());
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+          moved[i] = c.second.apply(pts[i]);
+        }
+        const auto base = rp::dbscan(pts, kOpts);
+        const auto alt = rp::dbscan(moved, kOpts);
+        if (base != alt) return "labels changed under rigid motion";
+        return "";
+      });
+}
+
+TEST(DbscanProperty, ClusterFeaturesEquivariantUnderTranslation) {
+  // Through the full feature stage: translating the merged cloud moves
+  // every centroid by exactly the translation and leaves the intrinsic
+  // features (count, area, extent, density, mean RSS) untouched.
+  // (Rotation is excluded here on purpose: size_m2 is an axis-aligned
+  // bounding box, which is translation- but not rotation-invariant.)
+  const auto gen = tk::pair_of(
+      tk::blob_cloud_gen(),
+      tk::pair_of(tk::uniform(-20.0, 20.0), tk::uniform(-20.0, 20.0)));
+  ROS_PROPERTY(
+      "feature translation equivariance", gen,
+      [](const std::pair<tk::BlobCloud,
+                         std::pair<double, double>>& c) -> std::string {
+        const auto& pts = c.first.points;
+        const Vec2 t{c.second.first, c.second.second};
+        std::vector<Vec2> moved(pts.size());
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+          moved[i] = pts[i] + t;
+        }
+        const auto base = rp::extract_clusters(make_cloud(pts), kOpts);
+        const auto alt = rp::extract_clusters(make_cloud(moved), kOpts);
+        if (base.size() != alt.size()) return "cluster count changed";
+        for (std::size_t k = 0; k < base.size(); ++k) {
+          const auto& a = base[k];
+          const auto& b = alt[k];
+          if (a.point_indices != b.point_indices) {
+            return "membership changed";
+          }
+          if ((b.centroid - (a.centroid + t)).norm() > 1e-9) {
+            return "centroid did not translate";
+          }
+          if (std::abs(a.size_m2 - b.size_m2) > 1e-9 ||
+              std::abs(a.extent_m - b.extent_m) > 1e-9 ||
+              std::abs(a.density - b.density) >
+                  1e-9 * (1.0 + a.density) ||
+              a.n_points != b.n_points ||
+              std::abs(a.mean_rss_dbm - b.mean_rss_dbm) > 1e-12) {
+            return "intrinsic features changed under translation";
+          }
+        }
+        return "";
+      });
+}
+
+TEST(DbscanProperty, DenseFilterIsAProjection) {
+  // filter_dense keeps exactly the clusters meeting both floors, keeps
+  // them in order, and is idempotent.
+  ROS_PROPERTY_N(
+      "filter_dense projection", 100, tk::blob_cloud_gen(),
+      [](const tk::BlobCloud& c) -> std::string {
+        const auto clusters = rp::extract_clusters(make_cloud(c.points),
+                                                   kOpts);
+        const double min_density = 50.0;
+        const std::size_t min_points = 6;
+        const auto kept =
+            rp::filter_dense(clusters, min_density, min_points);
+        std::size_t expect = 0;
+        for (const auto& cl : clusters) {
+          expect += cl.density >= min_density && cl.n_points >= min_points;
+        }
+        if (kept.size() != expect) return "kept wrong count";
+        const auto again =
+            rp::filter_dense(kept, min_density, min_points);
+        if (again.size() != kept.size()) return "not idempotent";
+        return "";
+      });
+}

@@ -66,3 +66,70 @@ TEST(TagDetector, NegativeLossIsTagLike) {
   EXPECT_TRUE(c.is_tag);
   EXPECT_LT(c.rss_loss_db, 0.0);
 }
+
+// --- property checks (ros::testkit) ---------------------------------
+
+#include <cmath>
+
+#include "ros/testkit/property.hpp"
+
+namespace tk = ros::testkit;
+
+TEST(TagDetector, PropertyLossGateMatchesSpec) {
+  // The classifier gate over RANDOM (normal, switched) RSS pairs:
+  // rss_loss_db is exactly normal - switched, and is_tag is the spec
+  // conjunction. The example tests above only probe a handful of loss
+  // values; this sweeps the whole plane, including very negative losses
+  // (switched much stronger than normal), which a plausible-looking
+  // |loss| <= max gate would wrongly reject.
+  ROS_PROPERTY(
+      "loss gate", tk::pair_of(tk::uniform(-90.0, -10.0),
+                               tk::uniform(-90.0, -10.0)),
+      [](const std::pair<double, double>& rss) -> std::string {
+        const auto [normal, switched] = rss;
+        const rp::TagDetectorOptions opts;
+        const auto c =
+            rp::classify_cluster(dense_small_cluster(), normal, switched,
+                                 opts);
+        if (std::abs(c.rss_loss_db - (normal - switched)) > 1e-12) {
+          return "loss != normal - switched";
+        }
+        const bool want = (normal - switched) <= opts.max_rss_loss_db;
+        if (c.is_tag != want) {
+          return "gate mismatch at loss " +
+                 std::to_string(normal - switched);
+        }
+        return "";
+      });
+}
+
+TEST(TagDetector, PropertyGeometryGatesAreMonotone) {
+  // Shrinking a tag-accepted cluster (fewer points, bigger footprint,
+  // lower density) can only flip it toward rejection, never the other
+  // way; growing point count / density on an accepted cluster keeps it
+  // accepted as long as size stays put.
+  ROS_PROPERTY_N(
+      "geometry gates monotone", 150,
+      tk::tuple_of(tk::uniform_int(1, 400), tk::uniform(1e-4, 0.2),
+                   tk::log_uniform(1.0, 5e4)),
+      [](const std::tuple<int, double, double>& t) -> std::string {
+        const auto [n, size, density] = t;
+        rp::Cluster cl;
+        cl.n_points = n;
+        cl.size_m2 = size;
+        cl.density = density;
+        const auto c = rp::classify_cluster(cl, -30.0, -43.0, {});
+        if (!c.is_tag) return "";
+        auto worse = cl;
+        worse.n_points = n / 2;
+        worse.size_m2 = size * 2.0;
+        worse.density = density / 2.0;
+        const auto w = rp::classify_cluster(worse, -30.0, -43.0, {});
+        const rp::TagDetectorOptions opts;
+        const bool still_ok = worse.n_points >= opts.min_points &&
+                              worse.size_m2 <= opts.max_size_m2 &&
+                              worse.density >= opts.min_density;
+        if (w.is_tag != still_ok) return "degraded cluster misclassified";
+        return "";
+      });
+}

@@ -43,3 +43,44 @@ TEST(Fog, NegativeDistanceThrows) {
   EXPECT_THROW(rs::two_way_loss_db(rs::Weather::clear, -1.0),
                std::invalid_argument);
 }
+
+// --- property checks (ros::testkit) ---------------------------------
+
+#include <cmath>
+#include <vector>
+
+#include "ros/testkit/property.hpp"
+
+namespace tk = ros::testkit;
+
+namespace {
+const std::vector<rs::Weather> kSeverityOrder = {
+    rs::Weather::clear, rs::Weather::light_fog, rs::Weather::heavy_fog,
+    rs::Weather::heavy_rain};
+}  // namespace
+
+TEST(Fog, PropertyLossMonotoneInSeverityAndDistance) {
+  // The invariant roztest leans on: worse weather or a longer path
+  // never attenuates less. Checked over random distances and severity
+  // pairs rather than the three pinned examples above.
+  ROS_PROPERTY(
+      "loss monotone", tk::tuple_of(tk::uniform(0.0, 500.0),
+                                    tk::uniform_int(0, 3),
+                                    tk::uniform_int(0, 3)),
+      [](const std::tuple<double, int, int>& t) -> std::string {
+        const auto [d, a, b] = t;
+        const auto wa = kSeverityOrder[static_cast<std::size_t>(a)];
+        const auto wb = kSeverityOrder[static_cast<std::size_t>(b)];
+        const double la = rs::two_way_loss_db(wa, d);
+        const double lb = rs::two_way_loss_db(wb, d);
+        if (a <= b && la > lb + 1e-12) return "severity order inverted";
+        if (la < 0.0) return "negative attenuation";
+        // Distance monotonicity + additivity over a split path.
+        const double half = rs::two_way_loss_db(wa, d / 2.0);
+        if (half > la + 1e-12) return "loss decreased with distance";
+        if (std::abs(2.0 * half - la) > 1e-9 * (1.0 + la)) {
+          return "loss not additive over concatenated segments";
+        }
+        return "";
+      });
+}

@@ -103,3 +103,59 @@ TEST(Layout, InvalidInputsThrow) {
   bad.unit_spacing_lambda = -1.0;
   EXPECT_THROW(rt::TagLayout::all_ones(bad), std::invalid_argument);
 }
+
+// --- property checks (ros::testkit) ---------------------------------
+
+#include <cmath>
+
+#include "ros/testkit/domain.hpp"
+#include "ros/testkit/property.hpp"
+
+namespace tk = ros::testkit;
+
+TEST(Layout, PropertySlotSpacingFollowsPaperFormula) {
+  // Sec. 5.2, Eq. 8: slot k of an M-position tag sits (M + k - 2) c
+  // lambda from the reference, for ANY (M, c) obeying the design rules
+  // -- not just the paper's M = 5, c = 1.5 example pinned above.
+  ROS_PROPERTY(
+      "d_k = (M + k - 2) c", tk::tag_layout_gen(),
+      [](const rt::TagLayout& lay) -> std::string {
+        const int m = lay.n_bits() + 1;
+        const double c = lay.params().unit_spacing_lambda;
+        for (int k = 1; k < m; ++k) {
+          const double want = (m + k - 2) * c;
+          if (std::abs(lay.slot_spacing_lambda(k) - want) > 1e-9) {
+            return "slot " + std::to_string(k) + ": " +
+                   std::to_string(lay.slot_spacing_lambda(k)) + " vs " +
+                   std::to_string(want);
+          }
+          // Alternating sides of the reference.
+          const double pos = lay.slot_position(k) / lay.wavelength();
+          if ((k % 2 == 1) != (pos > 0.0)) return "side alternation broken";
+        }
+        // Coding band == [first slot, last slot] spacing.
+        const auto [lo, hi] = lay.coding_band_lambda();
+        if (std::abs(lo - lay.slot_spacing_lambda(1)) > 1e-9 ||
+            std::abs(hi - lay.slot_spacing_lambda(m - 1)) > 1e-9) {
+          return "coding band inconsistent with slot spacings";
+        }
+        return "";
+      });
+}
+
+TEST(Layout, PropertyPairwiseSpacingsSortedAndUnambiguous) {
+  // The decoder relies on pairwise spacings being sorted and the coding
+  // slots being separated from every non-coding pair by the design-rule
+  // guard band; check over random layouts.
+  ROS_PROPERTY_N(
+      "pairwise spacings sorted", 100, tk::tag_layout_gen(),
+      [](const rt::TagLayout& lay) -> std::string {
+        const auto sp = lay.pairwise_spacings_lambda();
+        const std::size_t n = static_cast<std::size_t>(lay.n_stacks());
+        if (sp.size() != n * (n - 1) / 2) return "pair count wrong";
+        for (std::size_t i = 1; i < sp.size(); ++i) {
+          if (sp[i] < sp[i - 1]) return "spacings not sorted";
+        }
+        return "";
+      });
+}

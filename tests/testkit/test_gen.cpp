@@ -1,0 +1,159 @@
+// Generator combinator tests: determinism per seed, range contracts,
+// and shrinker candidate shapes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "ros/common/random.hpp"
+#include "ros/testkit/domain.hpp"
+#include "ros/testkit/gen.hpp"
+#include "ros/testkit/shrink.hpp"
+
+namespace tk = ros::testkit;
+using ros::common::Rng;
+
+TEST(Gen, SameSeedSameStream) {
+  const auto g = tk::uniform(-3.0, 7.0);
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(g(a), g(b));
+  }
+}
+
+TEST(Gen, UniformStaysInRange) {
+  const auto g = tk::uniform(-2.5, 4.5);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = g(rng);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 4.5);
+  }
+}
+
+TEST(Gen, LogUniformCoversDecades) {
+  const auto g = tk::log_uniform(1e-3, 1e3);
+  Rng rng(7);
+  int low = 0;
+  int high = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = g(rng);
+    ASSERT_GE(v, 1e-3);
+    ASSERT_LE(v, 1e3 * (1 + 1e-12));
+    low += v < 1e-1;
+    high += v > 1e1;
+  }
+  // Log-uniform spends ~1/3 of its mass in each decade pair.
+  EXPECT_GT(low, 400);
+  EXPECT_GT(high, 400);
+}
+
+TEST(Gen, MapAndFilterCompose) {
+  const auto g =
+      tk::uniform_int(0, 100).map([](int v) { return v * 2; }).filter(
+          [](int v) { return v % 4 == 0; });
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(g(rng) % 4, 0);
+  }
+}
+
+TEST(Gen, FilterThrowsWhenExhausted) {
+  const auto g =
+      tk::uniform_int(1, 10).filter([](int) { return false; }, 20);
+  Rng rng(5);
+  EXPECT_THROW(g(rng), std::runtime_error);
+}
+
+TEST(Gen, ElementOfAndFrequencyRespectSupport) {
+  const auto e = tk::element_of<int>({2, 4, 8});
+  const auto f = tk::frequency<int>(
+      {{1.0, tk::constant(1)}, {0.0, tk::constant(99)}});
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    const int v = e(rng);
+    EXPECT_TRUE(v == 2 || v == 4 || v == 8);
+    EXPECT_EQ(f(rng), 1);  // zero-weight branch never fires
+  }
+}
+
+TEST(Gen, VectorOfSizesAndTupleDrawOrder) {
+  const auto g = tk::vector_of(tk::uniform_int(0, 9), 2, 5);
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    const auto v = g(rng);
+    EXPECT_GE(v.size(), 2u);
+    EXPECT_LE(v.size(), 5u);
+  }
+  // Tuple draws left-to-right: element 0 matches a bare draw.
+  const auto t = tk::tuple_of(tk::uniform_int(0, 1000), tk::uniform(0, 1));
+  Rng a(17);
+  Rng b(17);
+  EXPECT_EQ(std::get<0>(t(a)), tk::uniform_int(0, 1000)(b));
+}
+
+TEST(Gen, PermutationIsAPermutation) {
+  const auto g = tk::permutation_of(12);
+  Rng rng(19);
+  for (int i = 0; i < 50; ++i) {
+    auto p = g(rng);
+    ASSERT_EQ(p.size(), 12u);
+    std::sort(p.begin(), p.end());
+    for (std::size_t k = 0; k < p.size(); ++k) EXPECT_EQ(p[k], k);
+  }
+}
+
+TEST(DomainGen, LayoutsHonorDesignRules) {
+  const auto g = tk::tag_layout_gen();
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    const auto layout = g(rng);  // from_bits would throw on a bad layout
+    EXPECT_GE(layout.n_bits(), 2);
+    EXPECT_LE(layout.n_bits(), 6);
+    const auto band = layout.coding_band_lambda();
+    EXPECT_LT(band.first, band.second);
+  }
+}
+
+TEST(DomainGen, BitsNeverAllZero) {
+  const auto g = tk::bits_gen(4);
+  Rng rng(29);
+  for (int i = 0; i < 500; ++i) {
+    const auto bits = g(rng);
+    EXPECT_TRUE(std::any_of(bits.begin(), bits.end(),
+                            [](bool b) { return b; }));
+  }
+}
+
+TEST(Shrink, ScalarsHalveTowardZero) {
+  const auto c = tk::Shrinker<int>::candidates(100);
+  ASSERT_FALSE(c.empty());
+  EXPECT_EQ(c.front(), 0);
+  EXPECT_TRUE(std::find(c.begin(), c.end(), 50) != c.end());
+  EXPECT_TRUE(tk::Shrinker<int>::candidates(0).empty());
+
+  const auto d = tk::Shrinker<double>::candidates(-8.5);
+  EXPECT_EQ(d.front(), 0.0);
+  EXPECT_TRUE(std::find(d.begin(), d.end(), -4.25) != d.end());
+}
+
+TEST(Shrink, VectorsDropPrefixesAndElements) {
+  const std::vector<int> v = {5, 6, 7, 8};
+  const auto c = tk::Shrinker<std::vector<int>>::candidates(v);
+  ASSERT_FALSE(c.empty());
+  EXPECT_TRUE(c.front().empty());
+  // Halves present.
+  EXPECT_TRUE(std::find(c.begin(), c.end(), std::vector<int>{5, 6}) !=
+              c.end());
+  EXPECT_TRUE(std::find(c.begin(), c.end(), std::vector<int>{7, 8}) !=
+              c.end());
+  // Single-element drop present.
+  EXPECT_TRUE(std::find(c.begin(), c.end(), std::vector<int>{5, 6, 7}) !=
+              c.end());
+  // Every candidate is no larger, and strictly smaller in size or in
+  // some element.
+  for (const auto& cand : c) {
+    EXPECT_LE(cand.size(), v.size());
+  }
+}

@@ -1,0 +1,141 @@
+// Harness tests: the property checker itself -- case counts, failure
+// reporting, shrinking, and seed-exact reproduction.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "ros/testkit/property.hpp"
+
+namespace tk = ros::testkit;
+
+namespace {
+
+int vec_sum(const std::vector<int>& v) {
+  return std::accumulate(v.begin(), v.end(), 0);
+}
+
+}  // namespace
+
+TEST(Property, PassingPropertyRunsAllCases) {
+  const auto r = tk::check_property(
+      "in range", tk::uniform(0.0, 1.0),
+      [](double v) { return v >= 0.0 && v < 1.0; });
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.cases_run, tk::resolve_cases(200));
+}
+
+TEST(Property, FailureReportsSeedAndCounterexample) {
+  tk::PropertyConfig cfg;
+  cfg.seed = 0x1234;
+  const auto r = tk::check_property(
+      "always false", tk::uniform_int(0, 9),
+      [](int) { return false; }, cfg);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.run_seed, 0x1234u);
+  EXPECT_EQ(r.failing_case, 0u);  // very first case fails
+  EXPECT_FALSE(r.counterexample.empty());
+  const std::string msg = tk::failure_message("always false", r);
+  EXPECT_NE(msg.find("ROS_PROPERTY_SEED=0x1234"), std::string::npos);
+  EXPECT_NE(msg.find(r.counterexample), std::string::npos);
+}
+
+TEST(Property, ShrinksToMinimalCounterexample) {
+  tk::PropertyConfig cfg;
+  cfg.seed = 0x77;
+  // Fails whenever the sum reaches 20; the minimal failing vectors are
+  // short with small elements, and the greedy shrinker should get well
+  // under the typical random failure (10 elements averaging 5 each).
+  const auto r = tk::check_property(
+      "sum stays under 20", tk::vector_of(tk::uniform_int(0, 10), 0, 10),
+      [](const std::vector<int>& v) { return vec_sum(v) < 20; }, cfg);
+  ASSERT_FALSE(r.ok);
+  EXPECT_GT(r.shrink_steps, 0);
+  EXPECT_NE(r.original, r.counterexample);
+  // Re-parse the shrunk value's size from its printed form is brittle;
+  // instead verify through the invariant: shrinking never produces a
+  // passing value, so the reported counterexample still fails. Re-run
+  // with the same seed and check the result is byte-identical (full
+  // reproducibility of generation + shrinking).
+  const auto r2 = tk::check_property(
+      "sum stays under 20", tk::vector_of(tk::uniform_int(0, 10), 0, 10),
+      [](const std::vector<int>& v) { return vec_sum(v) < 20; }, cfg);
+  EXPECT_EQ(r.counterexample, r2.counterexample);
+  EXPECT_EQ(r.failing_case, r2.failing_case);
+  EXPECT_EQ(r.shrink_steps, r2.shrink_steps);
+}
+
+TEST(Property, StringPropertiesCarryDetail) {
+  tk::PropertyConfig cfg;
+  cfg.seed = 0x9;
+  const auto r = tk::check_property(
+      "detail", tk::uniform_int(5, 9),
+      [](int v) -> std::string {
+        return v >= 5 ? "got " + std::to_string(v) : "";
+      },
+      cfg);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.note.rfind("got ", 0), 0u);
+}
+
+TEST(Property, ThrowingPropertyIsAFailureNotACrash) {
+  tk::PropertyConfig cfg;
+  cfg.seed = 0xabc;
+  const auto r = tk::check_property(
+      "throws", tk::uniform_int(1, 3),
+      [](int v) -> bool { throw std::runtime_error("boom " +
+                                                   std::to_string(v)); },
+      cfg);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.note.find("boom"), std::string::npos);
+}
+
+TEST(Property, ThrowingGeneratorIsReported) {
+  tk::PropertyConfig cfg;
+  cfg.seed = 0xdef;
+  const auto gen = tk::uniform_int(0, 1).filter(
+      [](int) { return false; }, 3);  // always exhausts
+  const auto r = tk::check_property("gen throws", gen,
+                                    [](int) { return true; }, cfg);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.counterexample, "<generator failed>");
+  EXPECT_NE(r.note.find("generator threw"), std::string::npos);
+}
+
+TEST(Property, CasesUseIndependentStreams) {
+  // Case i draws from derive_stream_seed(seed, i): dropping the first
+  // case must not change what case 1 generates. Capture the values two
+  // ways and compare.
+  std::vector<int> seen;
+  tk::PropertyConfig cfg;
+  cfg.seed = 0x5555;
+  cfg.cases = 5;
+  tk::check_property(
+      "capture", tk::uniform_int(0, 1000000),
+      [&seen](int v) {
+        seen.push_back(v);
+        return true;
+      },
+      cfg);
+  ASSERT_EQ(seen.size(), 5u);
+  ros::common::Rng rng(ros::common::derive_stream_seed(0x5555, 3));
+  EXPECT_EQ(seen[3], rng.uniform_int(0, 1000000));
+}
+
+TEST(Property, MacroPassesOnTruePredicate) {
+  // Commas inside the lambda must survive the macro (__VA_ARGS__).
+  ROS_PROPERTY_N("pairs ordered", 50,
+                 tk::pair_of(tk::uniform(0.0, 1.0), tk::uniform(2.0, 3.0)),
+                 [](const std::pair<double, double>& p) {
+                   const auto [a, b] = p;
+                   return a < b;
+                 });
+}
+
+TEST(Property, ShowFormatsContainersAndBits) {
+  EXPECT_EQ(tk::show(std::vector<int>{1, 2, 3}), "[1, 2, 3]");
+  EXPECT_EQ(tk::show(std::vector<bool>{true, false, true}),
+            "bits\"101\"");
+  EXPECT_EQ(tk::show(std::make_pair(1, 2.5)), "(1, 2.5)");
+}

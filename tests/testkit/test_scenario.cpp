@@ -1,0 +1,136 @@
+// Scenario encode/parse/mutate tests plus the invariant oracles on a
+// real pipeline run -- the same path roztest fuzzes, pinned here so the
+// fuzzer's building blocks are themselves regression-tested.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ros/common/random.hpp"
+#include "ros/em/material.hpp"
+#include "ros/pipeline/interrogator.hpp"
+#include "ros/testkit/oracles.hpp"
+#include "ros/testkit/property.hpp"
+#include "ros/testkit/scenario.hpp"
+
+namespace tk = ros::testkit;
+using ros::common::Rng;
+
+namespace {
+
+const ros::em::StriplineStackup& stackup() {
+  static const auto s = ros::em::StriplineStackup::ros_default();
+  return s;
+}
+
+tk::Gen<tk::Scenario> scenario_gen() {
+  return tk::Gen<tk::Scenario>([](Rng& rng) {
+    tk::Scenario s;
+    for (int i = 0; i < 6; ++i) s = tk::mutate(s, rng);
+    return s;
+  });
+}
+
+}  // namespace
+
+TEST(Scenario, EncodeParseRoundTrips) {
+  ROS_PROPERTY("encode/parse round-trips", scenario_gen(),
+               [](const tk::Scenario& s) {
+                 const tk::Scenario back = tk::Scenario::parse(s.encode());
+                 return back.encode() == s.encode();
+               });
+}
+
+TEST(Scenario, SanitizeIsIdempotentAndBoundsFrames) {
+  ROS_PROPERTY("sanitize bounds", scenario_gen(),
+               [](const tk::Scenario& s) -> std::string {
+                 tk::Scenario t = s;
+                 t.sanitize();
+                 if (t.encode() != s.encode()) {
+                   return "sanitize not idempotent after mutate";
+                 }
+                 if (t.n_bits < 2 || t.n_bits > 5) return "n_bits escaped";
+                 if (t.bits == 0) return "all-zero payload escaped";
+                 if (t.n_frames() < 40 || t.n_frames() > 450) {
+                   return "frame budget escaped: " +
+                          std::to_string(t.n_frames());
+                 }
+                 for (const auto& c : t.clutter) {
+                   if (std::abs(c.x) < 0.8 && std::abs(c.y) < 0.8) {
+                     return "clutter on top of the tag";
+                   }
+                 }
+                 return "";
+               });
+}
+
+TEST(Scenario, ParseToleratesGarbage) {
+  const auto s = tk::Scenario::parse(
+      "# junk\nn_bits = 99\nbits = 0\nwhat = ever\nspeed_mps = banana\n"
+      "clutter = 1 2\nclutter = 2 1.0 0.9\n");
+  EXPECT_EQ(s.n_bits, 5);          // clamped from 99
+  EXPECT_NE(s.bits, 0u);           // non-zero enforced
+  EXPECT_EQ(s.clutter.size(), 1u); // malformed clutter line dropped
+  const auto cfg = s.make_config();
+  EXPECT_NO_THROW(ros::pipeline::validate(cfg));
+}
+
+TEST(Scenario, MutateIsDeterministicPerSeed) {
+  const tk::Scenario base;
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(tk::mutate(base, a).encode(), tk::mutate(base, b).encode());
+  }
+}
+
+TEST(Scenario, DefaultScenarioPassesDecodeOracles) {
+  const tk::Scenario s;
+  const auto result = ros::pipeline::decode_drive(
+      s.make_scene(&stackup()), s.make_drive(), {0.0, 0.0},
+      s.make_config());
+  const auto verdict = tk::check_decode_invariants(result, s);
+  EXPECT_TRUE(verdict.ok) << verdict.failure;
+  // Nominal conditions: the tag must actually read back its payload.
+  EXPECT_EQ(result.decode.bits, s.bit_vector());
+  // Behavior signatures are deterministic.
+  EXPECT_EQ(tk::behavior_signature(result, s),
+            tk::behavior_signature(result, s));
+}
+
+TEST(Scenario, TinyFovDegradesToNoReadInsteadOfThrowing) {
+  // Regression for a fuzzer-found crash: a valid config with a tiny
+  // decode FoV leaves fewer than 8 usable samples and decode_drive used
+  // to propagate the spectrum's precondition failure.
+  tk::Scenario s;
+  s.decode_fov_rad = 0.02;
+  s.sanitize();
+  ros::pipeline::DecodeDriveResult result;
+  ASSERT_NO_THROW(result = ros::pipeline::decode_drive(
+                      s.make_scene(&stackup()), s.make_drive(), {0.0, 0.0},
+                      s.make_config()));
+  EXPECT_TRUE(result.decode.bits.empty());  // explicit no-read
+  const auto verdict = tk::check_decode_invariants(result, s);
+  EXPECT_TRUE(verdict.ok) << verdict.failure;
+}
+
+TEST(Scenario, OraclesRejectCorruptedReports) {
+  const tk::Scenario s;
+  ros::pipeline::DecodeDriveResult result;
+  result.samples.push_back({0.1, -60.0, 1e-9, 3.0, 0});
+  result.telemetry.n_frames = 10;
+  ASSERT_TRUE(tk::check_decode_invariants(result, s).ok);
+
+  auto bad = result;
+  bad.samples[0].u = 1.5;  // outside [-1, 1]
+  EXPECT_FALSE(tk::check_decode_invariants(bad, s).ok);
+
+  bad = result;
+  bad.samples[0].rss_w = std::nan("");
+  EXPECT_FALSE(tk::check_decode_invariants(bad, s).ok);
+
+  bad = result;
+  bad.decode.bits = {true, false};  // width 2 != family width 4
+  bad.decode.slot_amplitudes = {1.0, 0.2};
+  bad.decode.slot_modulation = {0.1, 0.05};
+  EXPECT_FALSE(tk::check_decode_invariants(bad, s).ok);
+}
