@@ -11,6 +11,7 @@
 
 #include "ros/antenna/beam_shaping.hpp"
 #include "ros/exec/thread_pool.hpp"
+#include "ros/simd/simd.hpp"
 
 namespace {
 
@@ -94,4 +95,33 @@ ROS_BENCH_OPTS(perf_scaling, 1, 0) {
   ctx.fidelity("scaling_decoded_ok", decoded_ok ? 1.0 : 0.0, 1.0, 1.0,
                "parallel interrogation still decodes the tag");
   bench::print(ctx, table);
+
+  // SIMD backend sweep: the same interrogation under every compiled
+  // ros::simd backend (what ROS_SIMD=scalar vs native selects). Times
+  // are informative; the fidelity check is that every backend decodes
+  // the same bits -- the kernels differ only inside their documented
+  // tolerance, far below decision thresholds. Backends are pinned via
+  // set_backend, so this sweep (and its scorecard entries) is identical
+  // whatever ROS_SIMD the process started with.
+  const simd::Backend entry_backend = simd::active_backend();
+  common::CsvTable stable(
+      "perf: ros::simd backend sweep (interrogation frame loop)",
+      {"backend", "interrogate_ms", "speedup_vs_scalar"});
+  bool backends_decode_identical = true;
+  double scalar_ms = 0.0;
+  for (simd::Backend b : simd::available_backends()) {
+    simd::set_backend(b);
+    pipeline::InterrogationReport report;
+    const double t_run = wall_ms([&] { report = inter.run(world, drv); });
+    if (b == simd::Backend::scalar) scalar_ms = t_run;
+    backends_decode_identical = backends_decode_identical &&
+                                !report.tags.empty() &&
+                                report.tags.front().decode.bits == bits;
+    stable.add_row(simd::to_string(b), {t_run, scalar_ms / t_run});
+  }
+  simd::set_backend(entry_backend);
+  ctx.fidelity("simd_backends_decode_identical",
+               backends_decode_identical ? 1.0 : 0.0, 1.0, 1.0,
+               "every simd backend decodes the same bits");
+  bench::print(ctx, stable);
 }

@@ -101,6 +101,16 @@ class VanAttaArray {
   std::vector<cplx> element_errors_;    ///< fabrication gain/phase errors
   std::vector<double> element_x_;       ///< element positions incl. tolerance
   double implementation_amplitude_ = 1.0;
+
+  // SoA views of the element->partner wiring, precomputed so the
+  // bistatic sum is a pure simd pass: element k receives at x_rx_[k],
+  // re-radiates from x_tx_[k] through line pair_of_k_[k], with the
+  // combined fabrication error err_re_[k] + j err_im_[k].
+  std::vector<int> pair_of_k_;
+  std::vector<double> x_rx_;
+  std::vector<double> x_tx_;
+  std::vector<double> err_re_;
+  std::vector<double> err_im_;
 };
 
 }  // namespace ros::antenna

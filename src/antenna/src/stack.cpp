@@ -1,10 +1,13 @@
 #include "ros/antenna/stack.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "ros/antenna/design_rules.hpp"
 #include "ros/common/expect.hpp"
 #include "ros/common/units.hpp"
+#include "ros/exec/arena.hpp"
+#include "ros/simd/simd.hpp"
 
 namespace ros::antenna {
 
@@ -73,48 +76,53 @@ const Psvaa& PsvaaStack::unit(int i) const {
 }
 
 double PsvaaStack::elevation_pattern(double elevation_rad, double hz) const {
-  const double beta = 2.0 * kPi / wavelength(hz);
-  // The TL extension phases are already inside each unit's scattering
-  // length; evaluate the units at broadside azimuth and combine with the
-  // round-trip (factor 2) elevation aperture phase.
-  cplx sum{0.0, 0.0};
-  double norm = 0.0;
-  for (int i = 0; i < params_.n_units; ++i) {
-    const cplx u =
-        units_[static_cast<std::size_t>(i)].retro_scattering_length(0.0, 0.0,
-                                                                    hz);
-    const double phase =
-        2.0 * beta * centers_[static_cast<std::size_t>(i)] *
-        std::sin(elevation_rad);
-    sum += u * std::polar(1.0, phase);
-    norm += std::abs(u);
-  }
-  if (norm <= 0.0) return 0.0;
-  return std::norm(sum) / (norm * norm);
+  // Route through the sweep so single-angle and swept evaluations share
+  // one code path (and therefore agree bitwise under a fixed backend).
+  const auto out = elevation_pattern_sweep({&elevation_rad, 1}, hz);
+  return out[0];
 }
 
 std::vector<double> PsvaaStack::elevation_pattern_sweep(
     std::span<const double> elevation_rad, double hz) const {
   const double beta = 2.0 * kPi / wavelength(hz);
   const auto n_units = static_cast<std::size_t>(params_.n_units);
-  // The unit responses do not depend on the elevation angle; hoist them
-  // out of the sweep. Keep the unit iteration order identical to
-  // elevation_pattern so both produce bit-identical sums.
+  const std::size_t n_a = elevation_rad.size();
+  // The TL extension phases are already inside each unit's scattering
+  // length; evaluate the units at broadside azimuth (independent of the
+  // elevation angle, so hoisted out of the sweep) and combine with the
+  // round-trip (factor 2) elevation aperture phase.
   std::vector<cplx> unit_resp(n_units);
   double norm = 0.0;
   for (std::size_t i = 0; i < n_units; ++i) {
     unit_resp[i] = units_[i].retro_scattering_length(0.0, 0.0, hz);
     norm += std::abs(unit_resp[i]);
   }
-  std::vector<double> out(elevation_rad.size(), 0.0);
+  std::vector<double> out(n_a, 0.0);
   if (norm <= 0.0) return out;
-  for (std::size_t a = 0; a < elevation_rad.size(); ++a) {
-    const double s = std::sin(elevation_rad[a]);
-    cplx sum{0.0, 0.0};
-    for (std::size_t i = 0; i < n_units; ++i) {
-      sum += unit_resp[i] * std::polar(1.0, 2.0 * beta * centers_[i] * s);
-    }
-    out[a] = std::norm(sum) / (norm * norm);
+
+  // SoA sweep: each unit spreads its response over every angle with a
+  // scale + cexp_madd pass, keeping the per-angle accumulation order
+  // over units identical to the scalar loop this replaces.
+  const auto& simd = ros::simd::ops();
+  auto& arena = ros::exec::Arena::thread_local_arena();
+  ros::exec::Arena::Scope scope(arena);
+  auto sin_el = arena.alloc_span<double>(n_a);
+  auto cos_scratch = arena.alloc_span<double>(n_a);
+  auto phase = arena.alloc_span<double>(n_a);
+  auto acc_re = arena.alloc_span<double>(n_a);
+  auto acc_im = arena.alloc_span<double>(n_a);
+  simd.sincos(elevation_rad.data(), sin_el.data(), cos_scratch.data(),
+              n_a);
+  std::fill(acc_re.begin(), acc_re.end(), 0.0);
+  std::fill(acc_im.begin(), acc_im.end(), 0.0);
+  for (std::size_t i = 0; i < n_units; ++i) {
+    simd.scale(2.0 * beta * centers_[i], sin_el.data(), phase.data(), n_a);
+    simd.cexp_madd(unit_resp[i].real(), unit_resp[i].imag(), phase.data(),
+                   acc_re.data(), acc_im.data(), n_a);
+  }
+  const double inv_norm2 = 1.0 / (norm * norm);
+  for (std::size_t a = 0; a < n_a; ++a) {
+    out[a] = (acc_re[a] * acc_re[a] + acc_im[a] * acc_im[a]) * inv_norm2;
   }
   return out;
 }
@@ -133,22 +141,28 @@ cplx PsvaaStack::retro_scattering_length(double az_rad, double distance_m,
                                          double hz) const {
   ROS_EXPECT(distance_m > 0.0, "distance must be positive");
   const double beta = 2.0 * kPi / wavelength(hz);
-  cplx sum{0.0, 0.0};
-  for (int i = 0; i < params_.n_units; ++i) {
-    const double dz = centers_[static_cast<std::size_t>(i)] -
-                      height_offset_m;
+  const auto n_units = static_cast<std::size_t>(params_.n_units);
+  // Scalar geometry per unit (hypot/atan2 have no simd op), then one
+  // phase_mac over the SoA amplitudes and round-trip phases.
+  const auto& simd = ros::simd::ops();
+  auto& arena = ros::exec::Arena::thread_local_arena();
+  ros::exec::Arena::Scope scope(arena);
+  auto a_re = arena.alloc_span<double>(n_units);
+  auto a_im = arena.alloc_span<double>(n_units);
+  auto phase = arena.alloc_span<double>(n_units);
+  for (std::size_t i = 0; i < n_units; ++i) {
+    const double dz = centers_[i] - height_offset_m;
     const double r = std::hypot(distance_m, dz);
     const double elev = std::atan2(dz, distance_m);
     // Element elevation taper (patch pattern applies in elevation too).
     const double g = std::pow(std::max(0.0, std::cos(elev)), 1.3);
-    const cplx u =
-        units_[static_cast<std::size_t>(i)].retro_scattering_length(az_rad,
-                                                                    az_rad,
-                                                                    hz);
+    const cplx u = units_[i].retro_scattering_length(az_rad, az_rad, hz);
+    a_re[i] = u.real() * g;
+    a_im[i] = u.imag() * g;
     // Round-trip phase relative to the stack center plane.
-    sum += u * g * std::polar(1.0, -2.0 * beta * (r - distance_m));
+    phase[i] = -2.0 * beta * (r - distance_m);
   }
-  return sum;
+  return simd.phase_mac(a_re.data(), a_im.data(), phase.data(), n_units);
 }
 
 ScatterMatrix PsvaaStack::scatter(double az_rad, double distance_m,
@@ -159,15 +173,24 @@ ScatterMatrix PsvaaStack::scatter(double az_rad, double distance_m,
   // elevation specularity makes it negligible except near normal. Sum the
   // per-board structural responses with the same exact-range phases.
   const double beta = 2.0 * kPi / wavelength(hz);
-  cplx structural{0.0, 0.0};
-  for (int i = 0; i < params_.n_units; ++i) {
-    const double dz = centers_[static_cast<std::size_t>(i)] -
-                      height_offset_m;
+  const auto n_units = static_cast<std::size_t>(params_.n_units);
+  const auto& simd = ros::simd::ops();
+  auto& arena = ros::exec::Arena::thread_local_arena();
+  ros::exec::Arena::Scope scope(arena);
+  auto s_re = arena.alloc_span<double>(n_units);
+  auto s_im = arena.alloc_span<double>(n_units);
+  auto phase = arena.alloc_span<double>(n_units);
+  for (std::size_t i = 0; i < n_units; ++i) {
+    const double dz = centers_[i] - height_offset_m;
     const double r = std::hypot(distance_m, dz);
-    const cplx s = units_[static_cast<std::size_t>(i)]
-                       .structural_scattering_length(az_rad, az_rad, hz);
-    structural += s * std::polar(1.0, -2.0 * beta * (r - distance_m));
+    const cplx s =
+        units_[i].structural_scattering_length(az_rad, az_rad, hz);
+    s_re[i] = s.real();
+    s_im[i] = s.imag();
+    phase[i] = -2.0 * beta * (r - distance_m);
   }
+  const cplx structural =
+      simd.phase_mac(s_re.data(), s_im.data(), phase.data(), n_units);
   const bool switching = params_.unit.switching;
   const double leak = std::sqrt(db_to_linear(-params_.unit.cross_leak_db));
   ScatterMatrix m;

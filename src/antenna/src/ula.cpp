@@ -4,6 +4,8 @@
 
 #include "ros/common/expect.hpp"
 #include "ros/common/units.hpp"
+#include "ros/exec/arena.hpp"
+#include "ros/simd/simd.hpp"
 
 namespace ros::antenna {
 
@@ -32,14 +34,19 @@ cplx UniformLinearArray::bistatic_scattering_length(double az_in_rad,
   const double g_out = patch_.field_pattern(az_out_rad);
   const double match = std::sqrt(patch_.match_efficiency(hz));
 
-  const int n = params_.n_elements;
-  const double center = 0.5 * static_cast<double>(n - 1);
-  cplx sum{0.0, 0.0};
-  for (int k = 0; k < n; ++k) {
-    const double x = (static_cast<double>(k) - center) * spacing_m_;
-    const double phase = beta * x * (std::sin(az_in_rad) + std::sin(az_out_rad));
-    sum += std::polar(1.0, phase);
-  }
+  // Element phases are an arithmetic sequence in k; generate them with
+  // linear_phase and sum the unit phasors in one cexp_sum pass.
+  const auto n = static_cast<std::size_t>(params_.n_elements);
+  const double center = 0.5 * static_cast<double>(params_.n_elements - 1);
+  const double u = std::sin(az_in_rad) + std::sin(az_out_rad);
+  const double base = beta * (-center * spacing_m_) * u;
+  const double step = beta * spacing_m_ * u;
+  const auto& simd = ros::simd::ops();
+  auto& arena = ros::exec::Arena::thread_local_arena();
+  ros::exec::Arena::Scope scope(arena);
+  auto phase = arena.alloc_span<double>(n);
+  simd.linear_phase(base, step, phase.data(), n);
+  const cplx sum = simd.cexp_sum(phase.data(), n);
   return s_elem * g_in * g_out * match * sum;
 }
 

@@ -2,9 +2,13 @@
 
 #include <cmath>
 
+#include <algorithm>
+
 #include "ros/common/expect.hpp"
 #include "ros/common/random.hpp"
 #include "ros/common/units.hpp"
+#include "ros/exec/arena.hpp"
+#include "ros/simd/simd.hpp"
 
 namespace ros::antenna {
 
@@ -55,6 +59,27 @@ VanAttaArray::VanAttaArray(Params p, const ros::em::StriplineStackup* stackup)
     element_x_.push_back((static_cast<double>(k) - center) * spacing_m_ +
                          rng.normal(0.0, p.position_error_std_m));
   }
+
+  // SoA wiring tables for the bistatic sum (see header). Element k
+  // receives, its TL partner N-1-k re-radiates; pair index counts from
+  // the outside in so line 0 is the innermost (shortest) pair, matching
+  // the paper's 4.106 / 9.148 / 12.171 mm ordering.
+  const int n = n_elements();
+  pair_of_k_.reserve(static_cast<std::size_t>(n));
+  x_rx_.reserve(static_cast<std::size_t>(n));
+  x_tx_.reserve(static_cast<std::size_t>(n));
+  err_re_.reserve(static_cast<std::size_t>(n));
+  err_im_.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const int partner = n - 1 - k;
+    pair_of_k_.push_back(p.n_pairs - 1 - std::min(k, partner));
+    x_rx_.push_back(element_x_[static_cast<std::size_t>(k)]);
+    x_tx_.push_back(element_x_[static_cast<std::size_t>(partner)]);
+    const cplx err = element_errors_[static_cast<std::size_t>(k)] *
+                     element_errors_[static_cast<std::size_t>(partner)];
+    err_re_.push_back(err.real());
+    err_im_.push_back(err.imag());
+  }
 }
 
 double VanAttaArray::tl_length(int i) const {
@@ -80,30 +105,39 @@ cplx VanAttaArray::bistatic_scattering_length(double az_in_rad,
   // The signal crosses the aperture coupling twice (in and out).
   const double coupling = coupling_.efficiency(hz);
 
-  const int n = n_elements();
+  const auto n = static_cast<std::size_t>(n_elements());
   const double sin_in = std::sin(az_in_rad);
   const double sin_out = std::sin(az_out_rad);
+  const auto& simd = ros::simd::ops();
 
-  // Element k receives, its TL partner N-1-k re-radiates. The pair index
-  // for element k is min(k, N-1-k) counted from the outside in; we index
-  // lines so that line 0 is the *innermost* (shortest) pair, matching
-  // the paper's 4.106 / 9.148 / 12.171 mm ordering where outer pairs get
-  // longer lines.
-  cplx sum{0.0, 0.0};
-  for (int k = 0; k < n; ++k) {
-    const int partner = n - 1 - k;
-    const int pair =
-        params_.n_pairs - 1 - std::min(k, partner);  // 0 = innermost
-    const double x_rx = element_x_[static_cast<std::size_t>(k)];
-    const double x_tx = element_x_[static_cast<std::size_t>(partner)];
-    const double aperture_phase = beta * (x_rx * sin_in + x_tx * sin_out);
-    const cplx tl = lines_[static_cast<std::size_t>(pair)].transfer(hz);
-    // Fabrication tolerance applies at the receiving and the re-radiating
-    // element independently.
-    const cplx err = element_errors_[static_cast<std::size_t>(k)] *
-                     element_errors_[static_cast<std::size_t>(partner)];
-    sum += tl * err * std::polar(1.0, aperture_phase);
+  // Hoist the per-pair TL transfer (it depends only on hz), combine it
+  // with the precomputed pair fabrication errors into per-element SoA
+  // amplitudes, then run the aperture-phase accumulation as one
+  // axpby + phase_mac pass over all elements.
+  auto& arena = ros::exec::Arena::thread_local_arena();
+  ros::exec::Arena::Scope scope(arena);
+  const auto n_pairs = static_cast<std::size_t>(params_.n_pairs);
+  auto tl_re = arena.alloc_span<double>(n_pairs);
+  auto tl_im = arena.alloc_span<double>(n_pairs);
+  for (std::size_t p = 0; p < n_pairs; ++p) {
+    const cplx tl = lines_[p].transfer(hz);
+    tl_re[p] = tl.real();
+    tl_im[p] = tl.imag();
   }
+  auto a_re = arena.alloc_span<double>(n);
+  auto a_im = arena.alloc_span<double>(n);
+  auto phase = arena.alloc_span<double>(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Fabrication tolerance applies at the receiving and the
+    // re-radiating element independently (folded into err_* already).
+    const auto pair = static_cast<std::size_t>(pair_of_k_[k]);
+    a_re[k] = tl_re[pair] * err_re_[k] - tl_im[pair] * err_im_[k];
+    a_im[k] = tl_re[pair] * err_im_[k] + tl_im[pair] * err_re_[k];
+  }
+  simd.axpby(beta * sin_in, x_rx_.data(), beta * sin_out, x_tx_.data(),
+             phase.data(), n);
+  const cplx sum =
+      simd.phase_mac(a_re.data(), a_im.data(), phase.data(), n);
   return s_elem * g_in * g_out * match * coupling *
          implementation_amplitude_ * sum;
 }

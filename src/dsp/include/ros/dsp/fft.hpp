@@ -33,7 +33,10 @@ std::vector<cplx> fft(std::span<const cplx> x);
 /// Inverse DFT (includes the 1/N normalization).
 std::vector<cplx> ifft(std::span<const cplx> x);
 
-/// In-place radix-2 FFT; size must be a power of two.
+/// In-place radix-2 FFT; size must be a power of two. The butterfly
+/// stages run through the active ros::simd backend; the span overload
+/// lets frame loops transform arena/reused storage without copying.
+void fft_pow2_inplace(std::span<cplx> x, bool inverse = false);
 void fft_pow2_inplace(std::vector<cplx>& x, bool inverse = false);
 
 /// Rotate the spectrum so bin 0 (DC) sits at the center.

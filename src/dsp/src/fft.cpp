@@ -7,6 +7,7 @@
 
 #include "ros/common/expect.hpp"
 #include "ros/common/units.hpp"
+#include "ros/simd/simd.hpp"
 
 namespace ros::dsp {
 
@@ -21,14 +22,20 @@ std::size_t next_pow2(std::size_t n) {
 
 namespace {
 
-/// Radix-2 plan for one size: the bit-reversal permutation and the
-/// forward twiddles exp(-2 pi j k / n) for k < n/2 (conjugated for the
-/// inverse). The pipeline transforms the same handful of sizes over and
-/// over (one per chirp configuration), so recomputing this trig per
-/// call dominated small-FFT cost.
+/// Radix-2 plan for one size: the bit-reversal permutation and, for
+/// each stage, a contiguous twiddle array (forward and inverse). The
+/// classic layout reads twiddle[k * stride] inside the butterfly --
+/// a strided gather the simd butterfly can't stream -- so the plan
+/// unrolls each stage's twiddles into its own dense array once.
+/// The pipeline transforms the same handful of sizes over and over
+/// (one per chirp configuration), so recomputing this trig per call
+/// dominated small-FFT cost.
 struct Pow2Plan {
   std::vector<std::size_t> bitrev;
-  std::vector<cplx> twiddle;
+  /// stage_fwd[s] has len/2 entries for len = 2^(s+1):
+  /// exp(-2 pi j k / len), k < len/2. stage_inv is the conjugate.
+  std::vector<std::vector<cplx>> stage_fwd;
+  std::vector<std::vector<cplx>> stage_inv;
 };
 
 /// Plans are cached per thread: lookups need no locking under the
@@ -49,11 +56,26 @@ const Pow2Plan& pow2_plan(std::size_t n) {
       j ^= bit;
       plan.bitrev[i] = j;
     }
-    plan.twiddle.resize(n / 2);
+    // Base twiddles exp(-2 pi j k / n), gathered per stage so the
+    // butterfly reads them contiguously. Gathering (rather than
+    // re-deriving per stage) keeps the values bit-identical to the
+    // strided-lookup implementation this replaced.
+    std::vector<cplx> twiddle(n / 2);
     for (std::size_t k = 0; k < n / 2; ++k) {
-      plan.twiddle[k] =
+      twiddle[k] =
           std::polar(1.0, -2.0 * kPi * static_cast<double>(k) /
                               static_cast<double>(n));
+    }
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const std::size_t stride = n / len;
+      std::vector<cplx> fwd(len / 2);
+      std::vector<cplx> inv(len / 2);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        fwd[k] = twiddle[k * stride];
+        inv[k] = std::conj(twiddle[k * stride]);
+      }
+      plan.stage_fwd.push_back(std::move(fwd));
+      plan.stage_inv.push_back(std::move(inv));
     }
   }
   return it->second;
@@ -61,27 +83,24 @@ const Pow2Plan& pow2_plan(std::size_t n) {
 
 }  // namespace
 
-void fft_pow2_inplace(std::vector<cplx>& x, bool inverse) {
+void fft_pow2_inplace(std::span<cplx> x, bool inverse) {
   const std::size_t n = x.size();
   ROS_EXPECT(n > 0 && (n & (n - 1)) == 0, "size must be a power of two");
   const Pow2Plan& plan = pow2_plan(n);
+  const auto& bfly = ros::simd::ops().fft_butterfly;
 
   for (std::size_t i = 1; i < n; ++i) {
     const std::size_t j = plan.bitrev[i];
     if (i < j) std::swap(x[i], x[j]);
   }
 
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const std::size_t stride = n / len;
+  std::size_t stage = 0;
+  for (std::size_t len = 2; len <= n; len <<= 1, ++stage) {
+    const std::vector<cplx>& tw =
+        inverse ? plan.stage_inv[stage] : plan.stage_fwd[stage];
+    const std::size_t half = len / 2;
     for (std::size_t i = 0; i < n; i += len) {
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const cplx w = inverse ? std::conj(plan.twiddle[k * stride])
-                               : plan.twiddle[k * stride];
-        const cplx u = x[i + k];
-        const cplx v = x[i + k + len / 2] * w;
-        x[i + k] = u + v;
-        x[i + k + len / 2] = u - v;
-      }
+      bfly(&x[i], &x[i + half], tw.data(), half);
     }
   }
 
@@ -89,6 +108,10 @@ void fft_pow2_inplace(std::vector<cplx>& x, bool inverse) {
     const double inv = 1.0 / static_cast<double>(n);
     for (auto& v : x) v *= inv;
   }
+}
+
+void fft_pow2_inplace(std::vector<cplx>& x, bool inverse) {
+  fft_pow2_inplace(std::span<cplx>(x), inverse);
 }
 
 namespace {

@@ -1,0 +1,111 @@
+// Per-thread bump arena for frame-loop scratch.
+//
+// The interrogation hot paths (Interrogator::run / decode_drive) need
+// short-lived buffers every frame: SoA phase/response spans for the
+// simd kernels, FFT scratch, gathered beamforming bins. Allocating
+// those from the heap each frame is both slow and nondeterministic
+// under ASan/TSan; the arena turns them into pointer bumps inside a
+// thread-local block that is reused frame after frame.
+//
+// Lifetime rules (see DESIGN.md, "ros::simd"):
+//   * Arena::Scope marks the arena on entry and rewinds on exit; all
+//     spans handed out inside the scope die with it. Scopes nest like
+//     stack frames; never let a span outlive its scope.
+//   * alloc_span<T>() requires trivially destructible T -- nothing is
+//     destroyed on rewind, memory is simply reused.
+//   * thread_local_arena() hands each thread (pool workers included)
+//     its own arena; no locking, no sharing, and per-backend results
+//     cannot depend on which worker ran the frame.
+//   * Blocks grow geometrically and are never returned to the heap
+//     until the arena dies with its thread, so a warmed-up loop does
+//     zero heap allocations: `exec.arena.grows` stays flat, which is
+//     exactly what the zero-allocation tests assert.
+//
+// Metrics (process-wide, ros::obs):
+//   exec.arena.grows       counter: heap blocks acquired by any arena
+//   exec.arena.grow_bytes  counter: bytes of those blocks
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace ros::exec {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultInitialCapacity = 1 << 16;
+  static constexpr std::size_t kMaxAlign = 64;
+
+  explicit Arena(std::size_t initial_capacity = kDefaultInitialCapacity);
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw bump allocation. align must be a power of two <= kMaxAlign.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Scratch span of n T's. Uninitialized when T is trivially
+  /// default-constructible (double, int...), default-constructed
+  /// otherwise (std::complex zero-fills). T must be trivially
+  /// destructible -- rewind runs no destructors.
+  template <typename T>
+  std::span<T> alloc_span(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena spans are rewound, never destroyed");
+    T* p = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    if constexpr (!std::is_trivially_default_constructible_v<T>) {
+      for (std::size_t i = 0; i < n; ++i) ::new (p + i) T();
+    }
+    return {p, n};
+  }
+
+  /// RAII mark/rewind. Everything allocated while the scope is alive
+  /// is recycled when it ends.
+  class Scope {
+   public:
+    explicit Scope(Arena& a)
+        : arena_(a), block_(a.current_), used_(a.offset_) {}
+    ~Scope() { arena_.rewind(block_, used_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Arena& arena_;
+    std::size_t block_;
+    std::size_t used_;
+  };
+
+  /// Rewind to empty; keeps every block for reuse.
+  void reset() { rewind(0, 0); }
+
+  /// Total bytes owned across all blocks.
+  std::size_t capacity() const { return capacity_; }
+  /// Times this arena had to take a new block from the heap.
+  std::uint64_t grow_count() const { return grows_; }
+
+  /// The calling thread's arena (created on first use, lives with the
+  /// thread). Pool workers each get their own.
+  static Arena& thread_local_arena();
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> raw;
+    std::byte* base = nullptr;  ///< raw aligned up to kMaxAlign
+    std::size_t size = 0;
+  };
+
+  void rewind(std::size_t block, std::size_t used);
+  void* grow_and_allocate(std::size_t bytes, std::size_t align);
+
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;  ///< index of the block being bumped
+  std::size_t offset_ = 0;   ///< bump offset within blocks_[current_]
+  std::size_t capacity_ = 0;
+  std::size_t initial_capacity_ = kDefaultInitialCapacity;
+  std::uint64_t grows_ = 0;
+};
+
+}  // namespace ros::exec

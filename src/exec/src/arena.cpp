@@ -1,0 +1,76 @@
+#include "ros/exec/arena.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ros/obs/metrics.hpp"
+
+namespace ros::exec {
+
+namespace {
+
+std::size_t align_up(std::size_t v, std::size_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t initial_capacity)
+    : initial_capacity_(std::max<std::size_t>(initial_capacity, 64)) {
+  grow_and_allocate(0, 1);  // reserve the first block eagerly
+  reset();
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  assert(align != 0 && (align & (align - 1)) == 0 &&
+         align <= kMaxAlign);
+  if (current_ < blocks_.size()) {
+    const std::size_t start = align_up(offset_, align);
+    if (start + bytes <= blocks_[current_].size) {
+      offset_ = start + bytes;
+      return blocks_[current_].base + start;
+    }
+    // Try an already-owned later block before touching the heap.
+    for (std::size_t i = current_ + 1; i < blocks_.size(); ++i) {
+      if (bytes <= blocks_[i].size) {
+        current_ = i;
+        offset_ = bytes;
+        return blocks_[i].base;
+      }
+    }
+  }
+  return grow_and_allocate(bytes, align);
+}
+
+void* Arena::grow_and_allocate(std::size_t bytes, std::size_t align) {
+  (void)align;  // fresh block bases are aligned to kMaxAlign
+  const std::size_t size = std::max(
+      bytes, blocks_.empty() ? initial_capacity_ : blocks_.back().size * 2);
+  Block b;
+  b.raw = std::make_unique<std::byte[]>(size + kMaxAlign);
+  b.base = reinterpret_cast<std::byte*>(
+      align_up(reinterpret_cast<std::uintptr_t>(b.raw.get()), kMaxAlign));
+  b.size = size;
+  blocks_.push_back(std::move(b));
+  current_ = blocks_.size() - 1;
+  offset_ = bytes;
+  capacity_ += size;
+  ++grows_;
+
+  auto& reg = ros::obs::MetricsRegistry::global();
+  reg.counter("exec.arena.grows").inc();
+  reg.counter("exec.arena.grow_bytes").inc(size);
+  return blocks_.back().base;
+}
+
+void Arena::rewind(std::size_t block, std::size_t used) {
+  current_ = block;
+  offset_ = used;
+}
+
+Arena& Arena::thread_local_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace ros::exec

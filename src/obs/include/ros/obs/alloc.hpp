@@ -1,0 +1,44 @@
+// Heap-allocation accounting for zero-allocation claims.
+//
+// When ROS_OBS_COUNT_ALLOCS is on (the default), ros_obs replaces the
+// global operator new/delete family with thin wrappers over malloc/free
+// that bump relaxed atomic counters (process-wide) and plain
+// thread_local counters (per thread). Cost is two increments per
+// allocation; sanitizers still interpose the underlying malloc, so
+// ASan/TSan/LSan coverage is unchanged.
+//
+// This exists so "the frame loop allocates nothing after warmup" is a
+// tested metric: bracket the region with thread_alloc_counters() and
+// assert the delta, as the zero-allocation pipeline tests and the
+// interrogator frame-loop gauges
+// (`interrogate.frame_loop.allocs_per_frame`,
+// `decode_drive.frame_loop.allocs_per_frame`) do.
+//
+// Counters are monotonic totals since process start; consumers compare
+// deltas. Freed bytes are not tracked (untracked for sized/unsized
+// delete alike) -- this is an allocation-rate probe, not a live-heap
+// profiler.
+#pragma once
+
+#include <cstdint>
+
+namespace ros::obs {
+
+struct AllocCounters {
+  std::uint64_t allocs = 0;  ///< operator new calls
+  std::uint64_t frees = 0;   ///< operator delete calls
+  std::uint64_t bytes = 0;   ///< total bytes requested via new
+};
+
+/// Process-wide totals (all threads, relaxed reads).
+AllocCounters alloc_counters();
+
+/// Calling thread's totals.
+AllocCounters thread_alloc_counters();
+
+/// False when the build disabled the operator new override
+/// (ROS_OBS_COUNT_ALLOCS=OFF); counters then stay zero and
+/// zero-allocation tests must skip.
+bool alloc_counting_enabled();
+
+}  // namespace ros::obs

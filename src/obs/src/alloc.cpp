@@ -1,0 +1,189 @@
+#include "ros/obs/alloc.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace ros::obs {
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+std::atomic<std::uint64_t> g_bytes{0};
+
+thread_local std::uint64_t t_allocs = 0;
+thread_local std::uint64_t t_frees = 0;
+thread_local std::uint64_t t_bytes = 0;
+
+#if defined(ROS_OBS_COUNT_ALLOCS)
+
+inline void note_alloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  ++t_allocs;
+  t_bytes += size;
+}
+
+inline void note_free() {
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  ++t_frees;
+}
+
+inline void* checked_malloc(std::size_t size) {
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  note_alloc(size);
+  return p;
+}
+
+inline void* checked_aligned(std::size_t size, std::size_t align) {
+  if (size == 0) size = 1;
+  const std::size_t rounded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  note_alloc(size);
+  return p;
+}
+
+#endif  // ROS_OBS_COUNT_ALLOCS
+
+}  // namespace
+
+AllocCounters alloc_counters() {
+  return {g_allocs.load(std::memory_order_relaxed),
+          g_frees.load(std::memory_order_relaxed),
+          g_bytes.load(std::memory_order_relaxed)};
+}
+
+AllocCounters thread_alloc_counters() {
+  return {t_allocs, t_frees, t_bytes};
+}
+
+bool alloc_counting_enabled() {
+#if defined(ROS_OBS_COUNT_ALLOCS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace ros::obs
+
+#if defined(ROS_OBS_COUNT_ALLOCS)
+
+// Global operator new/delete replacement (full family). Keep these
+// out-of-line and exception-correct; everything funnels into malloc so
+// sanitizer interposition still sees every byte.
+
+void* operator new(std::size_t size) {
+  return ros::obs::checked_malloc(size);
+}
+
+void* operator new[](std::size_t size) {
+  return ros::obs::checked_malloc(size);
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return ros::obs::checked_malloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return ros::obs::checked_malloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  return ros::obs::checked_aligned(size,
+                                   static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ros::obs::checked_aligned(size,
+                                   static_cast<std::size_t>(align));
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  try {
+    return ros::obs::checked_aligned(size,
+                                     static_cast<std::size_t>(align));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  try {
+    return ros::obs::checked_aligned(size,
+                                     static_cast<std::size_t>(align));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept {
+  if (p != nullptr) {
+    ros::obs::note_free();
+    std::free(p);
+  }
+}
+
+void operator delete[](void* p) noexcept {
+  if (p != nullptr) {
+    ros::obs::note_free();
+    std::free(p);
+  }
+}
+
+void operator delete(void* p, std::size_t) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete[](void* p, std::size_t) noexcept {
+  ::operator delete[](p);
+}
+
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  ::operator delete[](p);
+}
+
+void operator delete(void* p, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete[](void* p, std::align_val_t) noexcept {
+  ::operator delete[](p);
+}
+
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  ::operator delete[](p);
+}
+
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  ::operator delete[](p);
+}
+
+#endif  // ROS_OBS_COUNT_ALLOCS

@@ -17,8 +17,23 @@ struct DbscanOptions {
 };
 
 /// Cluster labels per input point: >= 0 cluster id, -1 noise.
+///
+/// Uses a uniform grid index (cell size = eps) so the expected cost is
+/// O(n) for bounded-density clouds instead of the all-pairs O(n^2).
+/// The clustering is permutation-invariant as a *partition*: core
+/// points and their connected components are order-free by
+/// construction, border points join the cluster of their nearest core
+/// (ties broken by core coordinates), and cluster ids are numbered by
+/// each cluster's first core point in index order.
 std::vector<int> dbscan(std::span<const ros::scene::Vec2> points,
                         const DbscanOptions& opts);
+
+/// Reference all-pairs O(n^2) DBSCAN kept as a test/bench oracle. Same
+/// core/noise decisions as `dbscan`; border points may differ when a
+/// point is within eps of two clusters (this variant assigns them in
+/// BFS discovery order, which depends on input order).
+std::vector<int> dbscan_reference(std::span<const ros::scene::Vec2> points,
+                                  const DbscanOptions& opts);
 
 /// Number of clusters in a label vector.
 int cluster_count(std::span<const int> labels);

@@ -1,7 +1,10 @@
 #include "ros/pipeline/dbscan.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <queue>
+#include <unordered_map>
 
 #include "ros/common/expect.hpp"
 
@@ -9,8 +12,194 @@ namespace ros::pipeline {
 
 using ros::scene::Vec2;
 
+namespace {
+
+/// Uniform grid with cell size eps: every eps-neighbor of a point lies
+/// in its own or one of the 8 adjacent cells, so a neighborhood query
+/// touches only the points of a 3x3 block instead of all n. Buckets are
+/// stored CSR-style over a hash map from packed cell coordinates.
+struct CellGrid {
+  double inv_eps;
+  std::unordered_map<std::uint64_t, int> slot_of_cell;
+  std::vector<int> offsets;    ///< bucket b = point_ids[offsets[b]..offsets[b+1])
+  std::vector<int> point_ids;
+
+  static std::uint64_t key(std::int64_t cx, std::int64_t cy) {
+    // Truncating to 32 bits per axis can alias cells that are astronomically
+    // far apart; aliasing only merges their buckets, and the exact distance
+    // check filters the extra candidates out again (slower, never wrong).
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+           static_cast<std::uint32_t>(cy);
+  }
+
+  std::int64_t cell_of(double v) const {
+    return static_cast<std::int64_t>(std::floor(v * inv_eps));
+  }
+
+  CellGrid(std::span<const Vec2> points, double eps) : inv_eps(1.0 / eps) {
+    const int n = static_cast<int>(points.size());
+    slot_of_cell.reserve(static_cast<std::size_t>(n));
+    std::vector<int> slot(static_cast<std::size_t>(n));
+    int n_cells = 0;
+    for (int i = 0; i < n; ++i) {
+      const auto& p = points[static_cast<std::size_t>(i)];
+      const auto [it, inserted] =
+          slot_of_cell.try_emplace(key(cell_of(p.x), cell_of(p.y)), n_cells);
+      if (inserted) ++n_cells;
+      slot[static_cast<std::size_t>(i)] = it->second;
+    }
+    offsets.assign(static_cast<std::size_t>(n_cells) + 1, 0);
+    for (int s : slot) ++offsets[static_cast<std::size_t>(s) + 1];
+    for (int c = 0; c < n_cells; ++c) {
+      offsets[static_cast<std::size_t>(c) + 1] +=
+          offsets[static_cast<std::size_t>(c)];
+    }
+    point_ids.resize(static_cast<std::size_t>(n));
+    std::vector<int> cursor(offsets.begin(), offsets.end() - 1);
+    for (int i = 0; i < n; ++i) {
+      auto& at = cursor[static_cast<std::size_t>(slot[static_cast<std::size_t>(i)])];
+      point_ids[static_cast<std::size_t>(at++)] = i;
+    }
+  }
+
+  /// Visit every candidate index j in the 3x3 cell block around p
+  /// (includes p's own index; callers distance-filter).
+  template <typename Fn>
+  void for_candidates(const Vec2& p, Fn&& fn) const {
+    const std::int64_t cx = cell_of(p.x);
+    const std::int64_t cy = cell_of(p.y);
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        const auto it = slot_of_cell.find(key(cx + dx, cy + dy));
+        if (it == slot_of_cell.end()) continue;
+        const auto b = static_cast<std::size_t>(it->second);
+        for (int s = offsets[b]; s < offsets[b + 1]; ++s) {
+          fn(point_ids[static_cast<std::size_t>(s)]);
+        }
+      }
+    }
+  }
+};
+
+struct UnionFind {
+  std::vector<int> parent;
+  std::vector<int> size;
+
+  explicit UnionFind(int n)
+      : parent(static_cast<std::size_t>(n)), size(static_cast<std::size_t>(n), 1) {
+    for (int i = 0; i < n; ++i) parent[static_cast<std::size_t>(i)] = i;
+  }
+
+  int find(int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+
+  void unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size[static_cast<std::size_t>(a)] < size[static_cast<std::size_t>(b)]) {
+      std::swap(a, b);
+    }
+    parent[static_cast<std::size_t>(b)] = a;
+    size[static_cast<std::size_t>(a)] += size[static_cast<std::size_t>(b)];
+  }
+};
+
+}  // namespace
+
 std::vector<int> dbscan(std::span<const Vec2> points,
                         const DbscanOptions& opts) {
+  ROS_EXPECT(opts.eps_m > 0.0, "eps must be positive");
+  ROS_EXPECT(opts.min_points >= 1, "min_points must be >= 1");
+  const int n = static_cast<int>(points.size());
+  std::vector<int> labels(static_cast<std::size_t>(n), -1);
+  if (n == 0) return labels;
+
+  const double eps2 = opts.eps_m * opts.eps_m;
+  const CellGrid grid(points, opts.eps_m);
+
+  // Pass 1: core points -- at least min_points neighbors within eps
+  // (a point neighbors itself, matching the all-pairs formulation).
+  std::vector<char> core(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    const auto& pi = points[static_cast<std::size_t>(i)];
+    std::size_t count = 0;
+    grid.for_candidates(pi, [&](int j) {
+      const Vec2 d = pi - points[static_cast<std::size_t>(j)];
+      if (d.x * d.x + d.y * d.y <= eps2) ++count;
+    });
+    core[static_cast<std::size_t>(i)] = count >= opts.min_points ? 1 : 0;
+  }
+
+  // Pass 2: density-connect cores. Connected components of the
+  // core-adjacency graph are the clusters; union-find gives the same
+  // components for any input order.
+  UnionFind uf(n);
+  for (int i = 0; i < n; ++i) {
+    if (!core[static_cast<std::size_t>(i)]) continue;
+    const auto& pi = points[static_cast<std::size_t>(i)];
+    grid.for_candidates(pi, [&](int j) {
+      if (j <= i || !core[static_cast<std::size_t>(j)]) return;
+      const Vec2 d = pi - points[static_cast<std::size_t>(j)];
+      if (d.x * d.x + d.y * d.y <= eps2) uf.unite(i, j);
+    });
+  }
+
+  // Pass 3: number clusters by their first core point in index order
+  // (the same numbering the seeded-scan reference produces).
+  std::vector<int> cluster_of_root(static_cast<std::size_t>(n), -1);
+  int cluster = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!core[static_cast<std::size_t>(i)]) continue;
+    const int r = uf.find(i);
+    if (cluster_of_root[static_cast<std::size_t>(r)] == -1) {
+      cluster_of_root[static_cast<std::size_t>(r)] = cluster++;
+    }
+    labels[static_cast<std::size_t>(i)] = cluster_of_root[static_cast<std::size_t>(r)];
+  }
+
+  // Pass 4: border points join the cluster of their *nearest* core,
+  // ties broken by core coordinates then index -- a geometric rule, so
+  // the assignment cannot depend on input order the way the BFS
+  // first-reacher-wins rule did.
+  for (int i = 0; i < n; ++i) {
+    if (core[static_cast<std::size_t>(i)]) continue;
+    const auto& pi = points[static_cast<std::size_t>(i)];
+    int best = -1;
+    double best_d2 = 0.0;
+    grid.for_candidates(pi, [&](int j) {
+      if (!core[static_cast<std::size_t>(j)]) return;
+      const auto& pj = points[static_cast<std::size_t>(j)];
+      const Vec2 d = pi - pj;
+      const double d2 = d.x * d.x + d.y * d.y;
+      if (d2 > eps2) return;
+      if (best != -1) {
+        const auto& pb = points[static_cast<std::size_t>(best)];
+        const bool better =
+            d2 < best_d2 ||
+            (d2 == best_d2 &&
+             (pj.x < pb.x || (pj.x == pb.x && (pj.y < pb.y ||
+                                               (pj.y == pb.y && j < best)))));
+        if (!better) return;
+      }
+      best = j;
+      best_d2 = d2;
+    });
+    if (best != -1) {
+      labels[static_cast<std::size_t>(i)] = labels[static_cast<std::size_t>(best)];
+    }
+  }
+  return labels;
+}
+
+std::vector<int> dbscan_reference(std::span<const Vec2> points,
+                                  const DbscanOptions& opts) {
   ROS_EXPECT(opts.eps_m > 0.0, "eps must be positive");
   ROS_EXPECT(opts.min_points >= 1, "min_points must be >= 1");
   const std::size_t n = points.size();

@@ -8,6 +8,7 @@
 #include "ros/common/units.hpp"
 #include "ros/dsp/ook.hpp"
 #include "ros/exec/thread_pool.hpp"
+#include "ros/obs/alloc.hpp"
 #include "ros/obs/log.hpp"
 #include "ros/obs/metrics.hpp"
 #include "ros/obs/timer.hpp"
@@ -84,6 +85,36 @@ void book_frame_stages(PipelineTelemetry& tel, double wall_ms,
   for (const auto& [name, ms] : stages) {
     tel.add_stage(name, sum > 0.0 ? wall_ms * (ms / sum) : 0.0);
   }
+}
+
+/// Per-thread reusable frame-loop storage. Every container is cleared
+/// (never shrunk) between frames, so after the first frame on each
+/// worker the synthesize -> FFT path runs without heap traffic; the
+/// `*.frame_loop.allocs_per_frame` gauges below measure exactly that.
+struct FrameWorkspace {
+  std::vector<ros::scene::ScatterPoint> points;
+  std::vector<ros::radar::ScatterReturn> ret_normal;
+  std::vector<ros::radar::ScatterReturn> ret_switched;
+  FrameCube cube_normal;
+  FrameCube cube_switched;
+
+  static FrameWorkspace& thread_local_workspace() {
+    static thread_local FrameWorkspace ws;
+    return ws;
+  }
+};
+
+/// Publish the mean heap allocations per frame observed across a frame
+/// loop (process-wide counter delta; nothing else runs during the
+/// loop). No-op when the ros::obs allocation hook is compiled out.
+void record_frame_loop_allocs(const char* gauge,
+                              const ros::obs::AllocCounters& before,
+                              std::size_t n_frames) {
+  if (!ros::obs::alloc_counting_enabled() || n_frames == 0) return;
+  const auto after = ros::obs::alloc_counters();
+  ros::obs::MetricsRegistry::global().gauge(gauge).set(
+      static_cast<double>(after.allocs - before.allocs) /
+      static_cast<double>(n_frames));
 }
 
 void record_funnel(const PipelineTelemetry& t) {
@@ -181,26 +212,34 @@ InterrogationReport Interrogator::run(
     // so frame i sees the same noise whether the loop runs on 1 thread
     // or N (and independently of every other frame).
     const std::uint64_t seed = config_.noise_seed;
+    const auto allocs_before = ros::obs::alloc_counters();
     ros::exec::parallel_for(0, truth.size(), [&](std::size_t i) {
       const double frame_t0 = frames_timer.elapsed_ms();
       Rng rng(derive_stream_seed(seed, i));
       const RadarPose& pose = truth[i];
       FrameResult& fr = frames[i];
+      FrameWorkspace& ws = FrameWorkspace::thread_local_workspace();
 
+      // RNG draw order (returns normal, returns switched, noise normal,
+      // noise switched) matches the allocating path this replaced, so
+      // the synthesized frames are bit-identical.
       ros::obs::ScopedTimer t_synth("interrogate.synthesize", "pipeline");
-      const auto ret_n = scene.frame_returns(pose, TxMode::normal,
-                                             config_.array, config_.budget,
-                                             fc, rng);
-      const auto ret_s = scene.frame_returns(pose, TxMode::switched,
-                                             config_.array, config_.budget,
-                                             fc, rng);
-      const FrameCube f_n = synth.synthesize(ret_n, noise_w, rng);
-      const FrameCube f_s = synth.synthesize(ret_s, noise_w, rng);
+      scene.frame_returns_into(pose, TxMode::normal, config_.array,
+                               config_.budget, fc, rng, ws.points,
+                               ws.ret_normal);
+      scene.frame_returns_into(pose, TxMode::switched, config_.array,
+                               config_.budget, fc, rng, ws.points,
+                               ws.ret_switched);
+      synth.synthesize_into(ws.ret_normal, noise_w, rng, ws.cube_normal);
+      synth.synthesize_into(ws.ret_switched, noise_w, rng,
+                            ws.cube_switched);
       synth_ms.add(t_synth.stop());
 
       ros::obs::ScopedTimer t_fft("interrogate.range_fft", "pipeline");
-      fr.normal = ros::radar::range_fft(f_n, config_.chirp);
-      fr.switched = ros::radar::range_fft(f_s, config_.chirp);
+      ros::radar::range_fft_into(ws.cube_normal, config_.chirp,
+                                 ros::dsp::Window::hann, fr.normal);
+      ros::radar::range_fft_into(ws.cube_switched, config_.chirp,
+                                 ros::dsp::Window::hann, fr.switched);
       fft_ms.add(t_fft.stop());
 
       ros::obs::ScopedTimer t_detect("interrogate.detect_points",
@@ -213,6 +252,8 @@ InterrogationReport Interrogator::run(
       detect_ms.add(t_detect.stop());
       frame_hist.observe(frames_timer.elapsed_ms() - frame_t0);
     });
+    record_frame_loop_allocs("interrogate.frame_loop.allocs_per_frame",
+                             allocs_before, truth.size());
 
     // Point cloud from both Tx passes (the radar time-multiplexes the
     // two Tx antennas anyway): clutter anchors through the normal pass,
@@ -360,19 +401,25 @@ DecodeDriveResult decode_drive(const ros::scene::Scene& scene,
     // Same per-frame RNG streams as Interrogator::run: frame i's noise
     // depends only on (noise_seed, i), never on the thread count.
     const std::uint64_t seed = config.noise_seed;
+    const auto allocs_before = ros::obs::alloc_counters();
     ros::exec::parallel_for(0, truth.size(), [&](std::size_t i) {
       Rng rng(derive_stream_seed(seed, i));
+      FrameWorkspace& ws = FrameWorkspace::thread_local_workspace();
       ros::obs::ScopedTimer t_synth("decode_drive.synthesize",
                                     "pipeline");
-      const auto returns = scene.frame_returns(
-          truth[i], TxMode::switched, config.array, config.budget, fc,
-          rng);
-      const FrameCube cube = synth.synthesize(returns, noise_w, rng);
+      scene.frame_returns_into(truth[i], TxMode::switched, config.array,
+                               config.budget, fc, rng, ws.points,
+                               ws.ret_switched);
+      synth.synthesize_into(ws.ret_switched, noise_w, rng,
+                            ws.cube_switched);
       synth_ms.add(t_synth.stop());
       ros::obs::ScopedTimer t_fft("decode_drive.range_fft", "pipeline");
-      profiles[i] = ros::radar::range_fft(cube, config.chirp);
+      ros::radar::range_fft_into(ws.cube_switched, config.chirp,
+                                 ros::dsp::Window::hann, profiles[i]);
       fft_ms.add(t_fft.stop());
     });
+    record_frame_loop_allocs("decode_drive.frame_loop.allocs_per_frame",
+                             allocs_before, truth.size());
     book_frame_stages(tel, frames_timer.stop(),
                       {{"synthesize", synth_ms.value()},
                        {"range_fft", fft_ms.value()}});

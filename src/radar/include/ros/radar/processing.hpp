@@ -33,6 +33,12 @@ struct RangeProfile {
 RangeProfile range_fft(const FrameCube& frame, const FmcwChirp& chirp,
                        ros::dsp::Window window = ros::dsp::Window::hann);
 
+/// Range FFT writing into `out`, reusing its per-channel storage when
+/// the shape matches (zero steady-state allocation for power-of-two
+/// chirp lengths; windows are cached per thread).
+void range_fft_into(const FrameCube& frame, const FmcwChirp& chirp,
+                    ros::dsp::Window window, RangeProfile& out);
+
 /// Coherent beamformer output at a range bin, steered to `az_rad`
 /// (Eq. 4, normalized by the antenna count).
 cplx beamform_bin(const RangeProfile& profile, std::size_t bin,
@@ -43,6 +49,14 @@ std::vector<double> aoa_power_spectrum(const RangeProfile& profile,
                                        std::size_t bin,
                                        const RadarArray& array, double hz,
                                        std::span<const double> angles_rad);
+
+/// Same, writing into a caller-provided span (no allocation; scratch
+/// comes from the thread's arena). out.size() must equal
+/// angles_rad.size().
+void aoa_power_spectrum_into(const RangeProfile& profile, std::size_t bin,
+                             const RadarArray& array, double hz,
+                             std::span<const double> angles_rad,
+                             std::span<double> out);
 
 /// A detected point reflector.
 struct Detection {

@@ -47,6 +47,13 @@ class WaveformSynthesizer {
   FrameCube synthesize(std::span<const ScatterReturn> returns,
                        double noise_power_w, ros::common::Rng& rng) const;
 
+  /// Same, writing into `frame`. When `frame` already has the right
+  /// shape (steady-state frame loops) no heap allocation happens; the
+  /// cube is zeroed and refilled.
+  void synthesize_into(std::span<const ScatterReturn> returns,
+                       double noise_power_w, ros::common::Rng& rng,
+                       FrameCube& frame) const;
+
  private:
   FmcwChirp chirp_;
   RadarArray array_;

@@ -2,16 +2,36 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "ros/common/expect.hpp"
 #include "ros/common/grid.hpp"
 #include "ros/common/units.hpp"
 #include "ros/dsp/fft.hpp"
 #include "ros/dsp/peaks.hpp"
+#include "ros/exec/arena.hpp"
+#include "ros/simd/simd.hpp"
 
 namespace ros::radar {
 
 using namespace ros::common;
+
+namespace {
+
+/// Window coefficients cached per (window, n): the frame loop windows
+/// the same chirp length every frame, and make_window's per-call
+/// allocation was a steady-state heap hit. Thread-local, bounded.
+const std::vector<double>& cached_window(ros::dsp::Window w,
+                                         std::size_t n) {
+  thread_local std::unordered_map<std::size_t, std::vector<double>> cache;
+  if (cache.size() > 32) cache.clear();
+  const std::size_t key = (static_cast<std::size_t>(w) << 48) ^ n;
+  const auto [it, inserted] = cache.try_emplace(key);
+  if (inserted) it->second = ros::dsp::make_window(w, n);
+  return it->second;
+}
+
+}  // namespace
 
 std::size_t RangeProfile::bin_of_range(double range_m) const {
   ROS_EXPECT(bin_spacing_m > 0.0, "profile is empty");
@@ -22,31 +42,42 @@ std::size_t RangeProfile::bin_of_range(double range_m) const {
 
 RangeProfile range_fft(const FrameCube& frame, const FmcwChirp& chirp,
                        ros::dsp::Window window) {
+  RangeProfile out;
+  range_fft_into(frame, chirp, window, out);
+  return out;
+}
+
+void range_fft_into(const FrameCube& frame, const FmcwChirp& chirp,
+                    ros::dsp::Window window, RangeProfile& out) {
   ROS_EXPECT(!frame.empty() && !frame[0].empty(), "frame must be non-empty");
   const std::size_t n = frame[0].size();
-  const auto win = ros::dsp::make_window(window, n);
+  const auto& win = cached_window(window, n);
   const double gain = ros::dsp::coherent_gain(win);
+  const bool pow2 = (n & (n - 1)) == 0;
 
-  RangeProfile out;
-  out.bins.reserve(frame.size());
-  for (const auto& chan : frame) {
+  if (out.bins.size() != frame.size()) out.bins.resize(frame.size());
+  for (std::size_t k = 0; k < frame.size(); ++k) {
+    const auto& chan = frame[k];
     ROS_EXPECT(chan.size() == n, "ragged frame cube");
-    std::vector<cplx> x(chan);
-    ros::dsp::apply_window(x, win);
-    auto spec = ros::dsp::fft(x);
     // Complex (IQ) baseband: all n bins are unambiguous beat
     // frequencies, so the full ADC-limited range (~11.4 m on the TI
     // config) is usable. Normalize so a unit-amplitude tone yields a
     // unit-magnitude bin.
     const double norm = 1.0 / (static_cast<double>(n) * gain);
+    auto& spec = out.bins[k];
+    spec.assign(chan.begin(), chan.end());
+    ros::dsp::apply_window(spec, win);
+    if (pow2) {
+      ros::dsp::fft_pow2_inplace(std::span<cplx>(spec));
+    } else {
+      spec = ros::dsp::fft(spec);
+    }
     for (auto& v : spec) v *= norm;
-    out.bins.push_back(std::move(spec));
   }
   // Bin b corresponds to beat frequency b * fs / N.
   const double beat_per_bin =
       chirp.sample_rate_hz / static_cast<double>(n);
   out.bin_spacing_m = chirp.range_for_beat_hz(beat_per_bin);
-  return out;
 }
 
 cplx beamform_bin(const RangeProfile& profile, std::size_t bin,
@@ -55,13 +86,22 @@ cplx beamform_bin(const RangeProfile& profile, std::size_t bin,
   const double d = array.rx_spacing(hz);
   const double lambda = wavelength(hz);
   const double sin_az = std::sin(az_rad);
-  cplx sum{0.0, 0.0};
-  for (std::size_t k = 0; k < profile.bins.size(); ++k) {
-    const double phi =
-        -2.0 * kPi * static_cast<double>(k) * d * sin_az / lambda;
-    sum += profile.bins[k][bin] * std::polar(1.0, phi);
+  const std::size_t n_rx = profile.bins.size();
+  const auto& simd = ros::simd::ops();
+
+  auto& arena = ros::exec::Arena::thread_local_arena();
+  ros::exec::Arena::Scope scope(arena);
+  auto re = arena.alloc_span<double>(n_rx);
+  auto im = arena.alloc_span<double>(n_rx);
+  auto phase = arena.alloc_span<double>(n_rx);
+  for (std::size_t k = 0; k < n_rx; ++k) {
+    re[k] = profile.bins[k][bin].real();
+    im[k] = profile.bins[k][bin].imag();
   }
-  return sum / static_cast<double>(profile.bins.size());
+  const double step = -2.0 * kPi * d * sin_az / lambda;
+  simd.linear_phase(0.0, step, phase.data(), n_rx);
+  const cplx sum = simd.phase_mac(re.data(), im.data(), phase.data(), n_rx);
+  return sum / static_cast<double>(n_rx);
 }
 
 std::vector<double> aoa_power_spectrum(const RangeProfile& profile,
@@ -69,10 +109,53 @@ std::vector<double> aoa_power_spectrum(const RangeProfile& profile,
                                        const RadarArray& array, double hz,
                                        std::span<const double> angles_rad) {
   std::vector<double> out(angles_rad.size());
-  for (std::size_t i = 0; i < angles_rad.size(); ++i) {
-    out[i] = std::norm(beamform_bin(profile, bin, array, hz, angles_rad[i]));
-  }
+  aoa_power_spectrum_into(profile, bin, array, hz, angles_rad, out);
   return out;
+}
+
+void aoa_power_spectrum_into(const RangeProfile& profile, std::size_t bin,
+                             const RadarArray& array, double hz,
+                             std::span<const double> angles_rad,
+                             std::span<double> out) {
+  ROS_EXPECT(bin < profile.n_bins(), "bin out of range");
+  ROS_EXPECT(out.size() == angles_rad.size(),
+             "output size must match the angle grid");
+  const std::size_t n_a = angles_rad.size();
+  const std::size_t n_rx = profile.bins.size();
+  const double d = array.rx_spacing(hz);
+  const double lambda = wavelength(hz);
+  const auto& simd = ros::simd::ops();
+
+  // Swap the loops relative to beamform_bin-per-angle: each antenna
+  // spreads its bin sample over the whole angle grid with one
+  // scale + cexp_madd pass, so the angle dimension (the long one)
+  // runs through the vector lanes. Per angle the accumulation order
+  // over k is unchanged, so results match the beamform_bin route up
+  // to phase rounding.
+  auto& arena = ros::exec::Arena::thread_local_arena();
+  ros::exec::Arena::Scope scope(arena);
+  auto sin_az = arena.alloc_span<double>(n_a);
+  auto cos_scratch = arena.alloc_span<double>(n_a);
+  auto phase = arena.alloc_span<double>(n_a);
+  auto acc_re = arena.alloc_span<double>(n_a);
+  auto acc_im = arena.alloc_span<double>(n_a);
+  simd.sincos(angles_rad.data(), sin_az.data(), cos_scratch.data(), n_a);
+  std::fill(acc_re.begin(), acc_re.end(), 0.0);
+  std::fill(acc_im.begin(), acc_im.end(), 0.0);
+
+  for (std::size_t k = 0; k < n_rx; ++k) {
+    const double ck = -2.0 * kPi * static_cast<double>(k) * d / lambda;
+    simd.scale(ck, sin_az.data(), phase.data(), n_a);
+    const cplx x = profile.bins[k][bin];
+    simd.cexp_madd(x.real(), x.imag(), phase.data(), acc_re.data(),
+                   acc_im.data(), n_a);
+  }
+  const double inv_n = 1.0 / static_cast<double>(n_rx);
+  for (std::size_t a = 0; a < n_a; ++a) {
+    const double re = acc_re[a] * inv_n;
+    const double im = acc_im[a] * inv_n;
+    out[a] = re * re + im * im;
+  }
 }
 
 std::vector<Detection> detect_points(const RangeProfile& profile,

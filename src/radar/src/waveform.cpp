@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "ros/common/expect.hpp"
+#include "ros/simd/simd.hpp"
 
 namespace ros::radar {
 
@@ -17,15 +18,27 @@ WaveformSynthesizer::WaveformSynthesizer(FmcwChirp chirp, RadarArray array)
 FrameCube WaveformSynthesizer::synthesize(
     std::span<const ScatterReturn> returns, double noise_power_w,
     Rng& rng) const {
+  FrameCube frame;
+  synthesize_into(returns, noise_power_w, rng, frame);
+  return frame;
+}
+
+void WaveformSynthesizer::synthesize_into(
+    std::span<const ScatterReturn> returns, double noise_power_w,
+    Rng& rng, FrameCube& frame) const {
   ROS_EXPECT(noise_power_w >= 0.0, "noise power must be non-negative");
   const auto n_rx = static_cast<std::size_t>(array_.n_rx);
   const auto n_s = static_cast<std::size_t>(chirp_.n_samples);
-  FrameCube frame(n_rx, std::vector<cplx>(n_s, cplx{0.0, 0.0}));
+  // Reuse the caller's storage when the shape already matches (the
+  // frame-loop case); only a cold first call allocates.
+  if (frame.size() != n_rx) frame.resize(n_rx);
+  for (auto& chan : frame) chan.assign(n_s, cplx{0.0, 0.0});
 
   const double fc = chirp_.center_hz();
   const double lambda = kSpeedOfLight / fc;
   const double d_rx = array_.rx_spacing(fc);
   const double dt = 1.0 / chirp_.sample_rate_hz;
+  const auto& tone = ros::simd::ops().tone_acc;
 
   for (const ScatterReturn& r : returns) {
     if (r.amplitude <= 0.0) continue;
@@ -36,15 +49,13 @@ FrameCube WaveformSynthesizer::synthesize(
         -4.0 * kPi * r.range_m * chirp_.start_hz / kSpeedOfLight +
         r.phase_rad;
     const double sin_az = std::sin(r.azimuth_rad);
+    // Per-sample phase advances linearly: one tone per (return, rx).
+    const double dphase = 2.0 * kPi * f_beat * dt;
     for (std::size_t k = 0; k < n_rx; ++k) {
       // Eq. 2's second phase term: the inter-antenna delay.
       const double phi_ant =
           2.0 * kPi * static_cast<double>(k) * d_rx * sin_az / lambda;
-      for (std::size_t i = 0; i < n_s; ++i) {
-        const double t = static_cast<double>(i) * dt;
-        frame[k][i] += std::polar(
-            r.amplitude, phi0 + phi_ant + 2.0 * kPi * f_beat * t);
-      }
+      tone(frame[k].data(), r.amplitude, phi0 + phi_ant, dphase, n_s);
     }
   }
 
@@ -55,7 +66,6 @@ FrameCube WaveformSynthesizer::synthesize(
       }
     }
   }
-  return frame;
 }
 
 }  // namespace ros::radar

@@ -37,8 +37,8 @@ class CornerReflector final : public SceneObject {
 
   std::string_view name() const override { return params_.name; }
   Vec2 position() const override { return params_.position; }
-  std::vector<ScatterPoint> scatter(const RadarPose& pose, double hz,
-                                    ros::common::Rng& rng) const override;
+  void scatter_into(const RadarPose& pose, double hz, ros::common::Rng& rng,
+                    std::vector<ScatterPoint>& out) const override;
 
  private:
   Params params_;

@@ -37,9 +37,20 @@ class SceneObject {
   /// Sub-scatterer responses toward a monostatic radar at `pose` and
   /// frequency `hz`. `rng` supplies per-frame fluctuation (Swerling-like
   /// clutter scintillation); implementations draw from it every call.
-  virtual std::vector<ScatterPoint> scatter(const RadarPose& pose,
-                                            double hz,
-                                            ros::common::Rng& rng) const = 0;
+  std::vector<ScatterPoint> scatter(const RadarPose& pose, double hz,
+                                    ros::common::Rng& rng) const {
+    std::vector<ScatterPoint> out;
+    scatter_into(pose, hz, rng, out);
+    return out;
+  }
+
+  /// Appending primitive behind scatter(): implementations push their
+  /// sub-scatterers onto `out` without clearing it, so a caller-owned
+  /// scratch vector keeps its capacity across frames (the interrogator
+  /// frame loops rely on this for zero steady-state allocation).
+  virtual void scatter_into(const RadarPose& pose, double hz,
+                            ros::common::Rng& rng,
+                            std::vector<ScatterPoint>& out) const = 0;
 };
 
 /// Generic polarization-preserving clutter reflector.
@@ -65,8 +76,8 @@ class ClutterObject final : public SceneObject {
 
   std::string_view name() const override { return params_.name; }
   Vec2 position() const override { return params_.position; }
-  std::vector<ScatterPoint> scatter(const RadarPose& pose, double hz,
-                                    ros::common::Rng& rng) const override;
+  void scatter_into(const RadarPose& pose, double hz, ros::common::Rng& rng,
+                    std::vector<ScatterPoint>& out) const override;
 
   const Params& params() const { return params_; }
 
@@ -101,8 +112,8 @@ class TagObject final : public SceneObject {
 
   std::string_view name() const override { return name_; }
   Vec2 position() const override { return mounting_.position; }
-  std::vector<ScatterPoint> scatter(const RadarPose& pose, double hz,
-                                    ros::common::Rng& rng) const override;
+  void scatter_into(const RadarPose& pose, double hz, ros::common::Rng& rng,
+                    std::vector<ScatterPoint>& out) const override;
 
   const ros::tag::RosTag& tag() const { return tag_; }
   const Mounting& mounting() const { return mounting_; }

@@ -73,6 +73,18 @@ class Scene {
       const ros::tag::RadarLinkBudget& budget, double hz,
       ros::common::Rng& rng) const;
 
+  /// Same, writing into caller-owned storage: `scatter_scratch` holds
+  /// each object's sub-scatterers transiently, `out` receives the frame
+  /// returns. Both are cleared here but keep their capacity, so a frame
+  /// loop that reuses them stops allocating once warm.
+  void frame_returns_into(const RadarPose& pose,
+                          ros::radar::TxMode tx_mode,
+                          const ros::radar::RadarArray& array,
+                          const ros::tag::RadarLinkBudget& budget,
+                          double hz, ros::common::Rng& rng,
+                          std::vector<ScatterPoint>& scatter_scratch,
+                          std::vector<ros::radar::ScatterReturn>& out) const;
+
  private:
   Weather weather_;
   GroundBounce ground_;

@@ -24,17 +24,17 @@ double CornerReflector::peak_rcs_dbsm(double hz) const {
   return linear_to_db(4.0 * kPi * a * a * a * a / (3.0 * lambda * lambda));
 }
 
-std::vector<ScatterPoint> CornerReflector::scatter(const RadarPose& pose,
-                                                   double hz,
-                                                   Rng& /*rng*/) const {
+void CornerReflector::scatter_into(const RadarPose& pose, double hz,
+                                   Rng& /*rng*/,
+                                   std::vector<ScatterPoint>& out) const {
   const Vec2 d = pose.position - params_.position;
   const double dist = d.norm();
-  if (dist <= 0.0) return {};
+  if (dist <= 0.0) return;
   // Angle off the reflector's boresight.
   const double cosang = params_.boresight.dot(d) / dist;
-  if (cosang <= 0.0) return {};
+  if (cosang <= 0.0) return;
   const double ang = std::acos(std::min(1.0, cosang));
-  if (ang > 2.0 * params_.fov_half_angle_rad) return {};
+  if (ang > 2.0 * params_.fov_half_angle_rad) return;
   // Gaussian-like angular rolloff, -3 dB at the half-angle.
   const double rel = ang / params_.fov_half_angle_rad;
   const double pattern_db = -3.0 * rel * rel;
@@ -47,7 +47,7 @@ std::vector<ScatterPoint> CornerReflector::scatter(const RadarPose& pose,
       ros::antenna::scattering_length_for_rcs_dbsm(sigma_dbsm);
   p.s = ros::em::ScatterMatrix::co_polarized(amp,
                                              params_.cross_rejection_db);
-  return {p};
+  out.push_back(p);
 }
 
 }  // namespace ros::scene

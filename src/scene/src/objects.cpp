@@ -27,15 +27,13 @@ ClutterObject::ClutterObject(Params p) : params_(std::move(p)) {
   }
 }
 
-std::vector<ScatterPoint> ClutterObject::scatter(const RadarPose& /*pose*/,
-                                                 double /*hz*/,
-                                                 Rng& rng) const {
+void ClutterObject::scatter_into(const RadarPose& /*pose*/, double /*hz*/,
+                                 Rng& rng,
+                                 std::vector<ScatterPoint>& out) const {
   // Split the mean RCS evenly across centers; scintillate per frame.
   const double sigma_total = db_to_linear(params_.mean_rcs_dbsm);
   const double sigma_each =
       sigma_total / static_cast<double>(params_.n_centers);
-  std::vector<ScatterPoint> out;
-  out.reserve(center_offsets_.size());
   for (const Vec2& off : center_offsets_) {
     const double fluct_db = rng.normal(0.0, params_.fluctuation_db);
     const double amp = ros::antenna::scattering_length_for_rcs_dbsm(
@@ -51,7 +49,6 @@ std::vector<ScatterPoint> ClutterObject::scatter(const RadarPose& /*pose*/,
               .scaled(std::polar(1.0, phase));
     out.push_back(p);
   }
-  return out;
 }
 
 namespace {
@@ -112,21 +109,20 @@ double TagObject::view_angle(const RadarPose& pose) const {
   return std::atan2(cross, dot);
 }
 
-std::vector<ScatterPoint> TagObject::scatter(const RadarPose& pose,
-                                             double hz,
-                                             Rng& /*rng*/) const {
+void TagObject::scatter_into(const RadarPose& pose, double hz, Rng& /*rng*/,
+                             std::vector<ScatterPoint>& out) const {
   const Vec2 d = pose.position - mounting_.position;
   const double dist = d.norm();
-  if (dist <= 0.0) return {};
+  if (dist <= 0.0) return;
   const double az = view_angle(pose);
   // Behind the tag: no response (ground planes block the back).
-  if (std::abs(az) >= kPi / 2.0) return {};
+  if (std::abs(az) >= kPi / 2.0) return;
   const double height_offset = pose.height_m - mounting_.height_offset_m;
   ScatterPoint p;
   p.position = mounting_.position;
   p.height_m = mounting_.height_offset_m;
   p.s = tag_.scatter(az, dist, height_offset, hz);
-  return {p};
+  out.push_back(p);
 }
 
 }  // namespace ros::scene

@@ -56,15 +56,29 @@ std::vector<ScatterReturn> Scene::frame_returns(
     const RadarPose& pose, TxMode tx_mode,
     const ros::radar::RadarArray& array,
     const ros::tag::RadarLinkBudget& budget, double hz, Rng& rng) const {
+  std::vector<ScatterPoint> scratch;
+  std::vector<ScatterReturn> out;
+  frame_returns_into(pose, tx_mode, array, budget, hz, rng, scratch, out);
+  return out;
+}
+
+void Scene::frame_returns_into(const RadarPose& pose, TxMode tx_mode,
+                               const ros::radar::RadarArray& array,
+                               const ros::tag::RadarLinkBudget& budget,
+                               double hz, Rng& rng,
+                               std::vector<ScatterPoint>& scatter_scratch,
+                               std::vector<ScatterReturn>& out) const {
   const Polarization tx_pol = tx_mode == TxMode::normal
                                   ? array.tx_normal_pol()
                                   : array.tx_switched_pol();
   const Polarization rx_pol = array.rx_pol;
   const double lambda = wavelength(hz);
 
-  std::vector<ScatterReturn> out;
+  out.clear();
   for (const auto& object : objects_) {
-    for (const ScatterPoint& p : object->scatter(pose, hz, rng)) {
+    scatter_scratch.clear();
+    object->scatter_into(pose, hz, rng, scatter_scratch);
+    for (const ScatterPoint& p : scatter_scratch) {
       const Vec2 d = p.position - pose.position;
       const double range = std::hypot(d.norm(), p.height_m - pose.height_m);
       if (range <= 0.0) continue;
@@ -95,7 +109,6 @@ std::vector<ScatterReturn> Scene::frame_returns(
       out.push_back(r);
     }
   }
-  return out;
 }
 
 }  // namespace ros::scene

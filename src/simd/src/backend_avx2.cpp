@@ -1,0 +1,10 @@
+// AVX2 backend: 4-lane double kernels. Compiled with -mavx2 -mfma (the
+// dispatcher requires both CPU features before selecting this table);
+// fp-contract stays off module-wide so results match the scalar
+// rounding sequence per the bit-identical ops contract.
+#define ROS_SIMD_LANES 4
+#define ROS_SIMD_BACKEND_NAME "avx2"
+#define ROS_SIMD_BACKEND_ENUM ::ros::simd::Backend::avx2
+#define ROS_SIMD_OPS_FN avx2_ops
+
+#include "kernels_vec.inl"

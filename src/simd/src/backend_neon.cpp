@@ -1,0 +1,9 @@
+// NEON backend: 2-lane double kernels on AArch64 (NEON is baseline
+// there, so no extra -m flags). Same shared kernel source as the x86
+// backends — the GCC vector extensions lower to NEON automatically.
+#define ROS_SIMD_LANES 2
+#define ROS_SIMD_BACKEND_NAME "neon"
+#define ROS_SIMD_BACKEND_ENUM ::ros::simd::Backend::neon
+#define ROS_SIMD_OPS_FN neon_ops
+
+#include "kernels_vec.inl"

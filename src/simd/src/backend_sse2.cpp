@@ -1,0 +1,7 @@
+// SSE2 backend: 2-lane double kernels (x86-64 baseline ISA).
+#define ROS_SIMD_LANES 2
+#define ROS_SIMD_BACKEND_NAME "sse2"
+#define ROS_SIMD_BACKEND_ENUM ::ros::simd::Backend::sse2
+#define ROS_SIMD_OPS_FN sse2_ops
+
+#include "kernels_vec.inl"

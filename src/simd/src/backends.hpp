@@ -1,0 +1,24 @@
+// Internal: per-backend dispatch tables. Each TU defines exactly one;
+// the set that exists depends on the target architecture (see
+// CMakeLists.txt, which adds the ISA flags per file).
+#pragma once
+
+#include "ros/simd/simd.hpp"
+
+namespace ros::simd::detail {
+
+const Ops& scalar_ops();
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define ROS_SIMD_HAVE_SSE2 1
+#define ROS_SIMD_HAVE_AVX2 1
+const Ops& sse2_ops();
+const Ops& avx2_ops();
+#endif
+
+#if defined(__aarch64__)
+#define ROS_SIMD_HAVE_NEON 1
+const Ops& neon_ops();
+#endif
+
+}  // namespace ros::simd::detail

@@ -1,0 +1,169 @@
+// Runtime backend selection: ROS_SIMD env var -> parse -> availability
+// check, resolved once and cached in an atomic. set_backend() lets
+// tests and benches sweep every compiled backend in-process.
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "backends.hpp"
+
+namespace ros::simd {
+
+namespace {
+
+std::atomic<const Ops*> g_active{nullptr};
+
+bool cpu_supports(Backend b) {
+  switch (b) {
+    case Backend::scalar:
+      return true;
+#if defined(ROS_SIMD_HAVE_SSE2)
+    case Backend::sse2:
+      return __builtin_cpu_supports("sse2");
+    case Backend::avx2:
+      return __builtin_cpu_supports("avx2") &&
+             __builtin_cpu_supports("fma");
+#endif
+#if defined(ROS_SIMD_HAVE_NEON)
+    case Backend::neon:
+      return true;  // baseline on AArch64
+#endif
+    default:
+      return false;
+  }
+}
+
+Backend best_available() {
+#if defined(ROS_SIMD_HAVE_AVX2)
+  if (cpu_supports(Backend::avx2)) return Backend::avx2;
+#endif
+#if defined(ROS_SIMD_HAVE_SSE2)
+  if (cpu_supports(Backend::sse2)) return Backend::sse2;
+#endif
+#if defined(ROS_SIMD_HAVE_NEON)
+  if (cpu_supports(Backend::neon)) return Backend::neon;
+#endif
+  return Backend::scalar;
+}
+
+const Ops& resolve() {
+  const char* env = std::getenv("ROS_SIMD");
+  if (env == nullptr || *env == '\0') {
+    return backend_ops(best_available());
+  }
+  return backend_ops(parse_backend(env));
+}
+
+}  // namespace
+
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::scalar:
+      return "scalar";
+    case Backend::sse2:
+      return "sse2";
+    case Backend::avx2:
+      return "avx2";
+    case Backend::neon:
+      return "neon";
+  }
+  return "?";
+}
+
+Backend parse_backend(std::string_view name) {
+  if (name == "scalar") return Backend::scalar;
+  if (name == "sse2") return Backend::sse2;
+  if (name == "avx2") return Backend::avx2;
+  if (name == "neon") return Backend::neon;
+  if (name == "native") return best_available();
+  throw std::invalid_argument(
+      "ros::simd: unknown backend '" + std::string(name) +
+      "' (expected scalar|sse2|avx2|neon|native)");
+}
+
+bool backend_compiled(Backend b) {
+  switch (b) {
+    case Backend::scalar:
+      return true;
+    case Backend::sse2:
+    case Backend::avx2:
+#if defined(ROS_SIMD_HAVE_SSE2)
+      return true;
+#else
+      return false;
+#endif
+    case Backend::neon:
+#if defined(ROS_SIMD_HAVE_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool backend_runtime_supported(Backend b) {
+  return backend_compiled(b) && cpu_supports(b);
+}
+
+std::vector<Backend> available_backends() {
+  std::vector<Backend> out;
+  for (Backend b : {Backend::scalar, Backend::sse2, Backend::avx2,
+                    Backend::neon}) {
+    if (backend_runtime_supported(b)) out.push_back(b);
+  }
+  return out;
+}
+
+const Ops& backend_ops(Backend b) {
+  if (!backend_compiled(b)) {
+    throw std::invalid_argument(std::string("ros::simd: backend '") +
+                                to_string(b) +
+                                "' is not compiled into this binary");
+  }
+  if (!cpu_supports(b)) {
+    throw std::invalid_argument(std::string("ros::simd: backend '") +
+                                to_string(b) +
+                                "' is not supported by this CPU");
+  }
+  switch (b) {
+    case Backend::scalar:
+      return detail::scalar_ops();
+#if defined(ROS_SIMD_HAVE_SSE2)
+    case Backend::sse2:
+      return detail::sse2_ops();
+    case Backend::avx2:
+      return detail::avx2_ops();
+#endif
+#if defined(ROS_SIMD_HAVE_NEON)
+    case Backend::neon:
+      return detail::neon_ops();
+#endif
+    default:
+      return detail::scalar_ops();  // unreachable: guarded above
+  }
+}
+
+const Ops& ops() {
+  const Ops* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    t = &resolve();
+    g_active.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+Backend active_backend() { return ops().backend; }
+
+const char* backend_name() { return ops().name; }
+
+void set_backend(Backend b) {
+  g_active.store(&backend_ops(b), std::memory_order_release);
+}
+
+void reset_backend() {
+  g_active.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace ros::simd

@@ -1,0 +1,476 @@
+// Shared vector-backend kernels, written with GCC vector extensions so
+// one source serves every ISA: the including TU defines
+//
+//   ROS_SIMD_LANES         2 (SSE2, NEON) or 4 (AVX2)
+//   ROS_SIMD_BACKEND_NAME  string literal, e.g. "avx2"
+//   ROS_SIMD_BACKEND_ENUM  ros::simd::Backend::avx2
+//   ROS_SIMD_OPS_FN        detail table getter, e.g. avx2_ops
+//
+// and is compiled with the matching -m flags plus -ffp-contract=off.
+// Contraction stays off so the ops documented "bit-identical across
+// backends" (linear_phase, scale, axpby) round exactly like the scalar
+// reference: every lane performs the same sequence of individually
+// rounded multiplies and adds. fft_butterfly is tolerance-bound
+// instead: GCC's vectorizer recognizes the complex-multiply shape and
+// emits FMADDSUB (one rounding for mul+addsub) even with contraction
+// off, so butterfly outputs sit within kButterflyRelTol of scalar
+// rather than matching bitwise.
+//
+// sincos: quadrant reduction k = round(x * 2/pi) via the 2^52 magic-
+// number trick, four-term Cody-Waite subtraction of k*pi/2 (the three
+// leading terms carry <= 27 mantissa bits, so their products with
+// k < 2^26 are exact), then the Cephes minimax polynomials for
+// sin/cos on [-pi/4, pi/4]. Absolute error stays below kSinCosAbsTol
+// for |x| <= kMaxVectorPhase; lanes beyond that range are recomputed
+// with libm after the vector store (rare by contract).
+//
+// Elementwise sincos-family ops (sincos, cexp, cexp_madd, tone_acc)
+// run their tail through the same polynomial chunk, padded to W lanes,
+// so a given input value produces the same bits at any position and
+// any array length. Single-point evaluations therefore reproduce one
+// lane of a swept evaluation exactly (PsvaaStack::elevation_pattern vs
+// elevation_pattern_sweep relies on this). Reductions are exempt: their
+// accumulation order already depends on n.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "backends.hpp"
+
+namespace ros::simd::detail {
+namespace {
+
+constexpr int W = ROS_SIMD_LANES;
+
+typedef double vd
+    __attribute__((vector_size(W * 8), aligned(8), may_alias));
+typedef std::int64_t vi
+    __attribute__((vector_size(W * 8), aligned(8), may_alias));
+
+inline vd vload(const double* p) { return *reinterpret_cast<const vd*>(p); }
+inline void vstore(double* p, vd v) { *reinterpret_cast<vd*>(p) = v; }
+
+inline vd vsel(vi m, vd a, vd b) {
+  return (vd)(((vi)a & m) | ((vi)b & ~m));
+}
+
+inline vd viota() {
+  vd v{};
+  for (int l = 0; l < W; ++l) v[l] = static_cast<double>(l);
+  return v;
+}
+
+// --- sincos core ---------------------------------------------------
+
+constexpr double kTwoOverPi = 0.636619772367581343075535053490057448;
+constexpr double kMagic = 6755399441055744.0;  // 1.5 * 2^52
+// pi/2 = P0 + P1 + P2 + P3 (quad-precision split; P0..P2 carry <= 27
+// mantissa bits).
+constexpr double kPio2_0 = 0x1.921fb58p+0;
+constexpr double kPio2_1 = -0x1.dde974p-27;
+constexpr double kPio2_2 = 0x1.1a6263p-54;
+constexpr double kPio2_3 = 0x1.8a2e037p-81;
+
+// Cephes minimax coefficients on [-pi/4, pi/4], highest degree first.
+constexpr double kSinC[6] = {
+    1.58962301576546568060e-10, -2.50507477628578072866e-8,
+    2.75573136213857245213e-6,  -1.98412698295895385996e-4,
+    8.33333333332211858878e-3,  -1.66666666666666307295e-1,
+};
+constexpr double kCosC[6] = {
+    -1.13585365213876817300e-11, 2.08757008419747316778e-9,
+    -2.75573141792967388112e-7,  2.48015872888517179954e-5,
+    -1.38888888888730564116e-3,  4.16666666666665929218e-2,
+};
+
+/// sin/cos of one vector of phases. Valid for |x| <= kMaxVectorPhase.
+inline void vsincos(vd x, vd* sin_out, vd* cos_out) {
+  const vd fn_m = x * kTwoOverPi + kMagic;
+  const vi q = (vi)fn_m;  // low bits: round(x * 2/pi) two's complement
+  const vd fn = fn_m - kMagic;
+
+  vd r = x - fn * kPio2_0;
+  r = r - fn * kPio2_1;
+  r = r - fn * kPio2_2;
+  r = r - fn * kPio2_3;
+  const vd z = r * r;
+
+  vd ps = z * kSinC[0] + kSinC[1];
+  ps = ps * z + kSinC[2];
+  ps = ps * z + kSinC[3];
+  ps = ps * z + kSinC[4];
+  ps = ps * z + kSinC[5];
+  const vd sin_r = r + r * z * ps;
+
+  vd pc = z * kCosC[0] + kCosC[1];
+  pc = pc * z + kCosC[2];
+  pc = pc * z + kCosC[3];
+  pc = pc * z + kCosC[4];
+  pc = pc * z + kCosC[5];
+  const vd cos_r = (1.0 - 0.5 * z) + z * z * pc;
+
+  // Quadrant: sin(x) = {s, c, -s, -c}[q & 3], cos(x) = {c, -s, -c, s}.
+  const vi swap = (q & 1) != 0;
+  const vi sin_sign = (q & 2) << 62;
+  const vi cos_sign = ((q + 1) & 2) << 62;
+  *sin_out = (vd)((vi)vsel(swap, cos_r, sin_r) ^ sin_sign);
+  *cos_out = (vd)((vi)vsel(swap, sin_r, cos_r) ^ cos_sign);
+}
+
+/// True if any lane needs the libm fallback (|x| too large, or NaN
+/// masquerading as large through the unordered compare).
+inline bool needs_fallback(vd x) {
+  const vd ax = (vd)((vi)x & ~(vi{} + (std::int64_t{1} << 63)));
+  const vi m = !(ax <= kMaxVectorPhase);
+  std::int64_t any = 0;
+  for (int l = 0; l < W; ++l) any |= m[l];
+  return any != 0;
+}
+
+/// sincos of one chunk with the out-of-range lanes redone in libm.
+inline void sincos_chunk(const double* a, double* s, double* c) {
+  const vd x = vload(a);
+  vd sv;
+  vd cv;
+  vsincos(x, &sv, &cv);
+  if (__builtin_expect(needs_fallback(x), 0)) {
+    for (int l = 0; l < W; ++l) {
+      if (!(std::fabs(a[l]) <= kMaxVectorPhase)) {
+        sv[l] = std::sin(a[l]);
+        cv[l] = std::cos(a[l]);
+      }
+    }
+  }
+  vstore(s, sv);
+  vstore(c, cv);
+}
+
+/// sincos of a tail of m < W elements, padded into a full chunk so a
+/// value computes bit-identically whatever its lane position or the
+/// array length. Callers rely on this (e.g. a single-angle pattern
+/// evaluation must reproduce one lane of the swept evaluation exactly);
+/// a libm tail would break it because the chunk path is a polynomial.
+inline void sincos_tail(const double* a, double* s, double* c,
+                        std::size_t m) {
+  double ax[W];
+  double sx[W];
+  double cx[W];
+  for (std::size_t l = 0; l < m; ++l) ax[l] = a[l];
+  for (std::size_t l = m; l < static_cast<std::size_t>(W); ++l) {
+    ax[l] = 0.0;
+  }
+  sincos_chunk(ax, sx, cx);
+  for (std::size_t l = 0; l < m; ++l) {
+    s[l] = sx[l];
+    c[l] = cx[l];
+  }
+}
+
+// --- elementwise ops ------------------------------------------------
+
+void v_sincos(const double* a, double* s, double* c, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) sincos_chunk(a + i, s + i, c + i);
+  if (i < n) sincos_tail(a + i, s + i, c + i, n - i);
+}
+
+void v_cexp(const double* phase, double* re, double* im, std::size_t n) {
+  v_sincos(phase, im, re, n);
+}
+
+void v_linear_phase(double base, double step, double* out,
+                    std::size_t n) {
+  const vd iota = viota();
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    const vd idx = iota + static_cast<double>(i);
+    vstore(out + i, step * idx + base);
+  }
+  for (; i < n; ++i) out[i] = base + step * static_cast<double>(i);
+}
+
+void v_scale(double a, const double* x, double* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) vstore(out + i, a * vload(x + i));
+  for (; i < n; ++i) out[i] = a * x[i];
+}
+
+void v_axpby(double a, const double* x, double b, const double* y,
+             double* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    const vd ax = a * vload(x + i);
+    const vd by = b * vload(y + i);
+    vstore(out + i, ax + by);
+  }
+  for (; i < n; ++i) {
+    const double ax = a * x[i];
+    const double by = b * y[i];
+    out[i] = ax + by;
+  }
+}
+
+void v_cexp_madd(double cr, double ci, const double* phase,
+                 double* acc_re, double* acc_im, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    const vd x = vload(phase + i);
+    vd s;
+    vd c;
+    vsincos(x, &s, &c);
+    if (__builtin_expect(needs_fallback(x), 0)) {
+      for (int l = 0; l < W; ++l) {
+        if (!(std::fabs(x[l]) <= kMaxVectorPhase)) {
+          s[l] = std::sin(x[l]);
+          c[l] = std::cos(x[l]);
+        }
+      }
+    }
+    vstore(acc_re + i, vload(acc_re + i) + (cr * c - ci * s));
+    vstore(acc_im + i, vload(acc_im + i) + (cr * s + ci * c));
+  }
+  if (i < n) {
+    const std::size_t m = n - i;
+    double s[W];
+    double c[W];
+    sincos_tail(phase + i, s, c, m);
+    for (std::size_t l = 0; l < m; ++l) {
+      acc_re[i + l] += cr * c[l] - ci * s[l];
+      acc_im[i + l] += cr * s[l] + ci * c[l];
+    }
+  }
+}
+
+void v_cmul_acc(const double* are, const double* aim, const double* bre,
+                const double* bim, double* acc_re, double* acc_im,
+                std::size_t n) {
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    const vd ar = vload(are + i);
+    const vd ai = vload(aim + i);
+    const vd br = vload(bre + i);
+    const vd bi = vload(bim + i);
+    vstore(acc_re + i, vload(acc_re + i) + (ar * br - ai * bi));
+    vstore(acc_im + i, vload(acc_im + i) + (ar * bi + ai * br));
+  }
+  for (; i < n; ++i) {
+    acc_re[i] += are[i] * bre[i] - aim[i] * bim[i];
+    acc_im[i] += are[i] * bim[i] + aim[i] * bre[i];
+  }
+}
+
+// --- reductions -----------------------------------------------------
+
+inline double hsum(vd v) {
+  double acc = v[0];
+  for (int l = 1; l < W; ++l) acc += v[l];
+  return acc;
+}
+
+cplx v_phase_mac(const double* are, const double* aim,
+                 const double* phase, std::size_t n) {
+  vd acc_r{};
+  vd acc_i{};
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    const vd x = vload(phase + i);
+    vd s;
+    vd c;
+    vsincos(x, &s, &c);
+    if (__builtin_expect(needs_fallback(x), 0)) {
+      for (int l = 0; l < W; ++l) {
+        if (!(std::fabs(x[l]) <= kMaxVectorPhase)) {
+          s[l] = std::sin(x[l]);
+          c[l] = std::cos(x[l]);
+        }
+      }
+    }
+    const vd ar = vload(are + i);
+    const vd ai = vload(aim + i);
+    acc_r += ar * c - ai * s;
+    acc_i += ar * s + ai * c;
+  }
+  double sr = hsum(acc_r);
+  double si = hsum(acc_i);
+  for (; i < n; ++i) {
+    const double c = std::cos(phase[i]);
+    const double s = std::sin(phase[i]);
+    sr += are[i] * c - aim[i] * s;
+    si += are[i] * s + aim[i] * c;
+  }
+  return {sr, si};
+}
+
+cplx v_cexp_sum(const double* phase, std::size_t n) {
+  vd acc_r{};
+  vd acc_i{};
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    const vd x = vload(phase + i);
+    vd s;
+    vd c;
+    vsincos(x, &s, &c);
+    if (__builtin_expect(needs_fallback(x), 0)) {
+      for (int l = 0; l < W; ++l) {
+        if (!(std::fabs(x[l]) <= kMaxVectorPhase)) {
+          s[l] = std::sin(x[l]);
+          c[l] = std::cos(x[l]);
+        }
+      }
+    }
+    acc_r += c;
+    acc_i += s;
+  }
+  double sr = hsum(acc_r);
+  double si = hsum(acc_i);
+  for (; i < n; ++i) {
+    sr += std::cos(phase[i]);
+    si += std::sin(phase[i]);
+  }
+  return {sr, si};
+}
+
+void v_tone_acc(cplx* acc, double amp, double phase0, double dphase,
+                std::size_t n) {
+  double* out = reinterpret_cast<double*>(acc);
+  const vd iota = viota();
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    const vd idx = iota + static_cast<double>(i);
+    const vd p = phase0 + dphase * idx;
+    vd s;
+    vd c;
+    vsincos(p, &s, &c);
+    if (__builtin_expect(needs_fallback(p), 0)) {
+      for (int l = 0; l < W; ++l) {
+        if (!(std::fabs(p[l]) <= kMaxVectorPhase)) {
+          s[l] = std::sin(p[l]);
+          c[l] = std::cos(p[l]);
+        }
+      }
+    }
+    const vd re = amp * c;
+    const vd im = amp * s;
+    // Interleave (re, im) pairs back into the complex array.
+#if ROS_SIMD_LANES == 4
+    const vd lo = __builtin_shuffle(re, im, (vi){0, 4, 1, 5});
+    const vd hi = __builtin_shuffle(re, im, (vi){2, 6, 3, 7});
+    vstore(out + 2 * i, vload(out + 2 * i) + lo);
+    vstore(out + 2 * i + W, vload(out + 2 * i + W) + hi);
+#else
+    const vd lo = __builtin_shuffle(re, im, (vi){0, 2});
+    const vd hi = __builtin_shuffle(re, im, (vi){1, 3});
+    vstore(out + 2 * i, vload(out + 2 * i) + lo);
+    vstore(out + 2 * i + W, vload(out + 2 * i + W) + hi);
+#endif
+  }
+  if (i < n) {
+    const std::size_t m = n - i;
+    double p[W];
+    double s[W];
+    double c[W];
+    for (std::size_t l = 0; l < m; ++l) {
+      p[l] = phase0 + dphase * static_cast<double>(i + l);
+    }
+    sincos_tail(p, s, c, m);
+    for (std::size_t l = 0; l < m; ++l) {
+      acc[i + l] += cplx{amp * c[l], amp * s[l]};
+    }
+  }
+}
+
+double v_sum(const double* x, std::size_t n) {
+  vd acc{};
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) acc += vload(x + i);
+  double r = hsum(acc);
+  for (; i < n; ++i) r += x[i];
+  return r;
+}
+
+double v_dot(const double* x, const double* y, std::size_t n) {
+  vd acc{};
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) acc += vload(x + i) * vload(y + i);
+  double r = hsum(acc);
+  for (; i < n; ++i) r += x[i] * y[i];
+  return r;
+}
+
+cplx v_csum(const double* re, const double* im, std::size_t n) {
+  vd ar{};
+  vd ai{};
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    ar += vload(re + i);
+    ai += vload(im + i);
+  }
+  double sr = hsum(ar);
+  double si = hsum(ai);
+  for (; i < n; ++i) {
+    sr += re[i];
+    si += im[i];
+  }
+  return {sr, si};
+}
+
+// --- FFT butterfly --------------------------------------------------
+
+void v_fft_butterfly(cplx* a, cplx* b, const cplx* w, std::size_t n) {
+  double* ad = reinterpret_cast<double*>(a);
+  double* bd = reinterpret_cast<double*>(b);
+  const double* wd = reinterpret_cast<const double*>(w);
+  constexpr int C = W / 2;  // complexes per vector
+  // Same formula as scalar per element; GCC fuses the multiply with
+  // the alternating add/sub (FMADDSUB), so agreement with scalar is
+  // kButterflyRelTol, not bitwise.
+#if ROS_SIMD_LANES == 4
+  const vi dup_even = {0, 0, 2, 2};
+  const vi dup_odd = {1, 1, 3, 3};
+  const vi swap_ri = {1, 0, 3, 2};
+  const vi neg_even = {std::int64_t{1} << 63, 0, std::int64_t{1} << 63, 0};
+#else
+  const vi dup_even = {0, 0};
+  const vi dup_odd = {1, 1};
+  const vi swap_ri = {1, 0};
+  const vi neg_even = {std::int64_t{1} << 63, 0};
+#endif
+  std::size_t k = 0;
+  for (; k + C <= n; k += C) {
+    const vd bv = vload(bd + 2 * k);
+    const vd wv = vload(wd + 2 * k);
+    const vd t1 = bv * __builtin_shuffle(wv, dup_even);
+    const vd t2 =
+        __builtin_shuffle(bv, swap_ri) * __builtin_shuffle(wv, dup_odd);
+    const vd v = t1 + (vd)((vi)t2 ^ neg_even);
+    const vd u = vload(ad + 2 * k);
+    vstore(ad + 2 * k, u + v);
+    vstore(bd + 2 * k, u - v);
+  }
+  for (; k < n; ++k) {
+    const double br = b[k].real();
+    const double bi = b[k].imag();
+    const double wr = w[k].real();
+    const double wi = w[k].imag();
+    const cplx v{br * wr - bi * wi, br * wi + bi * wr};
+    const cplx u = a[k];
+    a[k] = u + v;
+    b[k] = u - v;
+  }
+}
+
+}  // namespace
+
+const Ops& ROS_SIMD_OPS_FN() {
+  static const Ops table = {
+      ROS_SIMD_BACKEND_NAME, ROS_SIMD_BACKEND_ENUM,
+      &v_sincos,   &v_cexp,      &v_linear_phase, &v_scale,
+      &v_axpby,    &v_cexp_madd, &v_cmul_acc,     &v_phase_mac,
+      &v_cexp_sum, &v_tone_acc,  &v_sum,          &v_dot,
+      &v_csum,     &v_fft_butterfly,
+  };
+  return table;
+}
+
+}  // namespace ros::simd::detail

@@ -114,6 +114,62 @@ TEST(DbscanProperty, PartitionInvariantUnderPointPermutation) {
       });
 }
 
+TEST(DbscanProperty, GridAgreesWithAllPairsReferenceOracle) {
+  // The grid-indexed dbscan() must implement the same clustering as the
+  // O(n^2) BFS kept as dbscan_reference(). The two agree exactly on
+  // which points are cores, which are noise, and on core labels; border
+  // points are the one documented divergence (the reference hands them
+  // to whichever cluster's BFS reached them first, the grid hands them
+  // to the nearest core), so for those we assert validity: the chosen
+  // cluster must own a core within eps.
+  ROS_PROPERTY(
+      "grid dbscan matches reference", tk::blob_cloud_gen(),
+      [](const tk::BlobCloud& c) -> std::string {
+        const auto& pts = c.points;
+        const auto grid = rp::dbscan(pts, kOpts);
+        const auto ref = rp::dbscan_reference(pts, kOpts);
+        if (grid.size() != ref.size()) return "label vector size differs";
+
+        // Brute-force core status, independent of either implementation.
+        const double eps2 = kOpts.eps_m * kOpts.eps_m;
+        std::vector<bool> core(pts.size(), false);
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+          std::size_t n_nb = 0;
+          for (std::size_t j = 0; j < pts.size(); ++j) {
+            const Vec2 d = pts[i] - pts[j];
+            n_nb += (d.x * d.x + d.y * d.y) <= eps2;
+          }
+          core[i] = n_nb >= kOpts.min_points;
+        }
+
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+          if ((grid[i] < 0) != (ref[i] < 0)) {
+            return "noise set differs at point " + std::to_string(i);
+          }
+          if (core[i] && grid[i] != ref[i]) {
+            return "core label differs at point " + std::to_string(i);
+          }
+          if (!core[i] && grid[i] >= 0) {
+            // Border point: its grid cluster must have a core within eps.
+            bool reachable = false;
+            for (std::size_t j = 0; j < pts.size() && !reachable; ++j) {
+              const Vec2 d = pts[i] - pts[j];
+              reachable = core[j] && grid[j] == grid[i] &&
+                          (d.x * d.x + d.y * d.y) <= eps2;
+            }
+            if (!reachable) {
+              return "border point " + std::to_string(i) +
+                     " assigned to an unreachable cluster";
+            }
+          }
+        }
+        if (rp::cluster_count(grid) != rp::cluster_count(ref)) {
+          return "cluster count differs";
+        }
+        return "";
+      });
+}
+
 TEST(DbscanProperty, PartitionInvariantUnderRigidMotion) {
   // DBSCAN sees only pairwise distances, so any global rotation +
   // translation of the world frame must keep the partition (clusters

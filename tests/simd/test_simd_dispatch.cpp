@@ -1,0 +1,67 @@
+// Backend selection behavior of ros::simd: parse/format round trips,
+// availability predicates, and the set/reset override used by benches
+// and the CI dispatch matrix.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "ros/simd/simd.hpp"
+
+namespace rs = ros::simd;
+
+TEST(SimdDispatch, ParseAndToStringRoundTrip) {
+  EXPECT_EQ(rs::parse_backend("scalar"), rs::Backend::scalar);
+  for (rs::Backend b :
+       {rs::Backend::scalar, rs::Backend::sse2, rs::Backend::avx2,
+        rs::Backend::neon}) {
+    EXPECT_EQ(rs::parse_backend(rs::to_string(b)), b);
+  }
+  // "native" resolves to something usable on this host.
+  const rs::Backend native = rs::parse_backend("native");
+  EXPECT_TRUE(rs::backend_compiled(native));
+  EXPECT_TRUE(rs::backend_runtime_supported(native));
+  EXPECT_THROW(rs::parse_backend("avx512"), std::invalid_argument);
+  EXPECT_THROW(rs::parse_backend(""), std::invalid_argument);
+}
+
+TEST(SimdDispatch, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(rs::backend_compiled(rs::Backend::scalar));
+  EXPECT_TRUE(rs::backend_runtime_supported(rs::Backend::scalar));
+  const auto avail = rs::available_backends();
+  ASSERT_FALSE(avail.empty());
+  EXPECT_EQ(avail.front(), rs::Backend::scalar);
+  for (rs::Backend b : avail) {
+    EXPECT_TRUE(rs::backend_compiled(b));
+    EXPECT_TRUE(rs::backend_runtime_supported(b));
+    const rs::Ops& ops = rs::backend_ops(b);
+    EXPECT_EQ(ops.backend, b);
+    EXPECT_STREQ(ops.name, rs::to_string(b));
+  }
+}
+
+TEST(SimdDispatch, SetAndResetOverrideActiveTable) {
+  const rs::Backend before = rs::active_backend();
+  for (rs::Backend b : rs::available_backends()) {
+    rs::set_backend(b);
+    EXPECT_EQ(rs::active_backend(), b);
+    EXPECT_STREQ(rs::backend_name(), rs::to_string(b));
+    EXPECT_EQ(rs::ops().backend, b);
+  }
+  rs::reset_backend();
+  // After reset, dispatch resolves from the environment again; absent
+  // ROS_SIMD that is "native", which must be an available backend.
+  const rs::Backend after = rs::active_backend();
+  EXPECT_TRUE(rs::backend_runtime_supported(after));
+  rs::set_backend(before);  // leave the process as we found it
+}
+
+TEST(SimdDispatch, UnavailableBackendThrows) {
+#if defined(__x86_64__)
+  EXPECT_THROW(rs::backend_ops(rs::Backend::neon), std::invalid_argument);
+  EXPECT_THROW(rs::set_backend(rs::Backend::neon), std::invalid_argument);
+#else
+  EXPECT_THROW(rs::backend_ops(rs::Backend::avx2), std::invalid_argument);
+  EXPECT_THROW(rs::set_backend(rs::Backend::avx2), std::invalid_argument);
+#endif
+}
