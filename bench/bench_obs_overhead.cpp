@@ -1,0 +1,107 @@
+// Observability overhead gate: times the decode_drive hot loop with the
+// flight recorder disabled and with it enabled at the default 1-in-8
+// span sampling, and reports the relative cost. The always-on recorder
+// is only acceptable if it stays under a few percent of frame time.
+//
+// Timing is machine-dependent, so the overhead percentage lands in the
+// metrics snapshot (obs.overhead.recorder_pct) and the CSV — never in
+// the fidelity scorecard, which must be bit-identical across hosts and
+// backends. The scorecard records only the deterministic invariant:
+// recording must not change the decoded bits or the sampled RSS.
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "ros/obs/flight_recorder.hpp"
+
+namespace {
+
+double run_drive_ms(const ros::scene::Scene& world,
+                    const ros::scene::StraightDrive& drive,
+                    const ros::pipeline::InterrogatorConfig& cfg,
+                    ros::pipeline::DecodeDriveResult* out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  *out = ros::pipeline::decode_drive(world, drive, {0.0, 0.0}, cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  bench::do_not_optimize(out->mean_rss_dbm);
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+double median(std::vector<double> v) {
+  std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+ROS_BENCH(obs_overhead) {
+  using namespace ros;
+
+  const scene::Scene world = bench::tag_scene(bench::truth_bits());
+  const scene::StraightDrive drive({.lane_offset_m = 3.0,
+                                    .speed_mps = 2.0,
+                                    .start_x_m = -2.0,
+                                    .end_x_m = 2.0});
+  pipeline::InterrogatorConfig cfg;
+  cfg.frame_stride = ctx.quick() ? 10 : 4;
+  const int reps = ctx.quick() ? 3 : 7;
+
+  auto& fr = obs::FlightRecorder::global();
+  const bool was_enabled = fr.enabled();
+
+  // Warm both configurations first so arenas, FFT plans, and the flight
+  // rings exist before any timed rep.
+  pipeline::DecodeDriveResult warm_off, warm_on;
+  fr.set_enabled(false);
+  (void)run_drive_ms(world, drive, cfg, &warm_off);
+  fr.set_enabled(true);
+  (void)run_drive_ms(world, drive, cfg, &warm_on);
+
+  std::vector<double> t_off, t_on;
+  pipeline::DecodeDriveResult r_off, r_on;
+  for (int k = 0; k < reps; ++k) {
+    // Interleave to spread thermal / scheduler drift over both modes.
+    fr.set_enabled(false);
+    t_off.push_back(run_drive_ms(world, drive, cfg, &r_off));
+    fr.set_enabled(true);
+    t_on.push_back(run_drive_ms(world, drive, cfg, &r_on));
+  }
+  fr.set_enabled(was_enabled);
+
+  const double off_ms = median(t_off);
+  const double on_ms = median(t_on);
+  const double overhead_pct =
+      off_ms > 0.0 ? (on_ms - off_ms) / off_ms * 100.0 : 0.0;
+
+  common::CsvTable table(
+      "obs: decode_drive flight-recorder overhead (median of " +
+          std::to_string(reps) + " reps)",
+      {"recorder", "median_ms", "overhead_pct"});
+  table.add_row("off", {off_ms, 0.0});
+  table.add_row("on", {on_ms, overhead_pct});
+  bench::print(ctx, table);
+
+  // The gate: a gauge for bench_compare / dashboards, and a loud stderr
+  // warning past the 5% budget. Timing never enters the scorecard.
+  obs::MetricsRegistry::global()
+      .gauge("obs.overhead.recorder_pct")
+      .set(overhead_pct);
+  if (overhead_pct > 5.0) {
+    std::fprintf(stderr,
+                 "# WARNING: flight recorder overhead %.2f%% exceeds the "
+                 "5%% budget (off=%.3fms on=%.3fms)\n",
+                 overhead_pct, off_ms, on_ms);
+  }
+
+  // Deterministic fidelity: recording is observation only — the decoded
+  // bits and sampled power must be identical with the recorder on/off.
+  const bool identical = r_on.decode.bits == r_off.decode.bits &&
+                         r_on.mean_rss_dbm == r_off.mean_rss_dbm &&
+                         r_on.samples.size() == r_off.samples.size();
+  ctx.fidelity("obs_recorder_is_pure_observer", identical ? 1.0 : 0.0,
+               1.0, 1.0,
+               "decode_drive output identical with flight recorder on/off");
+}

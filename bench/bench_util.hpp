@@ -28,6 +28,8 @@
 #include "ros/dsp/ook.hpp"
 #include "ros/em/material.hpp"
 #include "ros/obs/bench.hpp"
+#include "ros/obs/crash.hpp"
+#include "ros/obs/export.hpp"
 #include "ros/obs/json.hpp"
 #include "ros/obs/log.hpp"
 #include "ros/obs/metrics.hpp"
@@ -144,6 +146,10 @@ class ObsSession {
  public:
   ObsSession(int argc, char** argv, std::string bench_name)
       : bench_name_(std::move(bench_name)) {
+    // Honor the service-grade env switches here so every bench run can
+    // stream snapshots and leave crash bundles without driver changes.
+    ros::obs::SnapshotExporter::ensure_started_from_env();
+    ros::obs::maybe_install_crash_handlers_from_env();
     // Reset per-bench state: instruments registered by a previous
     // session in this process would otherwise leak into our sidecar.
     // Safe here because no pipeline code holds instrument references

@@ -85,6 +85,15 @@ class Arena {
   std::size_t capacity() const { return capacity_; }
   /// Times this arena had to take a new block from the heap.
   std::uint64_t grow_count() const { return grows_; }
+  /// Peak bytes in use at once by this arena (monotonic; survives
+  /// rewinds). "In use" counts full earlier blocks plus the bump offset,
+  /// so it is the smallest single block that would have fit the load.
+  std::size_t high_water() const { return high_water_; }
+
+  /// Max high_water() ever observed across every arena in the process
+  /// (pool workers each own one): the per-thread scratch footprint a
+  /// deployment has to budget for.
+  static std::size_t global_high_water();
 
   /// The calling thread's arena (created on first use, lives with the
   /// thread). Pool workers each get their own.
@@ -99,13 +108,16 @@ class Arena {
 
   void rewind(std::size_t block, std::size_t used);
   void* grow_and_allocate(std::size_t bytes, std::size_t align);
+  void note_high_water();
 
   std::vector<Block> blocks_;
+  std::vector<std::size_t> block_prefix_;  ///< bytes before block i
   std::size_t current_ = 0;  ///< index of the block being bumped
   std::size_t offset_ = 0;   ///< bump offset within blocks_[current_]
   std::size_t capacity_ = 0;
   std::size_t initial_capacity_ = kDefaultInitialCapacity;
   std::uint64_t grows_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 }  // namespace ros::exec

@@ -28,8 +28,10 @@
 //   exec.chunk.ms            histogram per-chunk latency
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -38,6 +40,14 @@
 #include <vector>
 
 namespace ros::exec {
+
+/// Point-in-time pool introspection (see ThreadPool::stats()).
+struct PoolStats {
+  std::size_t threads = 1;     ///< executor count (workers + caller)
+  std::size_t busy = 0;        ///< executors currently running chunks
+  std::size_t queue_depth = 0; ///< jobs parked in the pool's deque
+  std::uint64_t regions = 0;   ///< parallel_for regions dispatched
+};
 
 /// Executor count requested by the environment: ROS_THREADS when set to
 /// a positive integer, otherwise std::thread::hardware_concurrency()
@@ -57,6 +67,12 @@ class ThreadPool {
 
   /// Executor count (workers + caller), >= 1.
   std::size_t threads() const { return n_threads_; }
+
+  /// Relaxed-read snapshot of pool activity: busy executors, parked
+  /// jobs, and how many parallel regions (non-serial parallel_for
+  /// calls) this pool has dispatched. Values may be mid-update — meant
+  /// for gauges and diagnostics, not for synchronization.
+  PoolStats stats() const;
 
   /// Process-wide pool, created on first use with default_threads().
   static ThreadPool& global();
@@ -96,10 +112,12 @@ class ThreadPool {
 
   std::size_t n_threads_ = 1;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::shared_ptr<Job>> jobs_;
   bool stop_ = false;
+  std::atomic<std::size_t> busy_{0};
+  std::atomic<std::uint64_t> regions_{0};
 };
 
 /// parallel_for on the global pool.

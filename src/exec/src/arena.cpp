@@ -1,6 +1,7 @@
 #include "ros/exec/arena.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 #include "ros/obs/metrics.hpp"
@@ -12,6 +13,8 @@ namespace {
 std::size_t align_up(std::size_t v, std::size_t a) {
   return (v + a - 1) & ~(a - 1);
 }
+
+std::atomic<std::size_t> g_arena_high_water{0};
 
 }  // namespace
 
@@ -28,6 +31,7 @@ void* Arena::allocate(std::size_t bytes, std::size_t align) {
     const std::size_t start = align_up(offset_, align);
     if (start + bytes <= blocks_[current_].size) {
       offset_ = start + bytes;
+      note_high_water();
       return blocks_[current_].base + start;
     }
     // Try an already-owned later block before touching the heap.
@@ -35,11 +39,27 @@ void* Arena::allocate(std::size_t bytes, std::size_t align) {
       if (bytes <= blocks_[i].size) {
         current_ = i;
         offset_ = bytes;
+        note_high_water();
         return blocks_[i].base;
       }
     }
   }
   return grow_and_allocate(bytes, align);
+}
+
+void Arena::note_high_water() {
+  const std::size_t used = block_prefix_[current_] + offset_;
+  if (used <= high_water_) return;
+  high_water_ = used;
+  std::size_t cur = g_arena_high_water.load(std::memory_order_relaxed);
+  while (used > cur &&
+         !g_arena_high_water.compare_exchange_weak(
+             cur, used, std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t Arena::global_high_water() {
+  return g_arena_high_water.load(std::memory_order_relaxed);
 }
 
 void* Arena::grow_and_allocate(std::size_t bytes, std::size_t align) {
@@ -51,11 +71,13 @@ void* Arena::grow_and_allocate(std::size_t bytes, std::size_t align) {
   b.base = reinterpret_cast<std::byte*>(
       align_up(reinterpret_cast<std::uintptr_t>(b.raw.get()), kMaxAlign));
   b.size = size;
+  block_prefix_.push_back(capacity_);
   blocks_.push_back(std::move(b));
   current_ = blocks_.size() - 1;
   offset_ = bytes;
   capacity_ += size;
   ++grows_;
+  note_high_water();
 
   auto& reg = ros::obs::MetricsRegistry::global();
   reg.counter("exec.arena.grows").inc();

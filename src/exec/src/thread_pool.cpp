@@ -7,6 +7,7 @@
 #include <exception>
 #include <string>
 
+#include "ros/obs/flight_recorder.hpp"
 #include "ros/obs/log.hpp"
 #include "ros/obs/metrics.hpp"
 
@@ -115,9 +116,22 @@ void ThreadPool::worker_loop() {
   }
 }
 
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.threads = n_threads_;
+  s.busy = busy_.load(std::memory_order_relaxed);
+  s.regions = regions_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.queue_depth = jobs_.size();
+  }
+  return s;
+}
+
 void ThreadPool::run_chunks(Job& job, bool is_worker) {
   auto& reg = ros::obs::MetricsRegistry::global();
   ++t_task_depth;
+  busy_.fetch_add(1, std::memory_order_relaxed);
   std::size_t executed = 0;
   for (;;) {
     const std::size_t start =
@@ -141,6 +155,7 @@ void ThreadPool::run_chunks(Job& job, bool is_worker) {
       if (--job.pending == 0) job.done_cv.notify_all();
     }
   }
+  busy_.fetch_sub(1, std::memory_order_relaxed);
   --t_task_depth;
   if (executed > 0) {
     reg.counter(is_worker ? "exec.chunks.worker" : "exec.chunks.caller")
@@ -177,11 +192,21 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   job->next.store(begin, std::memory_order_relaxed);
   job->pending = (n + job->chunk - 1) / job->chunk;
 
+  regions_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     jobs_.push_back(job);
+    depth = jobs_.size();
   }
   cv_.notify_all();
+  reg.gauge("exec.pool.queue_depth").set(static_cast<double>(depth));
+  auto& fr = ros::obs::FlightRecorder::global();
+  if (fr.enabled() && fr.should_sample()) {
+    static const std::uint32_t qd_id =
+        ros::obs::FlightRecorder::global().intern("exec.pool.queue_depth");
+    fr.record(ros::obs::FlightKind::queue_depth, qd_id, depth);
+  }
 
   run_chunks(*job, /*is_worker=*/false);
 

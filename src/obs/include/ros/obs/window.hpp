@@ -1,0 +1,130 @@
+// Windowed time-series instruments (ros::obs v2).
+//
+// The cumulative instruments in metrics.hpp answer "what happened since
+// process start"; a long-running decode service also needs "what is it
+// doing right now". Three building blocks provide that:
+//
+//   * EwmaRate — an exponentially-weighted events/second estimate with a
+//     configurable half-life, so `pipeline.frames.rate` converges to the
+//     live frame rate within a few half-lives of a load change.
+//   * SlidingHistogram — a ring of fixed-width epochs, each holding a
+//     bucketized count array; merged() returns the distribution over
+//     roughly the last `window_s` seconds and forgets anything older.
+//     Memory is fixed: epochs * (edges + 1) counters.
+//   * TimeSeriesRing — a fixed-capacity ring of (t_s, value) samples;
+//     the SnapshotExporter keeps one per metric so a diagnostics bundle
+//     carries the recent history of every counter and gauge, not just
+//     the final value.
+//
+// All three take a small mutex per operation; they are meant for
+// per-frame cadence (kHz at worst), not per-sample inner loops. Every
+// mutating call has an `*_at(..., now_s)` variant taking an explicit
+// monotonic timestamp so tests drive the clock deterministically.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace ros::obs {
+
+/// Seconds on the steady clock since process start (same epoch for all
+/// callers; monotonic, never wall-clock).
+double monotonic_s();
+
+class EwmaRate {
+ public:
+  /// `halflife_s` controls how fast the estimate forgets: after one
+  /// half-life of silence the reported rate has decayed by 50%.
+  explicit EwmaRate(double halflife_s = 10.0);
+
+  void tick(double n = 1.0) { tick_at(n, monotonic_s()); }
+  void tick_at(double n, double now_s);
+
+  double rate_per_s() const { return rate_per_s_at(monotonic_s()); }
+  /// Estimate at `now_s`, blending any not-yet-folded ticks and decaying
+  /// toward zero across silent stretches. Non-mutating.
+  double rate_per_s_at(double now_s) const;
+
+  double halflife_s() const { return halflife_s_; }
+
+ private:
+  double blend_locked(double now_s) const;
+
+  mutable std::mutex mu_;
+  double halflife_s_;
+  double rate_ = 0.0;     ///< events/s folded up to last_s_
+  double pending_ = 0.0;  ///< ticks since last_s_ not yet folded
+  double last_s_ = -1.0;  ///< < 0 until the first tick
+};
+
+/// Merged view over a SlidingHistogram's live window. Same shape as
+/// HistogramSnapshot (metrics.hpp) plus the window width.
+struct WindowSnapshot {
+  double window_s = 0.0;
+  std::vector<double> upper_edges;
+  std::vector<std::uint64_t> bucket_counts;  ///< last entry = overflow
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+class SlidingHistogram {
+ public:
+  /// `upper_edges` as in Histogram (empty = default latency buckets).
+  /// The window is split into `epochs` sub-intervals; a wider ratio
+  /// makes expiry smoother at the cost of epochs * (edges+1) counters.
+  explicit SlidingHistogram(std::span<const double> upper_edges = {},
+                            double window_s = 60.0,
+                            std::size_t epochs = 12);
+
+  void observe(double v) { observe_at(v, monotonic_s()); }
+  void observe_at(double v, double now_s);
+
+  WindowSnapshot merged() const { return merged_at(monotonic_s()); }
+  /// Counts from every epoch still (even partially) inside
+  /// [now - window_s, now]. Epochs older than that report nothing.
+  WindowSnapshot merged_at(double now_s) const;
+
+  double window_s() const { return window_s_; }
+  const std::vector<double>& upper_edges() const { return edges_; }
+
+ private:
+  struct Epoch {
+    std::int64_t index = -1;  ///< floor(t / epoch_s); -1 = never used
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  void advance_locked(std::int64_t epoch_index);
+
+  mutable std::mutex mu_;
+  std::vector<double> edges_;
+  double window_s_;
+  double epoch_s_;
+  std::vector<Epoch> epochs_;
+  std::int64_t newest_ = -1;  ///< most recent epoch index seen
+};
+
+class TimeSeriesRing {
+ public:
+  explicit TimeSeriesRing(std::size_t capacity = 256);
+
+  void push(double t_s, double value);
+  /// Samples oldest-to-newest (at most `capacity()` of them).
+  std::vector<std::pair<double, double>> samples() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Total pushes, including ones that overwrote older samples.
+  std::uint64_t total_pushed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<std::pair<double, double>> buf_;
+  std::uint64_t head_ = 0;  ///< next write position (monotonic)
+};
+
+}  // namespace ros::obs

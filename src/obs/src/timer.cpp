@@ -1,5 +1,6 @@
 #include "ros/obs/timer.hpp"
 
+#include "ros/obs/flight_recorder.hpp"
 #include "ros/obs/trace.hpp"
 
 namespace ros::obs {
@@ -21,6 +22,7 @@ double ScopedTimer::stop() {
   elapsed_ms_ = static_cast<double>(dur_us) / 1000.0;
   TraceExporter::global().record_complete(name_, category_, start_us_,
                                           dur_us);
+  FlightRecorder::global().record_span(name_, start_us_, dur_us);
   if (histogram_ms_ != nullptr) histogram_ms_->observe(elapsed_ms_);
   return elapsed_ms_;
 }

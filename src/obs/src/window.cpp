@@ -1,0 +1,163 @@
+#include "ros/obs/window.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+#include "ros/obs/metrics.hpp"
+
+namespace ros::obs {
+
+double monotonic_s() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+EwmaRate::EwmaRate(double halflife_s)
+    : halflife_s_(std::max(halflife_s, 1e-3)) {}
+
+void EwmaRate::tick_at(double n, double now_s) {
+  const std::scoped_lock lock(mu_);
+  if (last_s_ < 0.0) {
+    // First tick opens the estimation window; there is no rate yet.
+    last_s_ = now_s;
+    pending_ += n;
+    return;
+  }
+  const double dt = now_s - last_s_;
+  pending_ += n;
+  // Fold at most once per ~1/8 half-life: finer folding adds nothing to
+  // the estimate and keeps the math robust against dt -> 0.
+  if (dt < halflife_s_ / 8.0) return;
+  const double inst = pending_ / dt;
+  const double w = 1.0 - std::exp2(-dt / halflife_s_);
+  rate_ += w * (inst - rate_);
+  pending_ = 0.0;
+  last_s_ = now_s;
+}
+
+double EwmaRate::blend_locked(double now_s) const {
+  if (last_s_ < 0.0) return 0.0;
+  const double dt = now_s - last_s_;
+  if (dt <= 0.0) return rate_;
+  const double inst = pending_ / dt;
+  const double w = 1.0 - std::exp2(-dt / halflife_s_);
+  return rate_ + w * (inst - rate_);
+}
+
+double EwmaRate::rate_per_s_at(double now_s) const {
+  const std::scoped_lock lock(mu_);
+  return blend_locked(now_s);
+}
+
+SlidingHistogram::SlidingHistogram(std::span<const double> upper_edges,
+                                   double window_s, std::size_t epochs)
+    : edges_(upper_edges.begin(), upper_edges.end()),
+      window_s_(std::max(window_s, 1e-3)),
+      epoch_s_(window_s_ / static_cast<double>(std::max<std::size_t>(
+                   epochs, 2))),
+      epochs_(std::max<std::size_t>(epochs, 2)) {
+  if (edges_.empty()) {
+    const auto def = Histogram::default_latency_buckets_ms();
+    edges_.assign(def.begin(), def.end());
+  }
+  ROS_EXPECT(std::is_sorted(edges_.begin(), edges_.end()) &&
+                 std::adjacent_find(edges_.begin(), edges_.end()) ==
+                     edges_.end(),
+             "sliding histogram bucket edges must be strictly increasing");
+  for (Epoch& e : epochs_) e.buckets.assign(edges_.size() + 1, 0);
+}
+
+void SlidingHistogram::advance_locked(std::int64_t epoch_index) {
+  if (epoch_index <= newest_) return;
+  // Clear every epoch slot between the last written one and now; a gap
+  // longer than the ring just clears everything once.
+  const std::int64_t gap = epoch_index - newest_;
+  const std::int64_t n = std::min<std::int64_t>(
+      gap, static_cast<std::int64_t>(epochs_.size()));
+  for (std::int64_t k = 0; k < n; ++k) {
+    Epoch& e = epochs_[static_cast<std::size_t>(
+        (epoch_index - k) % static_cast<std::int64_t>(epochs_.size()))];
+    e.index = epoch_index - k;
+    std::fill(e.buckets.begin(), e.buckets.end(), 0);
+    e.count = 0;
+    e.sum = 0.0;
+  }
+  newest_ = epoch_index;
+}
+
+void SlidingHistogram::observe_at(double v, double now_s) {
+  const std::scoped_lock lock(mu_);
+  const auto epoch_index =
+      static_cast<std::int64_t>(std::floor(now_s / epoch_s_));
+  advance_locked(epoch_index);
+  Epoch& e = epochs_[static_cast<std::size_t>(
+      epoch_index % static_cast<std::int64_t>(epochs_.size()))];
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+  ++e.buckets[static_cast<std::size_t>(it - edges_.begin())];
+  ++e.count;
+  e.sum += v;
+}
+
+WindowSnapshot SlidingHistogram::merged_at(double now_s) const {
+  const std::scoped_lock lock(mu_);
+  WindowSnapshot out;
+  out.window_s = window_s_;
+  out.upper_edges = edges_;
+  out.bucket_counts.assign(edges_.size() + 1, 0);
+  const auto oldest = static_cast<std::int64_t>(
+      std::floor((now_s - window_s_) / epoch_s_));
+  for (const Epoch& e : epochs_) {
+    if (e.index < 0 || e.index < oldest) continue;
+    for (std::size_t b = 0; b < e.buckets.size(); ++b) {
+      out.bucket_counts[b] += e.buckets[b];
+    }
+    out.count += e.count;
+    out.sum += e.sum;
+  }
+  return out;
+}
+
+TimeSeriesRing::TimeSeriesRing(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 2)) {
+  buf_.reserve(capacity_);
+}
+
+void TimeSeriesRing::push(double t_s, double value) {
+  const std::scoped_lock lock(mu_);
+  if (buf_.size() < capacity_) {
+    buf_.emplace_back(t_s, value);
+  } else {
+    buf_[head_ % capacity_] = {t_s, value};
+  }
+  ++head_;
+}
+
+std::vector<std::pair<double, double>> TimeSeriesRing::samples() const {
+  const std::scoped_lock lock(mu_);
+  std::vector<std::pair<double, double>> out;
+  out.reserve(buf_.size());
+  if (buf_.size() < capacity_) {
+    out = buf_;
+  } else {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(buf_[(head_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::size_t TimeSeriesRing::size() const {
+  const std::scoped_lock lock(mu_);
+  return buf_.size();
+}
+
+std::uint64_t TimeSeriesRing::total_pushed() const {
+  const std::scoped_lock lock(mu_);
+  return head_;
+}
+
+}  // namespace ros::obs

@@ -2,13 +2,18 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 
 #include "ros/common/expect.hpp"
 #include "ros/common/units.hpp"
 #include "ros/dsp/ook.hpp"
+#include "ros/exec/arena.hpp"
 #include "ros/exec/thread_pool.hpp"
 #include "ros/obs/alloc.hpp"
+#include "ros/obs/crash.hpp"
+#include "ros/obs/export.hpp"
+#include "ros/obs/flight_recorder.hpp"
 #include "ros/obs/log.hpp"
 #include "ros/obs/metrics.hpp"
 #include "ros/obs/timer.hpp"
@@ -127,6 +132,47 @@ void record_funnel(const PipelineTelemetry& t) {
   reg.counter("pipeline.tags_decoded").inc(t.n_tags);
 }
 
+/// Per-frame stall budget for the watchdog: ROS_OBS_FRAME_DEADLINE_MS
+/// (<= 0 disables the guard), default 5000 ms — generous enough that
+/// only a genuinely wedged frame trips it.
+double frame_deadline_ms() {
+  static const double v = [] {
+    const char* e = std::getenv("ROS_OBS_FRAME_DEADLINE_MS");
+    if (e == nullptr || *e == '\0') return 5000.0;
+    char* end = nullptr;
+    const double ms = std::strtod(e, &end);
+    return end == e ? 5000.0 : ms;
+  }();
+  return v;
+}
+
+/// Observability session setup shared by both entry points: start the
+/// env-configured snapshot exporter and crash handlers (both no-ops
+/// without their env vars), cheap after the first call.
+void obs_session_begin() {
+  ros::obs::SnapshotExporter::ensure_started_from_env();
+  ros::obs::maybe_install_crash_handlers_from_env();
+}
+
+/// Post-loop runtime introspection: arena high-water marks, pool
+/// activity, and the live frame rate, as gauges plus (sampled) flight
+/// events.
+void record_runtime_introspection(std::size_t n_frames) {
+  auto& reg = ros::obs::MetricsRegistry::global();
+  const std::size_t arena_hwm = ros::exec::Arena::global_high_water();
+  reg.gauge("exec.arena.high_water_bytes")
+      .set(static_cast<double>(arena_hwm));
+  const ros::exec::PoolStats ps = ros::exec::ThreadPool::global().stats();
+  reg.gauge("exec.pool.threads").set(static_cast<double>(ps.threads));
+  reg.gauge("exec.pool.regions").set(static_cast<double>(ps.regions));
+  reg.rate("pipeline.frames.rate").tick(static_cast<double>(n_frames));
+  auto& flight = ros::obs::FlightRecorder::global();
+  if (flight.enabled()) {
+    static const std::uint32_t arena_id = flight.intern("exec.arena");
+    flight.record(ros::obs::FlightKind::arena_hwm, arena_id, arena_hwm);
+  }
+}
+
 }  // namespace
 
 void validate(const InterrogatorConfig& config) {
@@ -147,6 +193,7 @@ Interrogator::Interrogator(InterrogatorConfig config)
 InterrogationReport Interrogator::run(
     const ros::scene::Scene& scene,
     const ros::scene::StraightDrive& drive) const {
+  obs_session_begin();
   auto& reg = ros::obs::MetricsRegistry::global();
   ros::obs::ScopedTimer run_timer(
       "interrogate.run", "pipeline",
@@ -207,6 +254,12 @@ InterrogationReport Interrogator::run(
     AtomicMs detect_ms;
     ros::obs::Histogram& frame_hist =
         reg.histogram("interrogate.frame.ms");
+    ros::obs::SlidingHistogram& frame_whist =
+        reg.windowed_histogram("interrogate.frame.ms");
+    auto& flight = ros::obs::FlightRecorder::global();
+    const std::uint32_t frame_id = flight.intern("interrogate.frame");
+    const std::uint32_t rng_id = flight.intern("interrogate.rng_stream");
+    const double deadline_ms = frame_deadline_ms();
 
     // Each frame draws noise from its own counter-derived RNG stream,
     // so frame i sees the same noise whether the loop runs on 1 thread
@@ -215,7 +268,18 @@ InterrogationReport Interrogator::run(
     const auto allocs_before = ros::obs::alloc_counters();
     ros::exec::parallel_for(0, truth.size(), [&](std::size_t i) {
       const double frame_t0 = frames_timer.elapsed_ms();
-      Rng rng(derive_stream_seed(seed, i));
+      const std::uint64_t stream_seed = derive_stream_seed(seed, i);
+      // One sampling decision covers the frame's begin/seed/end records
+      // so sampled frames land complete in the flight ring.
+      const bool sampled = flight.enabled() && flight.should_sample();
+      if (sampled) {
+        flight.record(ros::obs::FlightKind::frame_begin, frame_id, i);
+        flight.record(ros::obs::FlightKind::rng_seed, rng_id,
+                      stream_seed);
+      }
+      const ros::obs::Watchdog::Guard wd("interrogate.frame",
+                                         deadline_ms, i);
+      Rng rng(stream_seed);
       const RadarPose& pose = truth[i];
       FrameResult& fr = frames[i];
       FrameWorkspace& ws = FrameWorkspace::thread_local_workspace();
@@ -250,10 +314,16 @@ InterrogationReport Interrogator::run(
                                                   config_.array, fc,
                                                   config_.detector);
       detect_ms.add(t_detect.stop());
-      frame_hist.observe(frames_timer.elapsed_ms() - frame_t0);
+      const double frame_ms = frames_timer.elapsed_ms() - frame_t0;
+      frame_hist.observe(frame_ms);
+      frame_whist.observe(frame_ms);
+      if (sampled) {
+        flight.record(ros::obs::FlightKind::frame_end, frame_id, i);
+      }
     });
     record_frame_loop_allocs("interrogate.frame_loop.allocs_per_frame",
                              allocs_before, truth.size());
+    record_runtime_introspection(truth.size());
 
     // Point cloud from both Tx passes (the radar time-multiplexes the
     // two Tx antennas anyway): clutter anchors through the normal pass,
@@ -368,6 +438,7 @@ DecodeDriveResult decode_drive(const ros::scene::Scene& scene,
                                const Vec2& tag_position,
                                const InterrogatorConfig& config) {
   validate(config);
+  obs_session_begin();
   auto& reg = ros::obs::MetricsRegistry::global();
   ros::obs::ScopedTimer run_timer(
       "decode_drive.run", "pipeline",
@@ -398,12 +469,28 @@ DecodeDriveResult decode_drive(const ros::scene::Scene& scene,
     ros::obs::ScopedTimer frames_timer("decode_drive.frames", "pipeline");
     AtomicMs synth_ms;
     AtomicMs fft_ms;
+    ros::obs::SlidingHistogram& frame_whist =
+        reg.windowed_histogram("decode_drive.frame.ms");
+    auto& flight = ros::obs::FlightRecorder::global();
+    const std::uint32_t frame_id = flight.intern("decode_drive.frame");
+    const std::uint32_t rng_id = flight.intern("decode_drive.rng_stream");
+    const double deadline_ms = frame_deadline_ms();
     // Same per-frame RNG streams as Interrogator::run: frame i's noise
     // depends only on (noise_seed, i), never on the thread count.
     const std::uint64_t seed = config.noise_seed;
     const auto allocs_before = ros::obs::alloc_counters();
     ros::exec::parallel_for(0, truth.size(), [&](std::size_t i) {
-      Rng rng(derive_stream_seed(seed, i));
+      const double frame_t0 = frames_timer.elapsed_ms();
+      const std::uint64_t stream_seed = derive_stream_seed(seed, i);
+      const bool sampled = flight.enabled() && flight.should_sample();
+      if (sampled) {
+        flight.record(ros::obs::FlightKind::frame_begin, frame_id, i);
+        flight.record(ros::obs::FlightKind::rng_seed, rng_id,
+                      stream_seed);
+      }
+      const ros::obs::Watchdog::Guard wd("decode_drive.frame",
+                                         deadline_ms, i);
+      Rng rng(stream_seed);
       FrameWorkspace& ws = FrameWorkspace::thread_local_workspace();
       ros::obs::ScopedTimer t_synth("decode_drive.synthesize",
                                     "pipeline");
@@ -417,9 +504,14 @@ DecodeDriveResult decode_drive(const ros::scene::Scene& scene,
       ros::radar::range_fft_into(ws.cube_switched, config.chirp,
                                  ros::dsp::Window::hann, profiles[i]);
       fft_ms.add(t_fft.stop());
+      frame_whist.observe(frames_timer.elapsed_ms() - frame_t0);
+      if (sampled) {
+        flight.record(ros::obs::FlightKind::frame_end, frame_id, i);
+      }
     });
     record_frame_loop_allocs("decode_drive.frame_loop.allocs_per_frame",
                              allocs_before, truth.size());
+    record_runtime_introspection(truth.size());
     book_frame_stages(tel, frames_timer.stop(),
                       {{"synthesize", synth_ms.value()},
                        {"range_fft", fft_ms.value()}});

@@ -4,8 +4,11 @@
 
 #include <array>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "ros/obs/json_parse.hpp"
 
 namespace obs = ros::obs;
 
@@ -132,4 +135,62 @@ TEST(MetricsRegistry, ClearDropsEverything) {
   EXPECT_TRUE(snap.counters.empty());
   // Re-created after clear, starting from zero.
   EXPECT_EQ(registry.counter("a").value(), 0u);
+}
+
+TEST(MetricsRegistry, HostileMetricNamesRoundTripThroughJson) {
+  // Names are caller-supplied strings; nothing stops a caller from
+  // embedding quotes, backslashes, newlines, or control bytes. The
+  // snapshot JSON must stay parseable and preserve the exact name.
+  const std::vector<std::string> names = {
+      "plain.name",
+      "with\"quote",
+      "back\\slash",
+      "line\nbreak",
+      "tab\tand\rreturn",
+      std::string("ctrl\x01byte"),
+      "unicode-µ-name",
+  };
+  obs::MetricsRegistry registry;
+  std::uint64_t v = 1;
+  for (const auto& n : names) registry.counter(n).inc(v++);
+  registry.gauge("gauge\"with\\evil\nname").set(2.5);
+  registry.histogram("hist\"evil").observe(1.0);
+
+  std::string err;
+  const auto doc = obs::json_parse(registry.snapshot().to_json(), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  v = 1;
+  for (const auto& n : names) {
+    const auto* c = doc->at("counters", n);
+    ASSERT_NE(c, nullptr) << "missing counter key: " << n;
+    EXPECT_DOUBLE_EQ(c->number_or(0), static_cast<double>(v++)) << n;
+  }
+  const auto* g = doc->at("gauges", "gauge\"with\\evil\nname");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->number_or(0), 2.5);
+  ASSERT_NE(doc->at("histograms", "hist\"evil"), nullptr);
+}
+
+TEST(MetricsRegistry, PrometheusEscapesLabelValues) {
+  obs::MetricsRegistry registry;
+  registry.counter("evil\"name\\with\nstuff").inc(4);
+  const std::string prom = registry.snapshot().to_prometheus();
+  // Prometheus label values escape backslash, double-quote, newline.
+  EXPECT_NE(
+      prom.find("ros_counter{name=\"evil\\\"name\\\\with\\nstuff\"} 4"),
+      std::string::npos)
+      << prom;
+  // No raw newline may survive inside a label value: every line must
+  // look like a comment or `token{...} value` / `token value`.
+  std::size_t start = 0;
+  while (start < prom.size()) {
+    std::size_t end = prom.find('\n', start);
+    if (end == std::string::npos) end = prom.size();
+    const std::string line = prom.substr(start, end - start);
+    if (!line.empty() && line[0] != '#') {
+      EXPECT_NE(line.find(' '), std::string::npos) << line;
+      EXPECT_EQ(line.find('\r'), std::string::npos) << line;
+    }
+    start = end + 1;
+  }
 }

@@ -244,3 +244,79 @@ TEST_F(TraceTest, FlushWithoutSessionFails) {
   exporter.disable();
   EXPECT_FALSE(exporter.flush());
 }
+
+namespace {
+
+JsonValue parse_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return JsonParser(buf.str()).parse();
+}
+
+}  // namespace
+
+TEST_F(TraceTest, FileIsValidJsonAfterEveryFlushWhileStillEnabled) {
+  // The abnormal-exit guarantee: the on-disk file must be a complete
+  // JSON document after each incremental flush, with no disable() or
+  // process exit needed to close the array.
+  const std::string path = temp_trace_path();
+  auto& exporter = obs::TraceExporter::global();
+  exporter.enable(path);
+
+  { obs::ScopedTimer t("batch1", "test"); }
+  ASSERT_TRUE(exporter.flush());
+  const JsonValue first = parse_trace_file(path);
+  ASSERT_EQ(first.at("traceEvents").arr().size(), 1u);
+  EXPECT_EQ(first.at("traceEvents").arr()[0].at("name").str(), "batch1");
+
+  // A second flush appends into the same array, rewriting only the
+  // closing suffix — earlier events must survive byte-for-byte.
+  { obs::ScopedTimer t("batch2", "test"); }
+  { obs::ScopedTimer t("batch3", "test"); }
+  ASSERT_TRUE(exporter.flush());
+  const JsonValue second = parse_trace_file(path);
+  const JsonArray& events = second.at("traceEvents").arr();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].at("name").str(), "batch1");
+  EXPECT_EQ(events[2].at("name").str(), "batch3");
+
+  // An empty flush (nothing pending) must not corrupt the file either.
+  ASSERT_TRUE(exporter.flush());
+  EXPECT_EQ(parse_trace_file(path).at("traceEvents").arr().size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, LargeSessionsSpillToDiskAutomatically) {
+  // Recording past the in-memory batch threshold must spill to disk on
+  // its own (bounded memory) and still leave a parseable document.
+  const std::string path = temp_trace_path();
+  auto& exporter = obs::TraceExporter::global();
+  exporter.enable(path);
+  constexpr int kEvents = 300;  // past the 256-event spill batch
+  for (int k = 0; k < kEvents; ++k) {
+    obs::ScopedTimer t("spill", "test");
+  }
+  // Before any explicit flush, the auto-spilled prefix already parses.
+  const JsonValue mid = parse_trace_file(path);
+  EXPECT_GE(mid.at("traceEvents").arr().size(), 256u);
+  ASSERT_TRUE(exporter.flush());
+  EXPECT_EQ(parse_trace_file(path).at("traceEvents").arr().size(),
+            static_cast<std::size_t>(kEvents));
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, CrashFinalizeLeavesValidFile) {
+  // crash_finalize is the signal-handler path: best-effort, noexcept,
+  // and must leave a closed, parseable document behind.
+  const std::string path = temp_trace_path();
+  auto& exporter = obs::TraceExporter::global();
+  exporter.enable(path);
+  { obs::ScopedTimer t("doomed", "test"); }
+  exporter.crash_finalize();
+  const JsonValue root = parse_trace_file(path);
+  ASSERT_EQ(root.at("traceEvents").arr().size(), 1u);
+  EXPECT_EQ(root.at("traceEvents").arr()[0].at("name").str(), "doomed");
+  std::remove(path.c_str());
+}

@@ -1,0 +1,152 @@
+// Windowed instruments (ros::obs v2): EWMA rates, sliding histograms,
+// and the time-series ring. Everything runs on explicit fake clocks —
+// no sleeps, no wall-time flakiness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ros/obs/metrics.hpp"
+#include "ros/obs/window.hpp"
+
+namespace ro = ros::obs;
+
+TEST(EwmaRate, ConvergesToSteadyRate) {
+  ro::EwmaRate r(/*halflife_s=*/2.0);
+  // 100 events/s for 60 s, ticked every 0.5 s.
+  for (int k = 0; k <= 120; ++k) {
+    r.tick_at(50.0, 0.5 * k);
+  }
+  EXPECT_NEAR(r.rate_per_s_at(60.0), 100.0, 1.0);
+}
+
+TEST(EwmaRate, DecaysTowardZeroWhenSilent) {
+  ro::EwmaRate r(/*halflife_s=*/2.0);
+  for (int k = 0; k <= 40; ++k) r.tick_at(50.0, 0.5 * k);
+  const double active = r.rate_per_s_at(20.0);
+  EXPECT_GT(active, 50.0);
+  // One half-life of silence halves the estimate; several nearly kill it.
+  EXPECT_NEAR(r.rate_per_s_at(22.0), active / 2.0, active * 0.05);
+  EXPECT_LT(r.rate_per_s_at(40.0), active * 0.01);
+}
+
+TEST(EwmaRate, NoRateBeforeFirstInterval) {
+  ro::EwmaRate r(10.0);
+  EXPECT_EQ(r.rate_per_s_at(5.0), 0.0);
+  r.tick_at(1.0, 5.0);
+  // A single tick opens the window but cannot define a rate yet at the
+  // same instant.
+  EXPECT_EQ(r.rate_per_s_at(5.0), 0.0);
+  // Blending at a later time sees the pending tick.
+  EXPECT_GT(r.rate_per_s_at(6.0), 0.0);
+}
+
+TEST(EwmaRate, RobustToSubMillisecondTickBursts) {
+  ro::EwmaRate r(1.0);
+  double t = 0.0;
+  for (int k = 0; k < 10000; ++k) {
+    r.tick_at(0.01, t);
+    t += 1e-6;  // far below the fold threshold
+  }
+  const double v = r.rate_per_s_at(t + 0.5);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GE(v, 0.0);
+}
+
+TEST(SlidingHistogram, ForgetsObservationsOutsideWindow) {
+  const double edges[] = {1.0, 10.0, 100.0};
+  ro::SlidingHistogram h(edges, /*window_s=*/10.0, /*epochs=*/10);
+  for (int k = 0; k < 50; ++k) h.observe_at(5.0, 1.0);
+  auto now = h.merged_at(1.0);
+  EXPECT_EQ(now.count, 50u);
+  EXPECT_DOUBLE_EQ(now.sum, 250.0);
+  // Far in the future every epoch has expired.
+  auto later = h.merged_at(1000.0);
+  EXPECT_EQ(later.count, 0u);
+  EXPECT_DOUBLE_EQ(later.sum, 0.0);
+}
+
+TEST(SlidingHistogram, OldEpochsExpireIncrementally) {
+  const double edges[] = {1.0, 10.0};
+  ro::SlidingHistogram h(edges, /*window_s=*/10.0, /*epochs=*/10);
+  h.observe_at(0.5, 0.5);    // epoch 0
+  h.observe_at(5.0, 5.5);    // epoch 5
+  h.observe_at(20.0, 9.5);   // epoch 9
+  EXPECT_EQ(h.merged_at(9.9).count, 3u);
+  // At t=12 the window [2, 12] has dropped epoch 0.
+  EXPECT_EQ(h.merged_at(12.0).count, 2u);
+  // At t=17 only the epoch-9 observation remains.
+  EXPECT_EQ(h.merged_at(17.0).count, 1u);
+}
+
+TEST(SlidingHistogram, BucketsMatchCumulativeHistogramSemantics) {
+  const double edges[] = {1.0, 10.0};
+  ro::SlidingHistogram h(edges, 60.0, 6);
+  h.observe_at(0.5, 1.0);   // bucket 0 (<= 1)
+  h.observe_at(2.0, 1.0);   // bucket 1 (<= 10)
+  h.observe_at(99.0, 1.0);  // overflow
+  const auto m = h.merged_at(1.0);
+  ASSERT_EQ(m.bucket_counts.size(), 3u);
+  EXPECT_EQ(m.bucket_counts[0], 1u);
+  EXPECT_EQ(m.bucket_counts[1], 1u);
+  EXPECT_EQ(m.bucket_counts[2], 1u);
+}
+
+TEST(SlidingHistogram, LongGapClearsEverythingOnce) {
+  ro::SlidingHistogram h({}, /*window_s=*/1.0, /*epochs=*/4);
+  for (int k = 0; k < 100; ++k) h.observe_at(1.0, 0.1);
+  // A gap of millions of epochs must not loop per epoch.
+  h.observe_at(2.0, 1e6);
+  EXPECT_EQ(h.merged_at(1e6).count, 1u);
+}
+
+TEST(TimeSeriesRing, KeepsNewestSamplesInOrder) {
+  ro::TimeSeriesRing ring(4);
+  for (int k = 0; k < 10; ++k) {
+    ring.push(static_cast<double>(k), static_cast<double>(k * k));
+  }
+  EXPECT_EQ(ring.total_pushed(), 10u);
+  const auto s = ring.samples();
+  ASSERT_EQ(s.size(), 4u);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s[i].first, static_cast<double>(6 + i));
+    EXPECT_DOUBLE_EQ(s[i].second, static_cast<double>((6 + i) * (6 + i)));
+  }
+}
+
+TEST(TimeSeriesRing, PartialFillReturnsAll) {
+  ro::TimeSeriesRing ring(8);
+  ring.push(1.0, 10.0);
+  ring.push(2.0, 20.0);
+  const auto s = ring.samples();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0].second, 10.0);
+  EXPECT_DOUBLE_EQ(s[1].second, 20.0);
+}
+
+TEST(RegistryWindowed, RateAndWindowedHistogramAppearInSnapshot) {
+  auto& reg = ro::MetricsRegistry::global();
+  reg.clear();
+  reg.rate("test.window.rate").tick(10.0);
+  reg.windowed_histogram("test.window.hist").observe(3.5);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.rates.size(), 1u);
+  EXPECT_EQ(snap.rates[0].first, "test.window.rate");
+  ASSERT_EQ(snap.windowed.size(), 1u);
+  EXPECT_EQ(snap.windowed[0].name, "test.window.hist");
+  EXPECT_EQ(snap.windowed[0].count, 1u);
+  EXPECT_DOUBLE_EQ(snap.windowed[0].sum, 3.5);
+  EXPECT_GT(snap.windowed[0].window_s, 0.0);
+  reg.clear();
+}
+
+TEST(RegistryWindowed, FindOrCreateReturnsSameInstrument) {
+  auto& reg = ro::MetricsRegistry::global();
+  reg.clear();
+  auto& a = reg.rate("test.window.same");
+  auto& b = reg.rate("test.window.same");
+  EXPECT_EQ(&a, &b);
+  auto& wa = reg.windowed_histogram("test.window.samehist");
+  auto& wb = reg.windowed_histogram("test.window.samehist");
+  EXPECT_EQ(&wa, &wb);
+  reg.clear();
+}

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "ros/obs/alloc.hpp"
+#include "ros/obs/flight_recorder.hpp"
 #include "ros/obs/metrics.hpp"
 #include "ros/pipeline/interrogator.hpp"
 
@@ -113,4 +114,29 @@ TEST(ZeroAlloc, InterrogateFrameLoopAllocsAreBounded) {
   // so the budget is larger than decode_drive's but still O(1) per
   // frame (~2 profiles + 2 detection vectors + CFAR/cloud slivers).
   EXPECT_LE(gauge("interrogate.frame_loop.allocs_per_frame"), 64.0);
+}
+
+TEST(ZeroAlloc, BudgetsHoldWithFlightRecorderLive) {
+  if (!ros::obs::alloc_counting_enabled()) {
+    GTEST_SKIP() << "ROS_OBS_COUNT_ALLOCS is off";
+  }
+  // The v2 acceptance bar: the flight recorder must be on (its default)
+  // while the zero-alloc budgets above are met — sampled frame markers,
+  // RNG-seed breadcrumbs, and watchdog arms ride inside the budget.
+  auto& fr = ros::obs::FlightRecorder::global();
+  ASSERT_TRUE(fr.enabled())
+      << "flight recorder should be on by default in tests";
+  const auto world = make_world();
+  rp::InterrogatorConfig cfg;
+  cfg.frame_stride = 10;
+
+  (void)rp::decode_drive(world, short_drive(), {0.0, 0.0}, cfg);
+  const std::uint64_t recorded_before = fr.total_recorded();
+  const std::uint64_t grows_before = arena_grows();
+  (void)rp::decode_drive(world, short_drive(), {0.0, 0.0}, cfg);
+  EXPECT_EQ(arena_grows(), grows_before);
+  EXPECT_LE(gauge("decode_drive.frame_loop.allocs_per_frame"), 16.0);
+  // And it actually recorded something during the run (sampled frame
+  // events plus the end-of-run arena high-water mark).
+  EXPECT_GT(fr.total_recorded(), recorded_before);
 }
