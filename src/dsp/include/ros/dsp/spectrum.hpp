@@ -18,6 +18,18 @@
 
 namespace ros::dsp {
 
+/// Optional capture of rcs_spectrum() intermediates, for decode
+/// forensics (ros::obs::probe): the uniform resampled series before and
+/// after envelope whitening, plus the u grid they live on. Pointed to
+/// from SpectrumOptions; filled only when non-null, so the normal
+/// decode path pays nothing.
+struct SpectrumTap {
+  std::vector<double> u_grid;     ///< uniform u axis (resample cells)
+  std::vector<double> resampled;  ///< bin-averaged series pre-whitening
+  std::vector<double> whitened;   ///< series the FFT actually saw
+  std::size_t fft_size = 0;       ///< zero-padded FFT length
+};
+
 struct SpectrumOptions {
   /// Uniform-u grid size; 0 = auto (256 cells, enough for any coding
   /// band while letting dense 1 kHz sampling average down noise via
@@ -32,6 +44,9 @@ struct SpectrumOptions {
   bool whiten_envelope = true;
   /// Moving-average length in resampled samples; 0 = auto (n / 6).
   std::size_t whiten_window = 0;
+  /// When non-null, rcs_spectrum() records its intermediates here
+  /// (forensic tap; see SpectrumTap). Not owned.
+  SpectrumTap* tap = nullptr;
 };
 
 struct RcsSpectrum {

@@ -53,6 +53,15 @@ RcsSpectrum rcs_spectrum(std::span<const double> u,
   // interpolation by sqrt(samples per cell) in noise.
   std::vector<double> uniform = resample_bin_average(us, ys, n);
 
+  if (opts.tap != nullptr) {
+    opts.tap->u_grid.resize(n);
+    const double du_grid = span / static_cast<double>(n - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      opts.tap->u_grid[i] = us.front() + du_grid * static_cast<double>(i);
+    }
+    opts.tap->resampled = uniform;
+  }
+
   if (opts.whiten_envelope) {
     const std::size_t w = opts.whiten_window > 0
                               ? opts.whiten_window
@@ -83,6 +92,11 @@ RcsSpectrum rcs_spectrum(std::span<const double> u,
   if (opts.remove_mean) {
     const double mu = ros::common::mean(uniform);
     for (double& v : uniform) v -= mu;
+  }
+
+  if (opts.tap != nullptr) {
+    opts.tap->whitened = uniform;
+    opts.tap->fft_size = next_pow2(n * opts.zero_pad_factor);
   }
 
   const auto win = make_window(opts.window, n);

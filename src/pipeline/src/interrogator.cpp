@@ -16,7 +16,9 @@
 #include "ros/obs/flight_recorder.hpp"
 #include "ros/obs/log.hpp"
 #include "ros/obs/metrics.hpp"
+#include "ros/obs/probe.hpp"
 #include "ros/obs/timer.hpp"
+#include "ros/pipeline/provenance.hpp"
 #include "ros/radar/waveform.hpp"
 
 namespace ros::pipeline {
@@ -132,6 +134,22 @@ void record_funnel(const PipelineTelemetry& t) {
   reg.counter("pipeline.tags_decoded").inc(t.n_tags);
 }
 
+/// Per-read funnel counters for the JSONL/Prometheus exporters: one
+/// attempted read, and one increment per funnel stage it survived.
+/// Both entry points report through this, so corridor-scale services
+/// can chart detected/decoded ratios without touching the per-run
+/// PipelineTelemetry structs.
+void record_read_funnel(bool detected, bool clustered, bool aperture,
+                        bool decoded) {
+  auto& reg = ros::obs::MetricsRegistry::global();
+  reg.counter("pipeline.funnel.attempted").inc();
+  if (detected) reg.counter("pipeline.funnel.detected").inc();
+  if (clustered) reg.counter("pipeline.funnel.clustered").inc();
+  if (aperture) reg.counter("pipeline.funnel.aperture_sufficient").inc();
+  if (decoded) reg.counter("pipeline.funnel.decoded").inc();
+  reg.rate("pipeline.funnel.read_rate").tick(1.0);
+}
+
 /// Per-frame stall budget for the watchdog: ROS_OBS_FRAME_DEADLINE_MS
 /// (<= 0 disables the guard), default 5000 ms — generous enough that
 /// only a genuinely wedged frame trips it.
@@ -194,6 +212,18 @@ InterrogationReport Interrogator::run(
     const ros::scene::Scene& scene,
     const ros::scene::StraightDrive& drive) const {
   obs_session_begin();
+  namespace probe = ros::obs::probe;
+  const bool probing =
+      probe::armed() && probe::begin_read("interrogate",
+                                          config_.noise_seed,
+                                          config_digest(config_));
+  if (probing) {
+    annotate_probe_runtime();
+    probe::annotate("frame_stride",
+                    static_cast<double>(config_.frame_stride));
+    probe::annotate("decode_fov_rad", config_.decode_fov_rad);
+    probe::annotate("extra_noise_dbm", config_.extra_noise_dbm);
+  }
   auto& reg = ros::obs::MetricsRegistry::global();
   ros::obs::ScopedTimer run_timer(
       "interrogate.run", "pipeline",
@@ -343,6 +373,20 @@ InterrogationReport Interrogator::run(
                        {"detect_points", detect_ms.value()}});
   }
   tel.n_points = report.cloud.points.size();
+  if (probe::capturing()) {
+    probe::funnel("synthesized", !truth.empty(),
+                  std::to_string(truth.size()) + " frames");
+    probe::funnel("detected", !report.cloud.points.empty(),
+                  std::to_string(report.cloud.points.size()) +
+                      " point-cloud points");
+    probe::stage_artifact(
+        "range_fft_normal",
+        range_profiles_json(profiles_normal, config_.noise_seed));
+    probe::stage_artifact(
+        "range_fft_switched",
+        range_profiles_json(profiles_switched, config_.noise_seed));
+    probe::stage_artifact("pointcloud", pointcloud_json(report.cloud));
+  }
 
   {
     ros::obs::ScopedTimer t_cluster(
@@ -357,6 +401,12 @@ InterrogationReport Interrogator::run(
   ROS_LOG_DEBUG(kLog, "point cloud clustered",
                 ros::obs::kv("points", tel.n_points),
                 ros::obs::kv("dense_clusters", tel.n_clusters));
+  if (probe::capturing()) {
+    probe::funnel("clustered", !report.clusters.empty(),
+                  std::to_string(report.clusters.size()) +
+                      " dense clusters");
+    probe::stage_artifact("clusters", clusters_json(report.clusters));
+  }
 
   const Vec2 road = drive.velocity() *
                     (1.0 / std::max(drive.velocity().norm(), 1e-9));
@@ -364,6 +414,7 @@ InterrogationReport Interrogator::run(
                                ? std::sin(config_.decode_fov_rad / 2.0)
                                : 1.0;
 
+  bool aperture_any = false;
   for (const Cluster& cluster : report.clusters) {
     // Spotlight the cluster in both passes to get the RSS-loss feature.
     ros::obs::ScopedTimer t_disc(
@@ -399,7 +450,14 @@ InterrogationReport Interrogator::run(
         "interrogate.decode", "pipeline",
         &reg.histogram("interrogate.decode.ms"));
     const auto series = to_decoder_series(samples_s, max_abs_u);
-    const ros::tag::SpatialDecoder decoder(config_.decoder);
+    // Forensic spectrum tap for the first few decoded tags (pure
+    // observation; bounded so a many-tag scene cannot balloon the
+    // bundle).
+    ros::dsp::SpectrumTap spectrum_tap;
+    ros::tag::DecoderConfig decoder_config = config_.decoder;
+    const bool tap_this = probe::capturing() && report.tags.size() < 4;
+    if (tap_this) decoder_config.spectrum.tap = &spectrum_tap;
+    const ros::tag::SpatialDecoder decoder(decoder_config);
     if (series.u.size() < 16 || !decoder.can_decode(series.u)) {
       tel.add_stage("decode", t_decode.stop());
       ROS_LOG_WARN(kLog,
@@ -410,18 +468,57 @@ InterrogationReport Interrogator::run(
       reg.counter("pipeline.decode_dropped_short_series").inc();
       continue;
     }
+    aperture_any = true;
     TagReadout readout;
     readout.candidate = cand;
     readout.samples = samples_s;
     readout.decode = decoder.decode(series.u, series.rss_linear);
     tel.add_stage("decode", t_decode.stop());
     tel.tags.push_back(decode_telemetry(readout.decode, readout.samples));
+    if (tap_this) {
+      const std::string tag = "tag" + std::to_string(report.tags.size());
+      probe::stage_artifact(tag + ".samples",
+                            samples_json(readout.samples));
+      probe::stage_artifact(tag + ".coding_spectrum",
+                            spectrum_json(readout.decode.spectrum));
+      probe::stage_artifact(tag + ".spectrum_intermediates",
+                            spectrum_tap_json(spectrum_tap));
+      probe::stage_artifact(
+          tag + ".bit_margins",
+          bit_margins_json(readout.decode, config_.decoder));
+    }
     report.tags.push_back(std::move(readout));
   }
   tel.n_candidates = report.candidates.size();
   tel.n_tags = report.tags.size();
   tel.total_ms = run_timer.stop();
   record_funnel(tel);
+  record_read_funnel(!report.cloud.points.empty(),
+                     !report.clusters.empty(), aperture_any,
+                     !report.tags.empty());
+  if (probe::capturing()) {
+    bool any_tag = false;
+    for (const auto& c : report.candidates) any_tag |= c.is_tag;
+    probe::stage_artifact("candidates",
+                          candidates_json(report.candidates));
+    probe::funnel("candidate", any_tag,
+                  std::to_string(report.candidates.size()) +
+                      " classified, " +
+                      (any_tag ? "tag candidate present"
+                               : "no cluster classified as tag"));
+    probe::funnel("aperture", aperture_any,
+                  aperture_any ? "at least one candidate series reached "
+                                 "the coding band"
+                               : "no candidate series wide enough");
+    probe::funnel("decoded", !report.tags.empty(),
+                  std::to_string(report.tags.size()) + " tags decoded");
+    if (!report.tags.empty()) {
+      probe::decoded_bits(report.tags.front().decode.bits);
+    } else {
+      probe::decoded_bits({});
+    }
+    probe::end_read(report.tags.empty() ? "no_read" : "");
+  }
 
   ROS_LOG_INFO(kLog, "interrogation finished",
                ros::obs::kv("frames", tel.n_frames),
@@ -439,6 +536,22 @@ DecodeDriveResult decode_drive(const ros::scene::Scene& scene,
                                const InterrogatorConfig& config) {
   validate(config);
   obs_session_begin();
+  namespace probe = ros::obs::probe;
+  // One relaxed load when disarmed; everything probe-related below
+  // hides behind this (and is re-checked via probe::capturing()).
+  const bool probing =
+      probe::armed() && probe::begin_read("decode_drive",
+                                          config.noise_seed,
+                                          config_digest(config));
+  if (probing) {
+    annotate_probe_runtime();
+    probe::annotate("frame_stride",
+                    static_cast<double>(config.frame_stride));
+    probe::annotate("decode_fov_rad", config.decode_fov_rad);
+    probe::annotate("extra_noise_dbm", config.extra_noise_dbm);
+    probe::annotate("tag_x", tag_position.x);
+    probe::annotate("tag_y", tag_position.y);
+  }
   auto& reg = ros::obs::MetricsRegistry::global();
   ros::obs::ScopedTimer run_timer(
       "decode_drive.run", "pipeline",
@@ -516,6 +629,12 @@ DecodeDriveResult decode_drive(const ros::scene::Scene& scene,
                       {{"synthesize", synth_ms.value()},
                        {"range_fft", fft_ms.value()}});
   }
+  if (probe::capturing()) {
+    probe::funnel("synthesized", !truth.empty(),
+                  std::to_string(truth.size()) + " frames");
+    probe::stage_artifact(
+        "range_fft", range_profiles_json(profiles, config.noise_seed));
+  }
 
   const Vec2 road = drive.velocity() *
                     (1.0 / std::max(drive.velocity().norm(), 1e-9));
@@ -528,17 +647,33 @@ DecodeDriveResult decode_drive(const ros::scene::Scene& scene,
     tel.add_stage("sample_rss", t_sample.stop());
   }
   tel.n_points = out.samples.size();
+  if (probe::capturing()) {
+    probe::funnel("detected", !out.samples.empty(),
+                  std::to_string(out.samples.size()) +
+                      " spotlight RSS samples");
+    probe::stage_artifact("samples", samples_json(out.samples));
+  }
 
   const double max_abs_u = config.decode_fov_rad > 0.0
                                ? std::sin(config.decode_fov_rad / 2.0)
                                : 1.0;
+  bool aperture_ok = false;
+  ros::dsp::SpectrumTap spectrum_tap;
   {
     ros::obs::ScopedTimer t_decode(
         "decode_drive.decode", "pipeline",
         &reg.histogram("decode_drive.decode.ms"));
     const auto series = to_decoder_series(out.samples, max_abs_u);
-    const ros::tag::SpatialDecoder decoder(config.decoder);
-    if (decoder.can_decode(series.u)) {
+    // When capturing, route the decoder's spectrum computation through
+    // a forensic tap (pure observation: the decode itself is
+    // bit-identical with or without it).
+    ros::tag::DecoderConfig decoder_config = config.decoder;
+    if (probe::capturing()) {
+      decoder_config.spectrum.tap = &spectrum_tap;
+    }
+    const ros::tag::SpatialDecoder decoder(decoder_config);
+    aperture_ok = decoder.can_decode(series.u);
+    if (aperture_ok) {
       out.decode = decoder.decode(series.u, series.rss_linear);
     } else {
       // Short or narrow pass (e.g. a tiny decode FoV leaves < 8 usable
@@ -549,6 +684,16 @@ DecodeDriveResult decode_drive(const ros::scene::Scene& scene,
                    "coding band; reporting no-read",
                    ros::obs::kv("samples", series.u.size()));
       reg.counter("pipeline.decode_no_read").inc();
+    }
+    if (probe::capturing()) {
+      probe::funnel("aperture",
+                    aperture_ok,
+                    aperture_ok
+                        ? "u span reaches the coding band"
+                        : "series too short or narrow for the coding "
+                          "band (" +
+                              std::to_string(series.u.size()) +
+                              " usable samples)");
     }
     tel.add_stage("decode", t_decode.stop());
   }
@@ -564,6 +709,26 @@ DecodeDriveResult decode_drive(const ros::scene::Scene& scene,
   tel.tags.push_back(decode_telemetry(out.decode, out.samples));
   tel.total_ms = run_timer.stop();
   reg.counter("pipeline.decode_drives").inc();
+  const bool no_read = out.decode.bits.empty();
+  record_read_funnel(!out.samples.empty(), !out.samples.empty(),
+                     aperture_ok, !no_read);
+  if (probe::capturing()) {
+    probe::funnel("decoded", !no_read,
+                  no_read ? "no-read: decoder produced no bits"
+                          : std::to_string(out.decode.bits.size()) +
+                                " bits decoded");
+    probe::decoded_bits(out.decode.bits);
+    probe::annotate("mean_rss_dbm", out.mean_rss_dbm);
+    if (!no_read) {
+      probe::stage_artifact("coding_spectrum",
+                            spectrum_json(out.decode.spectrum));
+      probe::stage_artifact("spectrum_intermediates",
+                            spectrum_tap_json(spectrum_tap));
+      probe::stage_artifact("bit_margins",
+                            bit_margins_json(out.decode, config.decoder));
+    }
+    probe::end_read(no_read ? "no_read" : "");
+  }
   ROS_LOG_DEBUG(kLog, "decode drive finished",
                 ros::obs::kv("frames", tel.n_frames),
                 ros::obs::kv("samples", out.samples.size()),

@@ -35,6 +35,7 @@
 #include "ros/em/material.hpp"
 #include "ros/exec/thread_pool.hpp"
 #include "ros/obs/log.hpp"
+#include "ros/obs/probe.hpp"
 #include "ros/pipeline/interrogator.hpp"
 #include "ros/testkit/oracles.hpp"
 #include "ros/testkit/scenario.hpp"
@@ -223,6 +224,34 @@ std::string save_failure(const std::string& dir, const tk::Scenario& s) {
   return name.str();
 }
 
+/// Decode forensics for a failed scenario: re-run the decode pass with
+/// the provenance probe armed and the scenario attached as context, so
+/// the failure ships as a self-contained read bundle (stage artifacts,
+/// funnel verdicts, replayable via `rostriage replay`) next to the
+/// .scenario file. Returns the bundle path, or "" when the rerun could
+/// not produce one. The rerun is the same deterministic pipeline the
+/// oracle already executed, so this costs one extra decode pass only on
+/// the (rare) failure path.
+std::string capture_failure_bundle(const tk::Scenario& s) {
+  namespace probe = ros::obs::probe;
+  const probe::Mode saved = probe::mode();
+  probe::set_mode(probe::Mode::always);
+  probe::set_sample_period(1);
+  probe::set_context(s.encode(), s.bit_vector());
+  std::string path;
+  try {
+    run_decode_oracles(s);
+    path = probe::last_bundle_path();
+  } catch (const std::exception& e) {
+    // The pipeline died mid-read: persist whatever the probe captured
+    // up to the throw as a partial bundle.
+    path = probe::abort_read(std::string("fuzz_exception: ") + e.what());
+  }
+  probe::clear_context();
+  probe::set_mode(saved);
+  return path;
+}
+
 int replay(const Options& opt) {
   std::ifstream in(opt.replay_file);
   if (!in) {
@@ -236,6 +265,9 @@ int replay(const Options& opt) {
   if (!verdict.ok) {
     std::cout << "FAIL " << opt.replay_file << ": " << verdict.failure
               << "\n";
+    if (const auto bundle = capture_failure_bundle(s); !bundle.empty()) {
+      std::cout << "  provenance bundle " << bundle << "\n";
+    }
     return 1;
   }
   std::cout << "OK " << opt.replay_file << "\n";
@@ -263,6 +295,9 @@ int fuzz(const Options& opt) {
     if (!verdict.ok) {
       std::cout << "FAIL (corpus): " << verdict.failure << "\n"
                 << s.encode();
+      if (const auto bundle = capture_failure_bundle(s); !bundle.empty()) {
+        std::cout << "  provenance bundle " << bundle << "\n";
+      }
       return 1;
     }
     signatures.insert(sig);
@@ -287,6 +322,9 @@ int fuzz(const Options& opt) {
       std::cout << "FAIL run " << r << " (seed 0x" << std::hex << opt.seed
                 << std::dec << "): " << verdict.failure << "\n  saved "
                 << path << "\n";
+      if (const auto bundle = capture_failure_bundle(s); !bundle.empty()) {
+        std::cout << "  provenance bundle " << bundle << "\n";
+      }
       continue;
     }
     if (signatures.insert(sig).second) {

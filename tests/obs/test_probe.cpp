@@ -1,0 +1,209 @@
+// Unit tests for ros::obs::probe — the per-read provenance layer.
+// These exercise the probe in isolation (no pipeline): mode parsing,
+// disarmed short-circuits, the failure/always write policies, bit
+// mismatch detection against caller context, artifact truncation, and
+// bundle JSON well-formedness. Pipeline-level capture + replay lives in
+// integration/test_read_provenance.cpp.
+#include "ros/obs/probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "ros/obs/json_parse.hpp"
+#include "ros/obs/metrics.hpp"
+
+namespace probe = ros::obs::probe;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Redirects bundle output to a per-test temp dir and restores probe
+/// globals, so tests compose in any order within the binary.
+class ProbeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "ros_probe_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ::setenv("ROS_OBS_DIAG_DIR", root_.c_str(), 1);
+    probe::set_mode(probe::Mode::off);
+    probe::set_sample_period(1);
+  }
+  void TearDown() override {
+    probe::end_read("");  // drop any record a failing test left pending
+    probe::clear_context();
+    probe::set_mode(probe::Mode::off);
+    probe::set_sample_period(1);
+    probe::set_max_artifact_bytes(256 * 1024);
+    ::unsetenv("ROS_OBS_DIAG_DIR");
+  }
+  std::string root_;
+};
+
+TEST_F(ProbeTest, ModeParsingRoundTrips) {
+  EXPECT_EQ(probe::parse_mode("off"), probe::Mode::off);
+  EXPECT_EQ(probe::parse_mode("failure"), probe::Mode::failure);
+  EXPECT_EQ(probe::parse_mode("fail"), probe::Mode::failure);
+  EXPECT_EQ(probe::parse_mode("always"), probe::Mode::always);
+  EXPECT_EQ(probe::parse_mode("on"), probe::Mode::always);
+  EXPECT_EQ(probe::parse_mode("1"), probe::Mode::always);
+  EXPECT_EQ(probe::parse_mode("garbage"), probe::Mode::off);
+  for (const auto m :
+       {probe::Mode::off, probe::Mode::failure, probe::Mode::always}) {
+    EXPECT_EQ(probe::parse_mode(probe::to_string(m)), m);
+  }
+}
+
+TEST_F(ProbeTest, DisarmedTapsAreNoOps) {
+  ASSERT_FALSE(probe::armed());
+  EXPECT_FALSE(probe::begin_read("decode_drive", 1, 2));
+  EXPECT_FALSE(probe::capturing());
+  probe::annotate("k", 1.0);
+  probe::stage_artifact("s", "{}");
+  probe::funnel("detected", true, "");
+  probe::decoded_bits({true});
+  EXPECT_EQ(probe::end_read("no_read"), "");
+  EXPECT_EQ(probe::abort_read("x"), "");
+}
+
+TEST_F(ProbeTest, AlwaysModeWritesWellFormedBundle) {
+  probe::set_mode(probe::Mode::always);
+  ASSERT_TRUE(probe::begin_read("decode_drive", 7, 0xabcdef));
+  ASSERT_TRUE(probe::capturing());
+  probe::annotate("mean_rss_dbm", -51.5);
+  probe::annotate("simd_backend", "scalar");
+  probe::stage_artifact("samples", "{\"n_samples\":3}");
+  probe::funnel("synthesized", true, "3 frames");
+  probe::funnel("decoded", false, "no bits");
+  probe::decoded_bits({});
+  const std::string path = probe::end_read("no_read");
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path, probe::last_bundle_path());
+  EXPECT_EQ(path.find(root_ + "/reads/read-no_read-"), 0u);
+
+  std::string error;
+  const auto doc = ros::obs::json_parse(slurp(path), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("schema")->string_or(""), "ros-read-provenance-v1");
+  EXPECT_EQ(doc->find("kind")->string_or(""), "decode_drive");
+  EXPECT_EQ(doc->find("reason")->string_or(""), "no_read");
+  EXPECT_EQ(doc->at("config", "digest")->string_or(""),
+            "0x0000000000abcdef");
+  EXPECT_EQ(doc->at("config", "noise_seed")->number_or(0), 7.0);
+  ASSERT_NE(doc->find("funnel"), nullptr);
+  ASSERT_EQ(doc->find("funnel")->array.size(), 2u);
+  EXPECT_EQ(doc->find("funnel")->array[1].find("passed")->bool_or(true),
+            false);
+  EXPECT_EQ(doc->at("stages", "samples", "n_samples")->number_or(0), 3.0);
+  EXPECT_EQ(doc->at("annotations", "mean_rss_dbm")->number_or(0), -51.5);
+  // No context attached -> no scenario, and no mismatch claim.
+  EXPECT_EQ(doc->find("scenario"), nullptr);
+  EXPECT_FALSE(doc->find("bit_mismatch")->bool_or(true));
+}
+
+TEST_F(ProbeTest, FailureModeOnlyWritesFailedReads) {
+  probe::set_mode(probe::Mode::failure);
+  const std::uint64_t before = probe::bundles_written();
+
+  ASSERT_TRUE(probe::begin_read("decode_drive", 1, 1));
+  probe::decoded_bits({true, false});
+  EXPECT_EQ(probe::end_read(""), "");  // success: nothing written
+  EXPECT_EQ(probe::bundles_written(), before);
+
+  ASSERT_TRUE(probe::begin_read("decode_drive", 1, 1));
+  const std::string path = probe::end_read("no_read");
+  EXPECT_FALSE(path.empty());
+  EXPECT_EQ(probe::bundles_written(), before + 1);
+}
+
+TEST_F(ProbeTest, BitMismatchAgainstContextCountsAsFailure) {
+  probe::set_mode(probe::Mode::failure);
+  probe::set_context("n_bits = 2\nbits = 1\n", {true, false});
+
+  // Matching bits: still a success, no bundle.
+  ASSERT_TRUE(probe::begin_read("decode_drive", 1, 1));
+  probe::decoded_bits({true, false});
+  EXPECT_EQ(probe::end_read(""), "");
+
+  // Silent wrong-bit read: the probe flags it even though the pipeline
+  // reported success.
+  ASSERT_TRUE(probe::begin_read("decode_drive", 1, 1));
+  probe::decoded_bits({true, true});
+  const std::string path = probe::end_read("");
+  ASSERT_FALSE(path.empty());
+  const auto doc = ros::obs::json_parse(slurp(path));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("reason")->string_or(""), "bit_mismatch");
+  EXPECT_TRUE(doc->find("bit_mismatch")->bool_or(false));
+  EXPECT_EQ(doc->find("scenario")->string_or(""),
+            "n_bits = 2\nbits = 1\n");
+  ASSERT_EQ(doc->find("expected_bits")->array.size(), 2u);
+  ASSERT_EQ(doc->find("decoded_bits")->array.size(), 2u);
+}
+
+TEST_F(ProbeTest, OversizedArtifactIsTruncatedNotWritten) {
+  probe::set_mode(probe::Mode::always);
+  probe::set_max_artifact_bytes(64);
+  const auto dropped_before = ros::obs::MetricsRegistry::global()
+                                  .counter("obs.probe.artifacts_dropped")
+                                  .value();
+  ASSERT_TRUE(probe::begin_read("decode_drive", 1, 1));
+  probe::stage_artifact("big", "[" + std::string(1024, '1') + "]");
+  probe::stage_artifact("small", "[1]");
+  const std::string path = probe::end_read("no_read");
+  ASSERT_FALSE(path.empty());
+  const auto doc = ros::obs::json_parse(slurp(path));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(doc->at("stages", "big", "truncated")->bool_or(false));
+  EXPECT_EQ(doc->at("stages", "big", "bytes")->number_or(0), 1026.0);
+  EXPECT_EQ(doc->at("stages", "small")->array.size(), 1u);
+  EXPECT_EQ(ros::obs::MetricsRegistry::global()
+                .counter("obs.probe.artifacts_dropped")
+                .value(),
+            dropped_before + 1);
+}
+
+TEST_F(ProbeTest, AbortWritesPartialBundleRegardlessOfPolicy) {
+  probe::set_mode(probe::Mode::failure);
+  ASSERT_TRUE(probe::begin_read("interrogate", 1, 1));
+  probe::funnel("synthesized", true, "10 frames");
+  const std::string path = probe::abort_read("fuzz_exception: boom");
+  ASSERT_FALSE(path.empty());
+  const auto doc = ros::obs::json_parse(slurp(path));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("reason")->string_or(""), "fuzz_exception: boom");
+  // Record is consumed: a second abort is a no-op.
+  EXPECT_EQ(probe::abort_read("again"), "");
+}
+
+TEST_F(ProbeTest, SamplePeriodThinsAlwaysModeCaptures) {
+  probe::set_mode(probe::Mode::always);
+  probe::set_sample_period(3);
+  int captured = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (probe::begin_read("decode_drive", 1, 1)) {
+      ++captured;
+      probe::end_read("");
+    }
+  }
+  EXPECT_EQ(captured, 2);  // 1 in 3
+}
+
+TEST_F(ProbeTest, FilenameReasonIsSanitized) {
+  probe::set_mode(probe::Mode::always);
+  ASSERT_TRUE(probe::begin_read("decode_drive", 1, 1));
+  const std::string path = probe::end_read("no read/EPERM!");
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find("read-no_read_EPERM_-"), std::string::npos);
+}
+
+}  // namespace

@@ -9,6 +9,7 @@
 #include "ros/obs/alloc.hpp"
 #include "ros/obs/flight_recorder.hpp"
 #include "ros/obs/metrics.hpp"
+#include "ros/obs/probe.hpp"
 #include "ros/pipeline/interrogator.hpp"
 
 namespace rp = ros::pipeline;
@@ -139,4 +140,29 @@ TEST(ZeroAlloc, BudgetsHoldWithFlightRecorderLive) {
   // And it actually recorded something during the run (sampled frame
   // events plus the end-of-run arena high-water mark).
   EXPECT_GT(fr.total_recorded(), recorded_before);
+}
+
+TEST(ZeroAlloc, BudgetsHoldWithProvenanceProbeArmed) {
+  if (!ros::obs::alloc_counting_enabled()) {
+    GTEST_SKIP() << "ROS_OBS_COUNT_ALLOCS is off";
+  }
+  // Decode-forensics invariant: every probe tap sits OUTSIDE the
+  // parallel frame loop, so arming the probe — even in capture-heavy
+  // failure mode — must not move the per-frame allocation budget. A tap
+  // migrating into the loop would show up here immediately.
+  namespace probe = ros::obs::probe;
+  const probe::Mode saved = probe::mode();
+  probe::set_mode(probe::Mode::failure);
+  const auto world = make_world();
+  rp::InterrogatorConfig cfg;
+  cfg.frame_stride = 10;
+
+  (void)rp::decode_drive(world, short_drive(), {0.0, 0.0}, cfg);
+  const std::uint64_t grows_before = arena_grows();
+  (void)rp::decode_drive(world, short_drive(), {0.0, 0.0}, cfg);
+  probe::set_mode(saved);
+  EXPECT_EQ(arena_grows(), grows_before)
+      << "probe capture grew a scratch arena from the frame loop";
+  EXPECT_LE(gauge("decode_drive.frame_loop.allocs_per_frame"), 16.0)
+      << "probe capture allocated inside the frame loop";
 }
