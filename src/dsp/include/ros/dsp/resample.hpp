@@ -31,6 +31,15 @@ std::vector<double> resample_bin_average(std::span<const double> xs,
                                          std::span<const double> ys,
                                          std::size_t n);
 
+/// Allocation-free variant of resample_bin_average for arena-backed hot
+/// paths: writes the n = out.size() resampled values into `out` (which
+/// doubles as the bin-sum accumulator) using `count` (same size) as
+/// per-cell sample counts. Bit-identical to the vector overload.
+void resample_bin_average_into(std::span<const double> xs,
+                               std::span<const double> ys,
+                               std::span<double> out,
+                               std::span<std::size_t> count);
+
 /// True if xs is strictly increasing.
 bool strictly_increasing(std::span<const double> xs);
 

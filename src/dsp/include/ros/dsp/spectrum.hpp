@@ -69,4 +69,16 @@ RcsSpectrum rcs_spectrum(std::span<const double> u,
                          std::span<const double> rcs_linear,
                          const SpectrumOptions& opts = {});
 
+/// The envelope-whitening moving-average length rcs_spectrum uses for an
+/// n-point resampled series (opts.whiten_window, or n/6 auto).
+std::size_t whiten_window_size(const SpectrumOptions& opts, std::size_t n);
+
+/// Envelope-whiten `y` in place: estimate the slowly varying envelope
+/// with a centered boxcar of length `window`, subtract it, and scale by
+/// the envelope mean. `env_scratch` must match y.size(). This is the
+/// exact whitening step of rcs_spectrum(), shared so matched-filter
+/// decoders see a bit-identical series.
+void whiten_envelope_inplace(std::span<double> y, std::size_t window,
+                             std::span<double> env_scratch);
+
 }  // namespace ros::dsp

@@ -43,32 +43,46 @@ std::vector<double> resample_uniform(std::span<const double> xs,
 std::vector<double> resample_bin_average(std::span<const double> xs,
                                          std::span<const double> ys,
                                          std::size_t n) {
+  std::vector<double> out(n);
+  std::vector<std::size_t> count(n);
+  resample_bin_average_into(xs, ys, out, count);
+  return out;
+}
+
+void resample_bin_average_into(std::span<const double> xs,
+                               std::span<const double> ys,
+                               std::span<double> out,
+                               std::span<std::size_t> count) {
+  const std::size_t n = out.size();
   ROS_EXPECT(xs.size() == ys.size(), "x/y size mismatch");
   ROS_EXPECT(xs.size() >= 2, "need at least two samples to resample");
   ROS_EXPECT(n >= 2, "need at least two output cells");
+  ROS_EXPECT(count.size() == n, "count scratch size mismatch");
   ROS_EXPECT(strictly_increasing(xs), "xs must be strictly increasing");
   const double lo = xs.front();
   const double span = xs.back() - lo;
   ROS_EXPECT(span > 0.0, "x samples must span a non-zero window");
 
-  std::vector<double> sum(n, 0.0);
-  std::vector<std::size_t> count(n, 0);
+  // `out` doubles as the bin-sum accumulator before averaging in place.
+  std::fill(out.begin(), out.end(), 0.0);
+  std::fill(count.begin(), count.end(), std::size_t{0});
   const double scale = static_cast<double>(n - 1) / span;
   for (std::size_t i = 0; i < xs.size(); ++i) {
     auto cell = static_cast<std::size_t>(
         std::lround((xs[i] - lo) * scale));
     cell = std::min(cell, n - 1);
-    sum[cell] += ys[i];
+    out[cell] += ys[i];
     ++count[cell];
   }
 
-  const auto grid = ros::common::linspace(lo, xs.back(), n);
-  std::vector<double> out(n);
+  // Grid points computed exactly as linspace(lo, xs.back(), n) does so
+  // the empty-cell fallback stays bit-identical to the vector overload.
+  const double step = (xs.back() - lo) / static_cast<double>(n - 1);
   for (std::size_t i = 0; i < n; ++i) {
-    out[i] = count[i] > 0 ? sum[i] / static_cast<double>(count[i])
-                          : interp_linear(xs, ys, grid[i]);
+    out[i] = count[i] > 0
+                 ? out[i] / static_cast<double>(count[i])
+                 : interp_linear(xs, ys, lo + step * static_cast<double>(i));
   }
-  return out;
 }
 
 }  // namespace ros::dsp

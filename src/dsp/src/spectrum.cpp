@@ -13,6 +13,38 @@ namespace ros::dsp {
 
 using ros::common::cplx;
 
+std::size_t whiten_window_size(const SpectrumOptions& opts, std::size_t n) {
+  return opts.whiten_window > 0 ? opts.whiten_window
+                                : std::max<std::size_t>(5, n / 6);
+}
+
+void whiten_envelope_inplace(std::span<double> y, std::size_t window,
+                             std::span<double> env_scratch) {
+  const std::size_t n = y.size();
+  ROS_EXPECT(env_scratch.size() == n, "envelope scratch size mismatch");
+  const std::size_t w = window;
+  // Centered boxcar moving average as the envelope estimate. The
+  // envelope is *subtracted* (then scaled by its mean), never divided
+  // out: division would intermodulate residual envelope tones with the
+  // coding tones, and on the paper's 1.5-lambda placement grid those
+  // intermods land exactly on other coding slots.
+  double env_mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i >= w / 2 ? i - w / 2 : 0;
+    const std::size_t hi = std::min(n, i + w / 2 + 1);
+    double sum = 0.0;
+    for (std::size_t k = lo; k < hi; ++k) sum += y[k];
+    env_scratch[i] = sum / static_cast<double>(hi - lo);
+    env_mean += env_scratch[i];
+  }
+  env_mean /= static_cast<double>(n);
+  if (env_mean > 0.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] = (y[i] - env_scratch[i]) / env_mean;
+    }
+  }
+}
+
 double RcsSpectrum::amplitude_at(double spacing) const {
   return interp_linear(spacing_lambda, amplitude, spacing);
 }
@@ -63,30 +95,8 @@ RcsSpectrum rcs_spectrum(std::span<const double> u,
   }
 
   if (opts.whiten_envelope) {
-    const std::size_t w = opts.whiten_window > 0
-                              ? opts.whiten_window
-                              : std::max<std::size_t>(5, n / 6);
-    // Centered boxcar moving average as the envelope estimate. The
-    // envelope is *subtracted* (then scaled by its mean), never divided
-    // out: division would intermodulate residual envelope tones with the
-    // coding tones, and on the paper's 1.5-lambda placement grid those
-    // intermods land exactly on other coding slots.
     std::vector<double> env(n);
-    double env_mean = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t lo = i >= w / 2 ? i - w / 2 : 0;
-      const std::size_t hi = std::min(n, i + w / 2 + 1);
-      double sum = 0.0;
-      for (std::size_t k = lo; k < hi; ++k) sum += uniform[k];
-      env[i] = sum / static_cast<double>(hi - lo);
-      env_mean += env[i];
-    }
-    env_mean /= static_cast<double>(n);
-    if (env_mean > 0.0) {
-      for (std::size_t i = 0; i < n; ++i) {
-        uniform[i] = (uniform[i] - env[i]) / env_mean;
-      }
-    }
+    whiten_envelope_inplace(uniform, whiten_window_size(opts, n), env);
   }
 
   if (opts.remove_mean) {

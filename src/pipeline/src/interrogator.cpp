@@ -20,6 +20,7 @@
 #include "ros/obs/timer.hpp"
 #include "ros/pipeline/provenance.hpp"
 #include "ros/radar/waveform.hpp"
+#include "ros/tag/codebook.hpp"
 
 namespace ros::pipeline {
 
@@ -219,6 +220,9 @@ InterrogationReport Interrogator::run(
                                           config_digest(config_));
   if (probing) {
     annotate_probe_runtime();
+    probe::annotate("decoder_backend",
+                    ros::tag::to_string(ros::tag::resolve_decoder_backend(
+                        config_.decoder.backend)));
     probe::annotate("frame_stride",
                     static_cast<double>(config_.frame_stride));
     probe::annotate("decode_fov_rad", config_.decode_fov_rad);
@@ -457,7 +461,7 @@ InterrogationReport Interrogator::run(
     ros::tag::DecoderConfig decoder_config = config_.decoder;
     const bool tap_this = probe::capturing() && report.tags.size() < 4;
     if (tap_this) decoder_config.spectrum.tap = &spectrum_tap;
-    const ros::tag::SpatialDecoder decoder(decoder_config);
+    const ros::tag::TagDecoder decoder(decoder_config);
     if (series.u.size() < 16 || !decoder.can_decode(series.u)) {
       tel.add_stage("decode", t_decode.stop());
       ROS_LOG_WARN(kLog,
@@ -479,13 +483,22 @@ InterrogationReport Interrogator::run(
       const std::string tag = "tag" + std::to_string(report.tags.size());
       probe::stage_artifact(tag + ".samples",
                             samples_json(readout.samples));
-      probe::stage_artifact(tag + ".coding_spectrum",
-                            spectrum_json(readout.decode.spectrum));
-      probe::stage_artifact(tag + ".spectrum_intermediates",
-                            spectrum_tap_json(spectrum_tap));
+      // The codebook backend never runs the FFT chain, so its result
+      // carries no spectrum (and the tap stays empty): capture only
+      // what the decode actually produced.
+      if (!readout.decode.spectrum.spacing_lambda.empty()) {
+        probe::stage_artifact(tag + ".coding_spectrum",
+                              spectrum_json(readout.decode.spectrum));
+        probe::stage_artifact(tag + ".spectrum_intermediates",
+                              spectrum_tap_json(spectrum_tap));
+      }
       probe::stage_artifact(
           tag + ".bit_margins",
           bit_margins_json(readout.decode, config_.decoder));
+      if (!readout.decode.codeword_scores.empty()) {
+        probe::stage_artifact(tag + ".codeword_scores",
+                              codeword_scores_json(readout.decode));
+      }
     }
     report.tags.push_back(std::move(readout));
   }
@@ -545,6 +558,9 @@ DecodeDriveResult decode_drive(const ros::scene::Scene& scene,
                                           config_digest(config));
   if (probing) {
     annotate_probe_runtime();
+    probe::annotate("decoder_backend",
+                    ros::tag::to_string(ros::tag::resolve_decoder_backend(
+                        config.decoder.backend)));
     probe::annotate("frame_stride",
                     static_cast<double>(config.frame_stride));
     probe::annotate("decode_fov_rad", config.decode_fov_rad);
@@ -671,7 +687,7 @@ DecodeDriveResult decode_drive(const ros::scene::Scene& scene,
     if (probe::capturing()) {
       decoder_config.spectrum.tap = &spectrum_tap;
     }
-    const ros::tag::SpatialDecoder decoder(decoder_config);
+    const ros::tag::TagDecoder decoder(decoder_config);
     aperture_ok = decoder.can_decode(series.u);
     if (aperture_ok) {
       out.decode = decoder.decode(series.u, series.rss_linear);
@@ -720,12 +736,20 @@ DecodeDriveResult decode_drive(const ros::scene::Scene& scene,
     probe::decoded_bits(out.decode.bits);
     probe::annotate("mean_rss_dbm", out.mean_rss_dbm);
     if (!no_read) {
-      probe::stage_artifact("coding_spectrum",
-                            spectrum_json(out.decode.spectrum));
-      probe::stage_artifact("spectrum_intermediates",
-                            spectrum_tap_json(spectrum_tap));
+      // Codebook-backend reads carry no FFT spectrum; capture only the
+      // artifacts the chosen decode engine actually produced.
+      if (!out.decode.spectrum.spacing_lambda.empty()) {
+        probe::stage_artifact("coding_spectrum",
+                              spectrum_json(out.decode.spectrum));
+        probe::stage_artifact("spectrum_intermediates",
+                              spectrum_tap_json(spectrum_tap));
+      }
       probe::stage_artifact("bit_margins",
                             bit_margins_json(out.decode, config.decoder));
+      if (!out.decode.codeword_scores.empty()) {
+        probe::stage_artifact("codeword_scores",
+                              codeword_scores_json(out.decode));
+      }
     }
     probe::end_read(no_read ? "no_read" : "");
   }

@@ -1,0 +1,492 @@
+#include "ros/tag/codebook.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <numeric>
+#include <unordered_map>
+
+#include "ros/common/expect.hpp"
+#include "ros/common/mathx.hpp"
+#include "ros/dsp/fft.hpp"
+#include "ros/dsp/resample.hpp"
+#include "ros/dsp/window.hpp"
+#include "ros/exec/arena.hpp"
+#include "ros/obs/log.hpp"
+#include "ros/obs/metrics.hpp"
+#include "ros/simd/simd.hpp"
+
+namespace ros::tag {
+
+namespace {
+
+constexpr char kLog[] = "tag.codebook";
+constexpr double kFourPi = 4.0 * 3.14159265358979323846;
+
+/// FNV-1a over raw bit patterns, same scheme as the pipeline's config
+/// digest (NaN-safe: doubles mix by representation, not value).
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  void mix(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  }
+  void mix(int v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix(bool v) { mix(static_cast<std::uint64_t>(v ? 1 : 0)); }
+};
+
+std::size_t resample_points_of(const DecoderConfig& c) {
+  return c.spectrum.resample_points > 0 ? c.spectrum.resample_points : 256;
+}
+
+/// The family-fixed probe grid: a fan across each slot's tolerance
+/// window (center +/- j * probe_offset, j = 1..probes_per_side),
+/// inter-slot midpoints, and one guard past each coding-band edge.
+/// Off-slot probes carry no codeword energy, anchoring the correlation
+/// against flat-spectrum noise. Each slot's fan max-pools into one
+/// feature (probe_feature), so a peak shifted anywhere inside the
+/// tolerance window — odometry drift scales apparent spacings by up to
+/// a few percent, multipath smears peaks — still scores like a
+/// centered one, matching the FFT oracle's window-max tolerance.
+void make_probes(const DecoderConfig& config, const TagLayout& reference,
+                 std::vector<double>& spacing, std::vector<int>& slot,
+                 std::vector<int>& feature) {
+  const double off = config.codebook.probe_offset_lambda;
+  const int fan = std::max(0, config.codebook.probes_per_side);
+  ROS_EXPECT(off * fan <= config.slot_tolerance_lambda + 1e-9,
+             "codebook probe fan must stay inside the slot tolerance");
+  std::vector<std::pair<double, int>> probes;
+  for (int k = 1; k <= config.n_bits; ++k) {
+    const double s = reference.slot_spacing_lambda(k);
+    probes.emplace_back(s, k);
+    for (int j = 1; j <= fan && off > 0.0; ++j) {
+      probes.emplace_back(s - j * off, k);
+      probes.emplace_back(s + j * off, k);
+    }
+  }
+  for (int k = 1; k < config.n_bits; ++k) {
+    probes.emplace_back(0.5 * (reference.slot_spacing_lambda(k) +
+                               reference.slot_spacing_lambda(k + 1)),
+                        0);
+  }
+  const auto band = reference.coding_band_lambda();
+  const double guard = 0.5 * config.unit_spacing_lambda;
+  if (band.first - guard > 0.0) probes.emplace_back(band.first - guard, 0);
+  probes.emplace_back(band.second + guard, 0);
+
+  std::sort(probes.begin(), probes.end());
+  spacing.clear();
+  slot.clear();
+  feature.clear();
+  int next_anchor = config.n_bits;
+  for (const auto& [s, k] : probes) {
+    if (!spacing.empty() && s - spacing.back() < 1e-9) continue;
+    spacing.push_back(s);
+    slot.push_back(k);
+    feature.push_back(k > 0 ? k - 1 : next_anchor++);
+  }
+}
+
+/// Collapse per-probe amplitudes into the pooled feature vector: max
+/// within each slot's fan, pass-through for off-slot anchors.
+void pool_features(std::span<const double> amp,
+                   std::span<const int> probe_feature,
+                   std::span<double> feat) {
+  std::fill(feat.begin(), feat.end(), 0.0);
+  for (std::size_t p = 0; p < amp.size(); ++p) {
+    auto& f = feat[static_cast<std::size_t>(probe_feature[p])];
+    f = std::max(f, amp[p]);
+  }
+}
+
+/// Project the windowed series y (on a uniform grid u0 + i*du) onto the
+/// spacing-d tone: |DTFT at f_u = 2d| normalized like rcs_spectrum's
+/// amplitude axis. `phase` and `zeros` are n-long scratch.
+double probe_amplitude(std::span<const double> y, double u0, double du,
+                       double spacing, double norm, std::span<double> phase,
+                       std::span<const double> zeros) {
+  const auto& v = ros::simd::ops();
+  v.linear_phase(-kFourPi * spacing * u0, -kFourPi * spacing * du,
+                 phase.data(), y.size());
+  const auto z = v.phase_mac(y.data(), zeros.data(), phase.data(), y.size());
+  return std::abs(z) * norm;
+}
+
+}  // namespace
+
+std::uint64_t codebook_digest(const DecoderConfig& c) {
+  Fnv d;
+  d.mix(c.n_bits);
+  d.mix(c.unit_spacing_lambda);
+  d.mix(c.design_hz);
+  d.mix(c.slot_tolerance_lambda);
+  d.mix(c.threshold);
+  d.mix(c.min_modulation);
+  d.mix(static_cast<std::uint64_t>(resample_points_of(c)));
+  d.mix(static_cast<std::uint64_t>(c.spectrum.zero_pad_factor));
+  d.mix(static_cast<int>(c.spectrum.window));
+  d.mix(c.spectrum.remove_mean);
+  d.mix(c.spectrum.whiten_envelope);
+  d.mix(static_cast<std::uint64_t>(c.spectrum.whiten_window));
+  d.mix(c.codebook.canonical_u_span);
+  d.mix(c.codebook.probe_offset_lambda);
+  d.mix(c.codebook.probes_per_side);
+  return d.h;
+}
+
+Codebook build_codebook(const DecoderConfig& config) {
+  ROS_EXPECT(config.n_bits >= 1 && config.n_bits <= 20,
+             "codebook needs 1..20 bits");
+  ROS_EXPECT(config.codebook.canonical_u_span > 0.0,
+             "canonical u span must be positive");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const LayoutParams family{config.n_bits, config.unit_spacing_lambda,
+                            config.design_hz, 0.0};
+  const TagLayout reference = TagLayout::all_ones(family);
+
+  Codebook cb;
+  cb.key = codebook_digest(config);
+  cb.n_codewords = 1u << config.n_bits;
+  cb.resample_points = resample_points_of(config);
+  cb.canonical_u_span = config.codebook.canonical_u_span;
+  make_probes(config, reference, cb.probe_spacing_lambda, cb.probe_slot,
+              cb.probe_feature);
+  cb.n_probes = static_cast<std::uint32_t>(cb.probe_spacing_lambda.size());
+  cb.n_features = static_cast<std::uint32_t>(
+      1 + *std::max_element(cb.probe_feature.begin(),
+                            cb.probe_feature.end()));
+
+  const std::size_t n = cb.resample_points;
+  cb.window = ros::dsp::make_window(config.spectrum.window, n);
+  cb.window_gain = ros::dsp::coherent_gain(cb.window);
+
+  const std::size_t C = cb.n_codewords;
+  const std::size_t P = cb.n_probes;
+  const std::size_t F = cb.n_features;
+  cb.tmpl.assign(C * F, 0.0);
+  cb.tmpl_centered.assign(C * F, 0.0);
+  cb.tmpl_norm.assign(C, 0.0);
+
+  // Canonical synthesis grid: n uniform u points centered on broadside.
+  const double span = cb.canonical_u_span;
+  const double u0 = -0.5 * span;
+  const double du = span / static_cast<double>(n - 1);
+  const double norm = 1.0 / (static_cast<double>(n) * cb.window_gain);
+
+  auto& arena = ros::exec::Arena::thread_local_arena();
+  ros::exec::Arena::Scope scope(arena);
+  auto y = arena.alloc_span<double>(n);
+  auto im = arena.alloc_span<double>(n);
+  auto env = arena.alloc_span<double>(n);
+  auto phase = arena.alloc_span<double>(n);
+  auto zeros = arena.alloc_span<double>(n);
+  auto amp = arena.alloc_span<double>(P);
+  std::fill(zeros.begin(), zeros.end(), 0.0);
+  const auto& v = ros::simd::ops();
+
+  std::vector<bool> bits(static_cast<std::size_t>(config.n_bits));
+  for (std::uint32_t c = 0; c < C; ++c) {
+    for (int k = 0; k < config.n_bits; ++k) bits[static_cast<std::size_t>(k)] = ((c >> k) & 1u) != 0;
+    const TagLayout layout = TagLayout::from_bits(bits, family);
+
+    // Forward model, Eq. 6/7: r(u) = n_stacks + 2 sum_pairs cos(4 pi d u).
+    std::fill(y.begin(), y.end(), static_cast<double>(layout.n_stacks()));
+    std::fill(im.begin(), im.end(), 0.0);
+    for (const double d : layout.pairwise_spacings_lambda()) {
+      v.linear_phase(kFourPi * d * u0, kFourPi * d * du, phase.data(), n);
+      v.cexp_madd(2.0, 0.0, phase.data(), y.data(), im.data(), n);
+    }
+
+    // Exactly the rcs_spectrum front end, so templates live in the same
+    // whitened, windowed space as the observed probe vector.
+    if (config.spectrum.whiten_envelope) {
+      ros::dsp::whiten_envelope_inplace(
+          y, ros::dsp::whiten_window_size(config.spectrum, n), env);
+    }
+    if (config.spectrum.remove_mean) {
+      const double mu = ros::common::mean(y);
+      for (double& s : y) s -= mu;
+    }
+    for (std::size_t i = 0; i < n; ++i) y[i] *= cb.window[i];
+
+    for (std::size_t p = 0; p < P; ++p) {
+      amp[p] = probe_amplitude(y, u0, du, cb.probe_spacing_lambda[p], norm,
+                               phase, zeros);
+    }
+    double* row = cb.tmpl.data() + static_cast<std::size_t>(c) * F;
+    pool_features(amp, cb.probe_feature, {row, F});
+    double mu = 0.0;
+    for (std::size_t f = 0; f < F; ++f) mu += row[f];
+    mu /= static_cast<double>(F);
+    double* crow = cb.tmpl_centered.data() + static_cast<std::size_t>(c) * F;
+    for (std::size_t f = 0; f < F; ++f) crow[f] = row[f] - mu;
+    cb.tmpl_norm[c] = std::sqrt(v.dot(crow, crow, F));
+  }
+
+  cb.build_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  ROS_LOG_INFO(kLog, "codebook built",
+               ros::obs::kv("codewords", C), ros::obs::kv("probes", P),
+               ros::obs::kv("build_ms", cb.build_ms));
+  return cb;
+}
+
+namespace {
+
+/// Process-wide bounded codebook cache, mirroring the FFT plan cache:
+/// bounded, cleared wholesale on overflow (a process cycling through
+/// more than kMaxCachedCodebooks families is misconfigured, not hot).
+constexpr std::size_t kMaxCachedCodebooks = 32;
+
+struct CodebookCache {
+  std::mutex mu;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const Codebook>> map;
+};
+
+CodebookCache& cache() {
+  static CodebookCache c;
+  return c;
+}
+
+}  // namespace
+
+std::shared_ptr<const Codebook> codebook_for(const DecoderConfig& config) {
+  const std::uint64_t key = codebook_digest(config);
+  auto& reg = ros::obs::MetricsRegistry::global();
+  auto& c = cache();
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    const auto it = c.map.find(key);
+    if (it != c.map.end()) {
+      reg.counter("pipeline.decoder.codebook.cache_hits").inc();
+      return it->second;
+    }
+  }
+  reg.counter("pipeline.decoder.codebook.cache_misses").inc();
+  // Build outside the lock: codebook construction is milliseconds and
+  // must not serialize unrelated decoder threads. A racing duplicate
+  // build is harmless (last one wins; both are identical).
+  auto built = std::make_shared<const Codebook>(build_codebook(config));
+  std::lock_guard<std::mutex> lock(c.mu);
+  if (c.map.size() >= kMaxCachedCodebooks) c.map.clear();
+  c.map[key] = built;
+  reg.gauge("pipeline.decoder.codebook.size")
+      .set(static_cast<double>(c.map.size()));
+  reg.gauge("pipeline.decoder.codebook.build_ms").set(built->build_ms);
+  return built;
+}
+
+void clear_codebook_cache() {
+  auto& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.map.clear();
+  ros::obs::MetricsRegistry::global()
+      .gauge("pipeline.decoder.codebook.size")
+      .set(0.0);
+}
+
+CodebookDecoder::CodebookDecoder(DecoderConfig config)
+    : config_(config),
+      reference_layout_(TagLayout::all_ones(LayoutParams{
+          config.n_bits, config.unit_spacing_lambda, config.design_hz,
+          0.0})),
+      codebook_(codebook_for(config)) {
+  ROS_EXPECT(config.n_bits >= 1, "need at least one bit");
+  ROS_EXPECT(config.slot_tolerance_lambda > 0.0,
+             "slot tolerance must be positive");
+}
+
+bool CodebookDecoder::can_decode(std::span<const double> u) const {
+  // Shared aperture gate: fft and codebook backends must agree on read
+  // vs no-read, so reuse the oracle's criterion verbatim.
+  return SpatialDecoder(config_).can_decode(u);
+}
+
+DecodeResult CodebookDecoder::decode(std::span<const double> u,
+                                     std::span<const double> rss_linear) const {
+  ROS_EXPECT(u.size() == rss_linear.size(), "u/rcs size mismatch");
+  ROS_EXPECT(u.size() >= 8, "need at least 8 RCS samples");
+  const Codebook& cb = *codebook_;
+  const std::size_t n = cb.resample_points;
+  const std::size_t P = cb.n_probes;
+  const std::size_t F = cb.n_features;
+  const std::uint32_t C = cb.n_codewords;
+  const auto& v = ros::simd::ops();
+
+  auto& arena = ros::exec::Arena::thread_local_arena();
+  ros::exec::Arena::Scope scope(arena);
+
+  // Sort + dedup exactly as rcs_spectrum does, into arena scratch.
+  const std::size_t n_in = u.size();
+  auto order = arena.alloc_span<std::size_t>(n_in);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return u[a] < u[b]; });
+  auto us = arena.alloc_span<double>(n_in);
+  auto ys = arena.alloc_span<double>(n_in);
+  std::size_t m = 0;
+  for (const std::size_t i : order) {
+    if (m > 0 && u[i] <= us[m - 1]) continue;  // drop non-increasing
+    us[m] = u[i];
+    ys[m] = rss_linear[i];
+    ++m;
+  }
+  ROS_EXPECT(m >= 8, "need at least 8 distinct u samples");
+  const double span = us[m - 1] - us[0];
+  ROS_EXPECT(span > 0.0, "u samples must span a non-zero window");
+
+  // Shared front end: bin-average resample, envelope whiten, window.
+  auto uniform = arena.alloc_span<double>(n);
+  auto counts = arena.alloc_span<std::size_t>(n);
+  ros::dsp::resample_bin_average_into({us.data(), m}, {ys.data(), m},
+                                      uniform, counts);
+  if (config_.spectrum.whiten_envelope) {
+    auto env = arena.alloc_span<double>(n);
+    ros::dsp::whiten_envelope_inplace(
+        uniform, ros::dsp::whiten_window_size(config_.spectrum, n), env);
+  }
+  if (config_.spectrum.remove_mean) {
+    const double mu = ros::common::mean(uniform);
+    for (double& s : uniform) s -= mu;
+  }
+  for (std::size_t i = 0; i < n; ++i) uniform[i] *= cb.window[i];
+
+  // DTFT projection onto the probe grid. Probes past the top spacing
+  // the FFT axis would represent read as zero (paper-default geometry
+  // never gets there; the clamp keeps pathological spans honest).
+  const double u0 = us[0];
+  const double du = span / static_cast<double>(n - 1);
+  const std::size_t nfft = ros::dsp::next_pow2(
+      n * std::max<std::size_t>(1, config_.spectrum.zero_pad_factor));
+  const double max_spacing = 0.5 * static_cast<double>(nfft / 2 - 1) /
+                             (static_cast<double>(nfft) * du);
+  const double norm = 1.0 / (static_cast<double>(n) * cb.window_gain);
+  auto amp = arena.alloc_span<double>(P);
+  auto feat = arena.alloc_span<double>(F);
+  auto phase = arena.alloc_span<double>(n);
+  auto zeros = arena.alloc_span<double>(n);
+  std::fill(zeros.begin(), zeros.end(), 0.0);
+  for (std::size_t p = 0; p < P; ++p) {
+    const double d = cb.probe_spacing_lambda[p];
+    amp[p] = d > max_spacing
+                 ? 0.0
+                 : probe_amplitude(uniform, u0, du, d, norm, phase, zeros);
+  }
+  pool_features(amp, cb.probe_feature, feat);
+
+  DecodeResult out;
+  out.backend_used = DecoderBackend::codebook;
+  out.threshold = config_.threshold;
+  out.band_rms =
+      std::sqrt(v.dot(feat.data(), feat.data(), F) / static_cast<double>(F));
+  const double floor = out.band_rms > 0.0 ? out.band_rms : 1e-300;
+
+  // Per-slot modulation depth (the slot's pooled feature) drives the
+  // same absolute floor as the FFT decoder: codewords that would light
+  // a slot below min_modulation are excluded from the arg-max, so pure
+  // noise decodes to the all-zero codeword instead of chasing ripples.
+  const auto nb = static_cast<std::size_t>(config_.n_bits);
+  out.bits.assign(nb, false);
+  out.slot_amplitudes.assign(nb, 0.0);
+  out.slot_modulation.assign(nb, 0.0);
+  std::uint32_t allowed = 0;
+  for (std::size_t k = 0; k < nb; ++k) {
+    out.slot_modulation[k] = feat[k];
+    out.slot_amplitudes[k] = feat[k] / floor;
+    if (out.slot_modulation[k] > config_.min_modulation) {
+      allowed |= 1u << k;
+    }
+  }
+
+  // Normalized (Pearson) correlation against every codeword template.
+  auto centered = arena.alloc_span<double>(F);
+  double obs_mean = 0.0;
+  for (std::size_t f = 0; f < F; ++f) obs_mean += feat[f];
+  obs_mean /= static_cast<double>(F);
+  for (std::size_t f = 0; f < F; ++f) centered[f] = feat[f] - obs_mean;
+  const double obs_norm =
+      std::sqrt(v.dot(centered.data(), centered.data(), F));
+
+  out.codeword_scores.assign(C, 0.0);
+  constexpr double kEps = 1e-12;
+  for (std::uint32_t c = 0; c < C; ++c) {
+    if (obs_norm < kEps || cb.tmpl_norm[c] < kEps) continue;  // score 0
+    const double num =
+        v.dot(centered.data(), cb.centered_row(c).data(), F);
+    out.codeword_scores[c] = num / (obs_norm * cb.tmpl_norm[c]);
+  }
+
+  // Arg-max over codewords whose every set slot clears the modulation
+  // floor. The all-zero codeword (score pinned at 0) is always allowed,
+  // so a flat or noisy spectrum decodes to no bits set.
+  std::uint32_t best = 0;
+  double best_score = -2.0;
+  double runner_up = -2.0;
+  for (std::uint32_t c = 0; c < C; ++c) {
+    if ((c & ~allowed) != 0) continue;
+    const double s = out.codeword_scores[c];
+    if (s > best_score) {
+      runner_up = best_score;
+      best_score = s;
+      best = c;
+    } else if (s > runner_up) {
+      runner_up = s;
+    }
+  }
+  out.best_codeword = best;
+  out.score_margin = runner_up > -2.0 ? best_score - runner_up : 0.0;
+  for (std::size_t k = 0; k < nb; ++k) {
+    out.bits[k] = ((best >> k) & 1u) != 0;
+  }
+  return out;
+}
+
+TagDecoder::TagDecoder(DecoderConfig config)
+    : resolved_(resolve_decoder_backend(config.backend)), oracle_(config) {
+  if (resolved_ != DecoderBackend::fft) {
+    codebook_ = std::make_shared<const CodebookDecoder>(config);
+  }
+}
+
+DecodeResult TagDecoder::decode(std::span<const double> u,
+                                std::span<const double> rss_linear) const {
+  if (resolved_ == DecoderBackend::codebook) {
+    return codebook_->decode(u, rss_linear);
+  }
+  DecodeResult out = oracle_.decode(u, rss_linear);
+  out.backend_used = DecoderBackend::fft;
+  if (resolved_ != DecoderBackend::cross_check) return out;
+
+  // Cross-check: oracle bits win; the matched filter rides along for
+  // comparison and its scores are surfaced for forensics.
+  const DecodeResult cb = codebook_->decode(u, rss_linear);
+  out.backend_used = DecoderBackend::cross_check;
+  out.codeword_scores = cb.codeword_scores;
+  out.best_codeword = cb.best_codeword;
+  out.score_margin = cb.score_margin;
+  out.cross_check_mismatch = out.bits != cb.bits;
+  auto& reg = ros::obs::MetricsRegistry::global();
+  if (out.cross_check_mismatch) {
+    reg.counter("pipeline.decoder.cross_check.mismatch").inc();
+    ROS_LOG_WARN(kLog, "decoder cross-check mismatch",
+                 ros::obs::kv("best_codeword", cb.best_codeword),
+                 ros::obs::kv("score_margin", cb.score_margin));
+  } else {
+    reg.counter("pipeline.decoder.cross_check.agree").inc();
+  }
+  return out;
+}
+
+}  // namespace ros::tag

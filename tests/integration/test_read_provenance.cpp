@@ -156,6 +156,46 @@ TEST_F(ReadProvenanceTest, FullRunCapturesInterrogateBundle) {
   EXPECT_TRUE(r.identical) << r.detail;
 }
 
+TEST_F(ReadProvenanceTest, CodebookCaptureReportsScoresAndReplays) {
+  // A bundle captured under the codebook backend records the backend in
+  // its annotations, renders the per-codeword correlation table, and
+  // replays bit-identically even when ROS_DECODER is no longer set
+  // (replay pins the recorded backend for the digest + run).
+  ::setenv("ROS_DECODER", "codebook", 1);
+  const auto paths = ros::triage::capture("# roztest scenario v1\n",
+                                          /*full_run=*/false);
+  ::unsetenv("ROS_DECODER");
+  ASSERT_EQ(paths.size(), 1u);
+  const ros::triage::Bundle b = ros::triage::load_bundle(paths[0]);
+  EXPECT_EQ(b.decoded_bits(), b.expected_bits());
+
+  const std::string text = ros::triage::report(b);
+  EXPECT_NE(text.find("decoder_backend=codebook"), std::string::npos);
+  EXPECT_NE(text.find("codeword correlation"), std::string::npos);
+  EXPECT_NE(text.find("<- best"), std::string::npos);
+
+  const auto r = ros::triage::replay(b);
+  ASSERT_TRUE(r.ran) << r.detail;
+  EXPECT_TRUE(r.identical) << r.detail;
+  EXPECT_EQ(nullptr, std::getenv("ROS_DECODER"))
+      << "replay must restore the ROS_DECODER environment";
+
+  // Explicitly matching backend is fine; a conflicting one refuses with
+  // an actionable message instead of comparing incomparable bits.
+  const auto match = ros::triage::replay(b, 0, {}, "codebook");
+  EXPECT_TRUE(match.ran) << match.detail;
+  EXPECT_TRUE(match.identical) << match.detail;
+  const auto conflict = ros::triage::replay(b, 0, {}, "fft");
+  EXPECT_FALSE(conflict.ran);
+  EXPECT_NE(conflict.detail.find("captured with decoder backend"),
+            std::string::npos)
+      << conflict.detail;
+  const auto unknown = ros::triage::replay(b, 0, {}, "bogus");
+  EXPECT_FALSE(unknown.ran);
+  EXPECT_NE(unknown.detail.find("unknown decoder backend"),
+            std::string::npos);
+}
+
 TEST_F(ReadProvenanceTest, DiffFlagsDivergentBundles) {
   const auto a_paths = ros::triage::capture(
       slurp(fixture("noread_narrow_fov.scenario")), false);

@@ -1,0 +1,277 @@
+#include "ros/tag/codebook.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ros/common/grid.hpp"
+#include "ros/common/random.hpp"
+#include "ros/obs/metrics.hpp"
+#include "ros/tag/rcs_model.hpp"
+#include "ros/tag/tag.hpp"
+
+namespace rt = ros::tag;
+namespace rc = ros::common;
+
+namespace {
+
+std::vector<bool> pattern_bits(int pattern, int n_bits = 4) {
+  std::vector<bool> bits(static_cast<std::size_t>(n_bits));
+  for (int k = 0; k < n_bits; ++k) bits[k] = (pattern >> k) & 1;
+  return bits;
+}
+
+struct Series {
+  std::vector<double> u;
+  std::vector<double> rcs;
+};
+Series analytic_series(const rt::TagLayout& lay, double u_max = 0.5,
+                       std::size_t n = 400) {
+  Series s;
+  s.u = rc::linspace(-u_max, u_max, n);
+  s.rcs.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.rcs[i] = rt::multi_stack_rcs_factor(lay, s.u[i]);
+  }
+  return s;
+}
+
+std::uint64_t counter(const char* name) {
+  return ros::obs::MetricsRegistry::global().counter(name).value();
+}
+
+}  // namespace
+
+class CodebookRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodebookRoundTrip, AnalyticAllPatterns) {
+  const auto bits = pattern_bits(GetParam());
+  const auto lay = rt::TagLayout::from_bits(bits, {});
+  const auto s = analytic_series(lay);
+  const rt::CodebookDecoder decoder;
+  const auto r = decoder.decode(s.u, s.rcs);
+  EXPECT_EQ(r.bits, bits) << "pattern " << GetParam();
+  EXPECT_EQ(r.backend_used, rt::DecoderBackend::codebook);
+  EXPECT_EQ(r.best_codeword, static_cast<std::uint32_t>(GetParam()));
+  EXPECT_EQ(r.codeword_scores.size(), 16u);
+  if (GetParam() != 0) {
+    EXPECT_GT(r.score_margin, 0.0) << "pattern " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSixteen, CodebookRoundTrip,
+                         ::testing::Range(0, 16));
+
+class CodebookNoisyRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodebookNoisyRoundTrip, AnalyticWithNoiseAndEnvelope) {
+  const auto bits = pattern_bits(GetParam());
+  const auto lay = rt::TagLayout::from_bits(bits, {});
+  auto s = analytic_series(lay, 0.55, 900);
+  rc::Rng rng(static_cast<std::uint64_t>(GetParam()) + 1);
+  for (std::size_t i = 0; i < s.u.size(); ++i) {
+    const double env = std::exp(-2.0 * s.u[i] * s.u[i]);  // pattern droop
+    s.rcs[i] = env * (s.rcs[i] + 1.5 + rng.normal(0.0, 0.6));
+  }
+  const rt::CodebookDecoder decoder;
+  const auto r = decoder.decode(s.u, s.rcs);
+  EXPECT_EQ(r.bits, bits) << "pattern " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNonZero, CodebookNoisyRoundTrip,
+                         ::testing::Range(1, 16));
+
+TEST(Codebook, AllZeroTagWithNoiseRejectedByModulationFloor) {
+  const auto lay = rt::TagLayout::from_bits({false, false, false, false}, {});
+  auto s = analytic_series(lay, 0.55, 900);
+  rc::Rng rng(42);
+  for (std::size_t i = 0; i < s.u.size(); ++i) {
+    s.rcs[i] = s.rcs[i] + 0.4 + rng.normal(0.0, 0.15);
+  }
+  const rt::CodebookDecoder decoder;
+  const auto r = decoder.decode(s.u, s.rcs);
+  for (bool b : r.bits) EXPECT_FALSE(b);
+  EXPECT_EQ(r.best_codeword, 0u);
+}
+
+TEST(Codebook, AgreesWithFftOracleOnCleanSeries) {
+  const rt::SpatialDecoder fft;
+  const rt::CodebookDecoder cb;
+  for (int pattern = 0; pattern < 16; ++pattern) {
+    const auto bits = pattern_bits(pattern);
+    const auto lay = rt::TagLayout::from_bits(bits, {});
+    const auto s = analytic_series(lay, 0.55, 700);
+    EXPECT_EQ(fft.decode(s.u, s.rcs).bits, cb.decode(s.u, s.rcs).bits)
+        << "pattern " << pattern;
+  }
+}
+
+TEST(Codebook, PhysicalTagRoundTripAt5m) {
+  static const auto stackup = ros::em::StriplineStackup::ros_default();
+  for (int pattern : {0b1111, 0b1010, 0b0001, 0b0110}) {
+    const auto bits = pattern_bits(pattern);
+    const auto tag = rt::make_default_tag(bits, &stackup, 32, true);
+    const auto u = rc::linspace(-0.45, 0.45, 600);
+    std::vector<double> rcs(u.size());
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      rcs[i] = std::norm(tag.retro_scattering_length(std::asin(u[i]), 5.0,
+                                                     0.0, 79e9));
+    }
+    const rt::CodebookDecoder decoder;
+    EXPECT_EQ(decoder.decode(u, rcs).bits, bits) << "pattern " << pattern;
+  }
+}
+
+TEST(Codebook, StructureIsSound) {
+  const auto cb = rt::build_codebook({});
+  EXPECT_EQ(cb.n_codewords, 16u);
+  EXPECT_EQ(cb.probe_spacing_lambda.size(), cb.n_probes);
+  EXPECT_EQ(cb.probe_slot.size(), cb.n_probes);
+  EXPECT_EQ(cb.probe_feature.size(), cb.n_probes);
+  EXPECT_EQ(cb.tmpl.size(), cb.n_codewords * cb.n_features);
+  EXPECT_EQ(cb.tmpl_norm.size(), cb.n_codewords);
+  EXPECT_TRUE(std::is_sorted(cb.probe_spacing_lambda.begin(),
+                             cb.probe_spacing_lambda.end()));
+  // Every coding slot owns a probe fan pooled into feature slot-1; the
+  // off-slot anchors each keep a feature of their own.
+  for (int k = 1; k <= 4; ++k) {
+    EXPECT_GE(std::count(cb.probe_slot.begin(), cb.probe_slot.end(), k), 3)
+        << "slot " << k;
+  }
+  for (std::size_t p = 0; p < cb.n_probes; ++p) {
+    if (cb.probe_slot[p] > 0) {
+      EXPECT_EQ(cb.probe_feature[p], cb.probe_slot[p] - 1) << "probe " << p;
+    } else {
+      EXPECT_GE(cb.probe_feature[p], 4) << "probe " << p;
+    }
+  }
+  EXPECT_GT(cb.n_probes, cb.n_features);
+  // The all-zero codeword's whitened template is flat: zero norm.
+  EXPECT_LT(cb.tmpl_norm[0], 1e-9);
+  for (std::uint32_t c = 1; c < cb.n_codewords; ++c) {
+    EXPECT_GT(cb.tmpl_norm[c], 1e-6) << "codeword " << c;
+  }
+  EXPECT_GT(cb.build_ms, 0.0);
+  EXPECT_EQ(cb.key, rt::codebook_digest({}));
+}
+
+TEST(Codebook, DigestSeparatesFamiliesAndOptions) {
+  rt::DecoderConfig base;
+  rt::DecoderConfig other = base;
+  other.n_bits = 6;
+  EXPECT_NE(rt::codebook_digest(base), rt::codebook_digest(other));
+  other = base;
+  other.unit_spacing_lambda = 2.0;
+  EXPECT_NE(rt::codebook_digest(base), rt::codebook_digest(other));
+  other = base;
+  other.spectrum.whiten_envelope = false;
+  EXPECT_NE(rt::codebook_digest(base), rt::codebook_digest(other));
+  other = base;
+  other.codebook.probe_offset_lambda = 0.1;
+  EXPECT_NE(rt::codebook_digest(base), rt::codebook_digest(other));
+  other = base;
+  other.codebook.probes_per_side = 1;
+  EXPECT_NE(rt::codebook_digest(base), rt::codebook_digest(other));
+  // The backend selector is dispatch, not geometry: same codebook.
+  other = base;
+  other.backend = rt::DecoderBackend::cross_check;
+  EXPECT_EQ(rt::codebook_digest(base), rt::codebook_digest(other));
+}
+
+TEST(Codebook, CacheHitsAfterFirstBuildAndClears) {
+  rt::clear_codebook_cache();
+  const std::uint64_t miss0 = counter("pipeline.decoder.codebook.cache_misses");
+  const std::uint64_t hit0 = counter("pipeline.decoder.codebook.cache_hits");
+  const auto a = rt::codebook_for({});
+  EXPECT_EQ(counter("pipeline.decoder.codebook.cache_misses"), miss0 + 1);
+  const auto b = rt::codebook_for({});
+  EXPECT_EQ(counter("pipeline.decoder.codebook.cache_hits"), hit0 + 1);
+  EXPECT_EQ(a.get(), b.get()) << "cache hit must share the built codebook";
+  EXPECT_GE(
+      ros::obs::MetricsRegistry::global()
+          .gauge("pipeline.decoder.codebook.size")
+          .value(),
+      1.0);
+  rt::clear_codebook_cache();
+  EXPECT_EQ(ros::obs::MetricsRegistry::global()
+                .gauge("pipeline.decoder.codebook.size")
+                .value(),
+            0.0);
+  // A fresh fetch rebuilds (miss), proving clear really dropped it.
+  (void)rt::codebook_for({});
+  EXPECT_EQ(counter("pipeline.decoder.codebook.cache_misses"), miss0 + 2);
+}
+
+TEST(Codebook, SixBitFamilyRoundTrips) {
+  rt::LayoutParams lp;
+  lp.n_bits = 6;
+  rt::DecoderConfig dc;
+  dc.n_bits = 6;
+  const rt::CodebookDecoder decoder(dc);
+  EXPECT_EQ(decoder.codebook().n_codewords, 64u);
+  for (int pattern : {0b101010, 0b111111, 0b000011, 0b100001}) {
+    std::vector<bool> bits(6);
+    for (int k = 0; k < 6; ++k) bits[k] = (pattern >> k) & 1;
+    const auto lay = rt::TagLayout::from_bits(bits, lp);
+    const auto s = analytic_series(lay, 0.6, 1000);
+    EXPECT_EQ(decoder.decode(s.u, s.rcs).bits, bits) << pattern;
+  }
+}
+
+TEST(TagDecoderDispatch, ExplicitBackendsRoute) {
+  const auto bits = pattern_bits(0b1011);
+  const auto lay = rt::TagLayout::from_bits(bits, {});
+  const auto s = analytic_series(lay, 0.55, 700);
+
+  rt::DecoderConfig cfg;
+  cfg.backend = rt::DecoderBackend::fft;
+  const rt::TagDecoder fft(cfg);
+  EXPECT_EQ(fft.backend(), rt::DecoderBackend::fft);
+  const auto rf = fft.decode(s.u, s.rcs);
+  EXPECT_EQ(rf.backend_used, rt::DecoderBackend::fft);
+  EXPECT_TRUE(rf.codeword_scores.empty());
+  EXPECT_EQ(rf.bits, bits);
+
+  cfg.backend = rt::DecoderBackend::codebook;
+  const rt::TagDecoder cb(cfg);
+  const auto rc_ = cb.decode(s.u, s.rcs);
+  EXPECT_EQ(rc_.backend_used, rt::DecoderBackend::codebook);
+  EXPECT_EQ(rc_.codeword_scores.size(), 16u);
+  EXPECT_EQ(rc_.bits, bits);
+
+  cfg.backend = rt::DecoderBackend::cross_check;
+  const rt::TagDecoder cc(cfg);
+  const std::uint64_t agree0 = counter("pipeline.decoder.cross_check.agree");
+  const auto rx = cc.decode(s.u, s.rcs);
+  EXPECT_EQ(rx.backend_used, rt::DecoderBackend::cross_check);
+  EXPECT_EQ(rx.bits, bits);
+  EXPECT_FALSE(rx.cross_check_mismatch);
+  EXPECT_EQ(rx.codeword_scores.size(), 16u);
+  EXPECT_FALSE(rx.spectrum.spacing_lambda.empty())
+      << "cross_check keeps the oracle's spectrum";
+  EXPECT_EQ(counter("pipeline.decoder.cross_check.agree"), agree0 + 1);
+}
+
+TEST(TagDecoderDispatch, BackendNamesParseAndPrint) {
+  rt::DecoderBackend b = rt::DecoderBackend::auto_;
+  EXPECT_TRUE(rt::parse_decoder_backend("fft", b));
+  EXPECT_EQ(b, rt::DecoderBackend::fft);
+  EXPECT_TRUE(rt::parse_decoder_backend("codebook", b));
+  EXPECT_EQ(b, rt::DecoderBackend::codebook);
+  EXPECT_TRUE(rt::parse_decoder_backend("cross_check", b));
+  EXPECT_EQ(b, rt::DecoderBackend::cross_check);
+  EXPECT_TRUE(rt::parse_decoder_backend("auto", b));
+  EXPECT_EQ(b, rt::DecoderBackend::auto_);
+  EXPECT_FALSE(rt::parse_decoder_backend("bogus", b));
+  EXPECT_STREQ(rt::to_string(rt::DecoderBackend::codebook), "codebook");
+  EXPECT_STREQ(rt::to_string(rt::DecoderBackend::cross_check), "cross_check");
+  EXPECT_STREQ(rt::to_string(rt::DecoderBackend::fft), "fft");
+  EXPECT_STREQ(rt::to_string(rt::DecoderBackend::auto_), "auto");
+}
+
+TEST(Codebook, TooFewSamplesThrows) {
+  const rt::CodebookDecoder decoder;
+  const std::vector<double> u{0.0, 0.1, 0.2};
+  const std::vector<double> y{1.0, 1.0, 1.0};
+  EXPECT_THROW(decoder.decode(u, y), std::invalid_argument);
+}

@@ -1,0 +1,152 @@
+// Property + metamorphic suite for the codebook matched-filter decoder
+// (DESIGN.md §10 tolerance contract):
+//   * exhaustive round-trip across every codeword of several families,
+//     with randomized envelopes and noise floors;
+//   * permutation invariance — decode sorts its input, so any shuffle
+//     of the (u, RSS) samples must yield bit-identical scores;
+//   * metamorphic amplitude scaling — envelope whitening divides by the
+//     envelope mean, so scaling the RSS by any positive constant leaves
+//     the whitened series, and therefore scores and bits, unchanged,
+//     and the fft / codebook backends keep agreeing under scaling;
+//   * drift tolerance — stretching the u axis by a few percent (the
+//     odometry-drift signature) shifts every apparent spacing, which
+//     the per-slot probe fans absorb just like the FFT window search.
+#include "ros/tag/codebook.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "ros/common/grid.hpp"
+#include "ros/common/random.hpp"
+#include "ros/tag/rcs_model.hpp"
+
+namespace rt = ros::tag;
+namespace rc = ros::common;
+
+namespace {
+
+std::vector<bool> pattern_bits(int pattern, int n_bits = 4) {
+  std::vector<bool> bits(static_cast<std::size_t>(n_bits));
+  for (int k = 0; k < n_bits; ++k) bits[k] = (pattern >> k) & 1;
+  return bits;
+}
+
+struct Series {
+  std::vector<double> u;
+  std::vector<double> rcs;
+};
+
+Series noisy_series(const rt::TagLayout& lay, std::uint64_t seed,
+                    double u_max = 0.55, std::size_t n = 900,
+                    double noise_std = 0.4) {
+  Series s;
+  s.u = rc::linspace(-u_max, u_max, n);
+  s.rcs.resize(n);
+  rc::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double env = std::exp(-2.0 * s.u[i] * s.u[i]);
+    s.rcs[i] = env * (rt::multi_stack_rcs_factor(lay, s.u[i]) + 1.5 +
+                      rng.normal(0.0, noise_std));
+  }
+  return s;
+}
+
+}  // namespace
+
+TEST(CodebookProperties, RoundTripEveryCodewordOfEveryFamily) {
+  for (const int n_bits : {2, 3, 4, 5}) {
+    rt::DecoderConfig config;
+    config.n_bits = n_bits;
+    const rt::CodebookDecoder decoder(config);
+    const int n_codewords = 1 << n_bits;
+    for (int pattern = 0; pattern < n_codewords; ++pattern) {
+      const auto bits = pattern_bits(pattern, n_bits);
+      const auto lay = rt::TagLayout::from_bits(
+          bits, {n_bits, config.unit_spacing_lambda, config.design_hz, 0.0});
+      const auto s = noisy_series(lay, static_cast<std::uint64_t>(
+                                           n_bits * 100 + pattern + 1));
+      const auto r = decoder.decode(s.u, s.rcs);
+      EXPECT_EQ(r.bits, bits)
+          << "family " << n_bits << " pattern " << pattern;
+      EXPECT_EQ(r.codeword_scores.size(),
+                static_cast<std::size_t>(n_codewords));
+    }
+  }
+}
+
+TEST(CodebookProperties, ScoresInvariantUnderSamplePermutation) {
+  const rt::CodebookDecoder decoder;
+  for (const int pattern : {0b1011, 0b0101, 0b1110}) {
+    const auto lay = rt::TagLayout::from_bits(pattern_bits(pattern), {});
+    const auto s = noisy_series(lay, static_cast<std::uint64_t>(pattern));
+    const auto base = decoder.decode(s.u, s.rcs);
+
+    rc::Rng rng(7);
+    std::vector<std::size_t> order(s.u.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[static_cast<std::size_t>(rng.uniform_int(
+                                  0, static_cast<int>(i) - 1))]);
+    }
+    Series shuffled;
+    shuffled.u.reserve(s.u.size());
+    shuffled.rcs.reserve(s.u.size());
+    for (const std::size_t i : order) {
+      shuffled.u.push_back(s.u[i]);
+      shuffled.rcs.push_back(s.rcs[i]);
+    }
+    const auto permuted = decoder.decode(shuffled.u, shuffled.rcs);
+    EXPECT_EQ(permuted.bits, base.bits) << "pattern " << pattern;
+    EXPECT_EQ(permuted.codeword_scores, base.codeword_scores)
+        << "pattern " << pattern;
+    EXPECT_EQ(permuted.score_margin, base.score_margin);
+  }
+}
+
+TEST(CodebookProperties, MetamorphicAmplitudeScalingAgreesWithFftOracle) {
+  const rt::SpatialDecoder fft;
+  const rt::CodebookDecoder cb;
+  for (const int pattern : {0b1101, 0b0011, 0b1000}) {
+    const auto lay = rt::TagLayout::from_bits(pattern_bits(pattern), {});
+    const auto s = noisy_series(lay, static_cast<std::uint64_t>(pattern) + 9);
+    const auto base = cb.decode(s.u, s.rcs);
+    for (const double scale : {1e-3, 0.25, 7.0, 4096.0}) {
+      Series scaled = s;
+      for (double& y : scaled.rcs) y *= scale;
+      const auto r = cb.decode(scaled.u, scaled.rcs);
+      EXPECT_EQ(r.bits, base.bits) << "scale " << scale;
+      // Whitening divides by the envelope mean, so the decision
+      // variables are scale-free up to floating-point rounding.
+      ASSERT_EQ(r.codeword_scores.size(), base.codeword_scores.size());
+      for (std::size_t c = 0; c < base.codeword_scores.size(); ++c) {
+        EXPECT_NEAR(r.codeword_scores[c], base.codeword_scores[c], 1e-9)
+            << "scale " << scale << " codeword " << c;
+      }
+      EXPECT_EQ(fft.decode(scaled.u, scaled.rcs).bits, r.bits)
+          << "fft oracle diverged at scale " << scale;
+    }
+  }
+}
+
+TEST(CodebookProperties, ToleratesOdometryDriftLikeTheFftWindowSearch) {
+  const rt::SpatialDecoder fft;
+  const rt::CodebookDecoder cb;
+  for (const int pattern : {0b1011, 0b1101, 0b0110}) {
+    const auto lay = rt::TagLayout::from_bits(pattern_bits(pattern), {});
+    // Estimated u stretched by (1 + drift): every apparent spacing
+    // compresses by the same factor, up to 0.32 lambda at the top slot.
+    for (const double drift : {0.0, 0.01, 0.02, 0.03}) {
+      auto s = noisy_series(lay, static_cast<std::uint64_t>(pattern) + 31,
+                            0.55, 900, 0.2);
+      for (double& u : s.u) u *= 1.0 + drift;
+      const auto bits = pattern_bits(pattern);
+      EXPECT_EQ(cb.decode(s.u, s.rcs).bits, bits)
+          << "pattern " << pattern << " drift " << drift;
+      EXPECT_EQ(fft.decode(s.u, s.rcs).bits, bits)
+          << "fft oracle lost pattern " << pattern << " at drift "
+          << drift;
+    }
+  }
+}
