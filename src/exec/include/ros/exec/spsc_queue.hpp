@@ -1,0 +1,149 @@
+// Lock-free single-producer / single-consumer bounded ring queue
+// (ros::exec).
+//
+// The streaming interrogation pipeline (ros::pipeline::
+// StreamingInterrogator) connects its stages with these queues: the
+// synthesis stage produces per-frame artifacts on one thread, the merge/
+// cluster/decode state machine consumes them in FIFO order on another.
+// Capacity is the backpressure contract — a full queue makes push()
+// wait, so a slow consumer throttles the producer instead of letting
+// frames pile up without bound. That is what keeps a long-running
+// stream's memory footprint independent of drive length.
+//
+// Memory model: the classic Lamport ring with C++11 atomics. `head_` is
+// written only by the consumer, `tail_` only by the producer; each side
+// reads the other's index with acquire and publishes its own with
+// release, so the slot contents written before a release-store to
+// `tail_` are visible after the acquire-load in try_pop (and vice versa
+// for slot reuse after pop). Slots are plain T values moved in and out;
+// there is exactly one producer thread and one consumer thread by
+// contract (asserted nowhere — TSan enforces it in the stress suite).
+//
+// FIFO order is load-bearing, not incidental: the streaming pipeline's
+// bit-determinism relies on frames reaching the consumer in exactly the
+// order the producer pushed them.
+//
+// close() lets the producer signal end-of-stream: pop() drains whatever
+// is buffered, then returns false instead of blocking forever.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ros/common/expect.hpp"
+
+namespace ros::exec {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` usable slots (>= 1). One extra slot distinguishes full
+  /// from empty, so the ring allocates capacity + 1 entries.
+  explicit SpscQueue(std::size_t capacity)
+      : slots_(capacity + 1), mask_size_(capacity + 1) {
+    ROS_EXPECT(capacity >= 1, "SPSC queue capacity must be >= 1");
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  std::size_t capacity() const { return mask_size_ - 1; }
+
+  /// Items currently buffered. Racy by nature (either side may be
+  /// mid-operation); meant for gauges and tests, not for control flow.
+  std::size_t depth() const {
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    return t >= h ? t - h : t + mask_size_ - h;
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Producer: enqueue if a slot is free. False when full or closed.
+  bool try_push(T&& value) {
+    if (closed_.load(std::memory_order_relaxed)) return false;
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = increment(t);
+    if (next == head_.load(std::memory_order_acquire)) return false;
+    slots_[t] = std::move(value);
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer: enqueue, waiting while the queue is full (backpressure).
+  /// Spins briefly, then yields. False only when the queue was closed.
+  bool push(T&& value) {
+    int spins = 0;
+    while (!try_push(std::move(value))) {
+      if (closed_.load(std::memory_order_acquire)) return false;
+      if (++spins < kSpinLimit) {
+        cpu_relax();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    return true;
+  }
+
+  /// Consumer: dequeue if an item is buffered. False when empty.
+  bool try_pop(T& out) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[h]);
+    head_.store(increment(h), std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: dequeue, waiting while the queue is empty. Returns false
+  /// when the queue is closed AND fully drained — the end-of-stream
+  /// signal.
+  bool pop(T& out) {
+    int spins = 0;
+    while (!try_pop(out)) {
+      if (closed_.load(std::memory_order_acquire)) {
+        // Drain race: close() may have landed between our failed
+        // try_pop and this check while items were still in flight.
+        if (try_pop(out)) return true;
+        return false;
+      }
+      if (++spins < kSpinLimit) {
+        cpu_relax();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    return true;
+  }
+
+  /// Producer (or an external supervisor): mark end-of-stream. Items
+  /// already buffered remain poppable; push() calls fail from now on.
+  void close() { closed_.store(true, std::memory_order_release); }
+
+ private:
+  static constexpr int kSpinLimit = 64;
+
+  static void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+  }
+
+  std::size_t increment(std::size_t i) const {
+    return i + 1 == mask_size_ ? 0 : i + 1;
+  }
+
+  std::vector<T> slots_;
+  std::size_t mask_size_;  ///< slots_.size() == capacity + 1
+  // Separate cache lines so producer stores never invalidate the
+  // consumer's line and vice versa.
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer cursor
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace ros::exec

@@ -45,6 +45,7 @@ enum class FlightKind : std::uint8_t {
   queue_depth = 5,  ///< value = queue length at t_us
   arena_hwm = 6,    ///< value = arena high-water bytes
   stall = 7,        ///< value = armed item (frame id); watchdog-flagged
+  stream_emit = 8,  ///< value = frame index an early readout fired at
 };
 
 const char* to_string(FlightKind kind);

@@ -58,6 +58,7 @@ const char* to_string(FlightKind kind) {
     case FlightKind::queue_depth: return "queue_depth";
     case FlightKind::arena_hwm: return "arena_hwm";
     case FlightKind::stall: return "stall";
+    case FlightKind::stream_emit: return "stream_emit";
   }
   return "unknown";
 }

@@ -30,6 +30,20 @@ std::vector<RssSample> sample_rss(
     const ros::scene::Vec2& target, const ros::scene::Vec2& road_direction,
     const ros::radar::RadarArray& array, double hz);
 
+/// One frame of the batch loop above: spotlight `target` from `pose` in
+/// `profile` and write the sample to `out` with out.frame =
+/// `frame_index`. Returns false (leaving `out` untouched) for the
+/// degenerate zero-range pose that the batch loop skips. The streaming
+/// engine calls this per consumed frame; appending every true result
+/// reproduces the batch sample vector bit for bit (with batch frame
+/// indices being span-relative).
+bool sample_rss_frame(const ros::radar::RangeProfile& profile,
+                      const ros::scene::RadarPose& pose,
+                      const ros::scene::Vec2& target,
+                      const ros::scene::Vec2& road_direction,
+                      const ros::radar::RadarArray& array, double hz,
+                      std::size_t frame_index, RssSample& out);
+
 /// Split samples into u / linear-power vectors for the decoder, keeping
 /// only samples within `max_abs_u` (angular-FoV truncation, Fig. 17) and
 /// above `min_rss_dbm`.

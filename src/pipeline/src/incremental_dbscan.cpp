@@ -1,0 +1,263 @@
+#include "ros/pipeline/incremental_dbscan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ros/common/expect.hpp"
+
+namespace ros::pipeline {
+
+using ros::scene::Vec2;
+
+namespace {
+
+/// Same union-find as the batch dbscan(): path-halving find, union by
+/// size. Kept local — the streaming rebuild is per-materialization.
+struct UnionFind {
+  std::vector<int> parent;
+  std::vector<int> size;
+
+  explicit UnionFind(int n)
+      : parent(static_cast<std::size_t>(n)),
+        size(static_cast<std::size_t>(n), 1) {
+    for (int i = 0; i < n; ++i) parent[static_cast<std::size_t>(i)] = i;
+  }
+
+  int find(int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+
+  void unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size[static_cast<std::size_t>(a)] <
+        size[static_cast<std::size_t>(b)]) {
+      std::swap(a, b);
+    }
+    parent[static_cast<std::size_t>(b)] = a;
+    size[static_cast<std::size_t>(a)] += size[static_cast<std::size_t>(b)];
+  }
+};
+
+}  // namespace
+
+IncrementalDbscan::IncrementalDbscan(DbscanOptions opts)
+    : opts_(opts),
+      inv_eps_(1.0 / opts.eps_m),
+      eps2_(opts.eps_m * opts.eps_m) {
+  ROS_EXPECT(opts.eps_m > 0.0, "eps must be positive");
+  ROS_EXPECT(opts.min_points >= 1, "min_points must be >= 1");
+}
+
+std::uint64_t IncrementalDbscan::cell_key(std::int64_t cx,
+                                          std::int64_t cy) {
+  // Same truncating pack as the batch CellGrid: aliasing can only merge
+  // buckets of far-apart cells, and the exact distance check filters
+  // the extra candidates back out.
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx))
+          << 32) |
+         static_cast<std::uint32_t>(cy);
+}
+
+std::int64_t IncrementalDbscan::cell_of(double v) const {
+  return static_cast<std::int64_t>(std::floor(v * inv_eps_));
+}
+
+std::uint64_t IncrementalDbscan::cell_for(const Vec2& p) const {
+  return cell_key(cell_of(p.x), cell_of(p.y));
+}
+
+template <typename Fn>
+void IncrementalDbscan::for_candidates(const Vec2& p, Fn&& fn) const {
+  const std::int64_t cx = cell_of(p.x);
+  const std::int64_t cy = cell_of(p.y);
+  for (std::int64_t dx = -1; dx <= 1; ++dx) {
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      const auto it = cells_.find(cell_key(cx + dx, cy + dy));
+      if (it == cells_.end()) continue;
+      for (const int j : it->second) fn(j);
+    }
+  }
+}
+
+int IncrementalDbscan::insert(const Vec2& p) {
+  const int id = static_cast<int>(points_.size());
+  PointRec rec;
+  rec.p = p;
+  rec.cell = cell_for(p);
+  rec.alive = true;
+  rec.neighbor_count = 1;  // a point neighbors itself
+
+  // Symmetric count update: the new point counts every alive neighbor
+  // within eps, and each of those neighbors gains the new point. The
+  // new point is not in its cell bucket yet, so no self-pairing.
+  for_candidates(p, [&](int j) {
+    auto& other = points_[static_cast<std::size_t>(j)];
+    const Vec2 d = p - other.p;
+    if (d.x * d.x + d.y * d.y <= eps2_) {
+      ++rec.neighbor_count;
+      ++other.neighbor_count;
+    }
+  });
+
+  points_.push_back(rec);
+  cells_[rec.cell].push_back(id);
+  ++alive_;
+  dirty_ = true;
+  return id;
+}
+
+void IncrementalDbscan::evict(int id) {
+  ROS_EXPECT(id >= 0 && static_cast<std::size_t>(id) < points_.size(),
+             "evict: unknown point id");
+  PointRec& rec = points_[static_cast<std::size_t>(id)];
+  ROS_EXPECT(rec.alive, "evict: point already evicted");
+
+  // Remove from the cell bucket first so the symmetric decrement below
+  // never sees the departing point as its own neighbor.
+  auto& bucket = cells_[rec.cell];
+  bucket.erase(std::find(bucket.begin(), bucket.end(), id));
+  if (bucket.empty()) cells_.erase(rec.cell);
+  rec.alive = false;
+
+  for_candidates(rec.p, [&](int j) {
+    auto& other = points_[static_cast<std::size_t>(j)];
+    const Vec2 d = rec.p - other.p;
+    if (d.x * d.x + d.y * d.y <= eps2_) --other.neighbor_count;
+  });
+
+  --alive_;
+  dirty_ = true;
+}
+
+bool IncrementalDbscan::is_alive(int id) const {
+  return id >= 0 && static_cast<std::size_t>(id) < points_.size() &&
+         points_[static_cast<std::size_t>(id)].alive;
+}
+
+std::vector<Vec2> IncrementalDbscan::surviving_points() const {
+  std::vector<Vec2> out;
+  out.reserve(alive_);
+  for (const auto& rec : points_) {
+    if (rec.alive) out.push_back(rec.p);
+  }
+  return out;
+}
+
+const std::vector<int>& IncrementalDbscan::labels() const {
+  materialize();
+  return labels_;
+}
+
+int IncrementalDbscan::label_of(int id) const {
+  ROS_EXPECT(is_alive(id), "label_of: point not alive");
+  materialize();
+  return label_by_id_[static_cast<std::size_t>(id)];
+}
+
+void IncrementalDbscan::materialize() const {
+  if (!dirty_) return;
+
+  // Compact the alive points in insertion order: compact index k of an
+  // id preserves id order, so every "index order" rule below matches
+  // the batch dbscan() run on surviving_points().
+  const int n_total = static_cast<int>(points_.size());
+  std::vector<int> compact_of_id(static_cast<std::size_t>(n_total), -1);
+  std::vector<int> id_of_compact;
+  id_of_compact.reserve(alive_);
+  for (int id = 0; id < n_total; ++id) {
+    if (!points_[static_cast<std::size_t>(id)].alive) continue;
+    compact_of_id[static_cast<std::size_t>(id)] =
+        static_cast<int>(id_of_compact.size());
+    id_of_compact.push_back(id);
+  }
+  const int n = static_cast<int>(id_of_compact.size());
+  labels_.assign(static_cast<std::size_t>(n), -1);
+  label_by_id_.assign(static_cast<std::size_t>(n_total), -1);
+
+  // Pass 1 is already maintained: neighbor_count is live.
+  const auto is_core = [&](int id) {
+    return static_cast<std::size_t>(
+               points_[static_cast<std::size_t>(id)].neighbor_count) >=
+           opts_.min_points;
+  };
+
+  // Pass 2: density-connect cores (batch rule: visit each unordered
+  // core pair once, filtered by id order == compact order).
+  UnionFind uf(n);
+  for (int k = 0; k < n; ++k) {
+    const int id = id_of_compact[static_cast<std::size_t>(k)];
+    if (!is_core(id)) continue;
+    const Vec2 pi = points_[static_cast<std::size_t>(id)].p;
+    for_candidates(pi, [&](int j) {
+      if (j <= id || !is_core(j)) return;
+      const Vec2 d = pi - points_[static_cast<std::size_t>(j)].p;
+      if (d.x * d.x + d.y * d.y <= eps2_) {
+        uf.unite(k, compact_of_id[static_cast<std::size_t>(j)]);
+      }
+    });
+  }
+
+  // Pass 3: number clusters by first core in insertion order.
+  std::vector<int> cluster_of_root(static_cast<std::size_t>(n), -1);
+  int cluster = 0;
+  for (int k = 0; k < n; ++k) {
+    if (!is_core(id_of_compact[static_cast<std::size_t>(k)])) continue;
+    const int r = uf.find(k);
+    if (cluster_of_root[static_cast<std::size_t>(r)] == -1) {
+      cluster_of_root[static_cast<std::size_t>(r)] = cluster++;
+    }
+    labels_[static_cast<std::size_t>(k)] =
+        cluster_of_root[static_cast<std::size_t>(r)];
+  }
+
+  // Pass 4: border points join their nearest core, ties broken by core
+  // coordinates then id (== compact index) order — the batch rule.
+  for (int k = 0; k < n; ++k) {
+    const int id = id_of_compact[static_cast<std::size_t>(k)];
+    if (is_core(id)) continue;
+    const Vec2 pi = points_[static_cast<std::size_t>(id)].p;
+    int best = -1;
+    double best_d2 = 0.0;
+    for_candidates(pi, [&](int j) {
+      if (!is_core(j)) return;
+      const Vec2 pj = points_[static_cast<std::size_t>(j)].p;
+      const Vec2 d = pi - pj;
+      const double d2 = d.x * d.x + d.y * d.y;
+      if (d2 > eps2_) return;
+      if (best != -1) {
+        const Vec2 pb = points_[static_cast<std::size_t>(best)].p;
+        const bool better =
+            d2 < best_d2 ||
+            (d2 == best_d2 &&
+             (pj.x < pb.x ||
+              (pj.x == pb.x &&
+               (pj.y < pb.y || (pj.y == pb.y && j < best)))));
+        if (!better) return;
+      }
+      best = j;
+      best_d2 = d2;
+    });
+    if (best != -1) {
+      labels_[static_cast<std::size_t>(k)] =
+          labels_[static_cast<std::size_t>(
+              compact_of_id[static_cast<std::size_t>(best)])];
+    }
+  }
+
+  for (int k = 0; k < n; ++k) {
+    label_by_id_[static_cast<std::size_t>(
+        id_of_compact[static_cast<std::size_t>(k)])] =
+        labels_[static_cast<std::size_t>(k)];
+  }
+  dirty_ = false;
+}
+
+}  // namespace ros::pipeline

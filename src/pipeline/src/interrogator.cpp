@@ -1,196 +1,29 @@
 #include "ros/pipeline/interrogator.hpp"
 
-#include <atomic>
 #include <cmath>
-#include <cstdlib>
-#include <limits>
 
 #include "ros/common/expect.hpp"
 #include "ros/common/units.hpp"
-#include "ros/dsp/ook.hpp"
-#include "ros/exec/arena.hpp"
-#include "ros/exec/thread_pool.hpp"
-#include "ros/obs/alloc.hpp"
 #include "ros/obs/crash.hpp"
-#include "ros/obs/export.hpp"
 #include "ros/obs/flight_recorder.hpp"
 #include "ros/obs/log.hpp"
 #include "ros/obs/metrics.hpp"
 #include "ros/obs/probe.hpp"
 #include "ros/obs/timer.hpp"
+#include "ros/exec/thread_pool.hpp"
 #include "ros/pipeline/provenance.hpp"
-#include "ros/radar/waveform.hpp"
+#include "ros/pipeline/stages.hpp"
 #include "ros/tag/codebook.hpp"
 
 namespace ros::pipeline {
 
 using namespace ros::common;
-using ros::radar::FrameCube;
 using ros::radar::RangeProfile;
-using ros::radar::TxMode;
-using ros::scene::RadarPose;
 using ros::scene::Vec2;
 
 namespace {
 
 constexpr const char* kLog = "pipeline";
-
-/// Single-read OOK quality estimate: pool slot amplitudes by decoded
-/// bit and apply the paper's SNR/BER mapping. NaN SNR (and 0.5 BER)
-/// when only one symbol class was read.
-TagDecodeTelemetry decode_telemetry(const ros::tag::DecodeResult& decode,
-                                    const std::vector<RssSample>& samples) {
-  TagDecodeTelemetry out;
-  out.bits = decode.bits;
-  out.n_samples = samples.size();
-  double sum_w = 0.0;
-  for (const auto& s : samples) sum_w += s.rss_w;
-  out.mean_rss_dbm =
-      watt_to_dbm(sum_w / std::max<std::size_t>(1, samples.size()));
-
-  std::vector<double> ones;
-  std::vector<double> zeros;
-  for (std::size_t k = 0; k < decode.bits.size(); ++k) {
-    (decode.bits[k] ? ones : zeros).push_back(decode.slot_amplitudes[k]);
-  }
-  if (ones.empty() || zeros.empty()) {
-    out.snr_db = std::numeric_limits<double>::quiet_NaN();
-    out.ber = 0.5;
-    return out;
-  }
-  const double snr = ros::dsp::ook_snr(ones, zeros);
-  out.snr_db = linear_to_db(snr);
-  out.ber = ros::dsp::ook_ber(snr);
-  return out;
-}
-
-/// Relaxed add-only accumulator for per-stage time measured on several
-/// threads at once.
-class AtomicMs {
- public:
-  void add(double delta) {
-    double cur = v_.load(std::memory_order_relaxed);
-    while (!v_.compare_exchange_weak(cur, cur + delta,
-                                     std::memory_order_relaxed)) {
-    }
-  }
-  double value() const { return v_.load(std::memory_order_relaxed); }
-
- private:
-  std::atomic<double> v_{0.0};
-};
-
-/// Frame stages run concurrently, so the summed per-thread stage times
-/// can exceed the wall time of the frame loop. Telemetry keeps the
-/// wall-clock convention (stages fit inside total_ms): book the loop's
-/// wall time split across the stages in proportion to their thread-time
-/// shares.
-void book_frame_stages(PipelineTelemetry& tel, double wall_ms,
-                       std::initializer_list<
-                           std::pair<const char*, double>> stages) {
-  double sum = 0.0;
-  for (const auto& [name, ms] : stages) sum += ms;
-  for (const auto& [name, ms] : stages) {
-    tel.add_stage(name, sum > 0.0 ? wall_ms * (ms / sum) : 0.0);
-  }
-}
-
-/// Per-thread reusable frame-loop storage. Every container is cleared
-/// (never shrunk) between frames, so after the first frame on each
-/// worker the synthesize -> FFT path runs without heap traffic; the
-/// `*.frame_loop.allocs_per_frame` gauges below measure exactly that.
-struct FrameWorkspace {
-  std::vector<ros::scene::ScatterPoint> points;
-  std::vector<ros::radar::ScatterReturn> ret_normal;
-  std::vector<ros::radar::ScatterReturn> ret_switched;
-  FrameCube cube_normal;
-  FrameCube cube_switched;
-
-  static FrameWorkspace& thread_local_workspace() {
-    static thread_local FrameWorkspace ws;
-    return ws;
-  }
-};
-
-/// Publish the mean heap allocations per frame observed across a frame
-/// loop (process-wide counter delta; nothing else runs during the
-/// loop). No-op when the ros::obs allocation hook is compiled out.
-void record_frame_loop_allocs(const char* gauge,
-                              const ros::obs::AllocCounters& before,
-                              std::size_t n_frames) {
-  if (!ros::obs::alloc_counting_enabled() || n_frames == 0) return;
-  const auto after = ros::obs::alloc_counters();
-  ros::obs::MetricsRegistry::global().gauge(gauge).set(
-      static_cast<double>(after.allocs - before.allocs) /
-      static_cast<double>(n_frames));
-}
-
-void record_funnel(const PipelineTelemetry& t) {
-  auto& reg = ros::obs::MetricsRegistry::global();
-  reg.counter("pipeline.runs").inc();
-  reg.counter("pipeline.frames").inc(t.n_frames);
-  reg.counter("pipeline.points").inc(t.n_points);
-  reg.counter("pipeline.clusters").inc(t.n_clusters);
-  reg.counter("pipeline.candidates").inc(t.n_candidates);
-  reg.counter("pipeline.tags_decoded").inc(t.n_tags);
-}
-
-/// Per-read funnel counters for the JSONL/Prometheus exporters: one
-/// attempted read, and one increment per funnel stage it survived.
-/// Both entry points report through this, so corridor-scale services
-/// can chart detected/decoded ratios without touching the per-run
-/// PipelineTelemetry structs.
-void record_read_funnel(bool detected, bool clustered, bool aperture,
-                        bool decoded) {
-  auto& reg = ros::obs::MetricsRegistry::global();
-  reg.counter("pipeline.funnel.attempted").inc();
-  if (detected) reg.counter("pipeline.funnel.detected").inc();
-  if (clustered) reg.counter("pipeline.funnel.clustered").inc();
-  if (aperture) reg.counter("pipeline.funnel.aperture_sufficient").inc();
-  if (decoded) reg.counter("pipeline.funnel.decoded").inc();
-  reg.rate("pipeline.funnel.read_rate").tick(1.0);
-}
-
-/// Per-frame stall budget for the watchdog: ROS_OBS_FRAME_DEADLINE_MS
-/// (<= 0 disables the guard), default 5000 ms — generous enough that
-/// only a genuinely wedged frame trips it.
-double frame_deadline_ms() {
-  static const double v = [] {
-    const char* e = std::getenv("ROS_OBS_FRAME_DEADLINE_MS");
-    if (e == nullptr || *e == '\0') return 5000.0;
-    char* end = nullptr;
-    const double ms = std::strtod(e, &end);
-    return end == e ? 5000.0 : ms;
-  }();
-  return v;
-}
-
-/// Observability session setup shared by both entry points: start the
-/// env-configured snapshot exporter and crash handlers (both no-ops
-/// without their env vars), cheap after the first call.
-void obs_session_begin() {
-  ros::obs::SnapshotExporter::ensure_started_from_env();
-  ros::obs::maybe_install_crash_handlers_from_env();
-}
-
-/// Post-loop runtime introspection: arena high-water marks, pool
-/// activity, and the live frame rate, as gauges plus (sampled) flight
-/// events.
-void record_runtime_introspection(std::size_t n_frames) {
-  auto& reg = ros::obs::MetricsRegistry::global();
-  const std::size_t arena_hwm = ros::exec::Arena::global_high_water();
-  reg.gauge("exec.arena.high_water_bytes")
-      .set(static_cast<double>(arena_hwm));
-  const ros::exec::PoolStats ps = ros::exec::ThreadPool::global().stats();
-  reg.gauge("exec.pool.threads").set(static_cast<double>(ps.threads));
-  reg.gauge("exec.pool.regions").set(static_cast<double>(ps.regions));
-  reg.rate("pipeline.frames.rate").tick(static_cast<double>(n_frames));
-  auto& flight = ros::obs::FlightRecorder::global();
-  if (flight.enabled()) {
-    static const std::uint32_t arena_id = flight.intern("exec.arena");
-    flight.record(ros::obs::FlightKind::arena_hwm, arena_id, arena_hwm);
-  }
-}
 
 }  // namespace
 
@@ -251,28 +84,12 @@ InterrogationReport Interrogator::run(
                ros::obs::kv("frame_stride", config_.frame_stride),
                ros::obs::kv("objects", scene.objects().size()));
 
-  const double fc = config_.chirp.center_hz();
-  const ros::radar::WaveformSynthesizer synth(config_.chirp, config_.array);
-  // Per-sample noise power so that the post-FFT bin floor equals the
-  // link budget's L0 (the range FFT averages N samples).
-  const double floor_w =
-      dbm_to_watt(config_.budget.noise_floor_dbm()) +
-      (config_.extra_noise_dbm > -200.0
-           ? dbm_to_watt(config_.extra_noise_dbm)
-           : 0.0);
-  const double noise_w =
-      floor_w * static_cast<double>(config_.chirp.n_samples);
+  const FrameStage stage(config_, scene, "interrogate");
 
   // Per-frame results land in pre-sized slots; the merge below walks
   // them in frame order, so the report is identical no matter how many
   // threads executed the loop.
-  struct FrameResult {
-    RangeProfile normal;
-    RangeProfile switched;
-    std::vector<ros::radar::Detection> det_normal;
-    std::vector<ros::radar::Detection> det_switched;
-  };
-  std::vector<FrameResult> frames(truth.size());
+  std::vector<FrameArtifacts> frames(truth.size());
   std::vector<RangeProfile> profiles_normal;
   std::vector<RangeProfile> profiles_switched;
   profiles_normal.reserve(truth.size());
@@ -283,9 +100,6 @@ InterrogationReport Interrogator::run(
     // is accumulated into the telemetry (per-frame spans would swamp
     // the trace at the 1 kHz frame rate).
     ros::obs::ScopedTimer frames_timer("interrogate.frames", "pipeline");
-    AtomicMs synth_ms;
-    AtomicMs fft_ms;
-    AtomicMs detect_ms;
     ros::obs::Histogram& frame_hist =
         reg.histogram("interrogate.frame.ms");
     ros::obs::SlidingHistogram& frame_whist =
@@ -298,56 +112,20 @@ InterrogationReport Interrogator::run(
     // Each frame draws noise from its own counter-derived RNG stream,
     // so frame i sees the same noise whether the loop runs on 1 thread
     // or N (and independently of every other frame).
-    const std::uint64_t seed = config_.noise_seed;
     const auto allocs_before = ros::obs::alloc_counters();
     ros::exec::parallel_for(0, truth.size(), [&](std::size_t i) {
       const double frame_t0 = frames_timer.elapsed_ms();
-      const std::uint64_t stream_seed = derive_stream_seed(seed, i);
       // One sampling decision covers the frame's begin/seed/end records
       // so sampled frames land complete in the flight ring.
       const bool sampled = flight.enabled() && flight.should_sample();
       if (sampled) {
         flight.record(ros::obs::FlightKind::frame_begin, frame_id, i);
         flight.record(ros::obs::FlightKind::rng_seed, rng_id,
-                      stream_seed);
+                      stage.stream_seed(i));
       }
       const ros::obs::Watchdog::Guard wd("interrogate.frame",
                                          deadline_ms, i);
-      Rng rng(stream_seed);
-      const RadarPose& pose = truth[i];
-      FrameResult& fr = frames[i];
-      FrameWorkspace& ws = FrameWorkspace::thread_local_workspace();
-
-      // RNG draw order (returns normal, returns switched, noise normal,
-      // noise switched) matches the allocating path this replaced, so
-      // the synthesized frames are bit-identical.
-      ros::obs::ScopedTimer t_synth("interrogate.synthesize", "pipeline");
-      scene.frame_returns_into(pose, TxMode::normal, config_.array,
-                               config_.budget, fc, rng, ws.points,
-                               ws.ret_normal);
-      scene.frame_returns_into(pose, TxMode::switched, config_.array,
-                               config_.budget, fc, rng, ws.points,
-                               ws.ret_switched);
-      synth.synthesize_into(ws.ret_normal, noise_w, rng, ws.cube_normal);
-      synth.synthesize_into(ws.ret_switched, noise_w, rng,
-                            ws.cube_switched);
-      synth_ms.add(t_synth.stop());
-
-      ros::obs::ScopedTimer t_fft("interrogate.range_fft", "pipeline");
-      ros::radar::range_fft_into(ws.cube_normal, config_.chirp,
-                                 ros::dsp::Window::hann, fr.normal);
-      ros::radar::range_fft_into(ws.cube_switched, config_.chirp,
-                                 ros::dsp::Window::hann, fr.switched);
-      fft_ms.add(t_fft.stop());
-
-      ros::obs::ScopedTimer t_detect("interrogate.detect_points",
-                                     "pipeline");
-      fr.det_normal = ros::radar::detect_points(fr.normal, config_.array,
-                                                fc, config_.detector);
-      fr.det_switched = ros::radar::detect_points(fr.switched,
-                                                  config_.array, fc,
-                                                  config_.detector);
-      detect_ms.add(t_detect.stop());
+      stage.run_full(truth[i], i, frames[i]);
       const double frame_ms = frames_timer.elapsed_ms() - frame_t0;
       frame_hist.observe(frame_ms);
       frame_whist.observe(frame_ms);
@@ -365,16 +143,13 @@ InterrogationReport Interrogator::run(
     // strong. Points are placed with the *estimated* pose as the paper
     // does; merging in frame order keeps the cloud deterministic.
     for (std::size_t i = 0; i < frames.size(); ++i) {
-      FrameResult& fr = frames[i];
+      FrameArtifacts& fr = frames[i];
       accumulate(report.cloud, fr.det_normal, estimated[i], i);
       accumulate(report.cloud, fr.det_switched, estimated[i], i);
       profiles_normal.push_back(std::move(fr.normal));
       profiles_switched.push_back(std::move(fr.switched));
     }
-    book_frame_stages(tel, frames_timer.stop(),
-                      {{"synthesize", synth_ms.value()},
-                       {"range_fft", fft_ms.value()},
-                       {"detect_points", detect_ms.value()}});
+    stage.book_frames(tel, frames_timer.stop(), /*include_detect=*/true);
   }
   tel.n_points = report.cloud.points.size();
   if (probe::capturing()) {
@@ -414,94 +189,9 @@ InterrogationReport Interrogator::run(
 
   const Vec2 road = drive.velocity() *
                     (1.0 / std::max(drive.velocity().norm(), 1e-9));
-  const double max_abs_u = config_.decode_fov_rad > 0.0
-                               ? std::sin(config_.decode_fov_rad / 2.0)
-                               : 1.0;
-
-  bool aperture_any = false;
-  for (const Cluster& cluster : report.clusters) {
-    // Spotlight the cluster in both passes to get the RSS-loss feature.
-    ros::obs::ScopedTimer t_disc(
-        "interrogate.discriminate", "pipeline",
-        &reg.histogram("interrogate.discriminate.ms"));
-    const auto samples_n =
-        sample_rss(profiles_normal, estimated, cluster.centroid, road,
-                   config_.array, fc);
-    const auto samples_s =
-        sample_rss(profiles_switched, estimated, cluster.centroid, road,
-                   config_.array, fc);
-
-    const auto mean_dbm = [](const std::vector<RssSample>& ss) {
-      double sum_w = 0.0;
-      for (const auto& s : ss) sum_w += s.rss_w;
-      return watt_to_dbm(sum_w / std::max<std::size_t>(1, ss.size()));
-    };
-
-    TagCandidate cand =
-        classify_cluster(cluster, mean_dbm(samples_n), mean_dbm(samples_s),
-                         config_.tag_detector);
-    tel.add_stage("discriminate", t_disc.stop());
-    report.candidates.push_back(cand);
-    ROS_LOG_DEBUG(kLog, "cluster classified",
-                  ros::obs::kv("centroid_x", cand.cluster.centroid.x),
-                  ros::obs::kv("centroid_y", cand.cluster.centroid.y),
-                  ros::obs::kv("rss_loss_db", cand.rss_loss_db),
-                  ros::obs::kv("is_tag", cand.is_tag));
-    if (!cand.is_tag) continue;
-
-    // Decode from the switched-pass samples.
-    ros::obs::ScopedTimer t_decode(
-        "interrogate.decode", "pipeline",
-        &reg.histogram("interrogate.decode.ms"));
-    const auto series = to_decoder_series(samples_s, max_abs_u);
-    // Forensic spectrum tap for the first few decoded tags (pure
-    // observation; bounded so a many-tag scene cannot balloon the
-    // bundle).
-    ros::dsp::SpectrumTap spectrum_tap;
-    ros::tag::DecoderConfig decoder_config = config_.decoder;
-    const bool tap_this = probe::capturing() && report.tags.size() < 4;
-    if (tap_this) decoder_config.spectrum.tap = &spectrum_tap;
-    const ros::tag::TagDecoder decoder(decoder_config);
-    if (series.u.size() < 16 || !decoder.can_decode(series.u)) {
-      tel.add_stage("decode", t_decode.stop());
-      ROS_LOG_WARN(kLog,
-                   "tag candidate dropped: series too short or narrow "
-                   "for the coding band",
-                   ros::obs::kv("samples", series.u.size()),
-                   ros::obs::kv("centroid_x", cand.cluster.centroid.x));
-      reg.counter("pipeline.decode_dropped_short_series").inc();
-      continue;
-    }
-    aperture_any = true;
-    TagReadout readout;
-    readout.candidate = cand;
-    readout.samples = samples_s;
-    readout.decode = decoder.decode(series.u, series.rss_linear);
-    tel.add_stage("decode", t_decode.stop());
-    tel.tags.push_back(decode_telemetry(readout.decode, readout.samples));
-    if (tap_this) {
-      const std::string tag = "tag" + std::to_string(report.tags.size());
-      probe::stage_artifact(tag + ".samples",
-                            samples_json(readout.samples));
-      // The codebook backend never runs the FFT chain, so its result
-      // carries no spectrum (and the tap stays empty): capture only
-      // what the decode actually produced.
-      if (!readout.decode.spectrum.spacing_lambda.empty()) {
-        probe::stage_artifact(tag + ".coding_spectrum",
-                              spectrum_json(readout.decode.spectrum));
-        probe::stage_artifact(tag + ".spectrum_intermediates",
-                              spectrum_tap_json(spectrum_tap));
-      }
-      probe::stage_artifact(
-          tag + ".bit_margins",
-          bit_margins_json(readout.decode, config_.decoder));
-      if (!readout.decode.codeword_scores.empty()) {
-        probe::stage_artifact(tag + ".codeword_scores",
-                              codeword_scores_json(readout.decode));
-      }
-    }
-    report.tags.push_back(std::move(readout));
-  }
+  const bool aperture_any = classify_and_decode_clusters(
+      config_, profiles_normal, profiles_switched, estimated, road,
+      decode_max_abs_u(config_), report);
   tel.n_candidates = report.candidates.size();
   tel.n_tags = report.tags.size();
   tel.total_ms = run_timer.stop();
@@ -583,21 +273,11 @@ DecodeDriveResult decode_drive(const ros::scene::Scene& scene,
   tel.add_stage("track", track_timer.stop());
   tel.n_frames = truth.size();
 
-  const double fc = config.chirp.center_hz();
-  const ros::radar::WaveformSynthesizer synth(config.chirp, config.array);
-  const double floor_w =
-      dbm_to_watt(config.budget.noise_floor_dbm()) +
-      (config.extra_noise_dbm > -200.0
-           ? dbm_to_watt(config.extra_noise_dbm)
-           : 0.0);
-  const double noise_w =
-      floor_w * static_cast<double>(config.chirp.n_samples);
+  const FrameStage stage(config, scene, "decode_drive");
 
   std::vector<RangeProfile> profiles(truth.size());
   {
     ros::obs::ScopedTimer frames_timer("decode_drive.frames", "pipeline");
-    AtomicMs synth_ms;
-    AtomicMs fft_ms;
     ros::obs::SlidingHistogram& frame_whist =
         reg.windowed_histogram("decode_drive.frame.ms");
     auto& flight = ros::obs::FlightRecorder::global();
@@ -606,33 +286,18 @@ DecodeDriveResult decode_drive(const ros::scene::Scene& scene,
     const double deadline_ms = frame_deadline_ms();
     // Same per-frame RNG streams as Interrogator::run: frame i's noise
     // depends only on (noise_seed, i), never on the thread count.
-    const std::uint64_t seed = config.noise_seed;
     const auto allocs_before = ros::obs::alloc_counters();
     ros::exec::parallel_for(0, truth.size(), [&](std::size_t i) {
       const double frame_t0 = frames_timer.elapsed_ms();
-      const std::uint64_t stream_seed = derive_stream_seed(seed, i);
       const bool sampled = flight.enabled() && flight.should_sample();
       if (sampled) {
         flight.record(ros::obs::FlightKind::frame_begin, frame_id, i);
         flight.record(ros::obs::FlightKind::rng_seed, rng_id,
-                      stream_seed);
+                      stage.stream_seed(i));
       }
       const ros::obs::Watchdog::Guard wd("decode_drive.frame",
                                          deadline_ms, i);
-      Rng rng(stream_seed);
-      FrameWorkspace& ws = FrameWorkspace::thread_local_workspace();
-      ros::obs::ScopedTimer t_synth("decode_drive.synthesize",
-                                    "pipeline");
-      scene.frame_returns_into(truth[i], TxMode::switched, config.array,
-                               config.budget, fc, rng, ws.points,
-                               ws.ret_switched);
-      synth.synthesize_into(ws.ret_switched, noise_w, rng,
-                            ws.cube_switched);
-      synth_ms.add(t_synth.stop());
-      ros::obs::ScopedTimer t_fft("decode_drive.range_fft", "pipeline");
-      ros::radar::range_fft_into(ws.cube_switched, config.chirp,
-                                 ros::dsp::Window::hann, profiles[i]);
-      fft_ms.add(t_fft.stop());
+      stage.run_decode(truth[i], i, profiles[i]);
       frame_whist.observe(frames_timer.elapsed_ms() - frame_t0);
       if (sampled) {
         flight.record(ros::obs::FlightKind::frame_end, frame_id, i);
@@ -641,9 +306,7 @@ DecodeDriveResult decode_drive(const ros::scene::Scene& scene,
     record_frame_loop_allocs("decode_drive.frame_loop.allocs_per_frame",
                              allocs_before, truth.size());
     record_runtime_introspection(truth.size());
-    book_frame_stages(tel, frames_timer.stop(),
-                      {{"synthesize", synth_ms.value()},
-                       {"range_fft", fft_ms.value()}});
+    stage.book_frames(tel, frames_timer.stop(), /*include_detect=*/false);
   }
   if (probe::capturing()) {
     probe::funnel("synthesized", !truth.empty(),
@@ -659,7 +322,7 @@ DecodeDriveResult decode_drive(const ros::scene::Scene& scene,
         "decode_drive.sample_rss", "pipeline",
         &reg.histogram("decode_drive.sample_rss.ms"));
     out.samples = sample_rss(profiles, estimated, tag_position, road,
-                             config.array, fc);
+                             config.array, stage.fc());
     tel.add_stage("sample_rss", t_sample.stop());
   }
   tel.n_points = out.samples.size();
@@ -670,9 +333,7 @@ DecodeDriveResult decode_drive(const ros::scene::Scene& scene,
     probe::stage_artifact("samples", samples_json(out.samples));
   }
 
-  const double max_abs_u = config.decode_fov_rad > 0.0
-                               ? std::sin(config.decode_fov_rad / 2.0)
-                               : 1.0;
+  const double max_abs_u = decode_max_abs_u(config);
   bool aperture_ok = false;
   ros::dsp::SpectrumTap spectrum_tap;
   {
@@ -714,10 +375,7 @@ DecodeDriveResult decode_drive(const ros::scene::Scene& scene,
     tel.add_stage("decode", t_decode.stop());
   }
 
-  double sum_w = 0.0;
-  for (const auto& s : out.samples) sum_w += s.rss_w;
-  out.mean_rss_dbm =
-      watt_to_dbm(sum_w / std::max<std::size_t>(1, out.samples.size()));
+  out.mean_rss_dbm = mean_rss_dbm(out.samples);
 
   tel.n_tags = 1;  // decode-only mode reads exactly the targeted tag
   tel.n_clusters = 1;

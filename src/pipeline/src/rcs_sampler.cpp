@@ -10,6 +10,38 @@ namespace ros::pipeline {
 using ros::scene::RadarPose;
 using ros::scene::Vec2;
 
+namespace {
+
+/// Shared single-frame core; `road` must already be unit length. The
+/// normalization happens exactly once in each public entry point so the
+/// batch and per-frame paths compute u from bit-identical road vectors.
+bool sample_one(const ros::radar::RangeProfile& profile,
+                const RadarPose& pose, const Vec2& target,
+                const Vec2& road, const ros::radar::RadarArray& array,
+                double hz, std::size_t frame_index, RssSample& out) {
+  const Vec2 d = pose.position - target;
+  const double range = d.norm();
+  if (range <= 0.0) return false;
+  const double az = pose.azimuth_to(target);
+  // u = sin(view angle off the tag normal) = LoS component along the
+  // road axis.
+  out.u = d.dot(road) / range;
+  out.rss_dbm = ros::radar::beamformed_rss_dbm(profile, array, hz,
+                                               range, az);
+  out.rss_w = ros::common::dbm_to_watt(out.rss_dbm);
+  out.range_m = range;
+  out.frame = frame_index;
+  return true;
+}
+
+Vec2 unit_road(const Vec2& road_direction) {
+  const double road_norm = road_direction.norm();
+  ROS_EXPECT(road_norm > 0.0, "road direction must be non-zero");
+  return road_direction * (1.0 / road_norm);
+}
+
+}  // namespace
+
 std::vector<RssSample> sample_rss(
     std::span<const ros::radar::RangeProfile> profiles,
     std::span<const RadarPose> poses, const Vec2& target,
@@ -17,29 +49,26 @@ std::vector<RssSample> sample_rss(
     double hz) {
   ROS_EXPECT(profiles.size() == poses.size(),
              "one pose per range profile required");
-  const double road_norm = road_direction.norm();
-  ROS_EXPECT(road_norm > 0.0, "road direction must be non-zero");
-  const Vec2 road = road_direction * (1.0 / road_norm);
-
+  const Vec2 road = unit_road(road_direction);
   std::vector<RssSample> out;
   out.reserve(profiles.size());
+  RssSample s;
   for (std::size_t i = 0; i < profiles.size(); ++i) {
-    const Vec2 d = poses[i].position - target;
-    const double range = d.norm();
-    if (range <= 0.0) continue;
-    const double az = poses[i].azimuth_to(target);
-    RssSample s;
-    // u = sin(view angle off the tag normal) = LoS component along the
-    // road axis.
-    s.u = d.dot(road) / range;
-    s.rss_dbm = ros::radar::beamformed_rss_dbm(profiles[i], array, hz,
-                                               range, az);
-    s.rss_w = ros::common::dbm_to_watt(s.rss_dbm);
-    s.range_m = range;
-    s.frame = i;
-    out.push_back(s);
+    if (sample_one(profiles[i], poses[i], target, road, array, hz, i,
+                   s)) {
+      out.push_back(s);
+    }
   }
   return out;
+}
+
+bool sample_rss_frame(const ros::radar::RangeProfile& profile,
+                      const RadarPose& pose, const Vec2& target,
+                      const Vec2& road_direction,
+                      const ros::radar::RadarArray& array, double hz,
+                      std::size_t frame_index, RssSample& out) {
+  return sample_one(profile, pose, target, unit_road(road_direction),
+                    array, hz, frame_index, out);
 }
 
 DecoderSeries to_decoder_series(std::span<const RssSample> samples,

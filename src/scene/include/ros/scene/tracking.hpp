@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "ros/common/random.hpp"
 #include "ros/scene/geometry.hpp"
 
 namespace ros::scene {
@@ -33,6 +34,31 @@ class TrackingModel {
 
  private:
   Params params_;
+};
+
+/// Incremental counterpart of TrackingModel::estimate for streaming
+/// consumers: feed ground-truth poses one at a time and get the
+/// estimated pose back immediately. The jitter RNG is one sequential
+/// stream keyed by Params::seed, exactly as in the batch call, so
+/// next() over truth[0..N) is bit-identical to estimate(truth) —
+/// per-frame state is just the anchor and the RNG, O(1) memory for any
+/// drive length.
+class TrackingEstimator {
+ public:
+  explicit TrackingEstimator(TrackingModel::Params p);
+
+  /// Estimate for the next frame's ground-truth pose. The first pose is
+  /// the anchor and passes through unchanged.
+  RadarPose next(const RadarPose& truth);
+
+  /// Frames estimated so far.
+  std::size_t frames() const { return n_; }
+
+ private:
+  TrackingModel::Params params_;
+  ros::common::Rng rng_;
+  Vec2 anchor_{0.0, 0.0};
+  std::size_t n_ = 0;
 };
 
 }  // namespace ros::scene

@@ -28,4 +28,30 @@ std::vector<RadarPose> TrackingModel::estimate(
   return out;
 }
 
+TrackingEstimator::TrackingEstimator(TrackingModel::Params p)
+    : params_(p), rng_(p.seed) {
+  ROS_EXPECT(p.relative_drift > -1.0, "drift must be > -100%");
+  ROS_EXPECT(p.jitter_std_m >= 0.0, "jitter must be non-negative");
+}
+
+RadarPose TrackingEstimator::next(const RadarPose& truth) {
+  RadarPose out = truth;
+  if (n_ == 0) {
+    anchor_ = truth.position;
+    ++n_;
+    return out;  // the anchor frame is assumed known exactly
+  }
+  // Same arithmetic and RNG draw order as the batch estimate() loop:
+  // displacement scaled by (1 + drift), then x jitter, then y jitter.
+  const Vec2 disp = truth.position - anchor_;
+  Vec2 est = anchor_ + disp * (1.0 + params_.relative_drift);
+  if (params_.jitter_std_m > 0.0) {
+    est.x += rng_.normal(0.0, params_.jitter_std_m);
+    est.y += rng_.normal(0.0, params_.jitter_std_m);
+  }
+  out.position = est;
+  ++n_;
+  return out;
+}
+
 }  // namespace ros::scene

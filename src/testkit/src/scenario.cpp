@@ -60,18 +60,17 @@ void Scenario::sanitize() {
   if (noise_seed == 0) noise_seed = 1;
   ground_reflection = clampd(ground_reflection, 0.0, 0.5);
 
-  // Frame budget: stride keeps one run in the 60..400 frame band so a
-  // fuzz iteration costs a bounded amount of work.
-  frame_stride = clampi(frame_stride, 1, 50);
+  // Frame budget: the upper clamp keeps a fuzz iteration affordable.
+  // There is deliberately NO lower clamp: degenerate passes (a single
+  // frame, or fewer frames than a streaming window) are part of the
+  // specified envelope and the streaming/batch equivalence oracles must
+  // hold on them too.
+  frame_stride = clampi(frame_stride, 1, 200);
   const double duration_s = span_m / speed_mps;
-  const double frames_at = [&](int stride) {
-    return duration_s * 1000.0 / static_cast<double>(stride);
-  }(frame_stride);
+  const double frames_at =
+      duration_s * 1000.0 / static_cast<double>(frame_stride);
   if (frames_at > 400.0) {
     frame_stride = static_cast<int>(std::ceil(duration_s * 1000.0 / 400.0));
-  } else if (frames_at < 60.0) {
-    frame_stride = std::max(
-        1, static_cast<int>(std::floor(duration_s * 1000.0 / 60.0)));
   }
 
   if (clutter.size() > 4) clutter.resize(4);
@@ -230,7 +229,7 @@ Scenario mutate(const Scenario& s, Rng& rng) {
   Scenario out = s;
   const int n_mutations = rng.uniform_int(1, 3);
   for (int m = 0; m < n_mutations; ++m) {
-    switch (rng.uniform_int(0, 13)) {
+    switch (rng.uniform_int(0, 14)) {
       case 0:  // flip a payload bit
         out.bits ^= 1u << rng.uniform_int(0, std::max(0, out.n_bits - 1));
         break;
@@ -288,6 +287,11 @@ Scenario mutate(const Scenario& s, Rng& rng) {
       case 12:
         out.ground_bounce = rng.bernoulli(0.5);
         out.ground_reflection = rng.uniform(0.0, 0.4);
+        break;
+      case 13:  // degenerate frame counts: 1, 2, ... window-sized feeds
+        out.span_m = 2.0;
+        out.speed_mps = rng.uniform(8.0, 12.0);
+        out.frame_stride = rng.uniform_int(40, 200);
         break;
       default:
         out.psvaas_per_stack =

@@ -39,8 +39,10 @@
 #include "ros/obs/log.hpp"
 #include "ros/obs/probe.hpp"
 #include "ros/pipeline/interrogator.hpp"
+#include "ros/pipeline/streaming.hpp"
 #include "ros/testkit/oracles.hpp"
 #include "ros/testkit/scenario.hpp"
+#include "../support/stream_equality.hpp"
 
 namespace {
 
@@ -221,6 +223,38 @@ tk::OracleVerdict check_decoder_agreement(const tk::Scenario& s) {
   return tk::OracleVerdict::fail(os.str());
 }
 
+/// Streaming differential oracle: the per-frame streaming engine must
+/// reproduce batch decode_drive BIT-identically on every scenario the
+/// fuzzer can construct — any window size, including the degenerate
+/// few-frame passes case 13 of mutate() generates. The window rotates
+/// with the scenario hash so the sweep covers unbounded, single-frame,
+/// and near-drive-length windows over a session.
+tk::OracleVerdict check_streaming_equivalence(const tk::Scenario& s) {
+  const auto scene = s.make_scene(&stackup());
+  const auto drive = s.make_drive();
+  const auto config = s.make_config();
+  const auto batch =
+      ros::pipeline::decode_drive(scene, drive, {0.0, 0.0}, config);
+  const std::uint64_t h =
+      ros::common::splitmix64(std::hash<std::string>{}(s.encode()));
+  ros::pipeline::StreamingOptions opts;
+  const std::size_t n = std::max<std::size_t>(s.n_frames(), 1);
+  const std::size_t windows[] = {0, 1, n > 1 ? n - 1 : 1, n + 7};
+  opts.window_frames = windows[h % 4];
+  const auto stream = (h >> 2) % 4 == 0
+                          ? ros::pipeline::streaming_decode_drive_threaded(
+                                scene, drive, {0.0, 0.0}, config, opts)
+                          : ros::pipeline::streaming_decode_drive(
+                                scene, drive, {0.0, 0.0}, config, opts);
+  const std::string err = ros::teststream::diff_decode_drive(stream, batch);
+  if (!err.empty()) {
+    return tk::OracleVerdict::fail(
+        "streaming equivalence: " + err + " (window " +
+        std::to_string(opts.window_frames) + ")");
+  }
+  return tk::OracleVerdict::pass();
+}
+
 /// Full oracle battery for one scenario. `thorough` adds the expensive
 /// differential checks (full report, thread invariance, weather).
 tk::OracleVerdict run_all_oracles(const tk::Scenario& s, bool thorough,
@@ -232,6 +266,7 @@ tk::OracleVerdict run_all_oracles(const tk::Scenario& s, bool thorough,
       *signature = tk::behavior_signature(result, s);
     }
     if (auto v = check_decoder_agreement(s); !v.ok) return v;
+    if (auto v = check_streaming_equivalence(s); !v.ok) return v;
     if (thorough) {
       ros::pipeline::InterrogationReport report;
       if (auto v = run_report_oracles(s, &report); !v.ok) return v;

@@ -1,0 +1,206 @@
+// Incremental grid-DBSCAN property suite (ISSUE satellite): after ANY
+// sequence of online insertions and sliding-window evictions, the
+// incremental index must report labels identical to batch-clustering
+// the surviving points in insertion order — the invariant the streaming
+// pipeline's full mode rests on. Also cross-checked against the
+// all-pairs dbscan_reference oracle on core/noise structure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "ros/common/random.hpp"
+#include "ros/pipeline/dbscan.hpp"
+#include "ros/pipeline/incremental_dbscan.hpp"
+#include "ros/testkit/domain.hpp"
+#include "ros/testkit/gen.hpp"
+#include "ros/testkit/property.hpp"
+
+namespace rp = ros::pipeline;
+namespace tk = ros::testkit;
+using ros::common::Rng;
+using ros::scene::Vec2;
+
+namespace {
+
+constexpr rp::DbscanOptions kOpts{};  // eps 0.35 m, min_points 6
+
+/// The invariant, verbatim: incremental labels == batch dbscan() of the
+/// surviving points, as raw ints (same ids, same noise, same order).
+std::string check_matches_batch(const rp::IncrementalDbscan& inc) {
+  const std::vector<Vec2> survivors = inc.surviving_points();
+  const std::vector<int> batch = rp::dbscan(survivors, kOpts);
+  if (inc.labels() != batch) {
+    return "incremental labels diverged from batch dbscan (" +
+           std::to_string(survivors.size()) + " survivors)";
+  }
+  return "";
+}
+
+}  // namespace
+
+TEST(IncrementalDbscan, EmptyAndSinglePoint) {
+  rp::IncrementalDbscan inc(kOpts);
+  EXPECT_TRUE(inc.labels().empty());
+  EXPECT_EQ(inc.alive(), 0u);
+
+  const int id = inc.insert({1.0, 2.0});
+  EXPECT_EQ(id, 0);
+  ASSERT_EQ(inc.labels().size(), 1u);
+  EXPECT_EQ(inc.labels()[0], -1);  // min_points 6: a lone point is noise
+  EXPECT_EQ(inc.label_of(id), -1);
+
+  inc.evict(id);
+  EXPECT_TRUE(inc.labels().empty());
+  EXPECT_EQ(inc.alive(), 0u);
+  EXPECT_FALSE(inc.is_alive(id));
+}
+
+TEST(IncrementalDbscan, InsertOnlyMatchesBatchAtEveryStep) {
+  ROS_PROPERTY_N(
+      "incremental == batch after every insert", 60, tk::blob_cloud_gen(),
+      [](const tk::BlobCloud& c) -> std::string {
+        rp::IncrementalDbscan inc(kOpts);
+        for (const Vec2& p : c.points) {
+          inc.insert(p);
+          const std::string err = check_matches_batch(inc);
+          if (!err.empty()) return err;
+        }
+        return "";
+      });
+}
+
+TEST(IncrementalDbscan, SlidingWindowEvictionMatchesBatch) {
+  // FIFO eviction (the streaming pipeline's shape): insert all, then
+  // slide a window of every size across, checking after each step.
+  const auto gen = tk::pair_of(tk::blob_cloud_gen(),
+                               tk::uniform_int(1, 40));
+  ROS_PROPERTY_N(
+      "incremental == batch under FIFO eviction", 60, gen,
+      [](const std::pair<tk::BlobCloud, int>& c) -> std::string {
+        const auto& pts = c.first.points;
+        const std::size_t window =
+            static_cast<std::size_t>(c.second);
+        rp::IncrementalDbscan inc(kOpts);
+        std::size_t oldest = 0;
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+          inc.insert(pts[i]);
+          while (inc.alive() > window) {
+            inc.evict(static_cast<int>(oldest++));
+          }
+          const std::string err = check_matches_batch(inc);
+          if (!err.empty()) return err;
+        }
+        // Drain to empty.
+        while (oldest < pts.size()) {
+          inc.evict(static_cast<int>(oldest++));
+          const std::string err = check_matches_batch(inc);
+          if (!err.empty()) return err;
+        }
+        return inc.alive() == 0 ? "" : "drain left points alive";
+      });
+}
+
+TEST(IncrementalDbscan, RandomEvictionOrderMatchesBatch) {
+  // Arbitrary (non-FIFO) evict/insert interleavings: the index must not
+  // depend on eviction order, only on the surviving insertion-order set.
+  const auto gen = tk::pair_of(tk::blob_cloud_gen(),
+                               tk::uniform_int(0, 1 << 30));
+  ROS_PROPERTY_N(
+      "incremental == batch under random evictions", 60, gen,
+      [](const std::pair<tk::BlobCloud, int>& c) -> std::string {
+        const auto& pts = c.first.points;
+        Rng rng(static_cast<std::uint64_t>(c.second) + 1);
+        rp::IncrementalDbscan inc(kOpts);
+        std::vector<int> alive_ids;
+        std::size_t next = 0;
+        for (int step = 0; step < 120 && !(next >= pts.size() &&
+                                           alive_ids.empty());
+             ++step) {
+          const bool can_insert = next < pts.size();
+          const bool do_insert =
+              can_insert && (alive_ids.empty() || rng.bernoulli(0.6));
+          if (do_insert) {
+            alive_ids.push_back(inc.insert(pts[next++]));
+          } else if (!alive_ids.empty()) {
+            const std::size_t k = static_cast<std::size_t>(
+                rng.uniform_int(0,
+                                static_cast<int>(alive_ids.size()) - 1));
+            inc.evict(alive_ids[k]);
+            alive_ids.erase(alive_ids.begin() +
+                            static_cast<std::ptrdiff_t>(k));
+          }
+          const std::string err = check_matches_batch(inc);
+          if (!err.empty()) return err;
+        }
+        return "";
+      });
+}
+
+TEST(IncrementalDbscan, AgreesWithAllPairsReferenceOnStructure) {
+  // Same cross-check the batch grid dbscan passes against the O(n^2)
+  // reference oracle: identical noise set and core labels on the
+  // surviving window (border assignment is the documented divergence).
+  ROS_PROPERTY_N(
+      "incremental vs dbscan_reference", 40, tk::blob_cloud_gen(),
+      [](const tk::BlobCloud& c) -> std::string {
+        const auto& pts = c.points;
+        rp::IncrementalDbscan inc(kOpts);
+        for (const Vec2& p : pts) inc.insert(p);
+        // Evict a deterministic third to make the survivors nontrivial.
+        for (std::size_t i = 0; i < pts.size(); i += 3) {
+          inc.evict(static_cast<int>(i));
+        }
+        const std::vector<Vec2> survivors = inc.surviving_points();
+        const std::vector<int>& labels = inc.labels();
+        const auto ref = rp::dbscan_reference(survivors, kOpts);
+        if (labels.size() != ref.size()) return "label size mismatch";
+
+        const double eps2 = kOpts.eps_m * kOpts.eps_m;
+        for (std::size_t i = 0; i < survivors.size(); ++i) {
+          std::size_t n_nb = 0;
+          for (std::size_t j = 0; j < survivors.size(); ++j) {
+            const Vec2 d = survivors[i] - survivors[j];
+            n_nb += (d.x * d.x + d.y * d.y) <= eps2;
+          }
+          const bool core = n_nb >= kOpts.min_points;
+          if ((labels[i] < 0) != (ref[i] < 0)) {
+            return "noise set differs from reference at " +
+                   std::to_string(i);
+          }
+          if (core && labels[i] != ref[i]) {
+            return "core label differs from reference at " +
+                   std::to_string(i);
+          }
+        }
+        return "";
+      });
+}
+
+TEST(IncrementalDbscan, EvictRejectsUnknownAndDoubleEvict) {
+  rp::IncrementalDbscan inc(kOpts);
+  const int id = inc.insert({0.0, 0.0});
+  EXPECT_ANY_THROW(inc.evict(id + 7));
+  inc.evict(id);
+  EXPECT_ANY_THROW(inc.evict(id));
+}
+
+TEST(IncrementalDbscan, ReinsertionAfterTotalEvictionIsClean) {
+  // Ids are never reused; a fully drained index must behave like a
+  // fresh one for new points.
+  rp::IncrementalDbscan inc(kOpts);
+  std::vector<Vec2> blob;
+  for (int i = 0; i < 8; ++i) {
+    blob.push_back({0.05 * i, 0.02 * i});
+  }
+  for (const auto& p : blob) inc.insert(p);
+  EXPECT_EQ(rp::cluster_count(inc.labels()), 1);
+  for (int i = 0; i < 8; ++i) inc.evict(i);
+  EXPECT_TRUE(inc.labels().empty());
+
+  for (const auto& p : blob) inc.insert(p);
+  EXPECT_EQ(inc.alive(), blob.size());
+  EXPECT_EQ(inc.labels(), rp::dbscan(blob, kOpts));
+  EXPECT_EQ(inc.inserted(), 16u);
+}

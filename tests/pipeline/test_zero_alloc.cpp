@@ -11,6 +11,7 @@
 #include "ros/obs/metrics.hpp"
 #include "ros/obs/probe.hpp"
 #include "ros/pipeline/interrogator.hpp"
+#include "ros/pipeline/streaming.hpp"
 
 namespace rp = ros::pipeline;
 namespace rs = ros::scene;
@@ -193,6 +194,48 @@ TEST(ZeroAlloc, BudgetsHoldWithFlightRecorderLive) {
   // And it actually recorded something during the run (sampled frame
   // events plus the end-of-run arena high-water mark).
   EXPECT_GT(fr.total_recorded(), recorded_before);
+}
+
+TEST(ZeroAlloc, StreamingDecodeLoopStaysInsideBatchBudget) {
+  if (!ros::obs::alloc_counting_enabled()) {
+    GTEST_SKIP() << "ROS_OBS_COUNT_ALLOCS is off";
+  }
+  // The streaming restructure must not buy latency with garbage: its
+  // per-frame loop carries the SAME allocation budget as batch
+  // decode_drive (the per-frame profile is the only steady-state
+  // output; sample/series storage is reserved up front).
+  const auto world = make_world();
+  rp::InterrogatorConfig cfg;
+  cfg.frame_stride = 10;
+
+  (void)rp::streaming_decode_drive(world, short_drive(), {0.0, 0.0}, cfg);
+  const std::uint64_t grows_before = arena_grows();
+  const auto steady =
+      rp::streaming_decode_drive(world, short_drive(), {0.0, 0.0}, cfg);
+  EXPECT_EQ(arena_grows(), grows_before)
+      << "steady-state streaming decode grew a scratch arena";
+  ASSERT_GT(steady.samples.size(), 0u);
+  EXPECT_LE(gauge("stream_decode.frame_loop.allocs_per_frame"), 16.0)
+      << "streaming decode allocates per frame beyond its output profile";
+}
+
+TEST(ZeroAlloc, StreamingFullLoopAllocsAreBounded) {
+  if (!ros::obs::alloc_counting_enabled()) {
+    GTEST_SKIP() << "ROS_OBS_COUNT_ALLOCS is off";
+  }
+  const auto world = make_world();
+  rp::InterrogatorConfig cfg;
+  cfg.frame_stride = 10;
+
+  (void)rp::streaming_run(world, short_drive(), cfg);
+  const std::uint64_t grows_before = arena_grows();
+  (void)rp::streaming_run(world, short_drive(), cfg);
+  EXPECT_EQ(arena_grows(), grows_before)
+      << "steady-state streaming interrogation grew a scratch arena";
+  // Same shape as the batch interrogate budget (two retained profiles
+  // plus detection output per frame) with a small incremental-DBSCAN
+  // surcharge (grid-cell vectors as new eps-cells come alive).
+  EXPECT_LE(gauge("stream_run.frame_loop.allocs_per_frame"), 80.0);
 }
 
 TEST(ZeroAlloc, BudgetsHoldWithProvenanceProbeArmed) {

@@ -50,7 +50,9 @@ TEST(Scenario, SanitizeIsIdempotentAndBoundsFrames) {
                  }
                  if (t.n_bits < 2 || t.n_bits > 5) return "n_bits escaped";
                  if (t.bits == 0) return "all-zero payload escaped";
-                 if (t.n_frames() < 40 || t.n_frames() > 450) {
+                 // No lower bound: degenerate 0/1/few-frame passes are
+                 // in-envelope (streaming edge coverage).
+                 if (t.n_frames() > 450) {
                    return "frame budget escaped: " +
                           std::to_string(t.n_frames());
                  }
