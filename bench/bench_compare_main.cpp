@@ -56,6 +56,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_compare: perf regression%s\n",
                  perf_warn_only ? " (warn-only)" : "");
   }
+  if (!report.throughput_ok()) {
+    std::fprintf(stderr, "bench_compare: throughput regression%s\n",
+                 perf_warn_only ? " (warn-only)" : "");
+  }
   if (!report.fidelity_ok() || report.missing > 0) {
     std::fprintf(stderr, "bench_compare: fidelity/coverage failure\n");
   }

@@ -42,6 +42,31 @@
 
 namespace bench {
 
+/// Named steady-state rates (events per second) measured by a bench
+/// body, e.g. tag_reads_per_s. rosbench emits them as the per-bench
+/// "throughput" JSON object and bench_compare gates them warn-only,
+/// like perf. record() overwrites by name so a body run several timed
+/// reps keeps the latest measurement instead of accumulating.
+class ThroughputSet {
+ public:
+  void record(std::string_view name, double per_s) {
+    for (auto& e : entries_) {
+      if (e.first == name) {
+        e.second = per_s;
+        return;
+      }
+    }
+    entries_.emplace_back(std::string(name), per_s);
+  }
+  const std::vector<std::pair<std::string, double>>& entries() const {
+    return entries_;
+  }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
 /// Everything a bench body needs from its driver. `quick` asks the body
 /// to trim sweeps to the points the fidelity scorecard needs (fidelity
 /// values MUST be computed from the same inputs in quick and full mode,
@@ -49,8 +74,12 @@ namespace bench {
 class BenchContext {
  public:
   BenchContext(bool quick, std::ostream* out,
-               ros::obs::Scorecard* scorecard)
-      : quick_(quick), out_(out), scorecard_(scorecard) {}
+               ros::obs::Scorecard* scorecard,
+               ThroughputSet* throughput = nullptr)
+      : quick_(quick),
+        out_(out),
+        scorecard_(scorecard),
+        throughput_(throughput) {}
 
   bool quick() const { return quick_; }
   std::ostream& out() const { return *out_; }
@@ -63,12 +92,20 @@ class BenchContext {
     }
   }
 
+  /// Record one measured rate (events/second). Drivers without a
+  /// throughput sink (bench_main) drop it; rosbench persists it to the
+  /// scorecard JSON where bench_compare gates it warn-only.
+  void throughput(std::string_view name, double per_s) const {
+    if (throughput_ != nullptr) throughput_->record(name, per_s);
+  }
+
   const ros::obs::Scorecard* scorecard() const { return scorecard_; }
 
  private:
   bool quick_;
   std::ostream* out_;
   ros::obs::Scorecard* scorecard_;
+  ThroughputSet* throughput_ = nullptr;
 };
 
 using BenchFn = void (*)(const BenchContext&);

@@ -161,7 +161,9 @@ int main(int argc, char** argv) {
     // instrument pointers across calls).
     ros::obs::MetricsRegistry::global().clear();
     ros::obs::Scorecard card;
-    const bench::BenchContext ctx(quick, &bench::null_stream(), &card);
+    bench::ThroughputSet throughput;
+    const bench::BenchContext ctx(quick, &bench::null_stream(), &card,
+                                  &throughput);
 
     ros::obs::BenchRunOptions opts;
     opts.reps = reps_override > 0 ? reps_override : def.reps;
@@ -197,6 +199,15 @@ int main(int argc, char** argv) {
     write_perf(w, t);
     w.key("fidelity");
     card.write_json(w);
+    if (!throughput.empty()) {
+      // Flat name -> events/second map; bench_compare flags drops
+      // beyond the perf ratio (warn-only, like wall-time regressions).
+      w.key("throughput").begin_object();
+      for (const auto& [name, per_s] : throughput.entries()) {
+        w.key(name).value(per_s);
+      }
+      w.end_object();
+    }
     if (!strip_metrics) {
       w.key("metrics").raw(ros::obs::MetricsRegistry::global().to_json());
     }

@@ -25,6 +25,10 @@ struct CompareOptions {
   /// run are reported but do not fail the comparison (for --filter
   /// runs).
   bool allow_missing = false;
+  /// A throughput entry regresses when new < base / ratio (throughput
+  /// is better-is-higher, so the ratio is applied inverted relative to
+  /// wall time). Gated warn-only alongside perf regressions.
+  double default_throughput_ratio = 1.35;
 };
 
 enum class BenchVerdict {
@@ -50,16 +54,18 @@ struct BenchDelta {
 struct CompareReport {
   std::vector<BenchDelta> benches;
   int perf_regressions = 0;
+  int throughput_regressions = 0;
   int fidelity_failures = 0;
   int missing = 0;
   bool parse_ok = true;
   std::string parse_error;
 
   bool perf_ok() const { return perf_regressions == 0; }
+  bool throughput_ok() const { return throughput_regressions == 0; }
   bool fidelity_ok() const { return fidelity_failures == 0; }
-  /// 0 clean; 1 perf regression only (suppressed when perf_warn_only);
-  /// 2 fidelity drift or missing coverage (always hard); 3 unreadable
-  /// input.
+  /// 0 clean; 1 perf or throughput regression only (suppressed when
+  /// perf_warn_only); 2 fidelity drift or missing coverage (always
+  /// hard); 3 unreadable input.
   int exit_code(bool perf_warn_only) const;
   /// Multi-line human-readable summary table.
   std::string render() const;

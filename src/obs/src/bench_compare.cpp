@@ -59,6 +59,42 @@ int missing_fidelity(const JsonValue& base_bench,
   return lost;
 }
 
+/// Baseline-driven throughput diff (flat name -> events/second map,
+/// better-is-higher): a drop below base/ratio is a regression, and a
+/// name that vanished from the new run is too (coverage loss). Both are
+/// warn-only, like wall-time regressions.
+int throughput_regressions(const JsonValue& base_bench,
+                           const JsonValue& new_bench, double ratio,
+                           std::vector<std::string>& notes) {
+  const JsonValue* base_thr = base_bench.find("throughput");
+  if (base_thr == nullptr || !base_thr->is_object()) return 0;
+  const JsonValue* new_thr = new_bench.find("throughput");
+  int regressions = 0;
+  for (const auto& [name, base_v] : base_thr->object) {
+    const double base_per_s = base_v.number_or(0.0);
+    if (base_per_s <= 0.0) continue;
+    const JsonValue* new_v =
+        new_thr != nullptr ? new_thr->find(name) : nullptr;
+    if (new_v == nullptr) {
+      ++regressions;
+      notes.push_back("throughput " + name +
+                      ": present in baseline, missing from new run");
+      continue;
+    }
+    const double new_per_s = new_v->number_or(0.0);
+    if (new_per_s * ratio < base_per_s) {
+      ++regressions;
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "throughput %s: %.6g -> %.6g per_s (below "
+                    "baseline/%.2f)",
+                    name.c_str(), base_per_s, new_per_s, ratio);
+      notes.push_back(buf);
+    }
+  }
+  return regressions;
+}
+
 }  // namespace
 
 std::string_view to_string(BenchVerdict v) {
@@ -110,6 +146,9 @@ CompareReport compare_runs(const JsonValue& new_run,
     const bool slowed =
         d.base_median_ms > 0.0 && d.ratio > d.threshold &&
         (d.new_median_ms - d.base_median_ms) > opts.min_abs_delta_ms;
+    const int thr_regs = throughput_regressions(
+        base_bench, *new_bench, opts.default_throughput_ratio, d.notes);
+    report.throughput_regressions += thr_regs;
     if (drift > 0) {
       d.verdict = BenchVerdict::fidelity_drift;
       report.fidelity_failures += drift;
@@ -118,6 +157,10 @@ CompareReport compare_runs(const JsonValue& new_run,
     } else if (slowed) {
       d.verdict = BenchVerdict::perf_regression;
       ++report.perf_regressions;
+    } else if (thr_regs > 0) {
+      // Throughput drops surface with the perf verdict but are tallied
+      // separately so the summary says which gate tripped.
+      d.verdict = BenchVerdict::perf_regression;
     }
     report.benches.push_back(std::move(d));
   }
@@ -144,7 +187,10 @@ CompareReport compare_runs(const JsonValue& new_run,
 int CompareReport::exit_code(bool perf_warn_only) const {
   if (!parse_ok) return 3;
   if (fidelity_failures > 0 || missing > 0) return 2;
-  if (perf_regressions > 0 && !perf_warn_only) return 1;
+  if ((perf_regressions > 0 || throughput_regressions > 0) &&
+      !perf_warn_only) {
+    return 1;
+  }
   return 0;
 }
 
@@ -165,6 +211,7 @@ std::string CompareReport::render() const {
     for (const std::string& n : d.notes) os << "    " << n << "\n";
   }
   os << "summary: " << perf_regressions << " perf regression(s), "
+     << throughput_regressions << " throughput regression(s), "
      << fidelity_failures << " fidelity failure(s), " << missing
      << " missing bench(es)\n";
   return os.str();

@@ -46,6 +46,7 @@ class AtomicMs {
     }
   }
   double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
 
  private:
   std::atomic<double> v_{0.0};
@@ -94,6 +95,13 @@ class FrameStage {
   /// telemetry separable.
   FrameStage(const InterrogatorConfig& config,
              const ros::scene::Scene& scene, std::string label_prefix);
+
+  /// Re-point the stage at a new (config, scene) pair without touching
+  /// the label strings — the allocation-free reset that lets a recycled
+  /// streaming session reuse this stage object. `config` must outlive
+  /// the stage (the streaming engine passes its own copy).
+  void rebind(const InterrogatorConfig& config,
+              const ros::scene::Scene& scene);
 
   double fc() const { return fc_; }
   double noise_w() const { return noise_w_; }

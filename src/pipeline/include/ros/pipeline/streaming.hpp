@@ -128,6 +128,18 @@ class StreamingInterrogator {
   StreamingInterrogator(const StreamingInterrogator&) = delete;
   StreamingInterrogator& operator=(const StreamingInterrogator&) = delete;
 
+  /// Recycle this engine for a new decode-mode session WITHOUT releasing
+  /// buffer capacity: every container is cleared, not shrunk, and every
+  /// POD member reassigned, so a warm engine taken from a free list
+  /// starts the next vehicle pass with zero heap traffic (the corridor
+  /// runtime's churn contract). Only valid on engines constructed in
+  /// decode mode. Any un-finalized previous session is discarded.
+  void rebind(const InterrogatorConfig& config,
+              const ros::scene::Scene& scene,
+              const ros::scene::StraightDrive& drive,
+              const ros::scene::Vec2& tag_position,
+              StreamingOptions opts = {});
+
   bool decode_mode() const { return decode_mode_; }
   const StreamingOptions& options() const { return opts_; }
   const InterrogatorConfig& config() const { return config_; }
@@ -161,6 +173,7 @@ class StreamingInterrogator {
  private:
   void evict_before(std::size_t min_live_frame);
   void maybe_early_emit(std::size_t frame_index);
+  void begin_decode_probe();
 
   InterrogatorConfig config_;  ///< own copy: the engine may outlive the caller's
   const ros::scene::Scene* scene_;

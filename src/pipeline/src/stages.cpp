@@ -62,6 +62,18 @@ FrameStage::FrameStage(const InterrogatorConfig& config,
       fft_label_(label_prefix + ".range_fft"),
       detect_label_(label_prefix + ".detect_points") {}
 
+void FrameStage::rebind(const InterrogatorConfig& config,
+                        const ros::scene::Scene& scene) {
+  config_ = &config;
+  scene_ = &scene;
+  synth_ = ros::radar::WaveformSynthesizer(config.chirp, config.array);
+  fc_ = config.chirp.center_hz();
+  noise_w_ = combined_noise_w(config);
+  synth_ms_.reset();
+  fft_ms_.reset();
+  detect_ms_.reset();
+}
+
 std::uint64_t FrameStage::stream_seed(std::size_t i) const {
   return derive_stream_seed(config_->noise_seed, i);
 }

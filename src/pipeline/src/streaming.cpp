@@ -85,6 +85,10 @@ StreamingInterrogator::StreamingInterrogator(
                    config_.tracking.jitter_std_m == 0.0;
   if (opts_.retain_samples) samples_.reserve(n_frames_);
   series_.reserve(n_frames_);
+  begin_decode_probe();
+}
+
+void StreamingInterrogator::begin_decode_probe() {
   namespace probe = ros::obs::probe;
   probing_ = probe::armed() &&
              probe::begin_read("stream_decode", config_.noise_seed,
@@ -104,6 +108,55 @@ StreamingInterrogator::StreamingInterrogator(
     probe::annotate("tag_x", tag_position_.x);
     probe::annotate("tag_y", tag_position_.y);
   }
+}
+
+void StreamingInterrogator::rebind(const InterrogatorConfig& config,
+                                   const ros::scene::Scene& scene,
+                                   const ros::scene::StraightDrive& drive,
+                                   const Vec2& tag_position,
+                                   StreamingOptions opts) {
+  ROS_EXPECT(decode_mode_, "rebind supports decode mode only");
+  if (probing_ && !finalized_) {
+    ros::obs::probe::abort_read("stream rebound before finalize");
+    probing_ = false;
+  }
+  validate(config);
+  // Copy-assign: a same-shape config reuses existing capacity, so the
+  // hot corridor case (per-session configs differing only in seed)
+  // stays allocation-free.
+  config_ = config;
+  scene_ = &scene;
+  drive_ = &drive;
+  opts_ = opts;
+  tag_position_ = tag_position;
+  stage_.rebind(config_, scene);
+  rate_hz_ = config_.chirp.frame_rate_hz /
+             static_cast<double>(config_.frame_stride);
+  n_frames_ = frames_in(drive, rate_hz_);
+  road_ = road_of(drive);
+  max_abs_u_ = decode_max_abs_u(config_);
+  emit_eligible_ = opts_.early_emit && max_abs_u_ < 1.0 &&
+                   config_.tracking.jitter_std_m == 0.0;
+  tracker_ = ros::scene::TrackingEstimator(config_.tracking);
+  consumed_ = 0;
+  finalized_ = false;
+  samples_.clear();
+  if (opts_.retain_samples) samples_.reserve(n_frames_);
+  sum_rss_w_ = 0.0;
+  n_samples_ = 0;
+  series_.clear();
+  series_.reserve(n_frames_);
+  mono_inc_ok_ = true;
+  mono_dec_ok_ = true;
+  saw_inc_ = false;
+  saw_dec_ = false;
+  prev_u_ = 0.0;
+  have_prev_u_ = false;
+  emitted_ = false;
+  emit_frame_ = 0;
+  synth_wall_ms_.reset();
+  consume_ms_ = 0.0;
+  begin_decode_probe();
 }
 
 StreamingInterrogator::StreamingInterrogator(

@@ -182,3 +182,81 @@ TEST(SpscQueue, StressCloseRaceNeverLosesBufferedItems) {
     EXPECT_EQ(sum, 64LL * 63LL / 2LL);
   }
 }
+
+// ---- misuse coverage -------------------------------------------------
+// The queue's contract under wrong or hostile use: bad construction,
+// operations on full/empty/closed queues, and payload ownership across
+// failed calls. Callers (the streaming drivers, the corridor engine)
+// lean on exactly these behaviors for clean shutdown.
+
+TEST(SpscQueue, ZeroCapacityIsRejected) {
+  EXPECT_THROW(SpscQueue<int>(0), std::invalid_argument);
+}
+
+TEST(SpscQueue, TryPushOnFullLeavesValueIntact) {
+  SpscQueue<std::unique_ptr<int>> q(1);
+  ASSERT_TRUE(q.try_push(std::make_unique<int>(1)));
+  auto extra = std::make_unique<int>(2);
+  EXPECT_FALSE(q.try_push(std::move(extra)));
+  // A refused push must not consume the payload.
+  ASSERT_NE(extra, nullptr);
+  EXPECT_EQ(*extra, 2);
+}
+
+TEST(SpscQueue, PushAfterCloseLeavesValueIntact) {
+  SpscQueue<std::unique_ptr<int>> q(4);
+  q.close();
+  auto payload = std::make_unique<int>(7);
+  EXPECT_FALSE(q.push(std::move(payload)));
+  ASSERT_NE(payload, nullptr);
+  EXPECT_EQ(*payload, 7);
+}
+
+TEST(SpscQueue, TryPopOnEmptyLeavesOutUntouched) {
+  SpscQueue<int> q(2);
+  int out = 42;
+  EXPECT_FALSE(q.try_pop(out));
+  EXPECT_EQ(out, 42);
+}
+
+TEST(SpscQueue, CloseIsIdempotentAndDrainStaysAvailable) {
+  SpscQueue<int> q(4);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  q.close();
+  q.close();  // second close is a no-op, not an error
+  EXPECT_TRUE(q.closed());
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(q.pop(v));
+}
+
+TEST(SpscQueue, ClosedAndDrainedStaysClosed) {
+  // No resurrection: once pop() has reported end-of-stream, every
+  // further pop/try_pop keeps reporting it.
+  SpscQueue<int> q(2);
+  q.close();
+  int v = 0;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(q.pop(v));
+    EXPECT_FALSE(q.try_pop(v));
+  }
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(SpscQueue, DepthTracksAcrossWraparound) {
+  SpscQueue<int> q(3);
+  int v = 0;
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_EQ(q.depth(), 0u);
+    ASSERT_TRUE(q.try_push(int(round)));
+    ASSERT_TRUE(q.try_push(int(round + 1)));
+    EXPECT_EQ(q.depth(), 2u);
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(q.depth(), 1u);
+    ASSERT_TRUE(q.try_pop(v));
+  }
+}

@@ -7,7 +7,10 @@
 // funnel consistent, decoded payload width matching the tag family,
 // bit-identical results across thread counts, fft vs codebook decoder
 // backends agreeing on clean reads, and RSS / decode quality not
-// improving under heavier weather. Coverage guidance is by behavior
+// improving under heavier weather. Thorough iterations also run the
+// corridor differential: a random fleet pushed through the sharded
+// ros::corridor engine must reproduce standalone decode_drive bit for
+// bit on every (vehicle, tag) readout. Coverage guidance is by behavior
 // signature (funnel shape + decode outcome + coarse signal regime): a
 // mutant that lands in a new bucket joins the live corpus.
 //
@@ -34,6 +37,7 @@
 #include <vector>
 
 #include "ros/common/random.hpp"
+#include "ros/corridor/engine.hpp"
 #include "ros/em/material.hpp"
 #include "ros/exec/thread_pool.hpp"
 #include "ros/obs/log.hpp"
@@ -255,6 +259,77 @@ tk::OracleVerdict check_streaming_equivalence(const tk::Scenario& s) {
   return tk::OracleVerdict::pass();
 }
 
+/// Corridor scenario generator: a random little road segment — 1-3 tag
+/// installations with random payloads, spans, and placements, crossed
+/// by a handful of vehicles with random speeds and spawn cadence. Every
+/// draw comes from the caller's stream, so a failing corridor replays
+/// from (--seed, run index) alone.
+ros::corridor::CorridorSpec random_corridor_spec(Rng& rng) {
+  namespace rc = ros::corridor;
+  rc::CorridorSpec spec;
+  spec.seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 20));
+  const int n_tags = rng.uniform_int(1, 3);
+  double x = 0.0;
+  for (int t = 0; t < n_tags; ++t) {
+    rc::TagSpec tag;
+    tag.capture_half_span_m = rng.uniform(1.2, 2.5);
+    x += tag.capture_half_span_m + rng.uniform(0.5, 3.0);
+    tag.position_m = x;
+    tag.bits.clear();
+    for (int k = 0; k < 4; ++k) {
+      tag.bits.push_back(rng.uniform_int(0, 1) == 1);
+    }
+    x += tag.capture_half_span_m;
+    spec.tags.push_back(tag);
+  }
+  spec.segment_length_m = x + 1.0;
+  spec.traffic.n_vehicles =
+      static_cast<std::size_t>(rng.uniform_int(2, 5));
+  spec.traffic.headway_s = rng.uniform(0.2, 1.0);
+  spec.traffic.headway_jitter_s = rng.uniform(0.0, 0.2);
+  spec.traffic.min_speed_mps = rng.uniform(1.5, 2.0);
+  spec.traffic.max_speed_mps =
+      spec.traffic.min_speed_mps + rng.uniform(0.2, 0.8);
+  spec.config.frame_stride = rng.uniform_int(30, 80);
+  spec.tick_s = rng.uniform(0.02, 0.1);
+  return spec;
+}
+
+/// Corridor differential oracle: every readout of a random corridor
+/// must equal the same (vehicle, tag) session run standalone through
+/// the batch decode_drive — the fleet engine's fidelity law, probed
+/// over random geometry instead of the tests' fixed specs.
+tk::OracleVerdict check_corridor_equivalence(Rng& rng) {
+  namespace rc = ros::corridor;
+  const rc::CorridorSpec spec = random_corridor_spec(rng);
+  const rc::CorridorResult result = rc::run_corridor(spec);
+  const auto plans = rc::plan_sessions(spec);
+  if (result.reads.size() != plans.size()) {
+    return tk::OracleVerdict::fail(
+        "corridor equivalence: " + std::to_string(result.reads.size()) +
+        " reads for " + std::to_string(plans.size()) + " plans");
+  }
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    if (!result.reads[p].completed) {
+      return tk::OracleVerdict::fail(
+          "corridor equivalence: read " + std::to_string(p) +
+          " never finalized");
+    }
+    if (!rc::same_read(result.reads[p].result,
+                       rc::standalone_read(spec, plans[p]))) {
+      std::ostringstream os;
+      os << "corridor equivalence: read " << p << " (vehicle "
+         << plans[p].vehicle_id << ", tag " << plans[p].tag_index
+         << ", corridor seed " << spec.seed << ", "
+         << spec.traffic.n_vehicles << " vehicles, stride "
+         << spec.config.frame_stride
+         << ") diverged from standalone decode_drive";
+      return tk::OracleVerdict::fail(os.str());
+    }
+  }
+  return tk::OracleVerdict::pass();
+}
+
 /// Full oracle battery for one scenario. `thorough` adds the expensive
 /// differential checks (full report, thread invariance, weather).
 tk::OracleVerdict run_all_oracles(const tk::Scenario& s, bool thorough,
@@ -422,6 +497,21 @@ int fuzz(const Options& opt) {
     }
     if (signatures.insert(sig).second) {
       corpus.push_back(s);  // new behavior bucket: keep for mutation
+    }
+    if (thorough) {
+      // Corridor differential: random fleet geometry, every readout
+      // checked against standalone decode_drive. Replays from the same
+      // --seed and run index (no file needed — the spec is pure RNG).
+      Rng crng(derive_stream_seed(
+          derive_stream_seed(opt.seed, 0xC0221D02ull),
+          static_cast<std::uint64_t>(r)));
+      if (const auto cv = check_corridor_equivalence(crng); !cv.ok) {
+        ++failures;
+        std::cout << "FAIL run " << r << " (seed 0x" << std::hex
+                  << opt.seed << std::dec << "): " << cv.failure
+                  << "\n  replay: roztest --runs " << r + 1 << " --seed 0x"
+                  << std::hex << opt.seed << std::dec << "\n";
+      }
     }
   }
 

@@ -150,6 +150,57 @@ TEST(BenchCompare, NewBenchIsInformationalButFidelityGates) {
   EXPECT_EQ(r2.exit_code(true), 2);
 }
 
+TEST(BenchCompare, ThroughputDropGatesLikePerf) {
+  // 100 -> 50 reads/s is below base/1.35: a throughput regression,
+  // warn-only like wall-time perf.
+  const auto base = parse(doc("corridor", 100.0, passing_check(),
+                              ",\"throughput\":{\"tag_reads_per_s\":"
+                              "100.0}"));
+  const auto fresh = parse(doc("corridor", 100.0, passing_check(),
+                               ",\"throughput\":{\"tag_reads_per_s\":"
+                               "50.0}"));
+  const auto r = compare_runs(fresh, base);
+  ASSERT_EQ(r.benches.size(), 1u);
+  EXPECT_EQ(r.throughput_regressions, 1);
+  EXPECT_EQ(r.perf_regressions, 0);
+  EXPECT_EQ(r.benches[0].verdict, BenchVerdict::perf_regression);
+  ASSERT_FALSE(r.benches[0].notes.empty());
+  EXPECT_NE(r.benches[0].notes[0].find("tag_reads_per_s"),
+            std::string::npos);
+  EXPECT_EQ(r.exit_code(false), 1);
+  EXPECT_EQ(r.exit_code(true), 0);
+}
+
+TEST(BenchCompare, ThroughputWithinRatioPasses) {
+  // 100 -> 90 reads/s stays above base/1.35: no regression.
+  const auto base = parse(doc("corridor", 100.0, passing_check(),
+                              ",\"throughput\":{\"tag_reads_per_s\":"
+                              "100.0}"));
+  const auto fresh = parse(doc("corridor", 100.0, passing_check(),
+                               ",\"throughput\":{\"tag_reads_per_s\":"
+                               "90.0}"));
+  const auto r = compare_runs(fresh, base);
+  EXPECT_EQ(r.throughput_regressions, 0);
+  EXPECT_EQ(r.benches[0].verdict, BenchVerdict::pass);
+  EXPECT_EQ(r.exit_code(false), 0);
+}
+
+TEST(BenchCompare, LostThroughputMetricIsRegression) {
+  // The metric existed in the baseline but the new run stopped
+  // reporting it: coverage loss, flagged (still warn-only).
+  const auto base = parse(doc("corridor", 100.0, passing_check(),
+                              ",\"throughput\":{\"frames_per_s\":"
+                              "2000.0}"));
+  const auto fresh = parse(doc("corridor", 100.0, passing_check()));
+  const auto r = compare_runs(fresh, base);
+  EXPECT_EQ(r.throughput_regressions, 1);
+  EXPECT_EQ(r.exit_code(false), 1);
+  EXPECT_EQ(r.exit_code(true), 0);
+  const auto rendered = r.render();
+  EXPECT_NE(rendered.find("frames_per_s"), std::string::npos);
+  EXPECT_NE(rendered.find("1 throughput regression"), std::string::npos);
+}
+
 TEST(BenchCompare, MalformedDocumentExits3) {
   const auto base = parse(doc("fig15", 100.0));
   const auto noBenches = parse("{\"schema\":\"rosbench-v1\"}");
